@@ -1,0 +1,123 @@
+// Ablations for the design choices flagged in DESIGN.md:
+//   A1  merging refinement on/off — split pathology vs extra distance
+//       comparisons (paper Sec. 4.3 motivates the refinement).
+//   A2  tree descent / closeness metric D0-D4 — the paper defaults to
+//       D2; this sweeps all five on the same workload.
+//   A3  threshold condition: diameter vs radius (Sec. 4.2 allows both;
+//       a radius threshold admits ~2x looser merges at equal T).
+// Run on DS1 at base-workload scale.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/paper_datasets.h"
+#include "util/table.h"
+
+namespace birch {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1);
+  if (!gen.ok()) return 1;
+  const auto& g = gen.value();
+  CsvWriter csv({"ablation", "variant", "seconds", "d", "matched",
+                 "entries", "refinements", "comparisons_per_point"});
+  const std::string csv_path = bench::CsvPathFromArgs(argc, argv);
+
+  auto run = [&](const char* ablation, const char* variant,
+                 const BirchOptions& o, TablePrinter* table) -> int {
+    auto row_or = bench::RunBirch(g, o);
+    if (!row_or.ok()) {
+      std::fprintf(stderr, "%s/%s failed: %s\n", ablation, variant,
+                   row_or.status().ToString().c_str());
+      return 1;
+    }
+    const auto& row = row_or.value();
+    double cmp_per_pt =
+        static_cast<double>(row.result.tree_stats.distance_comparisons) /
+        static_cast<double>(g.data.size());
+    table->Row()
+        .Add(variant)
+        .Add(row.seconds_total, 2)
+        .Add(row.weighted_diameter, 2)
+        .Add(row.match.matched)
+        .Add(row.result.leaf_entries_after_phase1)
+        .Add(static_cast<int64_t>(row.result.tree_stats.merge_refinements))
+        .Add(cmp_per_pt, 1);
+    csv.Row()
+        .Add(ablation)
+        .Add(variant)
+        .Add(row.seconds_total)
+        .Add(row.weighted_diameter)
+        .Add(static_cast<int64_t>(row.match.matched))
+        .Add(static_cast<int64_t>(row.result.leaf_entries_after_phase1))
+        .Add(static_cast<int64_t>(row.result.tree_stats.merge_refinements))
+        .Add(cmp_per_pt);
+    return 0;
+  };
+
+  std::printf("A1: merging refinement (paper Sec. 4.3) on DS1\n\n");
+  {
+    TablePrinter t({"variant", "time(s)", "D", "matched", "entries",
+                    "refinements", "cmp/pt"});
+    BirchOptions on = bench::PaperDefaults(100, g.data.size());
+    BirchOptions off = on;
+    off.merging_refinement = false;
+    if (run("merging_refinement", "on", on, &t)) return 1;
+    if (run("merging_refinement", "off", off, &t)) return 1;
+    t.Print();
+  }
+
+  std::printf("\nA2: descent/closeness metric (paper default D2)\n\n");
+  {
+    TablePrinter t({"variant", "time(s)", "D", "matched", "entries",
+                    "refinements", "cmp/pt"});
+    for (auto m : {DistanceMetric::kD0, DistanceMetric::kD1,
+                   DistanceMetric::kD2, DistanceMetric::kD3,
+                   DistanceMetric::kD4}) {
+      BirchOptions o = bench::PaperDefaults(100, g.data.size());
+      o.metric = m;
+      if (run("metric", MetricName(m), o, &t)) return 1;
+    }
+    t.Print();
+  }
+
+  std::printf("\nA3: threshold condition (diameter vs radius)\n\n");
+  {
+    TablePrinter t({"variant", "time(s)", "D", "matched", "entries",
+                    "refinements", "cmp/pt"});
+    BirchOptions diam = bench::PaperDefaults(100, g.data.size());
+    BirchOptions rad = diam;
+    rad.threshold_kind = ThresholdKind::kRadius;
+    if (run("threshold_kind", "diameter", diam, &t)) return 1;
+    if (run("threshold_kind", "radius", rad, &t)) return 1;
+    t.Print();
+  }
+
+  std::printf("\nA4: Phase-3 global algorithm (paper default: "
+              "hierarchical)\n\n");
+  {
+    TablePrinter t({"variant", "time(s)", "D", "matched", "entries",
+                    "refinements", "cmp/pt"});
+    struct Named {
+      const char* name;
+      GlobalAlgorithm algo;
+    };
+    for (auto [name, algo] :
+         {Named{"hierarchical", GlobalAlgorithm::kHierarchical},
+          Named{"kmeans", GlobalAlgorithm::kKMeans},
+          Named{"medoids", GlobalAlgorithm::kMedoids}}) {
+      BirchOptions o = bench::PaperDefaults(100, g.data.size());
+      o.global_algorithm = algo;
+      if (run("global_algorithm", name, o, &t)) return 1;
+    }
+    t.Print();
+  }
+
+  bench::MaybeWriteCsv(csv, csv_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace birch
+
+int main(int argc, char** argv) { return birch::Run(argc, argv); }

@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) for the hot primitives: CF point
+// accumulation, the D0-D4 distances, CF-tree point insertion across
+// page sizes and metrics, and tree rebuilding. These back the design
+// decisions called out in DESIGN.md (entry layout, descent metric).
+#include <benchmark/benchmark.h>
+
+#include "birch/cf_tree.h"
+#include "birch/cf_vector.h"
+#include "birch/metrics.h"
+#include "pagestore/memory_tracker.h"
+#include "util/random.h"
+
+namespace birch {
+namespace {
+
+void BM_CfAddPoint(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> p(dim);
+  for (auto& v : p) v = rng.NextDouble();
+  CfVector cf(dim);
+  for (auto _ : state) {
+    cf.AddPoint(p);
+    benchmark::DoNotOptimize(cf);
+  }
+}
+BENCHMARK(BM_CfAddPoint)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_CfMerge(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  CfVector a(dim), b(dim);
+  std::vector<double> p(dim);
+  for (int i = 0; i < 100; ++i) {
+    for (auto& v : p) v = rng.NextDouble();
+    a.AddPoint(p);
+    for (auto& v : p) v = rng.NextDouble();
+    b.AddPoint(p);
+  }
+  for (auto _ : state) {
+    CfVector m = CfVector::Merged(a, b);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_CfMerge)->Arg(2)->Arg(32);
+
+void BM_Distance(benchmark::State& state) {
+  const auto metric = static_cast<DistanceMetric>(state.range(0));
+  Rng rng(3);
+  CfVector a(8), b(8);
+  std::vector<double> p(8);
+  for (int i = 0; i < 50; ++i) {
+    for (auto& v : p) v = rng.NextDouble();
+    a.AddPoint(p);
+    for (auto& v : p) v = rng.NextDouble() + 2.0;
+    b.AddPoint(p);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Distance(metric, a, b));
+  }
+  state.SetLabel(MetricName(metric));
+}
+BENCHMARK(BM_Distance)->DenseRange(0, 4);
+
+void BM_TreeInsert(benchmark::State& state) {
+  const size_t page = static_cast<size_t>(state.range(0));
+  CfTreeOptions o;
+  o.dim = 2;
+  o.page_size = page;
+  o.threshold = 0.5;
+  Rng rng(4);
+  MemoryTracker mem;
+  CfTree tree(o, &mem);
+  std::vector<double> p(2);
+  for (auto _ : state) {
+    p[0] = rng.Uniform(0, 100);
+    p[1] = rng.Uniform(0, 100);
+    benchmark::DoNotOptimize(tree.InsertPoint(p));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreeInsert)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_TreeInsertMetric(benchmark::State& state) {
+  CfTreeOptions o;
+  o.dim = 2;
+  o.page_size = 1024;
+  o.threshold = 0.5;
+  o.metric = static_cast<DistanceMetric>(state.range(0));
+  Rng rng(5);
+  MemoryTracker mem;
+  CfTree tree(o, &mem);
+  std::vector<double> p(2);
+  for (auto _ : state) {
+    p[0] = rng.Uniform(0, 100);
+    p[1] = rng.Uniform(0, 100);
+    benchmark::DoNotOptimize(tree.InsertPoint(p));
+  }
+  state.SetLabel(MetricName(o.metric));
+}
+BENCHMARK(BM_TreeInsertMetric)->DenseRange(0, 4);
+
+void BM_TreeRebuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    CfTreeOptions o;
+    o.dim = 2;
+    o.page_size = 1024;
+    o.threshold = 0.1;
+    MemoryTracker mem;
+    CfTree tree(o, &mem);
+    Rng rng(6);
+    std::vector<double> p(2);
+    for (int i = 0; i < n; ++i) {
+      p[0] = rng.Uniform(0, 50);
+      p[1] = rng.Uniform(0, 50);
+      tree.InsertPoint(p);
+    }
+    state.ResumeTiming();
+    tree.Rebuild(0.5);
+    benchmark::DoNotOptimize(tree.leaf_entry_count());
+  }
+}
+BENCHMARK(BM_TreeRebuild)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace birch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// E5 — Fig. 5: scalability with N, growing the number of clusters.
+//
+// n stays fixed at 500 per cluster; K grows 25 -> 200 (N = 12.5k ..
+// 100k). The paper finds running time again ~linear in N (with the
+// caveat that Phase 3's global clustering grows with K).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/paper_datasets.h"
+#include "util/table.h"
+
+namespace birch {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::printf(
+      "E5 / Fig. 5: time vs N (growing K, n=500 per cluster)\n"
+      "(paper: phases 1-3 and 1-4 scale ~linearly in N = K*n)\n\n");
+  TablePrinter table({"dataset", "K", "N", "ph1-3(s)", "ph1-4(s)",
+                      "us/pt(1-3)", "us/pt(1-4)", "D", "matched"});
+  CsvWriter csv({"dataset", "k", "n_total", "seconds_123", "seconds_1234",
+                 "d", "matched"});
+
+  const int kKs[] = {25, 50, 100, 200};
+  for (auto ds :
+       {PaperDataset::kDS1, PaperDataset::kDS2, PaperDataset::kDS3}) {
+    for (int k : kKs) {
+      auto gen = GeneratePaperDataset(ds, k, /*n=*/500);
+      if (!gen.ok()) return 1;
+      const auto& g = gen.value();
+      auto row_or =
+          bench::RunBirch(g, bench::PaperDefaults(k, g.data.size()));
+      if (!row_or.ok()) {
+        std::fprintf(stderr, "failed: %s\n",
+                     row_or.status().ToString().c_str());
+        return 1;
+      }
+      const auto& row = row_or.value();
+      double s123 = row.result.timings.Phases123();
+      double s1234 = row.result.timings.Total();
+      double np = static_cast<double>(g.data.size());
+      table.Row()
+          .Add(PaperDatasetName(ds))
+          .Add(k)
+          .Add(g.data.size())
+          .Add(s123, 3)
+          .Add(s1234, 3)
+          .Add(1e6 * s123 / np, 2)
+          .Add(1e6 * s1234 / np, 2)
+          .Add(row.weighted_diameter, 2)
+          .Add(row.match.matched);
+      csv.Row()
+          .Add(PaperDatasetName(ds))
+          .Add(static_cast<int64_t>(k))
+          .Add(static_cast<int64_t>(g.data.size()))
+          .Add(s123)
+          .Add(s1234)
+          .Add(row.weighted_diameter)
+          .Add(static_cast<int64_t>(row.match.matched));
+    }
+  }
+  table.Print();
+  bench::MaybeWriteCsv(csv, bench::CsvPathFromArgs(argc, argv));
+  return 0;
+}
+
+}  // namespace
+}  // namespace birch
+
+int main(int argc, char** argv) { return birch::Run(argc, argv); }

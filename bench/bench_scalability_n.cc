@@ -1,0 +1,71 @@
+// E4 — Fig. 4: scalability with N, growing the points per cluster.
+//
+// K stays at 100; n grows 250 -> 2000 (N = 25k..200k). The paper plots
+// running time vs N for Phases 1-3 and Phases 1-4 on DS1/DS2/DS3 and
+// finds both nearly linear. The "us/point" column makes the linearity
+// visible: it should stay roughly flat down each dataset's series.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/paper_datasets.h"
+#include "util/table.h"
+
+namespace birch {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::printf(
+      "E4 / Fig. 4: time vs N (growing points per cluster, K=100)\n"
+      "(paper: phases 1-3 and 1-4 scale ~linearly in N)\n\n");
+  TablePrinter table({"dataset", "n/cluster", "N", "ph1-3(s)", "ph1-4(s)",
+                      "us/pt(1-3)", "us/pt(1-4)", "D", "matched"});
+  CsvWriter csv({"dataset", "n_per_cluster", "n_total", "seconds_123",
+                 "seconds_1234", "d", "matched"});
+
+  const int kSizes[] = {250, 500, 1000, 2000};
+  for (auto ds :
+       {PaperDataset::kDS1, PaperDataset::kDS2, PaperDataset::kDS3}) {
+    for (int n : kSizes) {
+      auto gen = GeneratePaperDataset(ds, /*k=*/100, /*n=*/n);
+      if (!gen.ok()) return 1;
+      const auto& g = gen.value();
+      auto row_or =
+          bench::RunBirch(g, bench::PaperDefaults(100, g.data.size()));
+      if (!row_or.ok()) {
+        std::fprintf(stderr, "failed: %s\n",
+                     row_or.status().ToString().c_str());
+        return 1;
+      }
+      const auto& row = row_or.value();
+      double s123 = row.result.timings.Phases123();
+      double s1234 = row.result.timings.Total();
+      double np = static_cast<double>(g.data.size());
+      table.Row()
+          .Add(PaperDatasetName(ds))
+          .Add(n)
+          .Add(g.data.size())
+          .Add(s123, 3)
+          .Add(s1234, 3)
+          .Add(1e6 * s123 / np, 2)
+          .Add(1e6 * s1234 / np, 2)
+          .Add(row.weighted_diameter, 2)
+          .Add(row.match.matched);
+      csv.Row()
+          .Add(PaperDatasetName(ds))
+          .Add(static_cast<int64_t>(n))
+          .Add(static_cast<int64_t>(g.data.size()))
+          .Add(s123)
+          .Add(s1234)
+          .Add(row.weighted_diameter)
+          .Add(static_cast<int64_t>(row.match.matched));
+    }
+  }
+  table.Print();
+  bench::MaybeWriteCsv(csv, bench::CsvPathFromArgs(argc, argv));
+  return 0;
+}
+
+}  // namespace
+}  // namespace birch
+
+int main(int argc, char** argv) { return birch::Run(argc, argv); }

@@ -1,0 +1,69 @@
+// E8 — Sec. 6.5, memory budget M.
+//
+// More memory -> finer final threshold -> more leaf entries survive
+// Phase 1 -> better (or equal) quality at more time; BIRCH trades
+// memory for time/quality gracefully. Disk stays at 20% of M.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/paper_datasets.h"
+#include "util/table.h"
+
+namespace birch {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::printf(
+      "E8 / Sec. 6.5: memory budget sensitivity on DS2\n"
+      "(paper: more memory -> finer subclusters -> better quality, "
+      "more time)\n\n");
+  TablePrinter table({"M(KB)", "time(s)", "rebuilds", "final-T", "entries",
+                      "D", "matched", "accuracy", "peak-mem(KB)"});
+  CsvWriter csv({"m_kb", "seconds", "rebuilds", "final_t", "entries", "d",
+                 "matched", "accuracy"});
+
+  auto gen = GeneratePaperDataset(PaperDataset::kDS2);
+  if (!gen.ok()) return 1;
+  const auto& g = gen.value();
+
+  const size_t kBudgetsKb[] = {20, 40, 80, 160, 320};
+  for (size_t m : kBudgetsKb) {
+    BirchOptions o = bench::PaperDefaults(100, g.data.size());
+    o.memory_bytes = m * 1024;
+    o.disk_bytes = o.memory_bytes / 5;
+    auto row_or = bench::RunBirch(g, o);
+    if (!row_or.ok()) {
+      std::fprintf(stderr, "M=%zuKB failed: %s\n", m,
+                   row_or.status().ToString().c_str());
+      return 1;
+    }
+    const auto& row = row_or.value();
+    table.Row()
+        .Add(m)
+        .Add(row.seconds_total, 2)
+        .Add(static_cast<int64_t>(row.result.phase1.rebuilds))
+        .Add(row.result.final_threshold, 3)
+        .Add(row.result.leaf_entries_after_phase1)
+        .Add(row.weighted_diameter, 2)
+        .Add(row.match.matched)
+        .Add(row.label_accuracy, 3)
+        .Add(static_cast<int64_t>(row.result.peak_memory_bytes / 1024));
+    csv.Row()
+        .Add(static_cast<int64_t>(m))
+        .Add(row.seconds_total)
+        .Add(static_cast<int64_t>(row.result.phase1.rebuilds))
+        .Add(row.result.final_threshold)
+        .Add(static_cast<int64_t>(row.result.leaf_entries_after_phase1))
+        .Add(row.weighted_diameter)
+        .Add(static_cast<int64_t>(row.match.matched))
+        .Add(row.label_accuracy);
+  }
+  table.Print();
+  bench::MaybeWriteCsv(csv, bench::CsvPathFromArgs(argc, argv));
+  return 0;
+}
+
+}  // namespace
+}  // namespace birch
+
+int main(int argc, char** argv) { return birch::Run(argc, argv); }

@@ -1,0 +1,75 @@
+// E7 — Sec. 6.5, page size P (64..4096).
+//
+// Smaller pages -> smaller B/L -> finer subclusters but more, deeper
+// nodes; the paper observes that the pre-Phase-4 quality varies with P
+// while Phase 4 compensates, landing all settings on similar final
+// quality. This bench reports quality both before (Phase-3 clusters)
+// and after Phase 4.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/paper_datasets.h"
+#include "util/table.h"
+
+namespace birch {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::printf(
+      "E7 / Sec. 6.5: page size sensitivity on DS1\n"
+      "(paper: P affects pre-Phase-4 granularity; Phase 4 compensates)\n\n");
+  TablePrinter table({"P(bytes)", "B", "L", "time(s)", "entries",
+                      "D-prePh4", "D-final", "matched", "accuracy"});
+  CsvWriter csv({"page", "b", "l", "seconds", "entries", "d_pre", "d_final",
+                 "matched", "accuracy"});
+
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1);
+  if (!gen.ok()) return 1;
+  const auto& g = gen.value();
+
+  const size_t kPages[] = {256, 512, 1024, 2048, 4096};
+  for (size_t p : kPages) {
+    // Pre-Phase-4 quality: run with refinement disabled.
+    BirchOptions pre = bench::PaperDefaults(100, g.data.size());
+    pre.page_size = p;
+    pre.refinement_passes = 0;
+    auto pre_or = bench::RunBirch(g, pre);
+    if (!pre_or.ok()) return 1;
+
+    BirchOptions full = bench::PaperDefaults(100, g.data.size());
+    full.page_size = p;
+    auto full_or = bench::RunBirch(g, full);
+    if (!full_or.ok()) return 1;
+    const auto& row = full_or.value();
+
+    CfLayout layout{p, 2};
+    table.Row()
+        .Add(p)
+        .Add(layout.B())
+        .Add(layout.L())
+        .Add(row.seconds_total, 2)
+        .Add(row.result.leaf_entries_after_phase1)
+        .Add(pre_or.value().weighted_diameter, 2)
+        .Add(row.weighted_diameter, 2)
+        .Add(row.match.matched)
+        .Add(row.label_accuracy, 3);
+    csv.Row()
+        .Add(static_cast<int64_t>(p))
+        .Add(static_cast<int64_t>(layout.B()))
+        .Add(static_cast<int64_t>(layout.L()))
+        .Add(row.seconds_total)
+        .Add(static_cast<int64_t>(row.result.leaf_entries_after_phase1))
+        .Add(pre_or.value().weighted_diameter)
+        .Add(row.weighted_diameter)
+        .Add(static_cast<int64_t>(row.match.matched))
+        .Add(row.label_accuracy);
+  }
+  table.Print();
+  bench::MaybeWriteCsv(csv, bench::CsvPathFromArgs(argc, argv));
+  return 0;
+}
+
+}  // namespace
+}  // namespace birch
+
+int main(int argc, char** argv) { return birch::Run(argc, argv); }

@@ -1,0 +1,68 @@
+// E6 — Sec. 6.5, initial threshold T0.
+//
+// The paper: T0 = 0 always works; a knowledgeable T0 closer to the
+// final threshold saves rebuilds and time; an excessive T0 builds a
+// coarser-than-necessary tree and costs quality. This bench sweeps T0
+// on DS1 and reports time, rebuild count and quality D.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/paper_datasets.h"
+#include "util/table.h"
+
+namespace birch {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::printf(
+      "E6 / Sec. 6.5: initial threshold sensitivity on DS1\n"
+      "(paper: T0=0 robust; good guesses are rewarded with less time; "
+      "too-high T0 hurts quality)\n\n");
+  TablePrinter table({"T0", "time(s)", "rebuilds", "final-T", "entries",
+                      "D", "matched", "accuracy"});
+  CsvWriter csv({"t0", "seconds", "rebuilds", "final_t", "entries", "d",
+                 "matched", "accuracy"});
+
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1);
+  if (!gen.ok()) return 1;
+  const auto& g = gen.value();
+
+  const double kT0s[] = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  for (double t0 : kT0s) {
+    BirchOptions o = bench::PaperDefaults(100, g.data.size());
+    o.initial_threshold = t0;
+    auto row_or = bench::RunBirch(g, o);
+    if (!row_or.ok()) {
+      std::fprintf(stderr, "T0=%.2f failed: %s\n", t0,
+                   row_or.status().ToString().c_str());
+      return 1;
+    }
+    const auto& row = row_or.value();
+    table.Row()
+        .Add(t0, 2)
+        .Add(row.seconds_total, 2)
+        .Add(static_cast<int64_t>(row.result.phase1.rebuilds))
+        .Add(row.result.final_threshold, 3)
+        .Add(row.result.leaf_entries_after_phase1)
+        .Add(row.weighted_diameter, 2)
+        .Add(row.match.matched)
+        .Add(row.label_accuracy, 3);
+    csv.Row()
+        .Add(t0)
+        .Add(row.seconds_total)
+        .Add(static_cast<int64_t>(row.result.phase1.rebuilds))
+        .Add(row.result.final_threshold)
+        .Add(static_cast<int64_t>(row.result.leaf_entries_after_phase1))
+        .Add(row.weighted_diameter)
+        .Add(static_cast<int64_t>(row.match.matched))
+        .Add(row.label_accuracy);
+  }
+  table.Print();
+  bench::MaybeWriteCsv(csv, bench::CsvPathFromArgs(argc, argv));
+  return 0;
+}
+
+}  // namespace
+}  // namespace birch
+
+int main(int argc, char** argv) { return birch::Run(argc, argv); }

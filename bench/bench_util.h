@@ -1,0 +1,90 @@
+// Shared helpers for the benchmark binaries: paper-default BIRCH
+// options, a standard "run BIRCH and collect the row" wrapper, and
+// optional CSV dumping (pass --csv <path> to any bench binary).
+#ifndef BIRCH_BENCH_BENCH_UTIL_H_
+#define BIRCH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "birch/birch.h"
+#include "datagen/generator.h"
+#include "eval/matching.h"
+#include "eval/quality.h"
+#include "util/csv.h"
+#include "util/timer.h"
+
+namespace birch {
+namespace bench {
+
+/// The paper's Table-2 default configuration.
+inline BirchOptions PaperDefaults(int k, uint64_t expected_points = 0) {
+  BirchOptions o;
+  o.dim = 2;
+  o.k = k;
+  o.memory_bytes = 80 * 1024;
+  o.disk_bytes = 16 * 1024;  // R = 20% of M
+  o.page_size = 1024;
+  o.initial_threshold = 0.0;
+  o.metric = DistanceMetric::kD2;
+  o.threshold_kind = ThresholdKind::kDiameter;
+  o.outlier_handling = true;
+  o.delay_split = true;
+  o.refinement_passes = 1;
+  o.expected_points = expected_points;
+  return o;
+}
+
+/// One benchmark row: timings plus quality/accuracy measures.
+struct RunRow {
+  BirchResult result;
+  double seconds_total = 0.0;
+  double weighted_diameter = 0.0;   // the paper's quality "D"
+  double weighted_radius = 0.0;
+  double actual_diameter = 0.0;     // same measure on the ground truth
+  MatchReport match;
+  double label_accuracy = 0.0;
+};
+
+/// Runs BIRCH on generated data and fills the standard row.
+inline StatusOr<RunRow> RunBirch(const GeneratedData& gen,
+                                 const BirchOptions& options) {
+  RunRow row;
+  Timer timer;
+  auto result = ClusterDataset(gen.data, options);
+  if (!result.ok()) return result.status();
+  row.seconds_total = timer.Seconds();
+  row.result = std::move(result).ValueOrDie();
+  row.weighted_diameter = WeightedAverageDiameter(row.result.clusters);
+  row.weighted_radius = WeightedAverageRadius(row.result.clusters);
+  std::vector<CfVector> actual_cfs;
+  for (const auto& a : gen.actual) actual_cfs.push_back(a.cf);
+  row.actual_diameter = WeightedAverageDiameter(actual_cfs);
+  row.match = MatchClusters(gen.actual, row.result.clusters);
+  row.label_accuracy = LabelAccuracy(gen.truth, row.result.labels, row.match);
+  return row;
+}
+
+/// --csv <path> support.
+inline std::string CsvPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") return argv[i + 1];
+  }
+  return "";
+}
+
+inline void MaybeWriteCsv(const CsvWriter& csv, const std::string& path) {
+  if (path.empty()) return;
+  Status st = csv.WriteFile(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "csv write failed: %s\n", st.ToString().c_str());
+  } else {
+    std::printf("(csv written to %s)\n", path.c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace birch
+
+#endif  // BIRCH_BENCH_BENCH_UTIL_H_

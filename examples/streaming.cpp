@@ -1,0 +1,70 @@
+// Streaming / incremental clustering — the paper's "incremental"
+// property as an API. Points arrive in batches (here: a drifting
+// mixture); after each batch we take a Snapshot of the current
+// clustering without stopping the stream, then Finish() at the end.
+//
+//   build/examples/streaming
+#include <cstdio>
+
+#include "birch/birch.h"
+#include "util/random.h"
+
+int main() {
+  using namespace birch;
+
+  BirchOptions options;
+  options.dim = 2;
+  options.k = 4;
+  options.memory_bytes = 64 * 1024;
+  auto clusterer_or = BirchClusterer::Create(options);
+  if (!clusterer_or.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 clusterer_or.status().ToString().c_str());
+    return 1;
+  }
+  auto& clusterer = clusterer_or.value();
+
+  // Four sources; the fourth only switches on halfway through.
+  const double centers[4][2] = {{0, 0}, {30, 0}, {0, 30}, {30, 30}};
+  Rng rng(7);
+  Dataset all(2);
+
+  const int kBatches = 10;
+  const int kPerBatch = 5000;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    int active_sources = batch < kBatches / 2 ? 3 : 4;
+    for (int i = 0; i < kPerBatch; ++i) {
+      int src = static_cast<int>(rng.UniformInt(
+          static_cast<uint64_t>(active_sources)));
+      std::vector<double> p = {rng.Gaussian(centers[src][0], 1.5),
+                               rng.Gaussian(centers[src][1], 1.5)};
+      if (!clusterer->Add(p).ok()) return 1;
+      all.Append(p);
+    }
+
+    // Non-disruptive snapshot of the stream so far.
+    auto snap = clusterer->Snapshot(4);
+    if (!snap.ok()) return 1;
+    std::printf("after batch %2d (%6d pts): tree has %5zu entries; "
+                "4-cluster snapshot sizes:",
+                batch + 1, (batch + 1) * kPerBatch,
+                clusterer->tree().leaf_entry_count());
+    for (const auto& c : snap.value().clusters) {
+      std::printf(" %6.0f", c.n());
+    }
+    std::printf("\n");
+  }
+
+  // Final answer, refined over everything seen.
+  auto result = clusterer->Finish(&all);
+  if (!result.ok()) return 1;
+  std::printf("\nfinal clusters:\n");
+  for (const auto& c : result.value().clusters) {
+    auto ctr = c.Centroid();
+    std::printf("  %7.0f points at (%6.2f, %6.2f), radius %.2f\n", c.n(),
+                ctr[0], ctr[1], c.Radius());
+  }
+  std::printf("(the fourth source, active only in the second half, is "
+              "picked up incrementally)\n");
+  return 0;
+}

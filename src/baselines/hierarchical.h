@@ -1,0 +1,21 @@
+// Standalone agglomerative hierarchical clustering over raw points —
+// a thin wrapper that lifts each point to a singleton CF and reuses
+// BIRCH's Phase-3 machinery. Quadratic; intended for small inputs and
+// for demonstrating why BIRCH pre-condenses with a CF tree.
+#ifndef BIRCH_BASELINES_HIERARCHICAL_H_
+#define BIRCH_BASELINES_HIERARCHICAL_H_
+
+#include "birch/dataset.h"
+#include "birch/global_cluster.h"
+#include "util/status.h"
+
+namespace birch {
+
+/// Agglomerates `data` into k clusters under `metric`.
+StatusOr<GlobalClustering> HierarchicalCluster(
+    const Dataset& data, int k,
+    DistanceMetric metric = DistanceMetric::kD2);
+
+}  // namespace birch
+
+#endif  // BIRCH_BASELINES_HIERARCHICAL_H_

@@ -1,0 +1,35 @@
+// Lloyd k-means over raw points with k-means++ seeding. Used as a
+// sanity baseline next to BIRCH and CLARANS; BIRCH's Phase 3 has its
+// own CF-weighted variant in birch/global_cluster.
+#ifndef BIRCH_BASELINES_KMEANS_H_
+#define BIRCH_BASELINES_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "birch/cf_vector.h"
+#include "birch/dataset.h"
+#include "util/status.h"
+
+namespace birch {
+
+struct KMeansOptions {
+  int k = 0;
+  int max_iterations = 100;
+  uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  std::vector<int> labels;
+  std::vector<CfVector> clusters;
+  int iterations = 0;
+  double sse = 0.0;
+};
+
+/// Clusters `data` into k groups. Fails on k <= 0 or k > data.size().
+StatusOr<KMeansResult> KMeans(const Dataset& data,
+                              const KMeansOptions& options);
+
+}  // namespace birch
+
+#endif  // BIRCH_BASELINES_KMEANS_H_

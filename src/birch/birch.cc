@@ -1,0 +1,268 @@
+#include "birch/birch.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/math.h"
+#include "util/timer.h"
+
+namespace birch {
+
+namespace {
+
+CfTreeOptions TreeOptionsFrom(const BirchOptions& o) {
+  CfTreeOptions t;
+  t.dim = o.dim;
+  t.page_size = o.page_size;
+  t.threshold = o.initial_threshold;
+  t.metric = o.metric;
+  t.threshold_kind = o.threshold_kind;
+  t.merging_refinement = o.merging_refinement;
+  return t;
+}
+
+Phase1Options Phase1OptionsFrom(const BirchOptions& o) {
+  Phase1Options p;
+  p.tree = TreeOptionsFrom(o);
+  p.memory_budget_bytes = o.memory_bytes;
+  p.disk_budget_bytes = o.disk_bytes;
+  p.outlier_handling = o.outlier_handling;
+  p.outlier_fraction = o.outlier_fraction;
+  p.delay_split = o.delay_split;
+  p.expected_points = o.expected_points;
+  return p;
+}
+
+}  // namespace
+
+BirchClusterer::BirchClusterer(const BirchOptions& options)
+    : options_(options),
+      phase1_(std::make_unique<Phase1Builder>(Phase1OptionsFrom(options))) {}
+
+StatusOr<std::unique_ptr<BirchClusterer>> BirchClusterer::Create(
+    const BirchOptions& options) {
+  BIRCH_RETURN_IF_ERROR(options.Validate());
+  return std::unique_ptr<BirchClusterer>(new BirchClusterer(options));
+}
+
+Status BirchClusterer::Add(std::span<const double> x, double weight) {
+  if (finished_) return Status::FailedPrecondition("Add() after Finish()");
+  return phase1_->Add(x, weight);
+}
+
+Status BirchClusterer::AddDataset(const Dataset& data) {
+  if (data.dim() != options_.dim) {
+    return Status::InvalidArgument("dataset dimension mismatch");
+  }
+  return phase1_->AddDataset(data);
+}
+
+Status BirchClusterer::AddSource(PointSource* source) {
+  if (source->dim() != options_.dim) {
+    return Status::InvalidArgument("source dimension mismatch");
+  }
+  std::vector<double> p(options_.dim);
+  double w = 1.0;
+  while (source->Next(p, &w)) {
+    BIRCH_RETURN_IF_ERROR(phase1_->Add(p, w));
+  }
+  return Status::OK();
+}
+
+StatusOr<GlobalClustering> BirchClusterer::Snapshot(int k) const {
+  std::vector<CfVector> entries;
+  phase1_->tree().CollectLeafEntries(&entries);
+  if (entries.empty()) {
+    return Status::FailedPrecondition("no data to snapshot");
+  }
+  GlobalClusterOptions g;
+  g.k = k;
+  g.metric = options_.global_metric;
+  g.seed = options_.seed;
+  // Large live trees fall back to k-means (no Phase 2 available here).
+  g.algorithm = entries.size() > g.max_hierarchical_inputs
+                    ? GlobalAlgorithm::kKMeans
+                    : options_.global_algorithm;
+  return GlobalCluster(entries, g);
+}
+
+StatusOr<BirchResult> BirchClusterer::Finish(const Dataset* for_refinement) {
+  if (finished_) return Status::FailedPrecondition("Finish() called twice");
+  finished_ = true;
+
+  BirchResult result;
+  Timer timer;
+
+  // --- Phase 1 tail: flush delayed points, settle outliers. ---
+  BIRCH_RETURN_IF_ERROR(phase1_->Finish());
+  CfTree* tree = phase1_->mutable_tree();
+  result.timings.phase1 = timer.Seconds();
+  result.phase1 = phase1_->stats();
+  result.leaf_entries_after_phase1 = tree->leaf_entry_count();
+
+  // --- Phase 2: condense for the global algorithm. ---
+  timer.Restart();
+  std::vector<CfVector> shed_outliers;
+  if (options_.use_phase2 &&
+      tree->leaf_entry_count() > options_.phase2_target_entries) {
+    Phase2Options p2;
+    p2.target_leaf_entries = options_.phase2_target_entries;
+    if (options_.outlier_handling && tree->leaf_entry_count() > 0) {
+      // Phase 2 "removes more outliers" (paper Sec. 5): entries far
+      // below the average density are shed while condensing.
+      double avg = tree->TreeSummary().n() /
+                   static_cast<double>(tree->leaf_entry_count());
+      p2.outlier_weight_threshold = options_.outlier_fraction * avg;
+    }
+    BIRCH_RETURN_IF_ERROR(
+        CondenseTree(tree, p2, &shed_outliers, &result.phase2));
+  }
+  result.leaf_entries_after_phase2 = tree->leaf_entry_count();
+  result.timings.phase2 = timer.Seconds();
+
+  // --- Phase 3: global clustering of the leaf entries. ---
+  timer.Restart();
+  std::vector<CfVector> entries;
+  tree->CollectLeafEntries(&entries);
+  if (entries.empty()) {
+    return Status::FailedPrecondition("no data was added");
+  }
+  GlobalClusterOptions g;
+  g.k = options_.k;
+  g.distance_limit = options_.global_distance_limit;
+  g.algorithm = options_.global_algorithm;
+  g.metric = options_.global_metric;
+  g.seed = options_.seed;
+  auto clustering_or = GlobalCluster(entries, g);
+  if (!clustering_or.ok()) return clustering_or.status();
+  GlobalClustering& clustering = clustering_or.value();
+  result.timings.phase3 = timer.Seconds();
+
+  result.clusters = clustering.clusters;
+
+  // --- Phase 4: refinement / labelling over the raw data. ---
+  timer.Restart();
+  if (for_refinement != nullptr && !for_refinement->empty()) {
+    RefineOptions r;
+    r.passes = std::max(1, options_.refinement_passes);
+    r.stop_when_stable = true;
+    r.outlier_distance = options_.refine_outlier_distance;
+    auto refined_or = RefineClusters(*for_refinement, result.clusters, r);
+    if (!refined_or.ok()) return refined_or.status();
+    RefineResult& refined = refined_or.value();
+    if (options_.refinement_passes > 0) {
+      // Keep the refined clusters (drop any that ended empty).
+      result.labels = std::move(refined.labels);
+      std::vector<int> remap(refined.clusters.size(), -1);
+      std::vector<CfVector> kept;
+      for (size_t c = 0; c < refined.clusters.size(); ++c) {
+        if (!refined.clusters[c].empty()) {
+          remap[c] = static_cast<int>(kept.size());
+          kept.push_back(refined.clusters[c]);
+        }
+      }
+      for (auto& l : result.labels) {
+        if (l >= 0) l = remap[static_cast<size_t>(l)];
+      }
+      result.clusters = std::move(kept);
+    } else {
+      // refinement_passes == 0: labels only, clusters stay Phase-3.
+      result.labels = std::move(refined.labels);
+    }
+  }
+  result.timings.phase4 = timer.Seconds();
+
+  // --- Bookkeeping ---
+  result.centroids.clear();
+  result.centroids.reserve(result.clusters.size());
+  for (const auto& c : result.clusters) {
+    result.centroids.push_back(c.Centroid());
+  }
+  result.tree_stats = tree->stats();
+  result.peak_memory_bytes = phase1_->memory().peak();
+  result.tree_nodes = tree->node_count();
+  result.disk_pages_written = phase1_->disk().io_stats().pages_written;
+  result.disk_pages_read = phase1_->disk().io_stats().pages_read;
+  result.final_threshold = tree->threshold();
+  double outlier_points = 0.0;
+  for (const auto& e : phase1_->final_outliers()) outlier_points += e.n();
+  for (const auto& e : shed_outliers) outlier_points += e.n();
+  result.outlier_points = static_cast<uint64_t>(outlier_points + 0.5);
+  return result;
+}
+
+StatusOr<BirchResult> ClusterSource(PointSource* source,
+                                    const BirchOptions& options) {
+  BirchOptions opts = options;
+  opts.dim = source->dim();
+  if (opts.expected_points == 0) opts.expected_points = source->SizeHint();
+  auto clusterer_or = BirchClusterer::Create(opts);
+  if (!clusterer_or.ok()) return clusterer_or.status();
+  auto& clusterer = clusterer_or.value();
+  BIRCH_RETURN_IF_ERROR(clusterer->AddSource(source));
+  auto result_or = clusterer->Finish(nullptr);
+  if (!result_or.ok()) return result_or.status();
+  BirchResult result = std::move(result_or).ValueOrDie();
+
+  // Streaming Phase 4: re-scan the source per pass in O(k) memory.
+  if (opts.refinement_passes > 0 && source->Rewind().ok()) {
+    Timer timer;
+    std::vector<std::vector<double>> centers = result.centroids;
+    std::vector<double> p(opts.dim);
+    double w = 1.0;
+    const double limit_sq =
+        opts.refine_outlier_distance > 0.0
+            ? opts.refine_outlier_distance * opts.refine_outlier_distance
+            : std::numeric_limits<double>::infinity();
+    for (int pass = 0; pass < opts.refinement_passes; ++pass) {
+      if (pass > 0) BIRCH_RETURN_IF_ERROR(source->Rewind());
+      std::vector<CfVector> sums(centers.size(), CfVector(opts.dim));
+      while (source->Next(p, &w)) {
+        size_t best = 0;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (size_t c = 0; c < centers.size(); ++c) {
+          double d = SquaredDistance(p, centers[c]);
+          if (d < best_d) {
+            best_d = d;
+            best = c;
+          }
+        }
+        if (best_d <= limit_sq) sums[best].AddPoint(p, w);
+      }
+      double moved = 0.0;
+      for (size_t c = 0; c < centers.size(); ++c) {
+        if (sums[c].empty()) continue;
+        std::vector<double> next = sums[c].Centroid();
+        moved += SquaredDistance(centers[c], next);
+        centers[c] = std::move(next);
+      }
+      result.clusters = std::move(sums);
+      if (moved < 1e-18) break;
+    }
+    // Drop empty clusters, refresh centroids.
+    std::vector<CfVector> kept;
+    for (auto& c : result.clusters) {
+      if (!c.empty()) kept.push_back(std::move(c));
+    }
+    result.clusters = std::move(kept);
+    result.centroids.clear();
+    for (const auto& c : result.clusters) {
+      result.centroids.push_back(c.Centroid());
+    }
+    result.timings.phase4 = timer.Seconds();
+  }
+  return result;
+}
+
+StatusOr<BirchResult> ClusterDataset(const Dataset& data,
+                                     const BirchOptions& options) {
+  BirchOptions opts = options;
+  if (opts.expected_points == 0) opts.expected_points = data.size();
+  auto clusterer_or = BirchClusterer::Create(opts);
+  if (!clusterer_or.ok()) return clusterer_or.status();
+  auto& clusterer = clusterer_or.value();
+  BIRCH_RETURN_IF_ERROR(clusterer->AddDataset(data));
+  return clusterer->Finish(&data);
+}
+
+}  // namespace birch

@@ -1,0 +1,114 @@
+// Public entry points: the streaming BirchClusterer (Phase 1 as data
+// arrives, Phases 2-4 at Finish) and the one-call ClusterDataset
+// convenience wrapper. This is the API the examples and benchmarks
+// build on.
+#ifndef BIRCH_BIRCH_BIRCH_H_
+#define BIRCH_BIRCH_BIRCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "birch/dataset.h"
+#include "birch/global_cluster.h"
+#include "birch/options.h"
+#include "birch/phase1.h"
+#include "birch/phase2.h"
+#include "birch/point_source.h"
+#include "birch/refine.h"
+
+namespace birch {
+
+/// Wall-clock seconds per phase.
+struct PhaseTimings {
+  double phase1 = 0.0;
+  double phase2 = 0.0;
+  double phase3 = 0.0;
+  double phase4 = 0.0;
+  double Total() const { return phase1 + phase2 + phase3 + phase4; }
+  double Phases123() const { return phase1 + phase2 + phase3; }
+};
+
+/// Everything a caller (or benchmark) wants to know about one run.
+struct BirchResult {
+  /// Per-point cluster label (index into `clusters`), -1 = outlier.
+  /// Empty when no dataset was supplied for labelling.
+  std::vector<int> labels;
+  /// Final cluster CFs.
+  std::vector<CfVector> clusters;
+  /// Centroids of `clusters`.
+  std::vector<std::vector<double>> centroids;
+
+  PhaseTimings timings;
+  Phase1Stats phase1;
+  Phase2Stats phase2;
+  CfTreeStats tree_stats;
+  size_t leaf_entries_after_phase1 = 0;
+  size_t leaf_entries_after_phase2 = 0;
+  size_t peak_memory_bytes = 0;
+  size_t tree_nodes = 0;
+  uint64_t disk_pages_written = 0;
+  uint64_t disk_pages_read = 0;
+  double final_threshold = 0.0;
+  uint64_t outlier_points = 0;  // points in never-absorbed outlier entries
+};
+
+/// Incremental clustering: feed points as they arrive; Finish() runs
+/// Phases 2-4 and returns the result. Snapshot() clusters the current
+/// tree contents without disturbing the stream — the paper's
+/// "incremental" claim as a first-class API.
+class BirchClusterer {
+ public:
+  /// Fails on invalid options.
+  static StatusOr<std::unique_ptr<BirchClusterer>> Create(
+      const BirchOptions& options);
+
+  /// Inserts one point (Phase 1).
+  Status Add(std::span<const double> x, double weight = 1.0);
+
+  /// Inserts every row of `data`.
+  Status AddDataset(const Dataset& data);
+
+  /// Drains `source` into the tree (single scan; the stream is never
+  /// materialized).
+  Status AddSource(PointSource* source);
+
+  /// Runs Phases 2-4. If `for_refinement` is non-null, Phase 4
+  /// labels/refines against it (it should be the full data seen so
+  /// far). Consumes the builder: Add() afterwards fails.
+  StatusOr<BirchResult> Finish(const Dataset* for_refinement = nullptr);
+
+  /// Clusters the current leaf entries into `k` clusters without
+  /// modifying the tree. Cheap relative to the stream.
+  StatusOr<GlobalClustering> Snapshot(int k) const;
+
+  /// Phase-1 state inspection.
+  const CfTree& tree() const { return phase1_->tree(); }
+  const Phase1Stats& phase1_stats() const { return phase1_->stats(); }
+
+ private:
+  explicit BirchClusterer(const BirchOptions& options);
+
+  BirchOptions options_;
+  std::unique_ptr<Phase1Builder> phase1_;
+  bool finished_ = false;
+};
+
+/// One-call API: cluster `data` with `options`. Labels are always
+/// produced (Phase 4 when refinement_passes > 0, otherwise one
+/// labelling pass).
+StatusOr<BirchResult> ClusterDataset(const Dataset& data,
+                                     const BirchOptions& options);
+
+/// One-call out-of-core API: cluster a stream without materializing
+/// it. Phase 4 runs only when the source is rewindable AND
+/// options.refinement_passes > 0; with a rewindable source the
+/// refinement re-scans it pass by pass in O(1) extra memory, so
+/// BirchResult.labels stays empty either way (a labels vector for N
+/// points would defeat the purpose — use result.centroids to label
+/// downstream, or LabelPoints on manageable slices).
+StatusOr<BirchResult> ClusterSource(PointSource* source,
+                                    const BirchOptions& options);
+
+}  // namespace birch
+
+#endif  // BIRCH_BIRCH_BIRCH_H_

@@ -1,0 +1,78 @@
+// CF tree node and the page-derived layout (Sec. 4.2). A node occupies
+// one "page" of P bytes; the branching factor B (nonleaf) and leaf
+// capacity L are derived from P and the dimensionality d exactly as in
+// the paper: a nonleaf entry is a CF plus a child pointer, a leaf entry
+// is a CF, and leaves additionally carry prev/next chain pointers.
+#ifndef BIRCH_BIRCH_CF_NODE_H_
+#define BIRCH_BIRCH_CF_NODE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "birch/cf_vector.h"
+
+namespace birch {
+
+/// Derives node capacities from page size and dimension.
+struct CfLayout {
+  size_t page_size = 1024;
+  size_t dim = 2;
+
+  /// Bytes of a serialized CF: N + LS[d] + SS as doubles.
+  size_t CfBytes() const { return (dim + 2) * sizeof(double); }
+
+  /// Fixed per-node overhead we account for: type/count + parent
+  /// pointer + leaf chain pointers.
+  static constexpr size_t kNodeHeaderBytes = 4 * sizeof(void*);
+
+  /// Nonleaf entry: CF + child pointer.
+  size_t NonleafEntryBytes() const { return CfBytes() + sizeof(void*); }
+
+  /// Leaf entry: CF only.
+  size_t LeafEntryBytes() const { return CfBytes(); }
+
+  /// Branching factor B for nonleaf nodes (>= 2 so splits are possible).
+  size_t B() const {
+    size_t usable = page_size > kNodeHeaderBytes
+                        ? page_size - kNodeHeaderBytes
+                        : 0;
+    size_t b = usable / NonleafEntryBytes();
+    return b < 2 ? 2 : b;
+  }
+
+  /// Max entries L for leaf nodes.
+  size_t L() const {
+    size_t usable = page_size > kNodeHeaderBytes
+                        ? page_size - kNodeHeaderBytes
+                        : 0;
+    size_t l = usable / LeafEntryBytes();
+    return l < 2 ? 2 : l;
+  }
+};
+
+/// A CF tree node. Nonleaf nodes keep `children[i]` beneath summary
+/// `entries[i]`; leaf nodes keep only entries and live on a doubly
+/// linked chain for cheap full scans (Phase 2/3 input, rebuilding).
+struct CfNode {
+  explicit CfNode(bool leaf) : is_leaf(leaf) {}
+
+  bool is_leaf;
+  std::vector<CfVector> entries;
+  std::vector<CfNode*> children;  // nonleaf only; parallel to entries
+
+  CfNode* prev = nullptr;  // leaf chain
+  CfNode* next = nullptr;  // leaf chain
+
+  size_t size() const { return entries.size(); }
+
+  /// Sum of all entry CFs = CF of everything beneath this node.
+  CfVector Summary() const {
+    CfVector cf;
+    for (const auto& e : entries) cf.Add(e);
+    return cf;
+  }
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_BIRCH_CF_NODE_H_

@@ -1,0 +1,516 @@
+#include "birch/cf_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_set>
+
+namespace birch {
+
+namespace {
+constexpr size_t kNone = static_cast<size_t>(-1);
+}  // namespace
+
+CfTree::CfTree(const CfTreeOptions& options, MemoryTracker* mem)
+    : options_(options),
+      layout_{options.page_size, options.dim},
+      threshold_(options.threshold),
+      mem_(mem) {
+  assert(mem_ != nullptr);
+  root_ = AllocNode(/*leaf=*/true);
+  first_leaf_ = root_;
+}
+
+CfTree::~CfTree() {
+  // Post-order free of the whole tree.
+  std::vector<CfNode*> stack = {root_};
+  std::vector<CfNode*> order;
+  while (!stack.empty()) {
+    CfNode* n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    if (!n->is_leaf) {
+      for (CfNode* c : n->children) stack.push_back(c);
+    }
+  }
+  for (CfNode* n : order) FreeNode(n);
+}
+
+CfNode* CfTree::AllocNode(bool leaf) {
+  mem_->ForceAllocate(options_.page_size);
+  ++node_count_;
+  return new CfNode(leaf);
+}
+
+void CfTree::FreeNode(CfNode* node) {
+  mem_->Free(options_.page_size);
+  --node_count_;
+  delete node;
+}
+
+void CfTree::FreeNonleafSkeleton(CfNode* node) {
+  if (node->is_leaf) return;
+  for (CfNode* c : node->children) FreeNonleafSkeleton(c);
+  FreeNode(node);
+}
+
+void CfTree::UnlinkLeaf(CfNode* leaf) {
+  if (leaf->prev) leaf->prev->next = leaf->next;
+  if (leaf->next) leaf->next->prev = leaf->prev;
+  if (first_leaf_ == leaf) first_leaf_ = leaf->next;
+  leaf->prev = leaf->next = nullptr;
+}
+
+size_t CfTree::ClosestIndex(const CfNode& node, const CfVector& cf) const {
+  size_t best = kNone;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    double d = Distance(options_.metric, cf, node.entries[i]);
+    ++stats_.distance_comparisons;
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double CfTree::MergedThresholdValue(const CfVector& a,
+                                    const CfVector& b) const {
+  CfVector merged = CfVector::Merged(a, b);
+  return options_.threshold_kind == ThresholdKind::kDiameter
+             ? merged.Diameter()
+             : merged.Radius();
+}
+
+bool CfTree::CanAbsorb(const CfVector& existing,
+                       const CfVector& incoming) const {
+  return MergedThresholdValue(existing, incoming) <= threshold_;
+}
+
+InsertOutcome CfTree::InsertPoint(std::span<const double> x, double weight,
+                                  InsertMode mode) {
+  return InsertEntry(CfVector::FromPoint(x, weight), mode);
+}
+
+InsertOutcome CfTree::InsertEntry(const CfVector& entry, InsertMode mode) {
+  if (entry.empty()) return InsertOutcome::kAbsorbed;  // no-op
+  assert(entry.dim() == options_.dim);
+  ++stats_.inserts;
+
+  // Descend to the closest leaf, recording the path.
+  std::vector<PathStep> path;
+  CfNode* node = root_;
+  while (!node->is_leaf) {
+    size_t ci = ClosestIndex(*node, entry);
+    path.push_back({node, ci});
+    node = node->children[ci];
+  }
+
+  // Try to absorb into the closest leaf entry.
+  size_t ei = ClosestIndex(*node, entry);
+  if (ei != kNone && CanAbsorb(node->entries[ei], entry)) {
+    node->entries[ei].Add(entry);
+    for (auto& step : path) step.node->entries[step.child].Add(entry);
+    ++stats_.absorbed;
+    return InsertOutcome::kAbsorbed;
+  }
+
+  if (mode == InsertMode::kAbsorbOnly) {
+    ++stats_.rejected;
+    return InsertOutcome::kRejected;
+  }
+
+  // Add as a new leaf entry if there is room.
+  if (node->size() < layout_.L()) {
+    node->entries.push_back(entry);
+    ++leaf_entries_;
+    for (auto& step : path) step.node->entries[step.child].Add(entry);
+    ++stats_.new_entries;
+    return InsertOutcome::kNewEntry;
+  }
+
+  if (mode != InsertMode::kNormal) {
+    ++stats_.rejected;
+    return InsertOutcome::kRejected;
+  }
+
+  // Split the leaf and propagate upward.
+  ++stats_.new_entries;
+  ++leaf_entries_;
+  node->entries.push_back(entry);
+  CfNode* left = node;
+  CfNode* right = SplitNode(node);
+
+  for (int level = static_cast<int>(path.size()) - 1; level >= 0; --level) {
+    CfNode* parent = path[level].node;
+    size_t ci = path[level].child;
+    parent->entries[ci] = left->Summary();
+    parent->entries.push_back(right->Summary());
+    parent->children.push_back(right);
+    if (parent->size() <= layout_.B()) {
+      // Split stopped here: apply merging refinement, then update the
+      // remaining ancestors with the plain CF addition.
+      if (options_.merging_refinement) {
+        MergingRefinement(parent, ci, parent->size() - 1);
+      }
+      for (int j = level - 1; j >= 0; --j) {
+        path[j].node->entries[path[j].child].Add(entry);
+      }
+      return InsertOutcome::kSplit;
+    }
+    left = parent;
+    right = SplitNode(parent);
+  }
+
+  // The split reached the root: grow the tree by one level.
+  CfNode* new_root = AllocNode(/*leaf=*/false);
+  new_root->entries.push_back(left->Summary());
+  new_root->children.push_back(left);
+  new_root->entries.push_back(right->Summary());
+  new_root->children.push_back(right);
+  root_ = new_root;
+  ++height_;
+  return InsertOutcome::kSplit;
+}
+
+CfNode* CfTree::SplitNode(CfNode* node) {
+  const size_t m = node->entries.size();
+  assert(m >= 2);
+  const size_t cap = Capacity(*node);
+
+  // Farthest pair of entries become the seeds.
+  size_t si = 0, sj = 1;
+  double best = -1.0;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      double d = Distance(options_.metric, node->entries[i], node->entries[j]);
+      ++stats_.distance_comparisons;
+      if (d > best) {
+        best = d;
+        si = i;
+        sj = j;
+      }
+    }
+  }
+
+  // Partition every entry to its closer seed. Keep the signed margin
+  // (d_left - d_right) so capacity rebalancing can move the entries
+  // with the weakest preference.
+  struct Placed {
+    size_t idx;
+    double margin;  // negative prefers left
+  };
+  std::vector<Placed> go_left, go_right;
+  const CfVector seed_l = node->entries[si];
+  const CfVector seed_r = node->entries[sj];
+  for (size_t k = 0; k < m; ++k) {
+    if (k == si) {
+      go_left.push_back({k, -std::numeric_limits<double>::infinity()});
+      continue;
+    }
+    if (k == sj) {
+      go_right.push_back({k, std::numeric_limits<double>::infinity()});
+      continue;
+    }
+    double dl = Distance(options_.metric, node->entries[k], seed_l);
+    double dr = Distance(options_.metric, node->entries[k], seed_r);
+    stats_.distance_comparisons += 2;
+    if (dl <= dr) {
+      go_left.push_back({k, dl - dr});
+    } else {
+      go_right.push_back({k, dl - dr});
+    }
+  }
+
+  // Rebalance so neither side exceeds capacity (possible when the seed
+  // attraction is lopsided). Entries with the weakest preference move.
+  auto spill = [](std::vector<Placed>* from, std::vector<Placed>* to,
+                  size_t capacity) {
+    if (from->size() <= capacity) return;
+    std::sort(from->begin(), from->end(),
+              [](const Placed& a, const Placed& b) {
+                return std::fabs(a.margin) < std::fabs(b.margin);
+              });
+    while (from->size() > capacity) {
+      to->push_back(from->front());
+      from->erase(from->begin());
+    }
+  };
+  spill(&go_left, &go_right, cap);
+  spill(&go_right, &go_left, cap);
+
+  CfNode* right = AllocNode(node->is_leaf);
+  std::vector<CfVector> left_entries, right_entries;
+  std::vector<CfNode*> left_children, right_children;
+  for (const Placed& p : go_left) {
+    left_entries.push_back(std::move(node->entries[p.idx]));
+    if (!node->is_leaf) left_children.push_back(node->children[p.idx]);
+  }
+  for (const Placed& p : go_right) {
+    right_entries.push_back(std::move(node->entries[p.idx]));
+    if (!node->is_leaf) right_children.push_back(node->children[p.idx]);
+  }
+  node->entries = std::move(left_entries);
+  node->children = std::move(left_children);
+  right->entries = std::move(right_entries);
+  right->children = std::move(right_children);
+
+  if (node->is_leaf) {
+    right->next = node->next;
+    if (node->next) node->next->prev = right;
+    node->next = right;
+    right->prev = node;
+    ++stats_.leaf_splits;
+  } else {
+    ++stats_.nonleaf_splits;
+  }
+  return right;
+}
+
+void CfTree::MergingRefinement(CfNode* parent, size_t split_a,
+                               size_t split_b) {
+  const size_t m = parent->entries.size();
+  if (m < 2) return;
+
+  size_t a = kNone, b = kNone;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      double d = Distance(options_.metric, parent->entries[i],
+                          parent->entries[j]);
+      ++stats_.distance_comparisons;
+      if (d < best) {
+        best = d;
+        a = i;
+        b = j;
+      }
+    }
+  }
+  // If the closest pair is exactly the pair the split produced, the
+  // split was "natural" and no refinement applies.
+  if ((a == split_a && b == split_b) || (a == split_b && b == split_a)) {
+    return;
+  }
+
+  CfNode* ca = parent->children[a];
+  CfNode* cb = parent->children[b];
+  const size_t cap = Capacity(*ca);
+
+  // Pull everything from cb into ca.
+  for (auto& e : cb->entries) ca->entries.push_back(std::move(e));
+  for (CfNode* c : cb->children) ca->children.push_back(c);
+  if (cb->is_leaf) UnlinkLeaf(cb);
+  cb->entries.clear();
+  cb->children.clear();
+  FreeNode(cb);
+  ++stats_.merge_refinements;
+
+  if (ca->size() <= cap) {
+    // Plain merge: drop entry b.
+    parent->entries[a] =
+        CfVector::Merged(parent->entries[a], parent->entries[b]);
+    parent->entries.erase(parent->entries.begin() + static_cast<long>(b));
+    parent->children.erase(parent->children.begin() + static_cast<long>(b));
+  } else {
+    // Merge would overflow one page: resplit the union for a better
+    // entry distribution.
+    CfNode* nb = SplitNode(ca);
+    parent->entries[a] = ca->Summary();
+    parent->entries[b] = nb->Summary();
+    parent->children[b] = nb;
+    ++stats_.resplits;
+  }
+}
+
+void CfTree::AbsorbTree(const CfTree& other) {
+  assert(other.options().dim == options_.dim);
+  for (const CfNode* leaf = other.first_leaf(); leaf != nullptr;
+       leaf = leaf->next) {
+    for (const auto& e : leaf->entries) InsertEntry(e);
+  }
+}
+
+void CfTree::Rebuild(double new_threshold, double outlier_n_threshold,
+                     std::vector<CfVector>* outliers) {
+  ++stats_.rebuilds;
+  CfNode* old_root = root_;
+  CfNode* leaf = first_leaf_;
+
+  // Free the old nonleaf skeleton first: reinsertion then runs with
+  // maximal headroom and old pages are recycled into the new tree.
+  if (!old_root->is_leaf) FreeNonleafSkeleton(old_root);
+
+  root_ = AllocNode(/*leaf=*/true);
+  first_leaf_ = root_;
+  height_ = 1;
+  leaf_entries_ = 0;
+  threshold_ = new_threshold;
+
+  // Consume old leaves in chain order (the paper's path order),
+  // freeing each page before reinserting its entries.
+  while (leaf) {
+    CfNode* next = leaf->next;
+    std::vector<CfVector> entries = std::move(leaf->entries);
+    FreeNode(leaf);
+    for (CfVector& e : entries) {
+      if (outliers != nullptr && outlier_n_threshold > 0.0 &&
+          e.n() < outlier_n_threshold) {
+        outliers->push_back(std::move(e));
+      } else {
+        InsertEntry(e);
+      }
+    }
+    leaf = next;
+  }
+}
+
+void CfTree::CollectLeafEntries(std::vector<CfVector>* out) const {
+  for (const CfNode* leaf = first_leaf_; leaf != nullptr;
+       leaf = leaf->next) {
+    for (const auto& e : leaf->entries) out->push_back(e);
+  }
+}
+
+void CfTree::ForEachLeaf(
+    const std::function<void(const CfNode&)>& fn) const {
+  for (const CfNode* leaf = first_leaf_; leaf != nullptr;
+       leaf = leaf->next) {
+    fn(*leaf);
+  }
+}
+
+double CfTree::MostCrowdedLeafMinMerge() const {
+  const CfNode* crowded = nullptr;
+  for (const CfNode* leaf = first_leaf_; leaf != nullptr;
+       leaf = leaf->next) {
+    if (leaf->size() >= 2 &&
+        (crowded == nullptr || leaf->size() > crowded->size())) {
+      crowded = leaf;
+    }
+  }
+  if (crowded == nullptr) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < crowded->size(); ++i) {
+    for (size_t j = i + 1; j < crowded->size(); ++j) {
+      best = std::min(best, MergedThresholdValue(crowded->entries[i],
+                                                 crowded->entries[j]));
+    }
+  }
+  return best;
+}
+
+double CfTree::AverageLeafEntryRadius() const {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const CfNode* leaf = first_leaf_; leaf != nullptr;
+       leaf = leaf->next) {
+    for (const auto& e : leaf->entries) {
+      sum += e.Radius();
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+namespace {
+
+bool NearlyEqual(double a, double b) {
+  double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= 1e-6 * scale;
+}
+
+bool CfNearlyEqual(const CfVector& a, const CfVector& b) {
+  if (a.dim() != b.dim()) return false;
+  if (!NearlyEqual(a.n(), b.n())) return false;
+  if (!NearlyEqual(a.ss(), b.ss())) return false;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    if (!NearlyEqual(a.ls()[i], b.ls()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool CfTree::CheckInvariants(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+
+  // Recursive structural check: capacities, summaries, uniform depth.
+  size_t leaf_depth = 0;
+  size_t total_nodes = 0;
+  size_t total_leaf_entries = 0;
+  std::unordered_set<const CfNode*> leaves_in_tree;
+  std::string error;
+
+  std::function<bool(const CfNode*, size_t)> visit =
+      [&](const CfNode* node, size_t depth) -> bool {
+    ++total_nodes;
+    if (node->size() > Capacity(*node)) {
+      error = "node over capacity";
+      return false;
+    }
+    if (node->is_leaf) {
+      if (leaf_depth == 0) leaf_depth = depth;
+      if (depth != leaf_depth) {
+        error = "leaves at different depths";
+        return false;
+      }
+      if (!node->children.empty()) {
+        error = "leaf with children";
+        return false;
+      }
+      total_leaf_entries += node->size();
+      leaves_in_tree.insert(node);
+      return true;
+    }
+    if (node->children.size() != node->entries.size()) {
+      error = "children/entries size mismatch";
+      return false;
+    }
+    if (node->size() < 1) {
+      error = "empty nonleaf node";
+      return false;
+    }
+    for (size_t i = 0; i < node->size(); ++i) {
+      if (!CfNearlyEqual(node->entries[i], node->children[i]->Summary())) {
+        error = "nonleaf entry CF != child summary";
+        return false;
+      }
+      if (!visit(node->children[i], depth + 1)) return false;
+    }
+    return true;
+  };
+  if (!visit(root_, 1)) return fail(error);
+
+  if (total_nodes != node_count_) return fail("node_count_ drift");
+  if (total_leaf_entries != leaf_entries_) {
+    return fail("leaf_entries_ drift");
+  }
+  if (leaf_depth != height_) return fail("height_ drift");
+
+  // Chain check: visits every leaf exactly once.
+  size_t chained = 0;
+  const CfNode* prev = nullptr;
+  for (const CfNode* leaf = first_leaf_; leaf != nullptr;
+       leaf = leaf->next) {
+    if (leaf->prev != prev) return fail("broken prev pointer in chain");
+    if (leaves_in_tree.count(leaf) == 0) {
+      return fail("chained leaf not in tree");
+    }
+    ++chained;
+    if (chained > leaves_in_tree.size()) return fail("chain cycle");
+    prev = leaf;
+  }
+  if (chained != leaves_in_tree.size()) {
+    return fail("chain misses leaves");
+  }
+  return true;
+}
+
+}  // namespace birch

@@ -1,0 +1,98 @@
+#include "birch/cf_vector.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace birch {
+
+CfVector CfVector::FromPoint(std::span<const double> x, double weight) {
+  CfVector cf(x.size());
+  cf.AddPoint(x, weight);
+  return cf;
+}
+
+void CfVector::Add(const CfVector& other) {
+  if (ls_.empty()) ls_.assign(other.dim(), 0.0);
+  assert(dim() == other.dim());
+  n_ += other.n_;
+  for (size_t i = 0; i < ls_.size(); ++i) ls_[i] += other.ls_[i];
+  ss_ += other.ss_;
+}
+
+void CfVector::Subtract(const CfVector& other) {
+  assert(dim() == other.dim());
+  n_ -= other.n_;
+  for (size_t i = 0; i < ls_.size(); ++i) ls_[i] -= other.ls_[i];
+  ss_ -= other.ss_;
+  if (n_ < 0) n_ = 0;
+  if (ss_ < 0) ss_ = 0;
+}
+
+void CfVector::AddPoint(std::span<const double> x, double weight) {
+  if (ls_.empty()) ls_.assign(x.size(), 0.0);
+  assert(dim() == x.size());
+  n_ += weight;
+  double sq = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    ls_[i] += weight * x[i];
+    sq += x[i] * x[i];
+  }
+  ss_ += weight * sq;
+}
+
+CfVector CfVector::Merged(const CfVector& a, const CfVector& b) {
+  CfVector out = a;
+  out.Add(b);
+  return out;
+}
+
+std::vector<double> CfVector::Centroid() const {
+  std::vector<double> c;
+  CentroidInto(&c);
+  return c;
+}
+
+void CfVector::CentroidInto(std::vector<double>* out) const {
+  out->assign(ls_.size(), 0.0);
+  if (n_ <= 0.0) return;
+  for (size_t i = 0; i < ls_.size(); ++i) (*out)[i] = ls_[i] / n_;
+}
+
+double CfVector::SquaredRadius() const {
+  if (n_ <= 0.0) return 0.0;
+  return ClampNonNegative(ss_ / n_ - SquaredNorm(ls_) / (n_ * n_));
+}
+
+double CfVector::Radius() const { return std::sqrt(SquaredRadius()); }
+
+double CfVector::SquaredDiameter() const {
+  if (n_ <= 1.0) return 0.0;
+  double num = 2.0 * (n_ * ss_ - SquaredNorm(ls_));
+  return ClampNonNegative(num / (n_ * (n_ - 1.0)));
+}
+
+double CfVector::Diameter() const { return std::sqrt(SquaredDiameter()); }
+
+double CfVector::SumSquaredDeviation() const {
+  if (n_ <= 0.0) return 0.0;
+  return ClampNonNegative(ss_ - SquaredNorm(ls_) / n_);
+}
+
+void CfVector::SerializeTo(std::vector<double>* out) const {
+  out->push_back(n_);
+  out->insert(out->end(), ls_.begin(), ls_.end());
+  out->push_back(ss_);
+}
+
+CfVector CfVector::Deserialize(std::span<const double> in, size_t dim) {
+  assert(in.size() >= dim + 2);
+  CfVector cf(dim);
+  cf.n_ = in[0];
+  for (size_t i = 0; i < dim; ++i) cf.ls_[i] = in[1 + i];
+  cf.ss_ = in[dim + 1];
+  return cf;
+}
+
+}  // namespace birch

@@ -1,0 +1,101 @@
+// Clustering Feature (CF) vector — the paper's core summary structure
+// (Sec. 4.1). A CF is the triple (N, LS, SS): the number of points, the
+// linear sum of the points, and the scalar sum of squared norms. The CF
+// Additivity Theorem (CF1 + CF2 = CF of the union) makes CFs composable
+// summaries from which centroid, radius, diameter and the inter-cluster
+// distances D0-D4 are all computable exactly.
+//
+// N is stored as a double so that weighted points (e.g. the paper's
+// image application, which weights the two bands) are supported.
+#ifndef BIRCH_BIRCH_CF_VECTOR_H_
+#define BIRCH_BIRCH_CF_VECTOR_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace birch {
+
+/// Additive summary of a set of d-dimensional points.
+class CfVector {
+ public:
+  CfVector() = default;
+
+  /// Empty CF of dimension `dim`.
+  explicit CfVector(size_t dim) : ls_(dim, 0.0) {}
+
+  /// CF of a single (optionally weighted) point.
+  static CfVector FromPoint(std::span<const double> x, double weight = 1.0);
+
+  /// Dimensionality (0 for a default-constructed CF).
+  size_t dim() const { return ls_.size(); }
+
+  /// Number of points (total weight) summarized.
+  double n() const { return n_; }
+
+  /// Linear sum per dimension.
+  std::span<const double> ls() const { return ls_; }
+
+  /// Scalar sum of squared norms: sum_i ||x_i||^2.
+  double ss() const { return ss_; }
+
+  bool empty() const { return n_ <= 0.0; }
+
+  /// CF Additivity Theorem: accumulate another CF.
+  void Add(const CfVector& other);
+
+  /// Remove a CF previously added (used by merging refinement and
+  /// Phase 4 re-assignment). Caller guarantees `other` is a subset.
+  void Subtract(const CfVector& other);
+
+  /// Accumulate a single weighted point.
+  void AddPoint(std::span<const double> x, double weight = 1.0);
+
+  /// Returns the union CF of two clusters.
+  static CfVector Merged(const CfVector& a, const CfVector& b);
+
+  /// Centroid X0 = LS / N. Undefined for empty CFs (returns zeros).
+  std::vector<double> Centroid() const;
+
+  /// Writes the centroid into `out` (resized to dim()).
+  void CentroidInto(std::vector<double>* out) const;
+
+  /// Squared radius R^2 = SS/N - ||LS/N||^2 (Eq. 1), clamped >= 0.
+  double SquaredRadius() const;
+
+  /// Radius R: average distance from member points to the centroid.
+  double Radius() const;
+
+  /// Squared diameter D^2 = 2(N*SS - ||LS||^2) / (N(N-1)) (Eq. 2),
+  /// clamped >= 0. Zero when N <= 1.
+  double SquaredDiameter() const;
+
+  /// Diameter D: average pairwise distance within the cluster.
+  double Diameter() const;
+
+  /// Total squared deviation from the centroid: N * R^2 = SS - ||LS||^2/N.
+  /// This is the cluster's contribution to the k-means SSE objective.
+  double SumSquaredDeviation() const;
+
+  // --- Serialization: (N, LS[0..d), SS), i.e. dim()+2 doubles. ---
+
+  /// Number of doubles in the serialized form for dimension `dim`.
+  static size_t SerializedDoubles(size_t dim) { return dim + 2; }
+
+  /// Appends the serialized form to `out`.
+  void SerializeTo(std::vector<double>* out) const;
+
+  /// Reads a CF of dimension `dim` from `in` (must have dim+2 doubles).
+  static CfVector Deserialize(std::span<const double> in, size_t dim);
+
+  bool operator==(const CfVector& other) const = default;
+
+ private:
+  double n_ = 0.0;
+  std::vector<double> ls_;
+  double ss_ = 0.0;
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_BIRCH_CF_VECTOR_H_

@@ -1,0 +1,69 @@
+// In-memory dataset of d-dimensional rows with optional per-row
+// weights. BIRCH itself only ever scans it sequentially (single-scan
+// algorithm); Phase 4 re-scans it for refinement.
+#ifndef BIRCH_BIRCH_DATASET_H_
+#define BIRCH_BIRCH_DATASET_H_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace birch {
+
+/// Row-major matrix of doubles plus optional weights. Weight storage is
+/// materialized only when a non-unit weight first appears.
+class Dataset {
+ public:
+  explicit Dataset(size_t dim) : dim_(dim) { assert(dim > 0); }
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return values_.size() / dim_; }
+  bool empty() const { return values_.empty(); }
+
+  void Reserve(size_t rows) { values_.reserve(rows * dim_); }
+
+  /// Appends a row with weight 1.
+  void Append(std::span<const double> row) {
+    assert(row.size() == dim_);
+    values_.insert(values_.end(), row.begin(), row.end());
+    if (!weights_.empty()) weights_.push_back(1.0);
+  }
+
+  /// Appends a weighted row.
+  void AppendWeighted(std::span<const double> row, double weight) {
+    Append(row);
+    if (weight != 1.0) {
+      // Materialize the lazy weight vector (all prior rows weigh 1).
+      if (weights_.size() < size()) weights_.resize(size(), 1.0);
+      weights_.back() = weight;
+    }
+  }
+
+  std::span<const double> Row(size_t i) const {
+    return {values_.data() + i * dim_, dim_};
+  }
+
+  double Weight(size_t i) const {
+    return weights_.empty() ? 1.0 : weights_[i];
+  }
+
+  bool has_weights() const { return !weights_.empty(); }
+
+  /// Total weight (== size() when unweighted).
+  double TotalWeight() const {
+    if (weights_.empty()) return static_cast<double>(size());
+    double s = 0.0;
+    for (double w : weights_) s += w;
+    return s;
+  }
+
+ private:
+  size_t dim_;
+  std::vector<double> values_;
+  std::vector<double> weights_;  // empty => all 1.0
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_BIRCH_DATASET_H_

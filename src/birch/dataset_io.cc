@@ -1,0 +1,121 @@
+#include "birch/dataset_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace birch {
+
+bool ParseCsvNumericRow(const std::string& line, std::vector<double>* out) {
+  out->clear();
+  std::string field;
+  auto flush = [&]() -> bool {
+    if (field.empty()) return true;
+    char* end = nullptr;
+    double v = std::strtod(field.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+    out->push_back(v);
+    field.clear();
+    return true;
+  };
+  for (char ch : line) {
+    if (ch == '#') break;  // comment tail
+    if (ch == ',' || ch == ' ' || ch == '\t' || ch == '\r') {
+      if (!flush()) return false;
+    } else {
+      field += ch;
+    }
+  }
+  return flush();
+}
+
+StatusOr<Dataset> ParseCsvPoints(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<double> row;
+  size_t dim = 0;
+  size_t line_no = 0;
+  bool saw_data = false;
+  Dataset data(1);  // replaced once the arity is known
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!ParseCsvNumericRow(line, &row)) {
+      if (!saw_data) continue;  // header row
+      return Status::InvalidArgument("unparsable row at line " +
+                                     std::to_string(line_no));
+    }
+    if (row.empty()) continue;  // blank / comment-only line
+    if (!saw_data) {
+      dim = row.size();
+      data = Dataset(dim);
+      saw_data = true;
+    } else if (row.size() != dim) {
+      return Status::InvalidArgument(
+          "row arity changed at line " + std::to_string(line_no) + " (" +
+          std::to_string(row.size()) + " vs " + std::to_string(dim) + ")");
+    }
+    data.Append(row);
+  }
+  if (!saw_data) return Status::InvalidArgument("no data rows");
+  return data;
+}
+
+StatusOr<Dataset> ReadCsvPoints(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseCsvPoints(buf.str());
+}
+
+CsvPointSource::CsvPointSource(std::string path, size_t dim)
+    : path_(std::move(path)), dim_(dim), in_(path_) {}
+
+StatusOr<std::unique_ptr<CsvPointSource>> CsvPointSource::Open(
+    const std::string& path) {
+  std::ifstream probe(path);
+  if (!probe) return Status::IOError("cannot open " + path);
+  // Sniff the dimensionality from the first parsable data row.
+  std::string line;
+  std::vector<double> row;
+  size_t dim = 0;
+  while (std::getline(probe, line)) {
+    if (ParseCsvNumericRow(line, &row) && !row.empty()) {
+      dim = row.size();
+      break;
+    }
+  }
+  if (dim == 0) return Status::InvalidArgument("no data rows in " + path);
+  auto source =
+      std::unique_ptr<CsvPointSource>(new CsvPointSource(path, dim));
+  if (!source->in_) return Status::IOError("cannot reopen " + path);
+  return source;
+}
+
+bool CsvPointSource::Next(std::span<double> out, double* weight) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (!ParseCsvNumericRow(line, &row_)) {
+      if (!saw_data_) continue;  // leading header
+      return false;              // malformed mid-file: stop the stream
+    }
+    if (row_.empty()) continue;
+    if (row_.size() != dim_) return false;  // arity change: stop
+    saw_data_ = true;
+    std::copy(row_.begin(), row_.end(), out.begin());
+    *weight = 1.0;
+    return true;
+  }
+  return false;
+}
+
+Status CsvPointSource::Rewind() {
+  in_.clear();
+  in_.seekg(0);
+  if (!in_) return Status::IOError("rewind failed for " + path_);
+  saw_data_ = false;
+  return Status::OK();
+}
+
+}  // namespace birch

@@ -1,0 +1,60 @@
+// Numeric CSV loading for the CLI tool and examples: parses a file (or
+// string) of comma/whitespace-separated doubles into a Dataset,
+// skipping blank lines, '#' comments, and an optional non-numeric
+// header row. Also provides a streaming CSV PointSource for inputs too
+// large to materialize.
+#ifndef BIRCH_BIRCH_DATASET_IO_H_
+#define BIRCH_BIRCH_DATASET_IO_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "birch/dataset.h"
+#include "birch/point_source.h"
+#include "util/status.h"
+
+namespace birch {
+
+/// Parses one CSV line (comma/whitespace separated doubles, '#'
+/// comments already stripped by the caller or inline) into `out`.
+/// Returns false if any field is non-numeric. A blank line yields an
+/// empty `out` and returns true.
+bool ParseCsvNumericRow(const std::string& line, std::vector<double>* out);
+
+/// Parses CSV `text` into a dataset. Every data row must have the same
+/// arity; a first row that fails numeric parsing is treated as a header
+/// and skipped.
+StatusOr<Dataset> ParseCsvPoints(const std::string& text);
+
+/// Reads `path` and parses it with ParseCsvPoints.
+StatusOr<Dataset> ReadCsvPoints(const std::string& path);
+
+/// Streaming CSV source: reads the file one row at a time without ever
+/// materializing the dataset — BIRCH's single-scan access pattern over
+/// a file of arbitrary size. Rewindable (Phase-4 re-scans reuse it).
+class CsvPointSource : public PointSource {
+ public:
+  /// Opens `path`, sniffing the dimensionality from the first data row
+  /// (an optional non-numeric header row is skipped).
+  static StatusOr<std::unique_ptr<CsvPointSource>> Open(
+      const std::string& path);
+
+  size_t dim() const override { return dim_; }
+  bool Next(std::span<double> out, double* weight) override;
+  Status Rewind() override;
+
+ private:
+  CsvPointSource(std::string path, size_t dim);
+
+  std::string path_;
+  size_t dim_;
+  std::ifstream in_;
+  std::vector<double> row_;
+  bool saw_data_ = false;  // header only skippable before first data row
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_BIRCH_DATASET_IO_H_

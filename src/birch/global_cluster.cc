@@ -1,0 +1,391 @@
+#include "birch/global_cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace birch {
+
+std::vector<std::vector<double>> GlobalClustering::Centroids() const {
+  std::vector<std::vector<double>> out;
+  out.reserve(clusters.size());
+  for (const auto& c : clusters) out.push_back(c.Centroid());
+  return out;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Agglomerative HC over CFs with a cached-nearest-neighbour merge loop
+/// (O(m^2) typical). Stops at k clusters, or when the cheapest merge
+/// exceeds distance_limit (k == 0).
+GlobalClustering HierarchicalCluster(std::span<const CfVector> entries,
+                                     const GlobalClusterOptions& options,
+                                     int k) {
+  const size_t m = entries.size();
+  std::vector<CfVector> cfs(entries.begin(), entries.end());
+  std::vector<bool> active(m, true);
+  std::vector<std::vector<int>> members(m);
+  for (size_t i = 0; i < m; ++i) members[i] = {static_cast<int>(i)};
+
+  // Nearest active neighbour per active cluster.
+  std::vector<size_t> nn(m, 0);
+  std::vector<double> nn_dist(m, kInf);
+  auto recompute_nn = [&](size_t i) {
+    nn_dist[i] = kInf;
+    for (size_t j = 0; j < m; ++j) {
+      if (j == i || !active[j]) continue;
+      double d = Distance(options.metric, cfs[i], cfs[j]);
+      if (d < nn_dist[i]) {
+        nn_dist[i] = d;
+        nn[i] = j;
+      }
+    }
+  };
+  for (size_t i = 0; i < m; ++i) recompute_nn(i);
+
+  size_t live = m;
+  while (live > static_cast<size_t>(k)) {
+    // Cheapest pending merge.
+    size_t a = static_cast<size_t>(-1);
+    double best = kInf;
+    for (size_t i = 0; i < m; ++i) {
+      if (active[i] && nn_dist[i] < best) {
+        best = nn_dist[i];
+        a = i;
+      }
+    }
+    if (a == static_cast<size_t>(-1)) break;  // everything merged
+    if (k == 0 && options.distance_limit > 0.0 &&
+        best > options.distance_limit) {
+      break;
+    }
+    size_t b = nn[a];
+    // Merge b into a.
+    cfs[a].Add(cfs[b]);
+    active[b] = false;
+    members[a].insert(members[a].end(), members[b].begin(),
+                      members[b].end());
+    members[b].clear();
+    --live;
+    if (live <= 1) break;
+    // Refresh neighbours: a changed, b vanished.
+    recompute_nn(a);
+    for (size_t j = 0; j < m; ++j) {
+      if (!active[j] || j == a) continue;
+      if (nn[j] == b || nn[j] == a) {
+        recompute_nn(j);
+      } else {
+        double d = Distance(options.metric, cfs[j], cfs[a]);
+        if (d < nn_dist[j]) {
+          nn_dist[j] = d;
+          nn[j] = a;
+        }
+      }
+    }
+  }
+
+  GlobalClustering result;
+  result.assignment.assign(m, -1);
+  for (size_t i = 0; i < m; ++i) {
+    if (!active[i]) continue;
+    int cluster_id = static_cast<int>(result.clusters.size());
+    result.clusters.push_back(cfs[i]);
+    for (int orig : members[i]) result.assignment[orig] = cluster_id;
+  }
+  return result;
+}
+
+/// Squared Euclidean distance between a CF's centroid and a point.
+double CentroidSqDist(const CfVector& cf, std::span<const double> c) {
+  double s = 0.0;
+  for (size_t t = 0; t < cf.dim(); ++t) {
+    double d = cf.ls()[t] / cf.n() - c[t];
+    s += d * d;
+  }
+  return s;
+}
+
+/// Weighted k-means++ seeding over CF centroids (weights = N).
+std::vector<std::vector<double>> KMeansPlusPlusSeeds(
+    std::span<const CfVector> entries, int k, Rng* rng) {
+  const size_t m = entries.size();
+  std::vector<std::vector<double>> seeds;
+  seeds.reserve(static_cast<size_t>(k));
+
+  // First seed: weight-proportional draw.
+  double total_w = 0.0;
+  for (const auto& e : entries) total_w += e.n();
+  double r = rng->NextDouble() * total_w;
+  size_t first = 0;
+  for (size_t i = 0; i < m; ++i) {
+    r -= entries[i].n();
+    if (r <= 0.0) {
+      first = i;
+      break;
+    }
+  }
+  seeds.push_back(entries[first].Centroid());
+
+  std::vector<double> d2(m, kInf);
+  while (seeds.size() < static_cast<size_t>(k)) {
+    const auto& latest = seeds.back();
+    double sum = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      d2[i] = std::min(d2[i], CentroidSqDist(entries[i], latest));
+      sum += entries[i].n() * d2[i];
+    }
+    if (sum <= 0.0) {
+      // All mass sits on existing seeds; duplicate any centroid.
+      seeds.push_back(entries[rng->UniformInt(m)].Centroid());
+      continue;
+    }
+    double pick = rng->NextDouble() * sum;
+    size_t chosen = m - 1;
+    for (size_t i = 0; i < m; ++i) {
+      pick -= entries[i].n() * d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    seeds.push_back(entries[chosen].Centroid());
+  }
+  return seeds;
+}
+
+GlobalClustering KMeansCluster(std::span<const CfVector> entries,
+                               const GlobalClusterOptions& options, int k) {
+  const size_t m = entries.size();
+  const size_t dim = entries[0].dim();
+  Rng rng(options.seed);
+  std::vector<std::vector<double>> centers =
+      KMeansPlusPlusSeeds(entries, k, &rng);
+
+  std::vector<int> assign(m, -1);
+  for (int iter = 0; iter < options.kmeans_max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < m; ++i) {
+      int best = 0;
+      double best_d = kInf;
+      for (int c = 0; c < k; ++c) {
+        double d = CentroidSqDist(entries[i], centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Weighted centroid update.
+    std::vector<CfVector> sums(static_cast<size_t>(k), CfVector(dim));
+    for (size_t i = 0; i < m; ++i) {
+      sums[static_cast<size_t>(assign[i])].Add(entries[i]);
+    }
+    for (int c = 0; c < k; ++c) {
+      if (sums[static_cast<size_t>(c)].empty()) {
+        // Re-seed an empty cluster at the entry farthest from its
+        // current center.
+        size_t far = 0;
+        double far_d = -1.0;
+        for (size_t i = 0; i < m; ++i) {
+          double d = CentroidSqDist(
+              entries[i], centers[static_cast<size_t>(assign[i])]);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        centers[static_cast<size_t>(c)] = entries[far].Centroid();
+        continue;
+      }
+      sums[static_cast<size_t>(c)].CentroidInto(
+          &centers[static_cast<size_t>(c)]);
+    }
+  }
+
+  GlobalClustering result;
+  result.assignment = std::move(assign);
+  result.clusters.assign(static_cast<size_t>(k), CfVector(dim));
+  for (size_t i = 0; i < m; ++i) {
+    result.clusters[static_cast<size_t>(result.assignment[i])].Add(
+        entries[i]);
+  }
+  // Drop empty clusters (possible when k-means leaves one starved).
+  std::vector<int> remap(static_cast<size_t>(k), -1);
+  std::vector<CfVector> kept;
+  for (int c = 0; c < k; ++c) {
+    if (!result.clusters[static_cast<size_t>(c)].empty()) {
+      remap[static_cast<size_t>(c)] = static_cast<int>(kept.size());
+      kept.push_back(result.clusters[static_cast<size_t>(c)]);
+    }
+  }
+  for (auto& a : result.assignment) a = remap[static_cast<size_t>(a)];
+  result.clusters = std::move(kept);
+  return result;
+}
+
+/// CLARANS-style randomized medoid search adapted to weighted CFs: the
+/// objective is sum_i n_i * ||c_i - c_medoid(i)||, evaluated on entry
+/// centroids. Being weight-aware, a heavy subcluster pulls medoids the
+/// way its raw points would.
+GlobalClustering MedoidsCluster(std::span<const CfVector> entries,
+                                const GlobalClusterOptions& options, int k) {
+  const size_t m = entries.size();
+  const size_t uk = static_cast<size_t>(k);
+  Rng rng(options.seed);
+
+  if (uk >= m) {
+    // Every entry is its own medoid; nothing to search.
+    GlobalClustering identity;
+    identity.assignment.resize(m);
+    identity.clusters.assign(m, CfVector(entries[0].dim()));
+    for (size_t i = 0; i < m; ++i) {
+      identity.assignment[i] = static_cast<int>(i);
+      identity.clusters[i] = entries[i];
+    }
+    return identity;
+  }
+
+  std::vector<std::vector<double>> cents(m);
+  std::vector<double> weights(m);
+  for (size_t i = 0; i < m; ++i) {
+    cents[i] = entries[i].Centroid();
+    weights[i] = entries[i].n();
+  }
+  auto dist = [&](size_t a, size_t b) {
+    return Distance(std::span<const double>(cents[a]),
+                    std::span<const double>(cents[b]));
+  };
+
+  int64_t maxneighbor = options.medoid_maxneighbor;
+  if (maxneighbor <= 0) {
+    maxneighbor = std::max<int64_t>(
+        static_cast<int64_t>(0.0125 * static_cast<double>(uk) *
+                             static_cast<double>(m - uk)),
+        250);
+  }
+
+  std::vector<size_t> best_medoids;
+  std::vector<int> best_assign;
+  double best_cost = kInf;
+
+  for (int local = 0; local < std::max(1, options.medoid_numlocal);
+       ++local) {
+    // Random distinct medoid set.
+    std::vector<size_t> medoids;
+    std::vector<bool> is_medoid(m, false);
+    while (medoids.size() < uk) {
+      size_t x = rng.UniformInt(m);
+      if (!is_medoid[x]) {
+        is_medoid[x] = true;
+        medoids.push_back(x);
+      }
+    }
+    std::vector<int> nearest(m);
+    std::vector<double> d1(m), d2(m);
+    double cost = 0.0;
+    auto recompute = [&]() {
+      cost = 0.0;
+      for (size_t i = 0; i < m; ++i) {
+        d1[i] = d2[i] = kInf;
+        for (size_t s = 0; s < uk; ++s) {
+          double d = dist(i, medoids[s]);
+          if (d < d1[i]) {
+            d2[i] = d1[i];
+            d1[i] = d;
+            nearest[i] = static_cast<int>(s);
+          } else if (d < d2[i]) {
+            d2[i] = d;
+          }
+        }
+        cost += weights[i] * d1[i];
+      }
+    };
+    recompute();
+
+    int64_t tried = 0;
+    while (tried < maxneighbor) {
+      size_t slot = rng.UniformInt(uk);
+      size_t x = rng.UniformInt(m);
+      if (is_medoid[x]) continue;
+      ++tried;
+      double delta = 0.0;
+      for (size_t i = 0; i < m; ++i) {
+        double dxi = dist(i, x);
+        if (nearest[i] == static_cast<int>(slot)) {
+          delta += weights[i] * (std::min(dxi, d2[i]) - d1[i]);
+        } else if (dxi < d1[i]) {
+          delta += weights[i] * (dxi - d1[i]);
+        }
+      }
+      if (delta < -1e-12) {
+        is_medoid[medoids[slot]] = false;
+        medoids[slot] = x;
+        is_medoid[x] = true;
+        recompute();
+        tried = 0;
+      }
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_medoids = medoids;
+      best_assign = nearest;
+    }
+  }
+
+  GlobalClustering result;
+  result.assignment = std::move(best_assign);
+  result.clusters.assign(uk, CfVector(entries[0].dim()));
+  for (size_t i = 0; i < m; ++i) {
+    result.clusters[static_cast<size_t>(result.assignment[i])].Add(
+        entries[i]);
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<GlobalClustering> GlobalCluster(
+    std::span<const CfVector> entries, const GlobalClusterOptions& options) {
+  if (entries.empty()) {
+    return Status::InvalidArgument("no subclusters to cluster");
+  }
+  if (options.k < 0) {
+    return Status::InvalidArgument("k must be >= 0");
+  }
+  if (options.k == 0 &&
+      (options.algorithm != GlobalAlgorithm::kHierarchical ||
+       options.distance_limit <= 0.0)) {
+    return Status::InvalidArgument(
+        "k == 0 requires hierarchical clustering with a distance_limit");
+  }
+  // More clusters requested than inputs: every input is its own cluster.
+  int k = std::min<int>(options.k, static_cast<int>(entries.size()));
+
+  if (options.algorithm == GlobalAlgorithm::kHierarchical) {
+    if (entries.size() > options.max_hierarchical_inputs) {
+      return Status::InvalidArgument(
+          "hierarchical input too large (" +
+          std::to_string(entries.size()) +
+          " entries); condense with Phase 2 first");
+    }
+    return HierarchicalCluster(entries, options, k);
+  }
+  if (options.algorithm == GlobalAlgorithm::kMedoids) {
+    return MedoidsCluster(entries, options, k);
+  }
+  return KMeansCluster(entries, options, k);
+}
+
+}  // namespace birch

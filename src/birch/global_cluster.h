@@ -1,0 +1,63 @@
+// Phase 3: global clustering over the leaf-entry CFs. The paper adapts
+// an agglomerative hierarchical clustering algorithm to work directly
+// on CF vectors with the D2/D4 metrics (its default); a CF-weighted
+// k-means (with k-means++ seeding) is provided as the alternative.
+// Because every input is a CF, both algorithms treat subclusters
+// exactly — not as single representative points.
+#ifndef BIRCH_BIRCH_GLOBAL_CLUSTER_H_
+#define BIRCH_BIRCH_GLOBAL_CLUSTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "birch/cf_vector.h"
+#include "birch/metrics.h"
+#include "util/status.h"
+
+namespace birch {
+
+enum class GlobalAlgorithm {
+  kHierarchical = 0,  // paper default: adapted agglomerative HC
+  kKMeans,            // CF-weighted Lloyd with k-means++ seeding
+  kMedoids,           // CLARANS-style randomized medoid search over CFs
+};
+
+struct GlobalClusterOptions {
+  /// Desired number of clusters (> 0), or 0 to use diameter_limit.
+  int k = 0;
+  /// When k == 0: stop merging once the next merge's distance would
+  /// exceed this (hierarchical only).
+  double distance_limit = 0.0;
+  GlobalAlgorithm algorithm = GlobalAlgorithm::kHierarchical;
+  /// Inter-cluster metric for the hierarchical merges (paper: D2/D4).
+  DistanceMetric metric = DistanceMetric::kD2;
+  /// k-means settings.
+  int kmeans_max_iterations = 100;
+  /// Medoid-search settings (kMedoids): random restarts and neighbour
+  /// budget per restart (<= 0: max(250, 1.25% * k * (m - k))).
+  int medoid_numlocal = 2;
+  int medoid_maxneighbor = 0;
+  uint64_t seed = 42;
+  /// Guard: hierarchical input size limit (cost is quadratic).
+  size_t max_hierarchical_inputs = 20000;
+};
+
+struct GlobalClustering {
+  /// For each input CF, the cluster index it was assigned to.
+  std::vector<int> assignment;
+  /// Cluster CFs (exact, by additivity).
+  std::vector<CfVector> clusters;
+
+  /// Convenience: centroids of `clusters`.
+  std::vector<std::vector<double>> Centroids() const;
+};
+
+/// Clusters the given subcluster CFs. Fails on empty input, k < 0,
+/// k > #inputs, or an oversized hierarchical input.
+StatusOr<GlobalClustering> GlobalCluster(std::span<const CfVector> entries,
+                                         const GlobalClusterOptions& options);
+
+}  // namespace birch
+
+#endif  // BIRCH_BIRCH_GLOBAL_CLUSTER_H_

@@ -1,0 +1,68 @@
+#include "birch/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace birch {
+
+const char* MetricName(DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kD0: return "D0";
+    case DistanceMetric::kD1: return "D1";
+    case DistanceMetric::kD2: return "D2";
+    case DistanceMetric::kD3: return "D3";
+    case DistanceMetric::kD4: return "D4";
+  }
+  return "?";
+}
+
+double CentroidEuclidean(const CfVector& a, const CfVector& b) {
+  assert(a.n() > 0 && b.n() > 0);
+  double s = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    double d = a.ls()[i] / a.n() - b.ls()[i] / b.n();
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double CentroidManhattan(const CfVector& a, const CfVector& b) {
+  assert(a.n() > 0 && b.n() > 0);
+  double s = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    s += std::fabs(a.ls()[i] / a.n() - b.ls()[i] / b.n());
+  }
+  return s;
+}
+
+double AverageInterCluster(const CfVector& a, const CfVector& b) {
+  assert(a.n() > 0 && b.n() > 0);
+  double cross = Dot(a.ls(), b.ls());
+  double d2 = a.ss() / a.n() + b.ss() / b.n() - 2.0 * cross / (a.n() * b.n());
+  return std::sqrt(ClampNonNegative(d2));
+}
+
+double AverageIntraCluster(const CfVector& a, const CfVector& b) {
+  return CfVector::Merged(a, b).Diameter();
+}
+
+double VarianceIncrease(const CfVector& a, const CfVector& b) {
+  double merged = CfVector::Merged(a, b).SumSquaredDeviation();
+  double inc = merged - a.SumSquaredDeviation() - b.SumSquaredDeviation();
+  return std::sqrt(ClampNonNegative(inc));
+}
+
+double Distance(DistanceMetric metric, const CfVector& a, const CfVector& b) {
+  switch (metric) {
+    case DistanceMetric::kD0: return CentroidEuclidean(a, b);
+    case DistanceMetric::kD1: return CentroidManhattan(a, b);
+    case DistanceMetric::kD2: return AverageInterCluster(a, b);
+    case DistanceMetric::kD3: return AverageIntraCluster(a, b);
+    case DistanceMetric::kD4: return VarianceIncrease(a, b);
+  }
+  return 0.0;
+}
+
+}  // namespace birch

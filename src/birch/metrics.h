@@ -1,0 +1,51 @@
+// The five inter-cluster distance metrics of the paper (Sec. 3,
+// Eq. 5-8), all computed exactly from CF vectors:
+//
+//   D0  centroid Euclidean distance
+//   D1  centroid Manhattan distance
+//   D2  average inter-cluster distance (RMS over cross pairs)
+//   D3  average intra-cluster distance of the merged cluster
+//       (= diameter of the union)
+//   D4  variance-increase distance: sqrt of the growth in total squared
+//       deviation caused by merging (Ward-style)
+#ifndef BIRCH_BIRCH_METRICS_H_
+#define BIRCH_BIRCH_METRICS_H_
+
+#include <string>
+
+#include "birch/cf_vector.h"
+
+namespace birch {
+
+/// Which inter-cluster distance to use (tree descent, closest-entry
+/// search, and Phase 3 all take one of these).
+enum class DistanceMetric { kD0 = 0, kD1, kD2, kD3, kD4 };
+
+/// Parse/format helpers for CLI flags and bench labels.
+const char* MetricName(DistanceMetric metric);
+
+/// D0: Euclidean distance between centroids.
+double CentroidEuclidean(const CfVector& a, const CfVector& b);
+
+/// D1: Manhattan distance between centroids.
+double CentroidManhattan(const CfVector& a, const CfVector& b);
+
+/// D2^2 = SS1/N1 + SS2/N2 - 2*<LS1,LS2>/(N1*N2): the mean squared
+/// distance over all cross pairs. Returns sqrt.
+double AverageInterCluster(const CfVector& a, const CfVector& b);
+
+/// D3: diameter of the merged cluster (average intra-cluster distance
+/// over all pairs of the union).
+double AverageIntraCluster(const CfVector& a, const CfVector& b);
+
+/// D4: sqrt(SSE(union) - SSE(a) - SSE(b)) =
+/// sqrt(N1*N2/(N1+N2)) * ||c1 - c2||. The increase in total squared
+/// deviation caused by the merge.
+double VarianceIncrease(const CfVector& a, const CfVector& b);
+
+/// Dispatch on `metric`.
+double Distance(DistanceMetric metric, const CfVector& a, const CfVector& b);
+
+}  // namespace birch
+
+#endif  // BIRCH_BIRCH_METRICS_H_

@@ -1,0 +1,101 @@
+// End-to-end BIRCH configuration. Defaults mirror the paper's Table 2:
+// M = 80 KB memory, R = 20% of M disk, P = 1 KB pages, T0 = 0, metric
+// D2, diameter threshold, outlier handling on, one Phase-4 refinement
+// pass.
+#ifndef BIRCH_BIRCH_OPTIONS_H_
+#define BIRCH_BIRCH_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "birch/cf_tree.h"
+#include "birch/global_cluster.h"
+#include "util/status.h"
+
+namespace birch {
+
+struct BirchOptions {
+  // --- Problem ---
+  size_t dim = 2;
+  /// Number of clusters to produce. The paper allows the clustering
+  /// goal to be stated either as K or as a distance bound: set k > 0,
+  /// OR set k = 0 and global_distance_limit > 0 (hierarchical Phase 3
+  /// then merges until the next merge would exceed the limit).
+  int k = 0;
+  double global_distance_limit = 0.0;
+
+  // --- Resources (Phase 1) ---
+  size_t memory_bytes = 80 * 1024;
+  size_t disk_bytes = 16 * 1024;  // paper: R = 20% of M
+  size_t page_size = 1024;
+
+  // --- CF tree ---
+  double initial_threshold = 0.0;
+  DistanceMetric metric = DistanceMetric::kD2;
+  ThresholdKind threshold_kind = ThresholdKind::kDiameter;
+  bool merging_refinement = true;
+
+  // --- Options of Sec. 5.1.4 ---
+  bool outlier_handling = true;
+  double outlier_fraction = 0.25;  // "< 25% of average" rule
+  bool delay_split = true;
+
+  // --- Phase 2 ---
+  bool use_phase2 = true;
+  size_t phase2_target_entries = 1000;
+
+  // --- Phase 3 ---
+  GlobalAlgorithm global_algorithm = GlobalAlgorithm::kHierarchical;
+  DistanceMetric global_metric = DistanceMetric::kD2;
+
+  // --- Phase 4 ---
+  /// Redistribution passes over the raw data; 0 skips Phase 4 (labels
+  /// are then produced by a single non-moving labelling pass).
+  int refinement_passes = 1;
+  /// > 0: discard points farther than this from every centroid.
+  double refine_outlier_distance = 0.0;
+
+  /// If the total point count is known up front, the threshold
+  /// heuristic uses it; 0 = unknown.
+  uint64_t expected_points = 0;
+
+  uint64_t seed = 42;
+
+  /// Checks internal consistency.
+  Status Validate() const {
+    if (dim == 0) return Status::InvalidArgument("dim must be > 0");
+    if (k < 0) return Status::InvalidArgument("k must be >= 0");
+    if (k == 0) {
+      if (global_distance_limit <= 0.0) {
+        return Status::InvalidArgument(
+            "set k > 0, or k == 0 with global_distance_limit > 0");
+      }
+      if (global_algorithm != GlobalAlgorithm::kHierarchical) {
+        return Status::InvalidArgument(
+            "distance-limited clustering requires the hierarchical "
+            "global algorithm");
+      }
+    }
+    if (page_size < (dim + 2) * sizeof(double) + 64) {
+      return Status::InvalidArgument(
+          "page_size too small for this dimensionality");
+    }
+    if (memory_bytes != 0 && memory_bytes < 4 * page_size) {
+      return Status::InvalidArgument("memory budget below 4 pages");
+    }
+    if (outlier_fraction < 0.0 || outlier_fraction >= 1.0) {
+      return Status::InvalidArgument("outlier_fraction must be in [0,1)");
+    }
+    if (refinement_passes < 0) {
+      return Status::InvalidArgument("refinement_passes must be >= 0");
+    }
+    if (phase2_target_entries == 0) {
+      return Status::InvalidArgument("phase2_target_entries must be > 0");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_BIRCH_OPTIONS_H_

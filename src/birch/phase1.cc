@@ -1,0 +1,195 @@
+#include "birch/phase1.h"
+
+#include <algorithm>
+
+namespace birch {
+
+Phase1Builder::Phase1Builder(const Phase1Options& options)
+    : options_(options),
+      mem_(options.memory_budget_bytes),
+      disk_(options.tree.page_size, options.disk_budget_bytes),
+      outlier_entries_(&disk_, CfVector::SerializedDoubles(options.tree.dim)),
+      delayed_points_(&disk_, CfVector::SerializedDoubles(options.tree.dim)),
+      tree_(std::make_unique<CfTree>(options.tree, &mem_)),
+      heuristic_(options.tree.dim, options.expected_points) {}
+
+double Phase1Builder::OutlierWeightThreshold() const {
+  size_t entries = tree_->leaf_entry_count();
+  if (entries == 0) return 0.0;
+  double avg = tree_->TreeSummary().n() / static_cast<double>(entries);
+  return options_.outlier_fraction * avg;
+}
+
+Status Phase1Builder::Add(std::span<const double> x, double weight) {
+  if (finished_) {
+    return Status::FailedPrecondition("Add() after Finish()");
+  }
+  if (x.size() != options_.tree.dim) {
+    return Status::InvalidArgument("point dimension mismatch");
+  }
+  if (weight <= 0.0) {
+    return Status::InvalidArgument("weight must be positive");
+  }
+  ++stats_.points_added;
+  CfVector ent = CfVector::FromPoint(x, weight);
+
+  if (delay_mode_) {
+    // Memory is exhausted: keep absorbing what fits, spill the rest.
+    InsertOutcome out = tree_->InsertEntry(ent, InsertMode::kNoSplit);
+    if (out != InsertOutcome::kRejected) return Status::OK();
+    std::vector<double> buf;
+    ent.SerializeTo(&buf);
+    Status st = delayed_points_.Append(buf);
+    if (st.ok()) {
+      ++stats_.points_delay_spilled;
+      return Status::OK();
+    }
+    if (st.code() != StatusCode::kOutOfDisk) return st;
+    // Disk is full too: rebuild with a larger threshold, replay the
+    // spilled points, then insert this one normally.
+    delay_mode_ = false;
+    BIRCH_RETURN_IF_ERROR(RebuildLarger());
+    std::vector<double> drained;
+    BIRCH_RETURN_IF_ERROR(delayed_points_.DrainAll(&drained));
+    const size_t rec = CfVector::SerializedDoubles(options_.tree.dim);
+    for (size_t off = 0; off + rec <= drained.size(); off += rec) {
+      CfVector e = CfVector::Deserialize(
+          std::span<const double>(drained.data() + off, rec),
+          options_.tree.dim);
+      tree_->InsertEntry(e);
+      if (tree_->over_budget()) BIRCH_RETURN_IF_ERROR(RebuildLarger());
+    }
+    tree_->InsertEntry(ent);
+    if (tree_->over_budget()) return HandleMemoryExhaustion();
+    return Status::OK();
+  }
+
+  tree_->InsertEntry(ent);
+  if (tree_->over_budget()) return HandleMemoryExhaustion();
+  return Status::OK();
+}
+
+Status Phase1Builder::AddDataset(const Dataset& data) {
+  for (size_t i = 0; i < data.size(); ++i) {
+    BIRCH_RETURN_IF_ERROR(Add(data.Row(i), data.Weight(i)));
+  }
+  return Status::OK();
+}
+
+Status Phase1Builder::HandleMemoryExhaustion() {
+  if (options_.delay_split && !delay_mode_) {
+    // Delay-split option (Sec. 5.1.4): postpone the rebuild; absorb
+    // what fits and spill split-forcing points to disk instead.
+    delay_mode_ = true;
+    return Status::OK();
+  }
+  return RebuildLarger();
+}
+
+Status Phase1Builder::RebuildLarger() {
+  int guard = 0;
+  do {
+    double t_next = heuristic_.SuggestNext(*tree_, stats_.points_added);
+    std::vector<CfVector> outliers;
+    double outlier_n =
+        options_.outlier_handling ? OutlierWeightThreshold() : 0.0;
+    tree_->Rebuild(t_next, outlier_n, &outliers);
+    ++stats_.rebuilds;
+    stats_.final_threshold = t_next;
+    for (const CfVector& e : outliers) {
+      BIRCH_RETURN_IF_ERROR(SpillOutlierEntry(e));
+    }
+    // One rebuild normally recovers the budget; a pathological
+    // distribution may need another round with a larger threshold.
+  } while (tree_->over_budget() && ++guard < 16);
+  if (tree_->over_budget()) {
+    return Status::OutOfMemory(
+        "memory budget unattainable after repeated rebuilds");
+  }
+  return Status::OK();
+}
+
+Status Phase1Builder::SpillOutlierEntry(const CfVector& e) {
+  std::vector<double> buf;
+  e.SerializeTo(&buf);
+  Status st = outlier_entries_.Append(buf);
+  if (st.ok()) {
+    ++stats_.outlier_entries_spilled;
+    return Status::OK();
+  }
+  if (st.code() != StatusCode::kOutOfDisk) return st;
+  // Outlier disk full: drain + re-absorb (Fig. 2's "out of disk space"
+  // branch), then retry once.
+  BIRCH_RETURN_IF_ERROR(ReabsorbOutliers(/*final_pass=*/false));
+  st = outlier_entries_.Append(buf);
+  if (st.ok()) {
+    ++stats_.outlier_entries_spilled;
+    return Status::OK();
+  }
+  if (st.code() != StatusCode::kOutOfDisk) return st;
+  // Still full (delayed points may hold the disk): force the entry back
+  // into the tree so progress is guaranteed.
+  ++stats_.forced_inserts;
+  tree_->InsertEntry(e);
+  return Status::OK();
+}
+
+Status Phase1Builder::ReabsorbOutliers(bool final_pass) {
+  if (outlier_entries_.empty()) return Status::OK();
+  ++stats_.reabsorb_cycles;
+  std::vector<double> drained;
+  BIRCH_RETURN_IF_ERROR(outlier_entries_.DrainAll(&drained));
+  const size_t rec = CfVector::SerializedDoubles(options_.tree.dim);
+  for (size_t off = 0; off + rec <= drained.size(); off += rec) {
+    CfVector e = CfVector::Deserialize(
+        std::span<const double>(drained.data() + off, rec),
+        options_.tree.dim);
+    // Re-absorb only if the entry fits without splitting — a genuine
+    // outlier must not distort the tree (Sec. 5.1.4).
+    InsertOutcome out = tree_->InsertEntry(e, InsertMode::kAbsorbOnly);
+    if (out != InsertOutcome::kRejected) {
+      ++stats_.outlier_entries_reabsorbed;
+      continue;
+    }
+    if (final_pass) {
+      final_outliers_.push_back(std::move(e));
+      continue;
+    }
+    std::vector<double> buf;
+    e.SerializeTo(&buf);
+    Status st = outlier_entries_.Append(buf);
+    if (!st.ok()) {
+      if (st.code() != StatusCode::kOutOfDisk) return st;
+      ++stats_.forced_inserts;
+      tree_->InsertEntry(e);
+    }
+  }
+  return Status::OK();
+}
+
+Status Phase1Builder::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish() called twice");
+  }
+  finished_ = true;
+  delay_mode_ = false;
+
+  // Replay delay-split points with splits allowed.
+  std::vector<double> drained;
+  BIRCH_RETURN_IF_ERROR(delayed_points_.DrainAll(&drained));
+  const size_t rec = CfVector::SerializedDoubles(options_.tree.dim);
+  for (size_t off = 0; off + rec <= drained.size(); off += rec) {
+    CfVector e = CfVector::Deserialize(
+        std::span<const double>(drained.data() + off, rec),
+        options_.tree.dim);
+    tree_->InsertEntry(e);
+    if (tree_->over_budget()) BIRCH_RETURN_IF_ERROR(RebuildLarger());
+  }
+
+  // Final outlier verdicts.
+  BIRCH_RETURN_IF_ERROR(ReabsorbOutliers(/*final_pass=*/true));
+  stats_.final_threshold = tree_->threshold();
+  return Status::OK();
+}
+
+}  // namespace birch

@@ -1,0 +1,113 @@
+// Phase 1 (Fig. 2 of the paper): scan the data once, building an
+// in-memory CF tree under a hard memory budget. When the budget is
+// exceeded the tree is rebuilt with a larger threshold; during rebuilds
+// low-density leaf entries are optionally written to the (simulated)
+// outlier disk and periodically re-absorbed; the delay-split option
+// spills points that would force a split to disk instead of rebuilding
+// immediately, squeezing more data into the current tree.
+#ifndef BIRCH_BIRCH_PHASE1_H_
+#define BIRCH_BIRCH_PHASE1_H_
+
+#include <memory>
+#include <vector>
+
+#include "birch/cf_tree.h"
+#include "birch/dataset.h"
+#include "birch/threshold.h"
+#include "pagestore/memory_tracker.h"
+#include "pagestore/page_store.h"
+#include "pagestore/spill_file.h"
+#include "util/status.h"
+
+namespace birch {
+
+/// Phase-1 configuration. The defaults mirror the paper's Table 2
+/// (M = 80 KB, P = 1 KB, R = 20% of M, T0 = 0, outlier = entry with
+/// fewer than 25% of the average points per leaf entry).
+struct Phase1Options {
+  CfTreeOptions tree;
+  size_t memory_budget_bytes = 80 * 1024;
+  size_t disk_budget_bytes = 16 * 1024;
+  bool outlier_handling = true;
+  double outlier_fraction = 0.25;
+  bool delay_split = true;
+  uint64_t expected_points = 0;  // N when known (threshold heuristic)
+};
+
+/// Counters exposed to the benchmarks and EXPERIMENTS.md.
+struct Phase1Stats {
+  uint64_t points_added = 0;
+  uint64_t rebuilds = 0;
+  uint64_t outlier_entries_spilled = 0;
+  uint64_t outlier_entries_reabsorbed = 0;
+  uint64_t points_delay_spilled = 0;
+  uint64_t reabsorb_cycles = 0;
+  uint64_t forced_inserts = 0;  // disk full fallbacks
+  double final_threshold = 0.0;
+};
+
+/// Single-scan builder. Usage: Add() every point, then Finish() exactly
+/// once; afterwards tree() holds the condensed summary and
+/// final_outliers() the entries that never fit anywhere.
+class Phase1Builder {
+ public:
+  explicit Phase1Builder(const Phase1Options& options);
+
+  Phase1Builder(const Phase1Builder&) = delete;
+  Phase1Builder& operator=(const Phase1Builder&) = delete;
+
+  /// Inserts one (optionally weighted) point.
+  Status Add(std::span<const double> x, double weight = 1.0);
+
+  /// Convenience: Add() every row of `data`.
+  Status AddDataset(const Dataset& data);
+
+  /// Flushes delay-split points and re-absorbs outliers. Must be called
+  /// exactly once, after the last Add().
+  Status Finish();
+
+  const CfTree& tree() const { return *tree_; }
+  CfTree* mutable_tree() { return tree_.get(); }
+  const Phase1Stats& stats() const { return stats_; }
+  const MemoryTracker& memory() const { return mem_; }
+  const PageStore& disk() const { return disk_; }
+
+  /// Entries judged outliers that could not be re-absorbed at Finish().
+  const std::vector<CfVector>& final_outliers() const {
+    return final_outliers_;
+  }
+
+ private:
+  /// Called when the tree exceeds the memory budget after an insert.
+  Status HandleMemoryExhaustion();
+
+  /// Rebuilds the tree with the heuristic's next threshold, spilling
+  /// low-density entries to the outlier disk.
+  Status RebuildLarger();
+
+  /// Drains the outlier disk, re-inserting entries that fit without a
+  /// split and re-spilling the rest.
+  Status ReabsorbOutliers(bool final_pass);
+
+  /// Spills `e` to the outlier disk; on OutOfDisk falls back to a
+  /// forced tree insert so progress is always made.
+  Status SpillOutlierEntry(const CfVector& e);
+
+  double OutlierWeightThreshold() const;
+
+  Phase1Options options_;
+  MemoryTracker mem_;
+  PageStore disk_;
+  SpillFile outlier_entries_;
+  SpillFile delayed_points_;
+  std::unique_ptr<CfTree> tree_;
+  ThresholdHeuristic heuristic_;
+  Phase1Stats stats_;
+  std::vector<CfVector> final_outliers_;
+  bool delay_mode_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_BIRCH_PHASE1_H_

@@ -1,0 +1,102 @@
+#include "birch/refine.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/math.h"
+
+namespace birch {
+
+namespace {
+
+/// One redistribution pass. Returns the number of label changes.
+uint64_t AssignPass(const Dataset& data,
+                    const std::vector<std::vector<double>>& centers,
+                    double outlier_distance, std::vector<int>* labels,
+                    std::vector<CfVector>* cluster_cfs,
+                    uint64_t* discarded) {
+  const size_t k = centers.size();
+  const double limit_sq =
+      outlier_distance > 0.0 ? outlier_distance * outlier_distance
+                             : std::numeric_limits<double>::infinity();
+  for (auto& cf : *cluster_cfs) cf = CfVector(data.dim());
+  uint64_t changes = 0;
+  *discarded = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    auto row = data.Row(i);
+    int best = -1;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      double d = SquaredDistance(row, centers[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best_d > limit_sq) {
+      best = -1;
+      ++*discarded;
+    }
+    if ((*labels)[i] != best) {
+      (*labels)[i] = best;
+      ++changes;
+    }
+    if (best >= 0) {
+      (*cluster_cfs)[static_cast<size_t>(best)].AddPoint(row,
+                                                         data.Weight(i));
+    }
+  }
+  return changes;
+}
+
+}  // namespace
+
+StatusOr<RefineResult> RefineClusters(const Dataset& data,
+                                      std::span<const CfVector> seeds,
+                                      const RefineOptions& options) {
+  if (seeds.empty()) return Status::InvalidArgument("no seeds");
+  if (options.passes < 1) {
+    return Status::InvalidArgument("passes must be >= 1");
+  }
+  for (const auto& s : seeds) {
+    if (s.dim() != data.dim() || s.empty()) {
+      return Status::InvalidArgument("seed dimension/weight mismatch");
+    }
+  }
+
+  std::vector<std::vector<double>> centers;
+  centers.reserve(seeds.size());
+  for (const auto& s : seeds) centers.push_back(s.Centroid());
+
+  RefineResult result;
+  result.labels.assign(data.size(), -2);  // -2: unassigned sentinel
+  result.clusters.assign(seeds.size(), CfVector(data.dim()));
+
+  for (int pass = 0; pass < options.passes; ++pass) {
+    uint64_t discarded = 0;
+    uint64_t changes =
+        AssignPass(data, centers, options.outlier_distance, &result.labels,
+                   &result.clusters, &discarded);
+    result.points_discarded = discarded;
+    ++result.passes_run;
+    // Move each seed to its refined centroid for the next pass.
+    for (size_t c = 0; c < result.clusters.size(); ++c) {
+      if (!result.clusters[c].empty()) {
+        result.clusters[c].CentroidInto(&centers[c]);
+      }
+    }
+    if (options.stop_when_stable && changes == 0) break;
+  }
+  return result;
+}
+
+StatusOr<RefineResult> LabelPoints(const Dataset& data,
+                                   std::span<const CfVector> seeds,
+                                   double outlier_distance) {
+  RefineOptions options;
+  options.passes = 1;
+  options.outlier_distance = outlier_distance;
+  return RefineClusters(data, seeds, options);
+}
+
+}  // namespace birch

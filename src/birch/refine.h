@@ -1,0 +1,54 @@
+// Phase 4 (optional): refinement passes over the original data. The
+// Phase-3 cluster centroids act as seeds; each pass redistributes every
+// point to its closest seed and recomputes the centroids — exactly the
+// assignment step of k-means, which the paper notes converges to a
+// minimum. This fixes the two Phase-1 artifacts (a point absorbed into
+// the "wrong" subcluster by a skewed input order, and copies of the
+// same point split across subclusters), and can optionally discard
+// points too far from every seed as outliers.
+#ifndef BIRCH_BIRCH_REFINE_H_
+#define BIRCH_BIRCH_REFINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "birch/cf_vector.h"
+#include "birch/dataset.h"
+#include "util/status.h"
+
+namespace birch {
+
+struct RefineOptions {
+  /// Number of redistribution passes (>= 1).
+  int passes = 1;
+  /// When > 0, a point farther than this from every centroid is
+  /// labelled -1 (outlier) instead of being assigned.
+  double outlier_distance = 0.0;
+  /// Stop early once a pass changes no label.
+  bool stop_when_stable = true;
+};
+
+struct RefineResult {
+  /// Per-point cluster index, or -1 for discarded outliers.
+  std::vector<int> labels;
+  /// Exact CFs of the refined clusters.
+  std::vector<CfVector> clusters;
+  int passes_run = 0;
+  uint64_t points_discarded = 0;
+};
+
+/// Runs Phase-4 refinement of `seeds` over `data`.
+StatusOr<RefineResult> RefineClusters(const Dataset& data,
+                                      std::span<const CfVector> seeds,
+                                      const RefineOptions& options);
+
+/// Single labelling pass without centroid movement (used when the
+/// caller wants labels from Phase-3 output as-is).
+StatusOr<RefineResult> LabelPoints(const Dataset& data,
+                                   std::span<const CfVector> seeds,
+                                   double outlier_distance = 0.0);
+
+}  // namespace birch
+
+#endif  // BIRCH_BIRCH_REFINE_H_

@@ -1,0 +1,210 @@
+#include "birch/tree_io.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+namespace birch {
+
+namespace {
+
+void PutDoubles(std::vector<uint8_t>* page, const std::vector<double>& v) {
+  page->resize(v.size() * sizeof(double));
+  std::memcpy(page->data(), v.data(), page->size());
+}
+
+std::vector<double> GetDoubles(const std::vector<uint8_t>& page) {
+  std::vector<double> v(page.size() / sizeof(double));
+  std::memcpy(v.data(), page.data(), v.size() * sizeof(double));
+  return v;
+}
+
+}  // namespace
+
+StatusOr<TreeImage> TreeIO::Write(const CfTree& tree, PageStore* store) {
+  if (store->page_size() < tree.options().page_size) {
+    return Status::InvalidArgument(
+        "store page smaller than the tree's node page");
+  }
+  const size_t dim = tree.options().dim;
+
+  Status failure = Status::OK();
+  std::function<PageId(const CfNode*)> write_node =
+      [&](const CfNode* node) -> PageId {
+    if (!failure.ok()) return kInvalidPageId;
+    std::vector<double> buf;
+    buf.push_back(kNodeMagic);
+    buf.push_back(node->is_leaf ? 1.0 : 0.0);
+    buf.push_back(static_cast<double>(node->size()));
+    for (size_t i = 0; i < node->size(); ++i) {
+      node->entries[i].SerializeTo(&buf);
+      if (!node->is_leaf) {
+        PageId child = write_node(node->children[i]);
+        if (!failure.ok()) return kInvalidPageId;
+        buf.push_back(static_cast<double>(child));
+      }
+    }
+    if (buf.size() * sizeof(double) > store->page_size()) {
+      failure = Status::Internal("serialized node exceeds page size");
+      return kInvalidPageId;
+    }
+    auto id_or = store->Allocate();
+    if (!id_or.ok()) {
+      failure = id_or.status();
+      return kInvalidPageId;
+    }
+    std::vector<uint8_t> page;
+    PutDoubles(&page, buf);
+    Status st = store->Write(id_or.value(), page);
+    if (!st.ok()) {
+      failure = st;
+      return kInvalidPageId;
+    }
+    return id_or.value();
+  };
+
+  TreeImage image;
+  image.root = write_node(tree.root());
+  if (!failure.ok()) return failure;
+  image.dim = dim;
+  image.page_size = tree.options().page_size;
+  image.threshold = tree.threshold();
+  image.node_count = tree.node_count();
+  image.leaf_entries = tree.leaf_entry_count();
+  image.height = tree.height();
+  return image;
+}
+
+StatusOr<std::unique_ptr<CfTree>> TreeIO::Read(const TreeImage& image,
+                                               PageStore* store,
+                                               const CfTreeOptions& options,
+                                               MemoryTracker* mem) {
+  if (image.root == kInvalidPageId) {
+    return Status::InvalidArgument("invalid tree image");
+  }
+  CfTreeOptions opts = options;
+  opts.dim = image.dim;
+  opts.page_size = image.page_size;
+  opts.threshold = image.threshold;
+
+  auto tree = std::make_unique<CfTree>(opts, mem);
+  // Drop the fresh root; we rebuild the node set from pages.
+  tree->FreeNode(tree->root_);
+  tree->root_ = nullptr;
+  tree->first_leaf_ = nullptr;
+  tree->node_count_ = 0;
+  tree->leaf_entries_ = 0;
+
+  Status failure = Status::OK();
+  CfNode* chain_tail = nullptr;
+  size_t max_depth = 0;
+  std::vector<CfNode*> allocated;  // for cleanup on failure
+
+  std::function<CfNode*(PageId, size_t)> read_node =
+      [&](PageId id, size_t depth) -> CfNode* {
+    if (!failure.ok()) return nullptr;
+    std::vector<uint8_t> page;
+    Status st = store->Read(id, &page);
+    if (!st.ok()) {
+      failure = st;
+      return nullptr;
+    }
+    std::vector<double> buf = GetDoubles(page);
+    if (buf.size() < 3 || buf[0] != kNodeMagic) {
+      failure = Status::Internal("page " + std::to_string(id) +
+                                 " is not a CF tree node");
+      return nullptr;
+    }
+    const bool is_leaf = buf[1] != 0.0;
+    const size_t count = static_cast<size_t>(buf[2]);
+    const size_t cf_doubles = CfVector::SerializedDoubles(image.dim);
+    const size_t per_entry = cf_doubles + (is_leaf ? 0 : 1);
+    if (buf.size() < 3 + count * per_entry) {
+      failure = Status::Internal("truncated CF tree node page");
+      return nullptr;
+    }
+
+    CfNode* node = tree->AllocNode(is_leaf);
+    allocated.push_back(node);
+    size_t off = 3;
+    for (size_t i = 0; i < count; ++i) {
+      node->entries.push_back(CfVector::Deserialize(
+          std::span<const double>(buf.data() + off, cf_doubles),
+          image.dim));
+      off += cf_doubles;
+      if (!is_leaf) {
+        PageId child = static_cast<PageId>(buf[off++]);
+        CfNode* child_node = read_node(child, depth + 1);
+        if (!failure.ok()) return nullptr;
+        node->children.push_back(child_node);
+      }
+    }
+    if (is_leaf) {
+      tree->leaf_entries_ += count;
+      max_depth = std::max(max_depth, depth);
+      // Leaves are visited left-to-right: append to the chain.
+      node->prev = chain_tail;
+      if (chain_tail) chain_tail->next = node;
+      if (tree->first_leaf_ == nullptr) tree->first_leaf_ = node;
+      chain_tail = node;
+    }
+    return node;
+  };
+
+  tree->root_ = read_node(image.root, 1);
+  tree->height_ = max_depth;
+  if (failure.ok() && (tree->node_count_ != image.node_count ||
+                       tree->leaf_entries_ != image.leaf_entries ||
+                       tree->height_ != image.height)) {
+    failure = Status::Internal("tree image metadata mismatch after read");
+  }
+  if (!failure.ok()) {
+    // Leave the tree destructible: free everything read so far and
+    // restore an empty root.
+    for (CfNode* n : allocated) {
+      n->children.clear();  // ownership is flat via `allocated`
+      tree->FreeNode(n);
+    }
+    tree->leaf_entries_ = 0;
+    tree->root_ = tree->AllocNode(/*leaf=*/true);
+    tree->first_leaf_ = tree->root_;
+    tree->height_ = 1;
+    return failure;
+  }
+  return tree;
+}
+
+Status TreeIO::Release(const TreeImage& image, PageStore* store) {
+  if (image.root == kInvalidPageId) return Status::OK();
+  Status failure = Status::OK();
+  std::function<void(PageId)> release = [&](PageId id) {
+    if (!failure.ok()) return;
+    std::vector<uint8_t> page;
+    Status st = store->Read(id, &page);
+    if (!st.ok()) {
+      failure = st;
+      return;
+    }
+    std::vector<double> buf = GetDoubles(page);
+    if (buf.size() < 3 || buf[0] != kNodeMagic) {
+      failure = Status::Internal("page is not a CF tree node");
+      return;
+    }
+    const bool is_leaf = buf[1] != 0.0;
+    const size_t count = static_cast<size_t>(buf[2]);
+    const size_t cf_doubles = CfVector::SerializedDoubles(image.dim);
+    if (!is_leaf) {
+      size_t off = 3;
+      for (size_t i = 0; i < count; ++i) {
+        off += cf_doubles;
+        release(static_cast<PageId>(buf[off++]));
+        if (!failure.ok()) return;
+      }
+    }
+    failure = store->Free(id);
+  };
+  release(image.root);
+  return failure;
+}
+
+}  // namespace birch

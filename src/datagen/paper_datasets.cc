@@ -1,0 +1,77 @@
+#include "datagen/paper_datasets.h"
+
+#include <cmath>
+
+namespace birch {
+
+const char* PaperDatasetName(PaperDataset ds) {
+  switch (ds) {
+    case PaperDataset::kDS1: return "DS1";
+    case PaperDataset::kDS2: return "DS2";
+    case PaperDataset::kDS3: return "DS3";
+    case PaperDataset::kDS1o: return "DS1o";
+    case PaperDataset::kDS2o: return "DS2o";
+    case PaperDataset::kDS3o: return "DS3o";
+  }
+  return "?";
+}
+
+GeneratorOptions PaperDatasetOptions(PaperDataset ds, int k_override,
+                                     int n_override, double noise_fraction,
+                                     uint64_t seed) {
+  GeneratorOptions o;
+  o.dim = 2;
+  o.k = 100;
+  o.seed = seed;
+  o.noise_fraction = noise_fraction;
+  o.grid_spacing = 4.0;  // kg = 4 (Table 3)
+
+  switch (ds) {
+    case PaperDataset::kDS1o:
+      o.order = InputOrder::kOrdered;
+      [[fallthrough]];
+    case PaperDataset::kDS1:
+      o.pattern = PlacementPattern::kGrid;
+      o.n_low = o.n_high = 1000;
+      o.r_low = o.r_high = std::sqrt(2.0);
+      break;
+    case PaperDataset::kDS2o:
+      o.order = InputOrder::kOrdered;
+      [[fallthrough]];
+    case PaperDataset::kDS2:
+      o.pattern = PlacementPattern::kSine;
+      o.n_low = o.n_high = 1000;
+      o.r_low = o.r_high = std::sqrt(2.0);
+      break;
+    case PaperDataset::kDS3o:
+      o.order = InputOrder::kOrdered;
+      [[fallthrough]];
+    case PaperDataset::kDS3:
+      o.pattern = PlacementPattern::kRandom;
+      o.n_low = 0;
+      o.n_high = 2000;
+      o.r_low = 0.0;
+      o.r_high = 4.0;
+      break;
+  }
+  if (k_override > 0) o.k = k_override;
+  if (n_override > 0) {
+    if (ds == PaperDataset::kDS3 || ds == PaperDataset::kDS3o) {
+      o.n_low = 0;
+      o.n_high = 2 * n_override;  // keep the mean at n_override
+    } else {
+      o.n_low = o.n_high = n_override;
+    }
+  }
+  return o;
+}
+
+StatusOr<GeneratedData> GeneratePaperDataset(PaperDataset ds, int k_override,
+                                             int n_override,
+                                             double noise_fraction,
+                                             uint64_t seed) {
+  return Generate(
+      PaperDatasetOptions(ds, k_override, n_override, noise_fraction, seed));
+}
+
+}  // namespace birch

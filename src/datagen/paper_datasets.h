@@ -1,0 +1,40 @@
+// The paper's canned datasets (Table 3):
+//   DS1: grid,   K=100, n=1000,      r=sqrt(2), kg=4, randomized
+//   DS2: sine,   K=100, n=1000,      r=sqrt(2),        randomized
+//   DS3: random, K=100, n in 0..2000, r in 0..4,       randomized
+// and the ordered variants DS1o/DS2o/DS3o used by the input-order
+// sensitivity experiment. A scale factor lets the scalability
+// experiments (Figs. 4-5) grow n or K while keeping the shape.
+#ifndef BIRCH_DATAGEN_PAPER_DATASETS_H_
+#define BIRCH_DATAGEN_PAPER_DATASETS_H_
+
+#include <string>
+
+#include "datagen/generator.h"
+
+namespace birch {
+
+enum class PaperDataset { kDS1 = 0, kDS2, kDS3, kDS1o, kDS2o, kDS3o };
+
+/// Human-readable name ("DS1", "DS2o", ...).
+const char* PaperDatasetName(PaperDataset ds);
+
+/// Generator options for a paper dataset. `k_override` and
+/// `n_override` (0 = paper value) scale the dataset for the
+/// scalability experiments; `noise_fraction` adds the rn% noise used by
+/// the outlier-option experiments.
+GeneratorOptions PaperDatasetOptions(PaperDataset ds, int k_override = 0,
+                                     int n_override = 0,
+                                     double noise_fraction = 0.0,
+                                     uint64_t seed = 42);
+
+/// Generates the dataset.
+StatusOr<GeneratedData> GeneratePaperDataset(PaperDataset ds,
+                                             int k_override = 0,
+                                             int n_override = 0,
+                                             double noise_fraction = 0.0,
+                                             uint64_t seed = 42);
+
+}  // namespace birch
+
+#endif  // BIRCH_DATAGEN_PAPER_DATASETS_H_

@@ -1,0 +1,139 @@
+#include "datagen/streaming_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace birch {
+
+StatusOr<std::unique_ptr<StreamingGenerator>> StreamingGenerator::Create(
+    const GeneratorOptions& options) {
+  // Reuse Generate()'s validation by checking the same conditions.
+  if (options.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  if (options.k <= 0) return Status::InvalidArgument("k must be > 0");
+  if (options.n_low < 0 || options.n_high < options.n_low) {
+    return Status::InvalidArgument("need 0 <= n_low <= n_high");
+  }
+  if (options.r_low < 0.0 || options.r_high < options.r_low) {
+    return Status::InvalidArgument("need 0 <= r_low <= r_high");
+  }
+  if (options.noise_fraction < 0.0 || options.noise_fraction >= 1.0) {
+    return Status::InvalidArgument("noise_fraction must be in [0,1)");
+  }
+  return std::unique_ptr<StreamingGenerator>(
+      new StreamingGenerator(options));
+}
+
+StreamingGenerator::StreamingGenerator(const GeneratorOptions& options)
+    : options_(options), rng_(options.seed) {
+  Reset();
+}
+
+void StreamingGenerator::Reset() {
+  rng_.Seed(options_.seed);
+  actual_.clear();
+  sigma_.clear();
+  remaining_.clear();
+
+  std::vector<std::vector<double>> centers = PlaceCenters(options_, &rng_);
+  const double inv_sqrt_d =
+      1.0 / std::sqrt(static_cast<double>(options_.dim));
+  uint64_t cluster_total = 0;
+  for (int c = 0; c < options_.k; ++c) {
+    ActualCluster a;
+    a.center = centers[static_cast<size_t>(c)];
+    a.points = static_cast<int>(
+        rng_.UniformInt(static_cast<int64_t>(options_.n_low),
+                        static_cast<int64_t>(options_.n_high)));
+    a.radius_param = rng_.Uniform(options_.r_low, options_.r_high);
+    sigma_.push_back(a.radius_param * inv_sqrt_d);
+    remaining_.push_back(static_cast<uint64_t>(a.points));
+    cluster_total += static_cast<uint64_t>(a.points);
+    actual_.push_back(std::move(a));
+  }
+  noise_remaining_ = 0;
+  if (options_.noise_fraction > 0.0) {
+    noise_remaining_ = static_cast<uint64_t>(
+        options_.noise_fraction / (1.0 - options_.noise_fraction) *
+        static_cast<double>(cluster_total));
+  }
+  remaining_total_ = cluster_total + noise_remaining_;
+  total_points_ = remaining_total_;
+
+  noise_lo_.assign(options_.dim, 0.0);
+  noise_hi_.assign(options_.dim, 0.0);
+  for (size_t t = 0; t < options_.dim; ++t) {
+    noise_lo_[t] = noise_hi_[t] = centers[0][t];
+    for (const auto& c : centers) {
+      noise_lo_[t] = std::min(noise_lo_[t], c[t]);
+      noise_hi_[t] = std::max(noise_hi_[t], c[t]);
+    }
+    noise_lo_[t] -= 2.0 * options_.r_high;
+    noise_hi_[t] += 2.0 * options_.r_high;
+  }
+  next_ordered_cluster_ = 0;
+  last_truth_ = -1;
+}
+
+Status StreamingGenerator::Rewind() {
+  Reset();
+  return Status::OK();
+}
+
+bool StreamingGenerator::Next(std::span<double> out, double* weight) {
+  if (remaining_total_ == 0) return false;
+  *weight = 1.0;
+
+  // Pick the owner: ordered mode walks clusters then noise; randomized
+  // mode draws proportionally to remaining counts.
+  int owner;  // -1 = noise
+  if (options_.order == InputOrder::kOrdered) {
+    while (next_ordered_cluster_ < remaining_.size() &&
+           remaining_[next_ordered_cluster_] == 0) {
+      ++next_ordered_cluster_;
+    }
+    owner = next_ordered_cluster_ < remaining_.size()
+                ? static_cast<int>(next_ordered_cluster_)
+                : -1;
+  } else {
+    uint64_t pick = rng_.UniformInt(remaining_total_);
+    owner = -1;
+    for (size_t c = 0; c < remaining_.size(); ++c) {
+      if (pick < remaining_[c]) {
+        owner = static_cast<int>(c);
+        break;
+      }
+      pick -= remaining_[c];
+    }
+  }
+
+  if (owner < 0) {
+    for (size_t t = 0; t < options_.dim; ++t) {
+      out[t] = rng_.Uniform(noise_lo_[t], noise_hi_[t]);
+    }
+    --noise_remaining_;
+  } else {
+    const auto& a = actual_[static_cast<size_t>(owner)];
+    double sigma = sigma_[static_cast<size_t>(owner)];
+    for (;;) {
+      for (size_t t = 0; t < options_.dim; ++t) {
+        out[t] = rng_.Gaussian(a.center[t], sigma);
+      }
+      if (options_.max_distance_radii <= 0.0) break;
+      double limit = options_.max_distance_radii * a.radius_param;
+      double d2 = 0.0;
+      for (size_t t = 0; t < options_.dim; ++t) {
+        double d = out[t] - a.center[t];
+        d2 += d * d;
+      }
+      if (d2 <= limit * limit) break;
+    }
+    --remaining_[static_cast<size_t>(owner)];
+  }
+  --remaining_total_;
+  last_truth_ = owner;
+  return true;
+}
+
+}  // namespace birch

@@ -1,0 +1,62 @@
+// Streaming variant of the synthetic generator: emits the same kind of
+// workload as Generate() but one point at a time in O(K) state, never
+// materializing the dataset — so the out-of-core experiments can
+// cluster tens of millions of points against a fixed memory budget.
+// Randomized order is produced online by drawing the owning cluster
+// (or the noise pool) with probability proportional to its remaining
+// point count. Implements birch::PointSource, and is rewindable (the
+// stream is deterministic for a seed).
+#ifndef BIRCH_DATAGEN_STREAMING_GENERATOR_H_
+#define BIRCH_DATAGEN_STREAMING_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "birch/point_source.h"
+#include "datagen/generator.h"
+#include "util/random.h"
+
+namespace birch {
+
+class StreamingGenerator : public PointSource {
+ public:
+  /// Fails on the same parameter errors as Generate().
+  static StatusOr<std::unique_ptr<StreamingGenerator>> Create(
+      const GeneratorOptions& options);
+
+  size_t dim() const override { return options_.dim; }
+  uint64_t SizeHint() const override { return total_points_; }
+  bool Next(std::span<double> out, double* weight) override;
+  Status Rewind() override;
+
+  /// Ground-truth cluster of the most recently emitted point
+  /// (-1 = noise). Undefined before the first Next().
+  int last_truth() const { return last_truth_; }
+
+  /// Cluster centers / radii / counts (CFs are NOT accumulated — this
+  /// is a stream).
+  const std::vector<ActualCluster>& actual() const { return actual_; }
+
+  uint64_t total_points() const { return total_points_; }
+
+ private:
+  explicit StreamingGenerator(const GeneratorOptions& options);
+
+  void Reset();
+
+  GeneratorOptions options_;
+  Rng rng_;
+  std::vector<ActualCluster> actual_;
+  std::vector<double> sigma_;           // per-cluster point stddev
+  std::vector<uint64_t> remaining_;     // per cluster
+  uint64_t noise_remaining_ = 0;
+  uint64_t remaining_total_ = 0;
+  uint64_t total_points_ = 0;
+  std::vector<double> noise_lo_, noise_hi_;
+  size_t next_ordered_cluster_ = 0;     // ordered emission cursor
+  int last_truth_ = -1;
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_DATAGEN_STREAMING_GENERATOR_H_

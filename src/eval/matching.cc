@@ -1,0 +1,92 @@
+#include "eval/matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/math.h"
+
+namespace birch {
+
+MatchReport MatchClusters(std::span<const ActualCluster> actual,
+                          std::span<const CfVector> found) {
+  MatchReport report;
+  report.match.assign(actual.size(), -1);
+
+  struct Pair {
+    double d;
+    size_t a;
+    size_t f;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(actual.size() * found.size());
+  std::vector<std::vector<double>> found_centroids;
+  found_centroids.reserve(found.size());
+  for (const auto& f : found) found_centroids.push_back(f.Centroid());
+  for (size_t a = 0; a < actual.size(); ++a) {
+    for (size_t f = 0; f < found.size(); ++f) {
+      pairs.push_back(
+          {Distance(actual[a].center, found_centroids[f]), a, f});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& x, const Pair& y) { return x.d < y.d; });
+
+  std::vector<bool> actual_used(actual.size(), false);
+  std::vector<bool> found_used(found.size(), false);
+  double disp = 0.0, count_dev = 0.0, radius_dev = 0.0;
+  for (const Pair& p : pairs) {
+    if (actual_used[p.a] || found_used[p.f]) continue;
+    actual_used[p.a] = true;
+    found_used[p.f] = true;
+    report.match[p.a] = static_cast<int>(p.f);
+    ++report.matched;
+    disp += p.d;
+    double n_actual = std::max(1.0, static_cast<double>(actual[p.a].points));
+    count_dev += std::fabs(found[p.f].n() - n_actual) / n_actual;
+    double r_actual = std::max(actual[p.a].cf.Radius(), 1e-9);
+    radius_dev += std::fabs(found[p.f].Radius() - r_actual) / r_actual;
+  }
+  if (report.matched > 0) {
+    report.mean_centroid_displacement = disp / report.matched;
+    report.mean_count_deviation = count_dev / report.matched;
+    report.mean_radius_deviation = radius_dev / report.matched;
+  }
+  return report;
+}
+
+double LabelAccuracy(std::span<const int> truth, std::span<const int> labels,
+                     const MatchReport& report, bool noise_as_outlier) {
+  // Invert the match: found cluster -> actual cluster.
+  std::vector<int> found_to_actual;
+  for (size_t a = 0; a < report.match.size(); ++a) {
+    int f = report.match[a];
+    if (f < 0) continue;
+    if (found_to_actual.size() <= static_cast<size_t>(f)) {
+      found_to_actual.resize(static_cast<size_t>(f) + 1, -1);
+    }
+    found_to_actual[static_cast<size_t>(f)] = static_cast<int>(a);
+  }
+
+  uint64_t considered = 0, correct = 0;
+  for (size_t i = 0; i < truth.size() && i < labels.size(); ++i) {
+    if (truth[i] < 0) {
+      if (noise_as_outlier) {
+        ++considered;
+        if (labels[i] < 0) ++correct;
+      }
+      continue;
+    }
+    ++considered;
+    int l = labels[i];
+    if (l >= 0 && static_cast<size_t>(l) < found_to_actual.size() &&
+        found_to_actual[static_cast<size_t>(l)] == truth[i]) {
+      ++correct;
+    }
+  }
+  return considered == 0
+             ? 0.0
+             : static_cast<double>(correct) / static_cast<double>(considered);
+}
+
+}  // namespace birch

@@ -1,0 +1,47 @@
+// Actual-vs-found cluster comparison — the numeric backing for the
+// paper's Figs. 6-8 ("BIRCH clusters are similar to the actual ones in
+// location, count and radius; CLARANS clusters are distorted"). Found
+// clusters are greedily matched to ground-truth clusters by centroid
+// distance; the report aggregates centroid displacement, point-count
+// deviation and radius deviation, plus label accuracy when per-point
+// ground truth is available.
+#ifndef BIRCH_EVAL_MATCHING_H_
+#define BIRCH_EVAL_MATCHING_H_
+
+#include <span>
+#include <vector>
+
+#include "birch/cf_vector.h"
+#include "datagen/generator.h"
+
+namespace birch {
+
+struct MatchReport {
+  /// match[i] = index of the found cluster matched to actual cluster i,
+  /// or -1 if none left to match.
+  std::vector<int> match;
+  /// Mean distance from actual centers to matched found centroids.
+  double mean_centroid_displacement = 0.0;
+  /// Mean |n_found - n_actual| / n_actual over matched pairs.
+  double mean_count_deviation = 0.0;
+  /// Mean |r_found - r_actual| / max(r_actual, eps) over matched pairs.
+  double mean_radius_deviation = 0.0;
+  /// Number of actual clusters that got a match.
+  int matched = 0;
+};
+
+/// Greedy centroid matching: repeatedly pair the globally closest
+/// (actual, found) centroids.
+MatchReport MatchClusters(std::span<const ActualCluster> actual,
+                          std::span<const CfVector> found);
+
+/// Fraction of non-noise points whose label agrees with the matched
+/// ground-truth cluster. `labels` uses -1 for outliers; noise rows
+/// (truth -1) count as correct when labelled -1 under
+/// `noise_as_outlier`, and are skipped otherwise.
+double LabelAccuracy(std::span<const int> truth, std::span<const int> labels,
+                     const MatchReport& report, bool noise_as_outlier = false);
+
+}  // namespace birch
+
+#endif  // BIRCH_EVAL_MATCHING_H_

@@ -1,0 +1,52 @@
+#include "eval/quality.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace birch {
+
+double WeightedAverageDiameter(std::span<const CfVector> clusters) {
+  double num = 0.0, den = 0.0;
+  for (const auto& c : clusters) {
+    if (c.empty()) continue;
+    num += c.n() * c.Diameter();
+    den += c.n();
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double WeightedAverageRadius(std::span<const CfVector> clusters) {
+  double num = 0.0, den = 0.0;
+  for (const auto& c : clusters) {
+    if (c.empty()) continue;
+    num += c.n() * c.Radius();
+    den += c.n();
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double TotalSse(std::span<const CfVector> clusters) {
+  double s = 0.0;
+  for (const auto& c : clusters) s += c.SumSquaredDeviation();
+  return s;
+}
+
+std::vector<CfVector> ClustersFromLabels(const Dataset& data,
+                                         std::span<const int> labels,
+                                         int num_clusters) {
+  assert(labels.size() == data.size());
+  int k = num_clusters;
+  if (k == 0) {
+    for (int l : labels) k = std::max(k, l + 1);
+  }
+  std::vector<CfVector> clusters(static_cast<size_t>(k),
+                                 CfVector(data.dim()));
+  for (size_t i = 0; i < data.size(); ++i) {
+    int l = labels[i];
+    if (l < 0) continue;
+    clusters[static_cast<size_t>(l)].AddPoint(data.Row(i), data.Weight(i));
+  }
+  return clusters;
+}
+
+}  // namespace birch

@@ -1,0 +1,33 @@
+// Clustering quality measurement (Sec. 6.3 of the paper). The paper's
+// quality number "D" is the weighted average diameter of the clusters
+// (weighted by point count); the radius variant is also provided, as
+// is the total k-means SSE for cross-checks.
+#ifndef BIRCH_EVAL_QUALITY_H_
+#define BIRCH_EVAL_QUALITY_H_
+
+#include <span>
+#include <vector>
+
+#include "birch/cf_vector.h"
+#include "birch/dataset.h"
+
+namespace birch {
+
+/// Weighted average diameter: sum_k n_k * D_k / sum_k n_k.
+double WeightedAverageDiameter(std::span<const CfVector> clusters);
+
+/// Weighted average radius: sum_k n_k * R_k / sum_k n_k.
+double WeightedAverageRadius(std::span<const CfVector> clusters);
+
+/// Total squared deviation from cluster centroids (k-means objective).
+double TotalSse(std::span<const CfVector> clusters);
+
+/// Builds exact cluster CFs from per-point labels (-1 = outlier,
+/// skipped). `num_clusters` of 0 derives the count from the labels.
+std::vector<CfVector> ClustersFromLabels(const Dataset& data,
+                                         std::span<const int> labels,
+                                         int num_clusters = 0);
+
+}  // namespace birch
+
+#endif  // BIRCH_EVAL_QUALITY_H_

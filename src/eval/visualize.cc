@@ -1,0 +1,70 @@
+#include "eval/visualize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace birch {
+
+std::string RenderClusters(std::span<const CfVector> clusters,
+                           const VisualizeOptions& options) {
+  if (clusters.empty() || clusters[0].dim() != 2) return "";
+  // Data bounding box.
+  double lo_x = 1e300, hi_x = -1e300, lo_y = 1e300, hi_y = -1e300;
+  for (const auto& c : clusters) {
+    if (c.empty()) continue;
+    auto ctr = c.Centroid();
+    double r = std::sqrt(2.0) * c.Radius();
+    lo_x = std::min(lo_x, ctr[0] - r);
+    hi_x = std::max(hi_x, ctr[0] + r);
+    lo_y = std::min(lo_y, ctr[1] - r);
+    hi_y = std::max(hi_y, ctr[1] + r);
+  }
+  if (lo_x >= hi_x) {
+    hi_x = lo_x + 1;
+  }
+  if (lo_y >= hi_y) {
+    hi_y = lo_y + 1;
+  }
+
+  const int w = options.width, h = options.height;
+  std::vector<std::string> grid(static_cast<size_t>(h),
+                                std::string(static_cast<size_t>(w), ' '));
+  auto to_px = [&](double x) {
+    return static_cast<int>((x - lo_x) / (hi_x - lo_x) * (w - 1));
+  };
+  auto to_py = [&](double y) {
+    // Screen y grows downward.
+    return static_cast<int>((hi_y - y) / (hi_y - lo_y) * (h - 1));
+  };
+
+  const char* glyphs = "0123456789abcdefghijklmnopqrstuvwxyz";
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    if (clusters[c].empty()) continue;
+    auto ctr = clusters[c].Centroid();
+    double r = std::sqrt(2.0) * clusters[c].Radius();
+    char glyph = glyphs[c % 36];
+    // Rasterize the circle outline (and a center mark).
+    int steps = 64;
+    for (int s = 0; s < steps; ++s) {
+      double ang = 2.0 * M_PI * s / steps;
+      int px = to_px(ctr[0] + r * std::cos(ang));
+      int py = to_py(ctr[1] + r * std::sin(ang));
+      if (px >= 0 && px < w && py >= 0 && py < h) {
+        grid[static_cast<size_t>(py)][static_cast<size_t>(px)] = glyph;
+      }
+    }
+    int cx = to_px(ctr[0]), cy = to_py(ctr[1]);
+    if (cx >= 0 && cx < w && cy >= 0 && cy < h) {
+      grid[static_cast<size_t>(cy)][static_cast<size_t>(cx)] = '+';
+    }
+  }
+  std::string out;
+  for (const auto& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace birch

@@ -1,0 +1,27 @@
+// ASCII rendering of 2-d clusterings — the stand-in for the paper's
+// scatter-plot figures (Figs. 6-8). Clusters are drawn as circles of
+// radius sqrt(2)*R centered at the centroid (the paper's presentation),
+// rasterized onto a character grid.
+#ifndef BIRCH_EVAL_VISUALIZE_H_
+#define BIRCH_EVAL_VISUALIZE_H_
+
+#include <span>
+#include <string>
+
+#include "birch/cf_vector.h"
+
+namespace birch {
+
+struct VisualizeOptions {
+  int width = 100;
+  int height = 40;
+};
+
+/// Renders cluster circles; larger clusters overwrite smaller ones.
+/// Returns an empty string for non-2-d input.
+std::string RenderClusters(std::span<const CfVector> clusters,
+                           const VisualizeOptions& options = {});
+
+}  // namespace birch
+
+#endif  // BIRCH_EVAL_VISUALIZE_H_

@@ -1,0 +1,71 @@
+#include "image/filter.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace birch {
+
+StatusOr<FilterResult> TwoPassFilter(const Scene& scene,
+                                     const FilterOptions& options) {
+  if (scene.size() == 0) return Status::InvalidArgument("empty scene");
+  FilterResult result;
+  Timer timer;
+
+  // --- Pass 1: cluster every pixel's (NIR, VIS) tuple. ---
+  BirchOptions o1;
+  o1.dim = 2;
+  o1.k = options.pass1_k;
+  o1.memory_bytes = options.memory_bytes;
+  o1.disk_bytes = options.memory_bytes / 5;
+  o1.seed = options.seed;
+  o1.refinement_passes = 1;
+  auto pass1_or = ClusterDataset(scene.pixels, o1);
+  if (!pass1_or.ok()) return pass1_or.status();
+  result.pass1 = std::move(pass1_or).ValueOrDie();
+  result.seconds_pass1 = timer.Seconds();
+
+  // --- Select the dark cluster(s): branches + shadows. ---
+  for (size_t c = 0; c < result.pass1.centroids.size(); ++c) {
+    const auto& ctr = result.pass1.centroids[c];
+    double brightness = 0.5 * (ctr[0] + ctr[1]);
+    if (brightness < options.dark_brightness_limit) {
+      result.dark_clusters.push_back(static_cast<int>(c));
+    }
+  }
+
+  Dataset dark_pixels(2);
+  for (size_t i = 0; i < scene.size(); ++i) {
+    int l = result.pass1.labels[i];
+    if (l < 0) continue;
+    if (std::find(result.dark_clusters.begin(), result.dark_clusters.end(),
+                  l) != result.dark_clusters.end()) {
+      result.pass2_rows.push_back(i);
+      dark_pixels.Append(scene.pixels.Row(i));
+    }
+  }
+
+  // --- Pass 2: recluster the dark part at finer granularity. ---
+  timer.Restart();
+  if (!dark_pixels.empty() &&
+      dark_pixels.size() > static_cast<size_t>(options.pass2_k)) {
+    BirchOptions o2 = o1;
+    o2.k = options.pass2_k;
+    o2.seed = options.seed + 1;
+    auto pass2_or = ClusterDataset(dark_pixels, o2);
+    if (!pass2_or.ok()) return pass2_or.status();
+    result.pass2 = std::move(pass2_or).ValueOrDie();
+  }
+  result.seconds_pass2 = timer.Seconds();
+
+  // --- Stitch final labels. ---
+  result.final_labels = result.pass1.labels;
+  for (size_t j = 0; j < result.pass2_rows.size(); ++j) {
+    int l2 = j < result.pass2.labels.size() ? result.pass2.labels[j] : -1;
+    result.final_labels[result.pass2_rows[j]] =
+        l2 < 0 ? -1 : options.pass1_k + l2;
+  }
+  return result;
+}
+
+}  // namespace birch

@@ -1,0 +1,51 @@
+// The paper's two-pass image filtering procedure (Sec. 6.8):
+//
+//   Pass 1: BIRCH clusters all (NIR, VIS) pixel tuples into 5 clusters;
+//   sky, clouds and sunlit leaves come out as distinct clusters while
+//   tree branches and shadows land together in the darkest cluster(s).
+//
+//   Pass 2: the pixels of the dark cluster(s) are re-clustered alone —
+//   the same memory now serves a much smaller input, so the threshold
+//   is finer — pulling branches and shadows apart.
+#ifndef BIRCH_IMAGE_FILTER_H_
+#define BIRCH_IMAGE_FILTER_H_
+
+#include <vector>
+
+#include "birch/birch.h"
+#include "image/scene.h"
+
+namespace birch {
+
+struct FilterOptions {
+  int pass1_k = 5;
+  int pass2_k = 2;
+  size_t memory_bytes = 80 * 1024;
+  /// Pass-2 input: clusters whose centroid mean brightness
+  /// ((NIR+VIS)/2) falls below this are deemed "dark" (branches +
+  /// shadows) and re-clustered.
+  double dark_brightness_limit = 90.0;
+  uint64_t seed = 42;
+};
+
+struct FilterResult {
+  BirchResult pass1;
+  /// Pass-1 cluster indices that were selected as dark.
+  std::vector<int> dark_clusters;
+  /// Row indices (into the scene) fed to pass 2.
+  std::vector<size_t> pass2_rows;
+  BirchResult pass2;
+  /// Final per-pixel label: pass-1 cluster id for bright pixels,
+  /// pass1_k + pass-2 cluster id for dark pixels, -1 for outliers.
+  std::vector<int> final_labels;
+  double seconds_pass1 = 0.0;
+  double seconds_pass2 = 0.0;
+};
+
+/// Runs the two-pass filter over `scene`.
+StatusOr<FilterResult> TwoPassFilter(const Scene& scene,
+                                     const FilterOptions& options);
+
+}  // namespace birch
+
+#endif  // BIRCH_IMAGE_FILTER_H_

@@ -1,0 +1,75 @@
+// Byte-accounted memory budget — the "M bytes of memory" constraint the
+// paper's Phase 1 runs under. CF-tree node allocation charges the
+// tracker; when the budget is exhausted the tree must be rebuilt with a
+// larger threshold (Sec. 5.1 of the paper).
+#ifndef BIRCH_PAGESTORE_MEMORY_TRACKER_H_
+#define BIRCH_PAGESTORE_MEMORY_TRACKER_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace birch {
+
+/// Tracks bytes in use against a fixed budget. Not thread-safe (BIRCH is
+/// a single-scan sequential algorithm).
+class MemoryTracker {
+ public:
+  /// budget_bytes == 0 means "unlimited".
+  explicit MemoryTracker(size_t budget_bytes = 0)
+      : budget_(budget_bytes) {}
+
+  /// True if `bytes` more can be allocated within the budget.
+  bool CanAllocate(size_t bytes) const {
+    return budget_ == 0 || used_ + bytes <= budget_;
+  }
+
+  /// Charges `bytes`. Returns false (and charges nothing) if over budget.
+  bool Allocate(size_t bytes) {
+    if (!CanAllocate(bytes)) return false;
+    used_ += bytes;
+    peak_ = used_ > peak_ ? used_ : peak_;
+    ++allocations_;
+    return true;
+  }
+
+  /// Charges `bytes` even if it exceeds the budget. The CF tree uses
+  /// this when a split is already in progress: the insert completes with
+  /// a small overdraft (the paper's "h extra pages" slack) and the
+  /// caller observes over_budget() and rebuilds.
+  void ForceAllocate(size_t bytes) {
+    used_ += bytes;
+    peak_ = used_ > peak_ ? used_ : peak_;
+    ++allocations_;
+  }
+
+  /// True when ForceAllocate pushed usage past the budget.
+  bool over_budget() const { return budget_ != 0 && used_ > budget_; }
+
+  /// Releases `bytes` previously charged.
+  void Free(size_t bytes) {
+    assert(bytes <= used_);
+    used_ -= bytes;
+    ++frees_;
+  }
+
+  size_t budget() const { return budget_; }
+  size_t used() const { return used_; }
+  size_t peak() const { return peak_; }
+  size_t available() const {
+    return budget_ == 0 ? static_cast<size_t>(-1) : budget_ - used_;
+  }
+  uint64_t allocations() const { return allocations_; }
+  uint64_t frees() const { return frees_; }
+
+ private:
+  size_t budget_;
+  size_t used_ = 0;
+  size_t peak_ = 0;
+  uint64_t allocations_ = 0;
+  uint64_t frees_ = 0;
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_PAGESTORE_MEMORY_TRACKER_H_

@@ -1,0 +1,23 @@
+// Fixed-size page abstraction for the simulated disk.
+#ifndef BIRCH_PAGESTORE_PAGE_H_
+#define BIRCH_PAGESTORE_PAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace birch {
+
+/// Identifies a page within a PageStore.
+using PageId = uint64_t;
+
+inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
+
+/// A page is an owned, fixed-size byte buffer.
+struct Page {
+  explicit Page(size_t size) : bytes(size, 0) {}
+  std::vector<uint8_t> bytes;
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_PAGESTORE_PAGE_H_

@@ -1,0 +1,56 @@
+#include "pagestore/page_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace birch {
+
+PageStore::PageStore(size_t page_size, size_t capacity_bytes)
+    : page_size_(page_size), capacity_bytes_(capacity_bytes) {
+  assert(page_size_ > 0);
+}
+
+StatusOr<PageId> PageStore::Allocate() {
+  if (capacity_bytes_ != 0 && used_bytes() + page_size_ > capacity_bytes_) {
+    return Status::OutOfDisk("page store at capacity (" +
+                             std::to_string(capacity_bytes_) + " bytes)");
+  }
+  PageId id = next_id_++;
+  pages_.emplace(id, Page(page_size_));
+  return id;
+}
+
+Status PageStore::Write(PageId id, std::span<const uint8_t> data) {
+  auto it = pages_.find(id);
+  if (it == pages_.end()) {
+    return Status::NotFound("page " + std::to_string(id));
+  }
+  if (data.size() > page_size_) {
+    return Status::InvalidArgument("write larger than page size");
+  }
+  std::copy(data.begin(), data.end(), it->second.bytes.begin());
+  ++io_.pages_written;
+  return Status::OK();
+}
+
+Status PageStore::Read(PageId id, std::vector<uint8_t>* out) {
+  auto it = pages_.find(id);
+  if (it == pages_.end()) {
+    return Status::NotFound("page " + std::to_string(id));
+  }
+  *out = it->second.bytes;
+  ++io_.pages_read;
+  return Status::OK();
+}
+
+Status PageStore::Free(PageId id) {
+  auto it = pages_.find(id);
+  if (it == pages_.end()) {
+    return Status::NotFound("page " + std::to_string(id));
+  }
+  pages_.erase(it);
+  ++io_.pages_freed;
+  return Status::OK();
+}
+
+}  // namespace birch

@@ -1,0 +1,64 @@
+// Simulated paged disk: page-granular read/write with capacity
+// enforcement and I/O accounting. Stands in for the paper's "R bytes of
+// disk space" used for outlier entries (Sec. 5.1.4); the behaviours that
+// matter — outliers leaving the memory budget, re-absorption costing
+// I/O, disk capacity running out — are preserved and measurable.
+#ifndef BIRCH_PAGESTORE_PAGE_STORE_H_
+#define BIRCH_PAGESTORE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "pagestore/page.h"
+#include "util/status.h"
+
+namespace birch {
+
+/// Cumulative I/O counters for a PageStore.
+struct IoStats {
+  uint64_t pages_written = 0;
+  uint64_t pages_read = 0;
+  uint64_t pages_freed = 0;
+};
+
+/// An in-memory map of PageId -> Page posing as a disk. Capacity is
+/// enforced in bytes; Allocate fails with OutOfDisk when full.
+class PageStore {
+ public:
+  /// capacity_bytes == 0 means unlimited; page_size must be > 0.
+  PageStore(size_t page_size, size_t capacity_bytes = 0);
+
+  size_t page_size() const { return page_size_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  size_t used_bytes() const { return pages_.size() * page_size_; }
+  size_t num_pages() const { return pages_.size(); }
+  const IoStats& io_stats() const { return io_; }
+
+  /// Allocates a zeroed page; fails with OutOfDisk at capacity.
+  StatusOr<PageId> Allocate();
+
+  /// Writes `data` (at most page_size bytes) into page `id`.
+  Status Write(PageId id, std::span<const uint8_t> data);
+
+  /// Reads the full page into `out` (resized to page_size).
+  Status Read(PageId id, std::vector<uint8_t>* out);
+
+  /// Releases a page back to the store.
+  Status Free(PageId id);
+
+  /// True if `id` is currently allocated.
+  bool Contains(PageId id) const { return pages_.count(id) > 0; }
+
+ private:
+  size_t page_size_;
+  size_t capacity_bytes_;
+  PageId next_id_ = 0;
+  std::unordered_map<PageId, Page> pages_;
+  IoStats io_;
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_PAGESTORE_PAGE_STORE_H_

@@ -1,0 +1,62 @@
+#include "pagestore/spill_file.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace birch {
+
+SpillFile::SpillFile(PageStore* store, size_t record_doubles)
+    : store_(store), record_doubles_(record_doubles) {
+  assert(record_doubles_ > 0);
+  records_per_page_ = store_->page_size() / (record_doubles_ * sizeof(double));
+  assert(records_per_page_ >= 1 &&
+         "page too small to hold one spill record");
+  staging_.reserve(records_per_page_ * record_doubles_);
+}
+
+Status SpillFile::Append(std::span<const double> record) {
+  if (record.size() != record_doubles_) {
+    return Status::InvalidArgument("record arity mismatch");
+  }
+  if (staging_.size() / record_doubles_ == records_per_page_) {
+    BIRCH_RETURN_IF_ERROR(FlushStaging());
+  }
+  staging_.insert(staging_.end(), record.begin(), record.end());
+  ++count_;
+  return Status::OK();
+}
+
+Status SpillFile::FlushStaging() {
+  if (staging_.empty()) return Status::OK();
+  auto id_or = store_->Allocate();
+  if (!id_or.ok()) return id_or.status();
+  std::vector<uint8_t> buf(staging_.size() * sizeof(double));
+  std::memcpy(buf.data(), staging_.data(), buf.size());
+  BIRCH_RETURN_IF_ERROR(store_->Write(id_or.value(), buf));
+  pages_.push_back(id_or.value());
+  page_records_.push_back(staging_.size() / record_doubles_);
+  staging_.clear();
+  return Status::OK();
+}
+
+Status SpillFile::DrainAll(std::vector<double>* out) {
+  out->clear();
+  out->reserve(count_ * record_doubles_);
+  std::vector<uint8_t> buf;
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    BIRCH_RETURN_IF_ERROR(store_->Read(pages_[i], &buf));
+    size_t doubles = page_records_[i] * record_doubles_;
+    size_t old = out->size();
+    out->resize(old + doubles);
+    std::memcpy(out->data() + old, buf.data(), doubles * sizeof(double));
+    BIRCH_RETURN_IF_ERROR(store_->Free(pages_[i]));
+  }
+  out->insert(out->end(), staging_.begin(), staging_.end());
+  pages_.clear();
+  page_records_.clear();
+  staging_.clear();
+  count_ = 0;
+  return Status::OK();
+}
+
+}  // namespace birch

@@ -1,0 +1,57 @@
+// Append-only spill file of fixed-arity double records, packed into
+// PageStore pages. BIRCH uses this as the outlier queue: each record is
+// a serialized CF entry (N, LS[0..d), SS). The spill file is agnostic to
+// the record semantics — it just moves fixed-size records to and from
+// the simulated disk.
+#ifndef BIRCH_PAGESTORE_SPILL_FILE_H_
+#define BIRCH_PAGESTORE_SPILL_FILE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pagestore/page_store.h"
+#include "util/status.h"
+
+namespace birch {
+
+/// Append-only queue of records of `record_doubles` doubles each, backed
+/// by `store`. Records are buffered into a page-sized staging buffer and
+/// flushed to a fresh page when full (or on explicit Flush).
+class SpillFile {
+ public:
+  /// `store` must outlive the SpillFile. A page must hold >= 1 record.
+  SpillFile(PageStore* store, size_t record_doubles);
+
+  /// Number of doubles per record.
+  size_t record_doubles() const { return record_doubles_; }
+
+  /// Total records appended and not yet drained.
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Appends one record (must have exactly record_doubles elements).
+  /// Fails with OutOfDisk when the backing store is full; in that case
+  /// the record is NOT stored and the caller must drain first.
+  Status Append(std::span<const double> record);
+
+  /// Reads every record (flushing the staging buffer first), frees all
+  /// backing pages, and resets the file to empty. Records come back in
+  /// append order, flattened into `out` (size = size()*record_doubles).
+  Status DrainAll(std::vector<double>* out);
+
+ private:
+  Status FlushStaging();
+
+  PageStore* store_;
+  size_t record_doubles_;
+  size_t records_per_page_;
+  std::vector<double> staging_;        // < records_per_page_ records
+  std::vector<PageId> pages_;          // flushed pages, in append order
+  std::vector<size_t> page_records_;   // records stored in each page
+  size_t count_ = 0;
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_PAGESTORE_SPILL_FILE_H_

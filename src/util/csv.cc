@@ -1,0 +1,66 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace birch {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+CsvWriter& CsvWriter::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+CsvWriter& CsvWriter::Add(const std::string& cell) {
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+CsvWriter& CsvWriter::Add(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return Add(std::string(buf));
+}
+
+CsvWriter& CsvWriter::Add(int64_t value) {
+  return Add(std::to_string(value));
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << ",";
+      out << Escape(cells[i]);
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  f << ToString();
+  if (!f) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace birch

@@ -1,0 +1,37 @@
+// Minimal CSV writer for machine-readable benchmark output.
+#ifndef BIRCH_UTIL_CSV_H_
+#define BIRCH_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace birch {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file (quotes cells
+/// containing commas/quotes/newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  CsvWriter& Row();
+  CsvWriter& Add(const std::string& cell);
+  CsvWriter& Add(double value);
+  CsvWriter& Add(int64_t value);
+
+  /// Writes headers + rows to `path`.
+  Status WriteFile(const std::string& path) const;
+
+  std::string ToString() const;
+
+ private:
+  static std::string Escape(const std::string& cell);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_UTIL_CSV_H_

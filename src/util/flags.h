@@ -1,0 +1,87 @@
+// Minimal command-line flag parsing for the CLI tool and bench
+// binaries: --name value and --name=value forms, typed getters with
+// defaults, and unknown-flag detection.
+#ifndef BIRCH_UTIL_FLAGS_H_
+#define BIRCH_UTIL_FLAGS_H_
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace birch {
+
+/// Parses argv into a {--flag: value} map plus positional arguments.
+class Flags {
+ public:
+  static Flags Parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        f.positional_.push_back(arg);
+        continue;
+      }
+      std::string name = arg.substr(2);
+      std::string value = "true";
+      size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name.resize(eq);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+      f.values_[name] = value;
+    }
+    return f;
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback
+                               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& name, bool fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second != "false" && it->second != "0" && it->second != "no";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Returns non-OK if a present flag is not in `known` (typo guard).
+  Status CheckKnown(const std::vector<std::string>& known) const {
+    for (const auto& [name, value] : values_) {
+      bool ok = false;
+      for (const auto& k : known) ok = ok || k == name;
+      if (!ok) return Status::InvalidArgument("unknown flag --" + name);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_UTIL_FLAGS_H_

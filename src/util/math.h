@@ -1,0 +1,51 @@
+// Small numeric helpers shared by the CF algebra and the baselines.
+#ifndef BIRCH_UTIL_MATH_H_
+#define BIRCH_UTIL_MATH_H_
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace birch {
+
+/// Dot product of two equal-length spans.
+inline double Dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Squared Euclidean norm.
+inline double SquaredNorm(std::span<const double> a) { return Dot(a, a); }
+
+/// Squared Euclidean distance between two points.
+inline double SquaredDistance(std::span<const double> a,
+                              std::span<const double> b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// Euclidean distance.
+inline double Distance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+/// Manhattan (L1) distance.
+inline double ManhattanDistance(std::span<const double> a,
+                                std::span<const double> b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
+  return s;
+}
+
+/// max(x, 0): clamps tiny negative values produced by floating-point
+/// cancellation in variance-style expressions before sqrt.
+inline double ClampNonNegative(double x) { return x > 0.0 ? x : 0.0; }
+
+}  // namespace birch
+
+#endif  // BIRCH_UTIL_MATH_H_

@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace birch {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TablePrinter& TablePrinter::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TablePrinter& TablePrinter::Add(const std::string& cell) {
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+TablePrinter& TablePrinter::Add(const char* cell) {
+  return Add(std::string(cell));
+}
+
+TablePrinter& TablePrinter::Add(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return Add(std::string(buf));
+}
+
+TablePrinter& TablePrinter::Add(int64_t value) {
+  return Add(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::Add(int value) {
+  return Add(static_cast<int64_t>(value));
+}
+
+TablePrinter& TablePrinter::Add(size_t value) {
+  return Add(std::to_string(value));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace birch

@@ -1,0 +1,45 @@
+// Fixed-width table writer used by the benchmark harness to print
+// paper-style result rows to stdout.
+#ifndef BIRCH_UTIL_TABLE_H_
+#define BIRCH_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace birch {
+
+/// Accumulates rows of string cells and renders them with aligned,
+/// fixed-width columns. Numeric convenience setters format with a fixed
+/// precision.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent Add* calls append cells to it.
+  TablePrinter& Row();
+  TablePrinter& Add(const std::string& cell);
+  TablePrinter& Add(const char* cell);
+  TablePrinter& Add(double value, int precision = 2);
+  TablePrinter& Add(int64_t value);
+  TablePrinter& Add(int value);
+  TablePrinter& Add(size_t value);
+
+  /// Renders the full table (header, separator, rows).
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Cell accessor for tests: row r, column c (post-formatting).
+  const std::string& Cell(size_t r, size_t c) const { return rows_[r][c]; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_UTIL_TABLE_H_

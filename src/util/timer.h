@@ -1,0 +1,31 @@
+// Monotonic wall-clock stopwatch used by the benchmark harness.
+#ifndef BIRCH_UTIL_TIMER_H_
+#define BIRCH_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace birch {
+
+/// Simple stopwatch; starts on construction, restartable.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Restart.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_UTIL_TIMER_H_

@@ -1,0 +1,211 @@
+// Adversarial input tests for the full pipeline: pathological input
+// orders and degenerate geometries that historically break incremental
+// clustering — sorted scans, all-duplicate streams, mixed scales,
+// collinear data, and clusters arriving one at a time under a tiny
+// memory budget. Each case must terminate, conserve points, and (where
+// ground truth exists) still recover the clusters.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "birch/birch.h"
+#include "datagen/generator.h"
+#include "eval/matching.h"
+#include "eval/quality.h"
+#include "util/random.h"
+
+namespace birch {
+namespace {
+
+BirchOptions TinyOptions(int k, size_t dim = 2) {
+  BirchOptions o;
+  o.dim = dim;
+  o.k = k;
+  o.memory_bytes = 16 * 1024;
+  o.disk_bytes = 4 * 1024;
+  o.page_size = 512;
+  return o;
+}
+
+double TotalClusterPoints(const BirchResult& r) {
+  double s = 0.0;
+  for (const auto& c : r.clusters) s += c.n();
+  return s;
+}
+
+TEST(AdversarialTest, SortedByXThenY) {
+  // Lexicographically sorted input maximizes locality skew.
+  GeneratorOptions g;
+  g.k = 9;
+  g.n_low = g.n_high = 400;
+  g.r_low = g.r_high = 1.0;
+  g.grid_spacing = 10.0;
+  g.seed = 301;
+  auto gen = Generate(g);
+  ASSERT_TRUE(gen.ok());
+  Dataset& data = gen.value().data;
+  // Sort rows by (x, y).
+  std::vector<size_t> idx(data.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    auto ra = data.Row(a), rb = data.Row(b);
+    return ra[0] != rb[0] ? ra[0] < rb[0] : ra[1] < rb[1];
+  });
+  Dataset sorted(2);
+  for (size_t i : idx) sorted.Append(data.Row(i));
+
+  auto result = ClusterDataset(sorted, TinyOptions(9));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  MatchReport match = MatchClusters(gen.value().actual,
+                                    result.value().clusters);
+  EXPECT_EQ(match.matched, 9);
+  EXPECT_LT(match.mean_centroid_displacement, 1.5);
+}
+
+TEST(AdversarialTest, AllDuplicatePoints) {
+  // 50k copies of one point: must collapse to one entry, never split.
+  Dataset data(2);
+  std::vector<double> p = {3.0, -7.0};
+  for (int i = 0; i < 50000; ++i) data.Append(p);
+  auto result = ClusterDataset(data, TinyOptions(1));
+  ASSERT_TRUE(result.ok());
+  const auto& r = result.value();
+  ASSERT_EQ(r.clusters.size(), 1u);
+  EXPECT_NEAR(r.clusters[0].n(), 50000.0, 1e-6);
+  EXPECT_NEAR(r.clusters[0].Radius(), 0.0, 1e-9);
+  EXPECT_EQ(r.phase1.rebuilds, 0u);  // one entry: never out of memory
+}
+
+TEST(AdversarialTest, FewDistinctValuesManyCopies) {
+  Dataset data(2);
+  Rng rng(302);
+  // 20 distinct locations, 2000 copies each, shuffled.
+  std::vector<std::vector<double>> locs;
+  for (int i = 0; i < 20; ++i) {
+    locs.push_back({static_cast<double>(i % 5) * 10.0,
+                    static_cast<double>(i / 5) * 10.0});
+  }
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 2000; ++j) order.push_back(i);
+  }
+  rng.Shuffle(&order);
+  for (int i : order) data.Append(locs[static_cast<size_t>(i)]);
+
+  auto result = ClusterDataset(data, TinyOptions(20));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().clusters.size(), 20u);
+  for (const auto& c : result.value().clusters) {
+    EXPECT_NEAR(c.n(), 2000.0, 1e-6);
+    EXPECT_NEAR(c.Radius(), 0.0, 1e-9);
+  }
+}
+
+TEST(AdversarialTest, MixedScales) {
+  // Two tight clusters at origin-scale plus two at 1e6-scale: the
+  // threshold heuristic must bridge six orders of magnitude.
+  Dataset data(2);
+  Rng rng(303);
+  const double centers[4][2] = {
+      {0, 0}, {5, 0}, {1e6, 1e6}, {1e6 + 5e4, 1e6}};
+  const double sigma[4] = {0.5, 0.5, 5e3, 5e3};
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 3000; ++i) {
+      std::vector<double> p = {rng.Gaussian(centers[c][0], sigma[c]),
+                               rng.Gaussian(centers[c][1], sigma[c])};
+      data.Append(p);
+    }
+  }
+  auto result = ClusterDataset(data, TinyOptions(4));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().clusters.size(), 4u);
+  EXPECT_NEAR(TotalClusterPoints(result.value()), 12000.0, 1.0);
+}
+
+TEST(AdversarialTest, CollinearData) {
+  // All points on a line (zero variance in y).
+  Dataset data(2);
+  Rng rng(304);
+  for (int c = 0; c < 6; ++c) {
+    for (int i = 0; i < 2000; ++i) {
+      std::vector<double> p = {c * 20.0 + rng.Gaussian(0, 1.0), 0.0};
+      data.Append(p);
+    }
+  }
+  auto result = ClusterDataset(data, TinyOptions(6));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().clusters.size(), 6u);
+  EXPECT_NEAR(TotalClusterPoints(result.value()), 12000.0, 1e-6);
+}
+
+TEST(AdversarialTest, OneClusterAtATimeTinyMemory) {
+  // Fully ordered arrival under an 8 KB budget: the worst case for an
+  // incremental summarizer.
+  GeneratorOptions g;
+  g.k = 16;
+  g.n_low = g.n_high = 1500;
+  g.r_low = g.r_high = 1.0;
+  g.grid_spacing = 12.0;
+  g.order = InputOrder::kOrdered;
+  g.seed = 305;
+  auto gen = Generate(g);
+  ASSERT_TRUE(gen.ok());
+  BirchOptions o = TinyOptions(16);
+  o.memory_bytes = 8 * 1024;
+  o.disk_bytes = 2 * 1024;
+  auto result = ClusterDataset(gen.value().data, o);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  MatchReport match = MatchClusters(gen.value().actual,
+                                    result.value().clusters);
+  EXPECT_EQ(match.matched, 16);
+  EXPECT_LT(match.mean_centroid_displacement, 2.0);
+}
+
+TEST(AdversarialTest, AlternatingFarPairs) {
+  // Points alternate between two distant regions every sample,
+  // defeating any locality assumption in the insert path.
+  Dataset data(2);
+  Rng rng(306);
+  for (int i = 0; i < 20000; ++i) {
+    double cx = (i % 2 == 0) ? 0.0 : 1000.0;
+    std::vector<double> p = {rng.Gaussian(cx, 2.0), rng.Gaussian(0, 2.0)};
+    data.Append(p);
+  }
+  auto result = ClusterDataset(data, TinyOptions(2));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().clusters.size(), 2u);
+  EXPECT_NEAR(result.value().clusters[0].n(), 10000.0, 100.0);
+  EXPECT_NEAR(result.value().clusters[1].n(), 10000.0, 100.0);
+}
+
+TEST(AdversarialTest, HeavyTailedClusterSizes) {
+  // One cluster holds 90% of the data; nine share the rest. The big
+  // one must not swallow the small ones' identity.
+  Dataset data(2);
+  Rng rng(307);
+  std::vector<int> sizes = {45000};
+  for (int i = 0; i < 9; ++i) sizes.push_back(550);
+  std::vector<ActualCluster> actual;
+  for (size_t c = 0; c < sizes.size(); ++c) {
+    ActualCluster a;
+    a.center = {static_cast<double>(c % 4) * 15.0,
+                static_cast<double>(c / 4) * 15.0};
+    a.points = sizes[c];
+    a.cf = CfVector(2);
+    for (int i = 0; i < sizes[c]; ++i) {
+      std::vector<double> p = {rng.Gaussian(a.center[0], 1.0),
+                               rng.Gaussian(a.center[1], 1.0)};
+      data.Append(p);
+      a.cf.AddPoint(p);
+    }
+    actual.push_back(std::move(a));
+  }
+  auto result = ClusterDataset(data, TinyOptions(10));
+  ASSERT_TRUE(result.ok());
+  MatchReport match = MatchClusters(actual, result.value().clusters);
+  EXPECT_GE(match.matched, 10);
+  EXPECT_LT(match.mean_centroid_displacement, 2.0);
+}
+
+}  // namespace
+}  // namespace birch

@@ -1,0 +1,240 @@
+// End-to-end BIRCH tests: the full pipeline must recover the generated
+// clusters on the paper's workloads (scaled down for test speed), be
+// robust to input order, produce labels consistent with clusters,
+// support the streaming Snapshot API, and validate options.
+#include "birch/birch.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/paper_datasets.h"
+#include "eval/matching.h"
+#include "eval/quality.h"
+
+namespace birch {
+namespace {
+
+BirchOptions SmallOptions(int k) {
+  BirchOptions o;
+  o.dim = 2;
+  o.k = k;
+  o.memory_bytes = 24 * 1024;
+  o.disk_bytes = 5 * 1024;
+  o.page_size = 512;
+  return o;
+}
+
+TEST(BirchTest, RecoversGridClusters) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1, /*k=*/25, /*n=*/200);
+  ASSERT_TRUE(gen.ok());
+  const auto& g = gen.value();
+  auto result = ClusterDataset(g.data, SmallOptions(25));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& r = result.value();
+  ASSERT_EQ(r.clusters.size(), 25u);
+  ASSERT_EQ(r.labels.size(), g.data.size());
+
+  MatchReport match = MatchClusters(g.actual, r.clusters);
+  EXPECT_EQ(match.matched, 25);
+  // Grid spacing 4, radius sqrt(2): found centroids within a radius.
+  EXPECT_LT(match.mean_centroid_displacement, 1.0);
+  // Grid spacing 4 with radius sqrt(2) means adjacent clusters overlap
+  // in their Gaussian tails, so even the Bayes-optimal assignment
+  // mislabels a few percent.
+  double acc = LabelAccuracy(g.truth, r.labels, match);
+  EXPECT_GT(acc, 0.88);
+}
+
+TEST(BirchTest, QualityCloseToActualClusters) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1, 25, 200);
+  ASSERT_TRUE(gen.ok());
+  const auto& g = gen.value();
+  auto result = ClusterDataset(g.data, SmallOptions(25));
+  ASSERT_TRUE(result.ok());
+
+  std::vector<CfVector> actual_cfs;
+  for (const auto& a : g.actual) actual_cfs.push_back(a.cf);
+  double d_actual = WeightedAverageDiameter(actual_cfs);
+  double d_birch = WeightedAverageDiameter(result.value().clusters);
+  // Paper: BIRCH quality within a few percent of the actual clusters.
+  EXPECT_LT(d_birch, 1.25 * d_actual);
+  EXPECT_GT(d_birch, 0.60 * d_actual);
+}
+
+TEST(BirchTest, OrderInsensitivity) {
+  // Randomized vs ordered input must land on near-identical quality.
+  auto rnd = GeneratePaperDataset(PaperDataset::kDS1, 16, 250);
+  auto ord = GeneratePaperDataset(PaperDataset::kDS1o, 16, 250);
+  ASSERT_TRUE(rnd.ok() && ord.ok());
+  auto r1 = ClusterDataset(rnd.value().data, SmallOptions(16));
+  auto r2 = ClusterDataset(ord.value().data, SmallOptions(16));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  double d1 = WeightedAverageDiameter(r1.value().clusters);
+  double d2 = WeightedAverageDiameter(r2.value().clusters);
+  EXPECT_NEAR(d1, d2, 0.35 * std::max(d1, d2));
+}
+
+TEST(BirchTest, LabelsConsistentWithClusters) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS2, 9, 150);
+  ASSERT_TRUE(gen.ok());
+  const auto& g = gen.value();
+  auto result = ClusterDataset(g.data, SmallOptions(9));
+  ASSERT_TRUE(result.ok());
+  const auto& r = result.value();
+  // Rebuilding cluster CFs from labels reproduces result.clusters.
+  auto rebuilt = ClustersFromLabels(g.data, r.labels,
+                                    static_cast<int>(r.clusters.size()));
+  ASSERT_EQ(rebuilt.size(), r.clusters.size());
+  for (size_t c = 0; c < rebuilt.size(); ++c) {
+    EXPECT_NEAR(rebuilt[c].n(), r.clusters[c].n(), 1e-6);
+  }
+}
+
+TEST(BirchTest, KMeansGlobalAlgorithm) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1, 16, 150);
+  ASSERT_TRUE(gen.ok());
+  BirchOptions o = SmallOptions(16);
+  o.global_algorithm = GlobalAlgorithm::kKMeans;
+  auto result = ClusterDataset(gen.value().data, o);
+  ASSERT_TRUE(result.ok());
+  MatchReport match = MatchClusters(gen.value().actual,
+                                    result.value().clusters);
+  EXPECT_GE(match.matched, 14);  // k-means may merge a pair occasionally
+}
+
+TEST(BirchTest, NoisyDataStillRecoversClusters) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1, 16, 200,
+                                  /*noise=*/0.10);
+  ASSERT_TRUE(gen.ok());
+  BirchOptions o = SmallOptions(16);
+  auto result = ClusterDataset(gen.value().data, o);
+  ASSERT_TRUE(result.ok());
+  MatchReport match = MatchClusters(gen.value().actual,
+                                    result.value().clusters);
+  EXPECT_EQ(match.matched, 16);
+  EXPECT_LT(match.mean_centroid_displacement, 1.5);
+}
+
+TEST(BirchTest, StreamingSnapshot) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1, 9, 150);
+  ASSERT_TRUE(gen.ok());
+  const auto& g = gen.value();
+  auto clusterer_or = BirchClusterer::Create(SmallOptions(9));
+  ASSERT_TRUE(clusterer_or.ok());
+  auto& clusterer = clusterer_or.value();
+
+  // Feed half, snapshot, feed the rest, finish.
+  size_t half = g.data.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(clusterer->Add(g.data.Row(i)).ok());
+  }
+  auto snap = clusterer->Snapshot(9);
+  ASSERT_TRUE(snap.ok());
+  double snap_points = 0.0;
+  for (const auto& c : snap.value().clusters) snap_points += c.n();
+  // The snapshot sees the tree contents only: points parked on the
+  // outlier/delay-split disk are excluded until Finish(), so allow a
+  // sizable shortfall but no excess.
+  EXPECT_LE(snap_points, static_cast<double>(half) + 1e-9);
+  EXPECT_GT(snap_points, 0.70 * static_cast<double>(half));
+
+  for (size_t i = half; i < g.data.size(); ++i) {
+    ASSERT_TRUE(clusterer->Add(g.data.Row(i)).ok());
+  }
+  auto result = clusterer->Finish(&g.data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().clusters.size(), 9u);
+  // Finished twice is an error.
+  EXPECT_EQ(clusterer->Finish(&g.data).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(BirchTest, ResultBookkeepingPopulated) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1, 16, 200);
+  ASSERT_TRUE(gen.ok());
+  auto result = ClusterDataset(gen.value().data, SmallOptions(16));
+  ASSERT_TRUE(result.ok());
+  const auto& r = result.value();
+  EXPECT_GT(r.phase1.points_added, 0u);
+  EXPECT_GT(r.leaf_entries_after_phase1, 0u);
+  EXPECT_GT(r.peak_memory_bytes, 0u);
+  EXPECT_GT(r.tree_stats.inserts, 0u);
+  EXPECT_EQ(r.centroids.size(), r.clusters.size());
+  EXPECT_GE(r.timings.Total(), 0.0);
+}
+
+TEST(BirchTest, Phase2CondensesForPhase3) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS3, 25, 300);
+  ASSERT_TRUE(gen.ok());
+  BirchOptions o = SmallOptions(25);
+  o.memory_bytes = 64 * 1024;  // roomy: many leaf entries survive
+  o.phase2_target_entries = 120;
+  auto result = ClusterDataset(gen.value().data, o);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.value().leaf_entries_after_phase2, 120u);
+}
+
+TEST(BirchTest, RefinementImprovesOrMatchesQuality) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS2, 16, 200);
+  ASSERT_TRUE(gen.ok());
+  BirchOptions no_refine = SmallOptions(16);
+  no_refine.refinement_passes = 0;
+  BirchOptions with_refine = SmallOptions(16);
+  with_refine.refinement_passes = 3;
+  auto r0 = ClusterDataset(gen.value().data, no_refine);
+  auto r1 = ClusterDataset(gen.value().data, with_refine);
+  ASSERT_TRUE(r0.ok() && r1.ok());
+  // Labels exist either way.
+  EXPECT_EQ(r0.value().labels.size(), gen.value().data.size());
+  double d0 = WeightedAverageDiameter(r0.value().clusters);
+  double d1 = WeightedAverageDiameter(r1.value().clusters);
+  EXPECT_LE(d1, d0 * 1.05);
+}
+
+TEST(BirchTest, OptionValidation) {
+  BirchOptions o;  // k unset
+  o.dim = 2;
+  EXPECT_EQ(BirchClusterer::Create(o).status().code(),
+            StatusCode::kInvalidArgument);
+  o.k = 5;
+  o.dim = 0;
+  EXPECT_EQ(BirchClusterer::Create(o).status().code(),
+            StatusCode::kInvalidArgument);
+  o.dim = 2;
+  o.memory_bytes = 100;  // < 4 pages
+  EXPECT_EQ(BirchClusterer::Create(o).status().code(),
+            StatusCode::kInvalidArgument);
+  o.memory_bytes = 80 * 1024;
+  o.page_size = 16;  // too small for dim
+  EXPECT_EQ(BirchClusterer::Create(o).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BirchTest, EmptyInputFails) {
+  Dataset empty(2);
+  auto result = ClusterDataset(empty, SmallOptions(3));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BirchTest, HigherDimensionalData) {
+  GeneratorOptions g;
+  g.dim = 8;
+  g.k = 8;
+  g.n_low = g.n_high = 150;
+  g.r_low = g.r_high = 1.0;
+  g.grid_spacing = 12.0;
+  g.seed = 61;
+  auto gen = Generate(g);
+  ASSERT_TRUE(gen.ok());
+  BirchOptions o = SmallOptions(8);
+  o.dim = 8;
+  o.memory_bytes = 48 * 1024;
+  auto result = ClusterDataset(gen.value().data, o);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  MatchReport match = MatchClusters(gen.value().actual,
+                                    result.value().clusters);
+  EXPECT_EQ(match.matched, 8);
+  EXPECT_LT(match.mean_centroid_displacement, 2.0);
+}
+
+}  // namespace
+}  // namespace birch

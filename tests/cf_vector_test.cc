@@ -1,0 +1,196 @@
+// Unit and property tests for the CF vector algebra (paper Sec. 4.1):
+// the Additivity Theorem, and exactness of centroid/radius/diameter
+// against brute-force computation over the raw points.
+#include "birch/cf_vector.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace birch {
+namespace {
+
+std::vector<std::vector<double>> RandomPoints(Rng* rng, size_t n,
+                                              size_t dim) {
+  std::vector<std::vector<double>> pts(n, std::vector<double>(dim));
+  for (auto& p : pts) {
+    for (auto& v : p) v = rng->Uniform(-10, 10);
+  }
+  return pts;
+}
+
+CfVector CfOf(const std::vector<std::vector<double>>& pts) {
+  CfVector cf(pts.empty() ? 0 : pts[0].size());
+  for (const auto& p : pts) cf.AddPoint(p);
+  return cf;
+}
+
+TEST(CfVectorTest, EmptyCf) {
+  CfVector cf(3);
+  EXPECT_TRUE(cf.empty());
+  EXPECT_EQ(cf.dim(), 3u);
+  EXPECT_EQ(cf.n(), 0.0);
+  EXPECT_EQ(cf.Radius(), 0.0);
+  EXPECT_EQ(cf.Diameter(), 0.0);
+}
+
+TEST(CfVectorTest, SinglePoint) {
+  std::vector<double> x = {1.0, -2.0, 3.0};
+  CfVector cf = CfVector::FromPoint(x);
+  EXPECT_DOUBLE_EQ(cf.n(), 1.0);
+  EXPECT_DOUBLE_EQ(cf.ss(), 1.0 + 4.0 + 9.0);
+  EXPECT_EQ(cf.Centroid(), x);
+  EXPECT_NEAR(cf.Radius(), 0.0, 1e-12);
+  EXPECT_NEAR(cf.Diameter(), 0.0, 1e-12);
+}
+
+TEST(CfVectorTest, WeightedPoint) {
+  std::vector<double> x = {2.0, 4.0};
+  CfVector cf = CfVector::FromPoint(x, 5.0);
+  EXPECT_DOUBLE_EQ(cf.n(), 5.0);
+  EXPECT_DOUBLE_EQ(cf.ls()[0], 10.0);
+  EXPECT_DOUBLE_EQ(cf.ls()[1], 20.0);
+  EXPECT_DOUBLE_EQ(cf.ss(), 5.0 * 20.0);
+  EXPECT_EQ(cf.Centroid(), x);
+}
+
+TEST(CfVectorTest, CentroidOfTwoPoints) {
+  CfVector cf(2);
+  cf.AddPoint(std::vector<double>{0.0, 0.0});
+  cf.AddPoint(std::vector<double>{2.0, 4.0});
+  auto c = cf.Centroid();
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  // Two points distance 2*sqrt(5) apart: diameter is that distance,
+  // radius is half of it.
+  EXPECT_NEAR(cf.Diameter(), 2.0 * std::sqrt(5.0), 1e-12);
+  EXPECT_NEAR(cf.Radius(), std::sqrt(5.0), 1e-12);
+}
+
+// --- Property tests: CF-derived statistics must match brute force. ---
+
+class CfVectorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(CfVectorPropertyTest, RadiusMatchesBruteForce) {
+  auto [n, dim] = GetParam();
+  Rng rng(1000 + n * 31 + dim);
+  auto pts = RandomPoints(&rng, n, dim);
+  CfVector cf = CfOf(pts);
+
+  std::vector<double> c = cf.Centroid();
+  double sum_sq = 0.0;
+  for (const auto& p : pts) sum_sq += SquaredDistance(p, c);
+  double brute_radius = std::sqrt(sum_sq / static_cast<double>(n));
+  EXPECT_NEAR(cf.Radius(), brute_radius, 1e-8 * (1.0 + brute_radius));
+}
+
+TEST_P(CfVectorPropertyTest, DiameterMatchesBruteForce) {
+  auto [n, dim] = GetParam();
+  if (n < 2) GTEST_SKIP();
+  Rng rng(2000 + n * 31 + dim);
+  auto pts = RandomPoints(&rng, n, dim);
+  CfVector cf = CfOf(pts);
+
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) sum_sq += SquaredDistance(pts[i], pts[j]);
+    }
+  }
+  double brute_diam =
+      std::sqrt(sum_sq / (static_cast<double>(n) * (n - 1.0)));
+  EXPECT_NEAR(cf.Diameter(), brute_diam, 1e-8 * (1.0 + brute_diam));
+}
+
+TEST_P(CfVectorPropertyTest, AdditivityTheorem) {
+  auto [n, dim] = GetParam();
+  Rng rng(3000 + n * 31 + dim);
+  auto pts1 = RandomPoints(&rng, n, dim);
+  auto pts2 = RandomPoints(&rng, n + 3, dim);
+  CfVector cf1 = CfOf(pts1);
+  CfVector cf2 = CfOf(pts2);
+
+  // CF of union computed directly...
+  auto all = pts1;
+  all.insert(all.end(), pts2.begin(), pts2.end());
+  CfVector direct = CfOf(all);
+  // ...must equal CF1 + CF2 (Additivity Theorem).
+  CfVector merged = CfVector::Merged(cf1, cf2);
+  EXPECT_NEAR(merged.n(), direct.n(), 1e-9);
+  EXPECT_NEAR(merged.ss(), direct.ss(), 1e-6 * (1.0 + direct.ss()));
+  for (size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(merged.ls()[i], direct.ls()[i],
+                1e-9 * (1.0 + std::fabs(direct.ls()[i])));
+  }
+}
+
+TEST_P(CfVectorPropertyTest, SubtractInvertsAdd) {
+  auto [n, dim] = GetParam();
+  Rng rng(4000 + n * 31 + dim);
+  auto pts1 = RandomPoints(&rng, n, dim);
+  auto pts2 = RandomPoints(&rng, 5, dim);
+  CfVector cf1 = CfOf(pts1);
+  CfVector cf2 = CfOf(pts2);
+  CfVector merged = CfVector::Merged(cf1, cf2);
+  merged.Subtract(cf2);
+  EXPECT_NEAR(merged.n(), cf1.n(), 1e-9);
+  for (size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(merged.ls()[i], cf1.ls()[i],
+                1e-8 * (1.0 + std::fabs(cf1.ls()[i])));
+  }
+}
+
+TEST_P(CfVectorPropertyTest, SerializeRoundTrip) {
+  auto [n, dim] = GetParam();
+  Rng rng(5000 + n * 31 + dim);
+  CfVector cf = CfOf(RandomPoints(&rng, n, dim));
+  std::vector<double> buf;
+  cf.SerializeTo(&buf);
+  ASSERT_EQ(buf.size(), CfVector::SerializedDoubles(dim));
+  CfVector back = CfVector::Deserialize(buf, dim);
+  EXPECT_EQ(back, cf);
+}
+
+TEST_P(CfVectorPropertyTest, SumSquaredDeviationMatchesBruteForce) {
+  auto [n, dim] = GetParam();
+  Rng rng(6000 + n * 31 + dim);
+  auto pts = RandomPoints(&rng, n, dim);
+  CfVector cf = CfOf(pts);
+  auto c = cf.Centroid();
+  double sse = 0.0;
+  for (const auto& p : pts) sse += SquaredDistance(p, c);
+  EXPECT_NEAR(cf.SumSquaredDeviation(), sse, 1e-7 * (1.0 + sse));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CfVectorPropertyTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 7, 40, 200),
+                       ::testing::Values<size_t>(1, 2, 3, 8, 16)));
+
+TEST(CfVectorTest, WeightedEquivalentToRepeated) {
+  // A point added with weight w behaves like w copies of the point.
+  std::vector<double> x = {3.0, -1.0, 0.5};
+  CfVector weighted = CfVector::FromPoint(x, 4.0);
+  CfVector repeated(3);
+  for (int i = 0; i < 4; ++i) repeated.AddPoint(x);
+  EXPECT_NEAR(weighted.n(), repeated.n(), 1e-12);
+  EXPECT_NEAR(weighted.ss(), repeated.ss(), 1e-9);
+}
+
+TEST(CfVectorTest, RadiusNeverNegativeUnderCancellation) {
+  // Points far from the origin stress the SS - ||LS||^2/N cancellation.
+  CfVector cf(2);
+  for (int i = 0; i < 100; ++i) {
+    cf.AddPoint(std::vector<double>{1e8 + i * 1e-6, -1e8});
+  }
+  EXPECT_GE(cf.SquaredRadius(), 0.0);
+  EXPECT_GE(cf.SquaredDiameter(), 0.0);
+}
+
+}  // namespace
+}  // namespace birch

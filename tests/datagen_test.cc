@@ -1,0 +1,239 @@
+// Generator tests: placement patterns, point-count/radius statistics,
+// noise, orderings and the canned paper datasets of Table 3.
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/paper_datasets.h"
+#include "util/math.h"
+
+namespace birch {
+namespace {
+
+TEST(GeneratorTest, GridCentersOnLattice) {
+  GeneratorOptions o;
+  o.k = 9;
+  o.pattern = PlacementPattern::kGrid;
+  o.grid_spacing = 5.0;
+  Rng rng(1);
+  auto centers = PlaceCenters(o, &rng);
+  ASSERT_EQ(centers.size(), 9u);
+  for (const auto& c : centers) {
+    EXPECT_NEAR(std::fmod(c[0], 5.0), 0.0, 1e-9);
+    EXPECT_NEAR(std::fmod(c[1], 5.0), 0.0, 1e-9);
+  }
+  // All distinct.
+  for (size_t i = 0; i < centers.size(); ++i) {
+    for (size_t j = i + 1; j < centers.size(); ++j) {
+      EXPECT_GT(SquaredDistance(centers[i], centers[j]), 1.0);
+    }
+  }
+}
+
+TEST(GeneratorTest, SineCentersFollowCurve) {
+  GeneratorOptions o;
+  o.k = 100;
+  o.pattern = PlacementPattern::kSine;
+  o.sine_cycles = 4;
+  Rng rng(2);
+  auto centers = PlaceCenters(o, &rng);
+  ASSERT_EQ(centers.size(), 100u);
+  // x marches monotonically; y oscillates (takes both signs).
+  double min_y = 1e9, max_y = -1e9;
+  for (size_t i = 1; i < centers.size(); ++i) {
+    EXPECT_GT(centers[i][0], centers[i - 1][0]);
+    min_y = std::min(min_y, centers[i][1]);
+    max_y = std::max(max_y, centers[i][1]);
+  }
+  EXPECT_LT(min_y, 0.0);
+  EXPECT_GT(max_y, 0.0);
+}
+
+TEST(GeneratorTest, RandomCentersInRange) {
+  GeneratorOptions o;
+  o.k = 50;
+  o.pattern = PlacementPattern::kRandom;
+  o.random_range = 77.0;
+  Rng rng(3);
+  auto centers = PlaceCenters(o, &rng);
+  for (const auto& c : centers) {
+    EXPECT_GE(c[0], 0.0);
+    EXPECT_LT(c[0], 77.0);
+    EXPECT_GE(c[1], 0.0);
+    EXPECT_LT(c[1], 77.0);
+  }
+}
+
+TEST(GeneratorTest, ClusterRadiusMatchesParameter) {
+  GeneratorOptions o;
+  o.k = 4;
+  o.n_low = o.n_high = 4000;
+  o.r_low = o.r_high = 2.0;
+  o.grid_spacing = 50.0;
+  o.seed = 4;
+  auto gen = Generate(o);
+  ASSERT_TRUE(gen.ok());
+  for (const auto& a : gen.value().actual) {
+    // CF radius (RMS distance to centroid) ~ r by construction.
+    EXPECT_NEAR(a.cf.Radius(), 2.0, 0.1);
+    EXPECT_EQ(a.cf.n(), a.points);
+  }
+}
+
+TEST(GeneratorTest, PointCountsInRangeAndTruthConsistent) {
+  GeneratorOptions o;
+  o.k = 20;
+  o.n_low = 10;
+  o.n_high = 200;
+  o.seed = 5;
+  auto gen = Generate(o);
+  ASSERT_TRUE(gen.ok());
+  const auto& g = gen.value();
+  ASSERT_EQ(g.truth.size(), g.data.size());
+  std::vector<int> counts(20, 0);
+  for (int t : g.truth) {
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, 20);
+    ++counts[static_cast<size_t>(t)];
+  }
+  for (int c = 0; c < 20; ++c) {
+    EXPECT_GE(counts[static_cast<size_t>(c)], 10);
+    EXPECT_LE(counts[static_cast<size_t>(c)], 200);
+    EXPECT_EQ(counts[static_cast<size_t>(c)],
+              g.actual[static_cast<size_t>(c)].points);
+  }
+}
+
+TEST(GeneratorTest, NoiseFractionHonored) {
+  GeneratorOptions o;
+  o.k = 10;
+  o.n_low = o.n_high = 500;
+  o.noise_fraction = 0.10;
+  o.seed = 6;
+  auto gen = Generate(o);
+  ASSERT_TRUE(gen.ok());
+  size_t noise = 0;
+  for (int t : gen.value().truth) noise += (t == -1);
+  double frac = static_cast<double>(noise) /
+                static_cast<double>(gen.value().truth.size());
+  EXPECT_NEAR(frac, 0.10, 0.01);
+}
+
+TEST(GeneratorTest, OrderedEmitsClustersContiguously) {
+  GeneratorOptions o;
+  o.k = 5;
+  o.n_low = o.n_high = 100;
+  o.order = InputOrder::kOrdered;
+  o.seed = 7;
+  auto gen = Generate(o);
+  ASSERT_TRUE(gen.ok());
+  const auto& truth = gen.value().truth;
+  // Labels must be non-decreasing (noise -1 at the end).
+  int last = 0;
+  for (int t : truth) {
+    if (t == -1) break;
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+TEST(GeneratorTest, RandomizedShufflesOrder) {
+  GeneratorOptions o;
+  o.k = 5;
+  o.n_low = o.n_high = 100;
+  o.order = InputOrder::kRandomized;
+  o.seed = 8;
+  auto gen = Generate(o);
+  ASSERT_TRUE(gen.ok());
+  const auto& truth = gen.value().truth;
+  // A shuffled sequence has many adjacent label changes.
+  int changes = 0;
+  for (size_t i = 1; i < truth.size(); ++i) changes += truth[i] != truth[i - 1];
+  EXPECT_GT(changes, static_cast<int>(truth.size()) / 3);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions o;
+  o.k = 4;
+  o.n_low = o.n_high = 50;
+  o.seed = 9;
+  auto g1 = Generate(o);
+  auto g2 = Generate(o);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  ASSERT_EQ(g1.value().data.size(), g2.value().data.size());
+  for (size_t i = 0; i < g1.value().data.size(); ++i) {
+    auto r1 = g1.value().data.Row(i), r2 = g2.value().data.Row(i);
+    EXPECT_EQ(std::vector<double>(r1.begin(), r1.end()),
+              std::vector<double>(r2.begin(), r2.end()));
+  }
+}
+
+TEST(GeneratorTest, MaxDistanceBoundsOutsiders) {
+  GeneratorOptions o;
+  o.k = 3;
+  o.n_low = o.n_high = 2000;
+  o.r_low = o.r_high = 1.0;
+  o.grid_spacing = 100.0;
+  o.max_distance_radii = 2.0;
+  o.seed = 10;
+  auto gen = Generate(o);
+  ASSERT_TRUE(gen.ok());
+  const auto& g = gen.value();
+  for (size_t i = 0; i < g.data.size(); ++i) {
+    const auto& a = g.actual[static_cast<size_t>(g.truth[i])];
+    EXPECT_LE(Distance(g.data.Row(i), a.center), 2.0 + 1e-9);
+  }
+}
+
+TEST(GeneratorTest, InvalidParamsRejected) {
+  GeneratorOptions o;
+  o.k = 0;
+  EXPECT_FALSE(Generate(o).ok());
+  o.k = 3;
+  o.n_low = 10;
+  o.n_high = 5;
+  EXPECT_FALSE(Generate(o).ok());
+  o.n_high = 20;
+  o.r_low = 2.0;
+  o.r_high = 1.0;
+  EXPECT_FALSE(Generate(o).ok());
+  o.r_high = 3.0;
+  o.noise_fraction = 1.0;
+  EXPECT_FALSE(Generate(o).ok());
+}
+
+TEST(PaperDatasetsTest, Table3Shapes) {
+  // DS1: 100 clusters x 1000 points, no noise, randomized.
+  auto ds1 = GeneratePaperDataset(PaperDataset::kDS1);
+  ASSERT_TRUE(ds1.ok());
+  EXPECT_EQ(ds1.value().data.size(), 100000u);
+  EXPECT_EQ(ds1.value().actual.size(), 100u);
+
+  // DS3: n uniform in [0, 2000] => ~100k total.
+  auto ds3 = GeneratePaperDataset(PaperDataset::kDS3);
+  ASSERT_TRUE(ds3.ok());
+  EXPECT_NEAR(static_cast<double>(ds3.value().data.size()), 100000.0,
+              25000.0);
+}
+
+TEST(PaperDatasetsTest, OverridesScaleDatasets) {
+  auto small = GeneratePaperDataset(PaperDataset::kDS1, /*k=*/4, /*n=*/50);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small.value().data.size(), 200u);
+  EXPECT_EQ(small.value().actual.size(), 4u);
+}
+
+TEST(PaperDatasetsTest, NamesAndOrderedVariants) {
+  EXPECT_STREQ(PaperDatasetName(PaperDataset::kDS2), "DS2");
+  EXPECT_STREQ(PaperDatasetName(PaperDataset::kDS3o), "DS3o");
+  EXPECT_EQ(PaperDatasetOptions(PaperDataset::kDS1o).order,
+            InputOrder::kOrdered);
+  EXPECT_EQ(PaperDatasetOptions(PaperDataset::kDS1).order,
+            InputOrder::kRandomized);
+}
+
+}  // namespace
+}  // namespace birch

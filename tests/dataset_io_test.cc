@@ -1,0 +1,70 @@
+// CSV point-loading tests: separators, headers, comments, errors.
+#include "birch/dataset_io.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace birch {
+namespace {
+
+TEST(DatasetIoTest, ParsesCommaSeparated) {
+  auto d = ParseCsvPoints("1.5,2.5\n-3,4\n");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().size(), 2u);
+  EXPECT_EQ(d.value().dim(), 2u);
+  EXPECT_DOUBLE_EQ(d.value().Row(0)[0], 1.5);
+  EXPECT_DOUBLE_EQ(d.value().Row(1)[1], 4.0);
+}
+
+TEST(DatasetIoTest, ParsesWhitespaceSeparated) {
+  auto d = ParseCsvPoints("1 2 3\n4\t5\t6\n");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().dim(), 3u);
+  EXPECT_DOUBLE_EQ(d.value().Row(1)[2], 6.0);
+}
+
+TEST(DatasetIoTest, SkipsHeaderCommentsBlanks) {
+  auto d = ParseCsvPoints("x,y\n# a comment\n\n1,2\n3,4 # trailing\n");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().size(), 2u);
+}
+
+TEST(DatasetIoTest, ScientificNotationAndNegatives) {
+  auto d = ParseCsvPoints("1e3,-2.5e-2\n-0.0,3\n");
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d.value().Row(0)[0], 1000.0);
+  EXPECT_DOUBLE_EQ(d.value().Row(0)[1], -0.025);
+}
+
+TEST(DatasetIoTest, ArityMismatchRejected) {
+  auto d = ParseCsvPoints("1,2\n3,4,5\n");
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, GarbageAfterDataRejected) {
+  auto d = ParseCsvPoints("1,2\nfoo,bar\n");
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(DatasetIoTest, EmptyInputRejected) {
+  EXPECT_FALSE(ParseCsvPoints("").ok());
+  EXPECT_FALSE(ParseCsvPoints("# only comments\n\n").ok());
+  EXPECT_FALSE(ParseCsvPoints("header,only\n").ok());
+}
+
+TEST(DatasetIoTest, ReadsFromFile) {
+  std::string path = ::testing::TempDir() + "/birch_points.csv";
+  {
+    std::ofstream f(path);
+    f << "a,b\n1,2\n3,4\n";
+  }
+  auto d = ReadCsvPoints(path);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().size(), 2u);
+  EXPECT_FALSE(ReadCsvPoints("/nonexistent/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace birch

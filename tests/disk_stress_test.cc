@@ -1,0 +1,97 @@
+// Stress tests for the outlier-disk machinery (Sec. 5.1.4): tiny or
+// zero-headroom disks must never lose points, must terminate, and must
+// exercise the re-absorb and forced-insert fallbacks.
+#include <gtest/gtest.h>
+
+#include "birch/birch.h"
+#include "birch/phase1.h"
+#include "datagen/generator.h"
+#include "util/random.h"
+
+namespace birch {
+namespace {
+
+GeneratedData NoisyBlobs(uint64_t seed) {
+  GeneratorOptions g;
+  g.k = 12;
+  g.n_low = g.n_high = 600;
+  g.r_low = g.r_high = 1.0;
+  g.grid_spacing = 10.0;
+  g.noise_fraction = 0.08;
+  g.seed = seed;
+  auto gen = Generate(g);
+  EXPECT_TRUE(gen.ok());
+  return std::move(gen).ValueOrDie();
+}
+
+double TotalPoints(const Phase1Builder& b) {
+  double total = b.tree().TreeSummary().n();
+  for (const auto& e : b.final_outliers()) total += e.n();
+  return total;
+}
+
+TEST(DiskStressTest, OnePageDiskConservesPoints) {
+  auto g = NoisyBlobs(701);
+  Phase1Options o;
+  o.tree.dim = 2;
+  o.tree.page_size = 512;
+  o.memory_budget_bytes = 10 * 1024;
+  o.disk_budget_bytes = 512;  // exactly one page
+  Phase1Builder b(o);
+  ASSERT_TRUE(b.AddDataset(g.data).ok());
+  ASSERT_TRUE(b.Finish().ok());
+  EXPECT_NEAR(TotalPoints(b), static_cast<double>(g.data.size()), 1e-6);
+  // The fallbacks fired.
+  EXPECT_GT(b.stats().forced_inserts + b.stats().reabsorb_cycles, 0u);
+}
+
+TEST(DiskStressTest, TinyDiskWithDelaySplit) {
+  auto g = NoisyBlobs(702);
+  Phase1Options o;
+  o.tree.dim = 2;
+  o.tree.page_size = 512;
+  o.memory_budget_bytes = 8 * 1024;
+  o.disk_budget_bytes = 1024;
+  o.delay_split = true;
+  Phase1Builder b(o);
+  ASSERT_TRUE(b.AddDataset(g.data).ok());
+  ASSERT_TRUE(b.Finish().ok());
+  EXPECT_NEAR(TotalPoints(b), static_cast<double>(g.data.size()), 1e-6);
+  std::string why;
+  EXPECT_TRUE(b.tree().CheckInvariants(&why)) << why;
+}
+
+TEST(DiskStressTest, EndToEndQualitySurvivesTinyDisk) {
+  auto g = NoisyBlobs(703);
+  BirchOptions o;
+  o.dim = 2;
+  o.k = 12;
+  o.memory_bytes = 16 * 1024;
+  o.disk_bytes = 1024;
+  o.page_size = 512;
+  auto result = ClusterDataset(g.data, o);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().clusters.size(), 12u);
+}
+
+TEST(DiskStressTest, ReabsorbCountersConsistent) {
+  auto g = NoisyBlobs(704);
+  Phase1Options o;
+  o.tree.dim = 2;
+  o.tree.page_size = 512;
+  o.memory_budget_bytes = 10 * 1024;
+  o.disk_budget_bytes = 2 * 1024;
+  Phase1Builder b(o);
+  ASSERT_TRUE(b.AddDataset(g.data).ok());
+  ASSERT_TRUE(b.Finish().ok());
+  const Phase1Stats& s = b.stats();
+  // Everything spilled was either re-absorbed, force-inserted, or is a
+  // final outlier.
+  EXPECT_LE(b.final_outliers().size() + s.outlier_entries_reabsorbed,
+            s.outlier_entries_spilled + s.forced_inserts +
+                s.outlier_entries_reabsorbed);
+  EXPECT_EQ(s.points_added, g.data.size());
+}
+
+}  // namespace
+}  // namespace birch

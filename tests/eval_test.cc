@@ -1,0 +1,141 @@
+// Eval-library tests: quality metrics, cluster matching and label
+// accuracy, and the ASCII visualizer.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/matching.h"
+#include "eval/quality.h"
+#include "eval/visualize.h"
+#include "util/random.h"
+
+namespace birch {
+namespace {
+
+CfVector BlobCf(double cx, double cy, double sigma, int n, uint64_t seed) {
+  Rng rng(seed);
+  CfVector cf(2);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> p = {rng.Gaussian(cx, sigma),
+                             rng.Gaussian(cy, sigma)};
+    cf.AddPoint(p);
+  }
+  return cf;
+}
+
+TEST(QualityTest, WeightedAverageDiameterWeighsByCount) {
+  // Tight big cluster + loose small cluster.
+  CfVector tight = BlobCf(0, 0, 0.1, 900, 71);
+  CfVector loose = BlobCf(50, 0, 5.0, 100, 72);
+  std::vector<CfVector> clusters = {tight, loose};
+  double wd = WeightedAverageDiameter(clusters);
+  // Dominated by the tight cluster: well below the plain average.
+  double plain = (tight.Diameter() + loose.Diameter()) / 2.0;
+  EXPECT_LT(wd, plain);
+  EXPECT_NEAR(wd,
+              (900.0 * tight.Diameter() + 100.0 * loose.Diameter()) / 1000.0,
+              1e-12);
+}
+
+TEST(QualityTest, EmptyClustersIgnored) {
+  std::vector<CfVector> clusters = {CfVector(2), BlobCf(0, 0, 1.0, 50, 73)};
+  EXPECT_GT(WeightedAverageRadius(clusters), 0.0);
+  EXPECT_GT(WeightedAverageDiameter(clusters), 0.0);
+  std::vector<CfVector> none;
+  EXPECT_EQ(WeightedAverageDiameter(none), 0.0);
+}
+
+TEST(QualityTest, ClustersFromLabelsSkipsOutliers) {
+  Dataset data(2);
+  std::vector<double> a = {0, 0}, b = {1, 1}, c = {9, 9};
+  data.Append(a);
+  data.Append(b);
+  data.Append(c);
+  std::vector<int> labels = {0, 0, -1};
+  auto clusters = ClustersFromLabels(data, labels);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_NEAR(clusters[0].n(), 2.0, 1e-12);
+}
+
+TEST(QualityTest, TotalSseSumsDeviations) {
+  CfVector c1 = BlobCf(0, 0, 1.0, 100, 74);
+  CfVector c2 = BlobCf(10, 0, 2.0, 100, 75);
+  std::vector<CfVector> clusters = {c1, c2};
+  EXPECT_NEAR(TotalSse(clusters),
+              c1.SumSquaredDeviation() + c2.SumSquaredDeviation(), 1e-9);
+}
+
+std::vector<ActualCluster> MakeActual(
+    const std::vector<std::vector<double>>& centers, int n, double sigma) {
+  std::vector<ActualCluster> actual;
+  uint64_t seed = 80;
+  for (const auto& c : centers) {
+    ActualCluster a;
+    a.center = c;
+    a.points = n;
+    a.cf = BlobCf(c[0], c[1], sigma, n, seed++);
+    actual.push_back(a);
+  }
+  return actual;
+}
+
+TEST(MatchingTest, PerfectMatch) {
+  auto actual = MakeActual({{0, 0}, {20, 0}, {0, 20}}, 100, 1.0);
+  std::vector<CfVector> found = {actual[1].cf, actual[2].cf, actual[0].cf};
+  MatchReport report = MatchClusters(actual, found);
+  EXPECT_EQ(report.matched, 3);
+  EXPECT_EQ(report.match[0], 2);
+  EXPECT_EQ(report.match[1], 0);
+  EXPECT_EQ(report.match[2], 1);
+  EXPECT_LT(report.mean_centroid_displacement, 0.5);
+  EXPECT_LT(report.mean_count_deviation, 0.01);
+  EXPECT_LT(report.mean_radius_deviation, 0.01);
+}
+
+TEST(MatchingTest, FewerFoundThanActual) {
+  auto actual = MakeActual({{0, 0}, {20, 0}, {0, 20}}, 50, 1.0);
+  std::vector<CfVector> found = {actual[0].cf};
+  MatchReport report = MatchClusters(actual, found);
+  EXPECT_EQ(report.matched, 1);
+  int unmatched = 0;
+  for (int m : report.match) unmatched += (m == -1);
+  EXPECT_EQ(unmatched, 2);
+}
+
+TEST(MatchingTest, LabelAccuracyCountsAgreement) {
+  auto actual = MakeActual({{0, 0}, {20, 0}}, 2, 0.5);
+  std::vector<CfVector> found = {actual[0].cf, actual[1].cf};
+  MatchReport report = MatchClusters(actual, found);
+  // truth:   0 0 1 1, noise -1
+  // labels:  0 1 1 1, outlier -1
+  std::vector<int> truth = {0, 0, 1, 1, -1};
+  std::vector<int> labels = {0, 1, 1, 1, -1};
+  double acc = LabelAccuracy(truth, labels, report);
+  EXPECT_NEAR(acc, 3.0 / 4.0, 1e-12);  // noise skipped
+  double acc_noise = LabelAccuracy(truth, labels, report,
+                                   /*noise_as_outlier=*/true);
+  EXPECT_NEAR(acc_noise, 4.0 / 5.0, 1e-12);
+}
+
+TEST(VisualizeTest, RendersCirclesForClusters) {
+  std::vector<CfVector> clusters = {BlobCf(0, 0, 1.0, 100, 90),
+                                    BlobCf(30, 10, 2.0, 100, 91)};
+  std::string art = RenderClusters(clusters);
+  EXPECT_FALSE(art.empty());
+  // Both glyphs and center marks appear.
+  EXPECT_NE(art.find('0'), std::string::npos);
+  EXPECT_NE(art.find('1'), std::string::npos);
+  EXPECT_NE(art.find('+'), std::string::npos);
+  // 40 rows by default.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 40);
+}
+
+TEST(VisualizeTest, NonTwoDReturnsEmpty) {
+  std::vector<CfVector> clusters = {
+      CfVector::FromPoint(std::vector<double>{1.0, 2.0, 3.0})};
+  EXPECT_TRUE(RenderClusters(clusters).empty());
+  EXPECT_TRUE(RenderClusters({}).empty());
+}
+
+}  // namespace
+}  // namespace birch

@@ -1,0 +1,54 @@
+// Flag-parser tests.
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace birch {
+namespace {
+
+Flags ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) argv.push_back(const_cast<char*>(s.c_str()));
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, SpaceAndEqualsForms) {
+  Flags f = ParseArgs({"--k", "10", "--metric=D3", "--verbose"});
+  EXPECT_EQ(f.GetInt("k", 0), 10);
+  EXPECT_EQ(f.GetString("metric"), "D3");
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_FALSE(f.Has("absent"));
+  EXPECT_EQ(f.GetInt("absent", 7), 7);
+}
+
+TEST(FlagsTest, TypedGetters) {
+  Flags f = ParseArgs({"--x=2.5", "--flag=false", "--n=-3"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 0), 2.5);
+  EXPECT_FALSE(f.GetBool("flag", true));
+  EXPECT_EQ(f.GetInt("n", 0), -3);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags f = ParseArgs({"input.csv", "--k", "3", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(FlagsTest, BoolFlagFollowedByFlag) {
+  Flags f = ParseArgs({"--verbose", "--k", "5"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_EQ(f.GetInt("k", 0), 5);
+}
+
+TEST(FlagsTest, CheckKnownCatchesTypos) {
+  Flags f = ParseArgs({"--kk=3"});
+  EXPECT_FALSE(f.CheckKnown({"k"}).ok());
+  EXPECT_TRUE(f.CheckKnown({"kk"}).ok());
+}
+
+}  // namespace
+}  // namespace birch

@@ -1,0 +1,174 @@
+// Image-application tests: the synthetic scene must have the paper's
+// separability structure, and the two-pass filter must (1) isolate
+// sky / clouds / sunlit leaves in pass 1 while leaving branches and
+// shadows together, and (2) pull branches and shadows apart in pass 2.
+#include <array>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "image/filter.h"
+#include "image/scene.h"
+
+namespace birch {
+namespace {
+
+SceneOptions SmallScene() {
+  SceneOptions o;
+  o.width = 256;
+  o.height = 128;
+  o.seed = 7;
+  return o;
+}
+
+TEST(SceneTest, AllRegionsPresentAndLabeled) {
+  Scene scene = GenerateScene(SmallScene());
+  ASSERT_EQ(scene.size(), 256u * 128u);
+  ASSERT_EQ(scene.region.size(), scene.size());
+  std::array<int, kNumRegions> counts{};
+  for (int r : scene.region) {
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, kNumRegions);
+    ++counts[static_cast<size_t>(r)];
+  }
+  for (int r = 0; r < kNumRegions; ++r) {
+    EXPECT_GT(counts[static_cast<size_t>(r)], 0)
+        << RegionName(static_cast<Region>(r));
+  }
+  // Sunlit leaves dominate the tree area.
+  EXPECT_GT(counts[static_cast<size_t>(Region::kSunlitLeaves)],
+            counts[static_cast<size_t>(Region::kBranch)]);
+}
+
+TEST(SceneTest, RegionStatisticsMatchSpec) {
+  Scene scene = GenerateScene(SmallScene());
+  std::map<int, CfVector> per_region;
+  for (int r = 0; r < kNumRegions; ++r) per_region.emplace(r, CfVector(2));
+  for (size_t i = 0; i < scene.size(); ++i) {
+    per_region.at(scene.region[i]).AddPoint(scene.pixels.Row(i));
+  }
+  for (int r = 0; r < kNumRegions; ++r) {
+    double nir, vis;
+    RegionBrightness(static_cast<Region>(r), &nir, &vis);
+    auto c = per_region.at(r).Centroid();
+    // Sky carries a bright-band gradient (its pass-1 bimodality in the
+    // paper), so its mean sits above the base spec.
+    double tol = static_cast<Region>(r) == Region::kSky ? 25.0 : 3.0;
+    EXPECT_NEAR(c[0], nir, tol) << RegionName(static_cast<Region>(r));
+    EXPECT_NEAR(c[1], vis, tol) << RegionName(static_cast<Region>(r));
+  }
+}
+
+TEST(SceneTest, PixelsClampedToByteRange) {
+  Scene scene = GenerateScene(SmallScene());
+  for (size_t i = 0; i < scene.size(); ++i) {
+    auto p = scene.pixels.Row(i);
+    EXPECT_GE(p[0], 0.0);
+    EXPECT_LE(p[0], 255.0);
+    EXPECT_GE(p[1], 0.0);
+    EXPECT_LE(p[1], 255.0);
+  }
+}
+
+TEST(SceneTest, DeterministicForSeed) {
+  Scene a = GenerateScene(SmallScene());
+  Scene b = GenerateScene(SmallScene());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a.pixels.Row(i)[0], b.pixels.Row(i)[0]);
+  }
+}
+
+/// Majority ground-truth region per final cluster label.
+std::map<int, Region> ClusterRegionMajority(const Scene& scene,
+                                            const std::vector<int>& labels) {
+  std::map<int, std::array<int, kNumRegions>> votes;
+  for (size_t i = 0; i < scene.size(); ++i) {
+    if (labels[i] < 0) continue;
+    ++votes[labels[i]][static_cast<size_t>(scene.region[i])];
+  }
+  std::map<int, Region> majority;
+  for (auto& [label, v] : votes) {
+    int best = 0;
+    for (int r = 1; r < kNumRegions; ++r) {
+      if (v[static_cast<size_t>(r)] > v[static_cast<size_t>(best)]) best = r;
+    }
+    majority[label] = static_cast<Region>(best);
+  }
+  return majority;
+}
+
+TEST(FilterTest, TwoPassSeparatesAllFiveRegions) {
+  Scene scene = GenerateScene(SmallScene());
+  FilterOptions o;
+  auto result = TwoPassFilter(scene, o);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& r = result.value();
+
+  // Pass 1 found 5 clusters and flagged some as dark.
+  EXPECT_EQ(r.pass1.clusters.size(), 5u);
+  EXPECT_FALSE(r.dark_clusters.empty());
+  EXPECT_FALSE(r.pass2_rows.empty());
+
+  // The dark part is mostly branches + shadows.
+  size_t dark_bs = 0;
+  for (size_t row : r.pass2_rows) {
+    Region t = static_cast<Region>(scene.region[row]);
+    dark_bs += (t == Region::kBranch || t == Region::kShadow);
+  }
+  EXPECT_GT(static_cast<double>(dark_bs) /
+                static_cast<double>(r.pass2_rows.size()),
+            0.9);
+
+  // Final labels cover all five regions as majority owners.
+  auto majority = ClusterRegionMajority(scene, r.final_labels);
+  std::array<bool, kNumRegions> covered{};
+  for (auto& [label, region] : majority) {
+    covered[static_cast<size_t>(region)] = true;
+  }
+  for (int reg = 0; reg < kNumRegions; ++reg) {
+    EXPECT_TRUE(covered[static_cast<size_t>(reg)])
+        << "no cluster is majority-" << RegionName(static_cast<Region>(reg));
+  }
+
+  // Overall purity: most pixels sit in a cluster whose majority region
+  // matches their ground truth.
+  size_t agree = 0, considered = 0;
+  for (size_t i = 0; i < scene.size(); ++i) {
+    int l = r.final_labels[i];
+    if (l < 0) continue;
+    ++considered;
+    agree += majority.at(l) == static_cast<Region>(scene.region[i]);
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(considered),
+            0.80);
+}
+
+TEST(FilterTest, PassOneAloneLeavesBranchShadowMixed) {
+  Scene scene = GenerateScene(SmallScene());
+  FilterOptions o;
+  auto result = TwoPassFilter(scene, o);
+  ASSERT_TRUE(result.ok());
+  const auto& r = result.value();
+  // Within pass-1 labels, branches and shadows share a majority owner
+  // (that is why pass 2 exists).
+  auto majority = ClusterRegionMajority(scene, r.pass1.labels);
+  std::array<bool, kNumRegions> covered{};
+  for (auto& [label, region] : majority) {
+    covered[static_cast<size_t>(region)] = true;
+  }
+  bool branch_and_shadow_separate =
+      covered[static_cast<size_t>(Region::kBranch)] &&
+      covered[static_cast<size_t>(Region::kShadow)];
+  EXPECT_FALSE(branch_and_shadow_separate)
+      << "pass 1 already separates branch/shadow; scene too easy";
+}
+
+TEST(FilterTest, EmptySceneRejected) {
+  Scene empty;
+  FilterOptions o;
+  EXPECT_FALSE(TwoPassFilter(empty, o).ok());
+}
+
+}  // namespace
+}  // namespace birch

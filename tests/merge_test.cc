@@ -1,0 +1,121 @@
+// CF-tree merging (AbsorbTree): the paper's parallelism sketch —
+// partition the stream, build independent trees, merge the summaries —
+// must conserve mass, keep invariants, and deliver clustering quality
+// equivalent to a single-tree build over the union.
+#include <gtest/gtest.h>
+
+#include "birch/birch.h"
+#include "birch/cf_tree.h"
+#include "datagen/generator.h"
+#include "eval/matching.h"
+#include "eval/quality.h"
+#include "pagestore/memory_tracker.h"
+
+namespace birch {
+namespace {
+
+CfTreeOptions TreeOpts(double threshold = 0.6) {
+  CfTreeOptions o;
+  o.dim = 2;
+  o.page_size = 512;
+  o.threshold = threshold;
+  return o;
+}
+
+TEST(MergeTest, MassConserved) {
+  MemoryTracker m1, m2;
+  CfTree a(TreeOpts(), &m1), b(TreeOpts(), &m2);
+  Rng rng(501);
+  for (int i = 0; i < 4000; ++i) {
+    std::vector<double> p = {rng.Uniform(0, 30), rng.Uniform(0, 30)};
+    (i % 2 == 0 ? a : b).InsertPoint(p);
+  }
+  double na = a.TreeSummary().n(), nb = b.TreeSummary().n();
+  a.AbsorbTree(b);
+  EXPECT_NEAR(a.TreeSummary().n(), na + nb, 1e-6);
+  EXPECT_NEAR(b.TreeSummary().n(), nb, 1e-6);  // source untouched
+  std::string why;
+  EXPECT_TRUE(a.CheckInvariants(&why)) << why;
+  EXPECT_TRUE(b.CheckInvariants(&why)) << why;
+}
+
+TEST(MergeTest, PartitionedBuildMatchesSingleBuild) {
+  GeneratorOptions g;
+  g.k = 12;
+  g.n_low = g.n_high = 800;
+  g.r_low = g.r_high = 1.0;
+  g.grid_spacing = 10.0;
+  g.seed = 502;
+  auto gen = Generate(g);
+  ASSERT_TRUE(gen.ok());
+  const auto& data = gen.value().data;
+
+  // Single tree over everything.
+  MemoryTracker ms;
+  CfTree single(TreeOpts(), &ms);
+  for (size_t i = 0; i < data.size(); ++i) single.InsertPoint(data.Row(i));
+
+  // Four independent shards, merged into the first.
+  std::vector<std::unique_ptr<MemoryTracker>> mems;
+  std::vector<std::unique_ptr<CfTree>> shards;
+  for (int s = 0; s < 4; ++s) {
+    mems.push_back(std::make_unique<MemoryTracker>());
+    shards.push_back(std::make_unique<CfTree>(TreeOpts(), mems.back().get()));
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    shards[i % 4]->InsertPoint(data.Row(i));
+  }
+  for (int s = 1; s < 4; ++s) shards[0]->AbsorbTree(*shards[s]);
+  EXPECT_NEAR(shards[0]->TreeSummary().n(),
+              static_cast<double>(data.size()), 1e-6);
+
+  // Both summaries cluster to the same answer.
+  auto cluster_of = [&](const CfTree& tree) {
+    std::vector<CfVector> entries;
+    tree.CollectLeafEntries(&entries);
+    GlobalClusterOptions o;
+    o.k = 12;
+    auto r = GlobalCluster(entries, o);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).ValueOrDie().clusters;
+  };
+  auto single_clusters = cluster_of(single);
+  auto merged_clusters = cluster_of(*shards[0]);
+
+  MatchReport rs = MatchClusters(gen.value().actual, single_clusters);
+  MatchReport rm = MatchClusters(gen.value().actual, merged_clusters);
+  EXPECT_EQ(rs.matched, 12);
+  EXPECT_EQ(rm.matched, 12);
+  double ds = WeightedAverageDiameter(single_clusters);
+  double dm = WeightedAverageDiameter(merged_clusters);
+  EXPECT_NEAR(ds, dm, 0.10 * std::max(ds, dm));
+}
+
+TEST(MergeTest, MergeIntoEmptyTree) {
+  MemoryTracker m1, m2;
+  CfTree empty(TreeOpts(), &m1), full(TreeOpts(), &m2);
+  Rng rng(503);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> p = {rng.Gaussian(0, 2), rng.Gaussian(0, 2)};
+    full.InsertPoint(p);
+  }
+  empty.AbsorbTree(full);
+  // Same contents up to floating-point summation order (entries merge
+  // along a different history in the destination tree).
+  CfVector got = empty.TreeSummary(), want = full.TreeSummary();
+  EXPECT_NEAR(got.n(), want.n(), 1e-9);
+  EXPECT_NEAR(got.ss(), want.ss(), 1e-6 * (1 + want.ss()));
+  for (size_t t = 0; t < 2; ++t) {
+    EXPECT_NEAR(got.ls()[t], want.ls()[t],
+                1e-8 * (1 + std::fabs(want.ls()[t])));
+  }
+  // And merging an empty tree is an exact no-op.
+  CfVector before = full.TreeSummary();
+  MemoryTracker m3;
+  CfTree empty2(TreeOpts(), &m3);
+  full.AbsorbTree(empty2);
+  EXPECT_EQ(full.TreeSummary(), before);
+}
+
+}  // namespace
+}  // namespace birch

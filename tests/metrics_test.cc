@@ -1,0 +1,166 @@
+// Tests for the D0-D4 inter-cluster distances (paper Sec. 3): each
+// CF-computed metric must agree with its brute-force definition over
+// the raw points, and metric axioms that hold must hold.
+#include "birch/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace birch {
+namespace {
+
+std::vector<std::vector<double>> Cloud(Rng* rng, size_t n, size_t dim,
+                                       double center) {
+  std::vector<std::vector<double>> pts(n, std::vector<double>(dim));
+  for (auto& p : pts) {
+    for (auto& v : p) v = rng->Gaussian(center, 1.0);
+  }
+  return pts;
+}
+
+CfVector CfOf(const std::vector<std::vector<double>>& pts) {
+  CfVector cf(pts[0].size());
+  for (const auto& p : pts) cf.AddPoint(p);
+  return cf;
+}
+
+TEST(MetricsTest, D0IsCentroidEuclidean) {
+  CfVector a = CfVector::FromPoint(std::vector<double>{0.0, 0.0});
+  CfVector b = CfVector::FromPoint(std::vector<double>{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(CentroidEuclidean(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(DistanceMetric::kD0, a, b), 5.0);
+}
+
+TEST(MetricsTest, D1IsCentroidManhattan) {
+  CfVector a = CfVector::FromPoint(std::vector<double>{0.0, 0.0});
+  CfVector b = CfVector::FromPoint(std::vector<double>{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(CentroidManhattan(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(Distance(DistanceMetric::kD1, a, b), 7.0);
+}
+
+TEST(MetricsTest, SingletonD2EqualsPointDistance) {
+  // For singleton clusters, the average inter-cluster distance is just
+  // the distance between the two points.
+  CfVector a = CfVector::FromPoint(std::vector<double>{1.0, 2.0});
+  CfVector b = CfVector::FromPoint(std::vector<double>{4.0, 6.0});
+  EXPECT_NEAR(AverageInterCluster(a, b), 5.0, 1e-12);
+}
+
+TEST(MetricsTest, D4OfSingletonsIsScaledDistance) {
+  // Merging two singletons increases total squared deviation by
+  // d^2 * (1*1)/(1+1) = d^2/2.
+  CfVector a = CfVector::FromPoint(std::vector<double>{0.0});
+  CfVector b = CfVector::FromPoint(std::vector<double>{2.0});
+  EXPECT_NEAR(VarianceIncrease(a, b), std::sqrt(2.0), 1e-12);
+}
+
+TEST(MetricsTest, MetricNames) {
+  EXPECT_STREQ(MetricName(DistanceMetric::kD0), "D0");
+  EXPECT_STREQ(MetricName(DistanceMetric::kD4), "D4");
+}
+
+class MetricsPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MetricsPropertyTest, D2MatchesBruteForce) {
+  size_t dim = GetParam();
+  Rng rng(100 + dim);
+  auto pa = Cloud(&rng, 17, dim, 0.0);
+  auto pb = Cloud(&rng, 23, dim, 4.0);
+  CfVector a = CfOf(pa), b = CfOf(pb);
+
+  double sum_sq = 0.0;
+  for (const auto& x : pa) {
+    for (const auto& y : pb) sum_sq += SquaredDistance(x, y);
+  }
+  double brute = std::sqrt(sum_sq / (17.0 * 23.0));
+  EXPECT_NEAR(AverageInterCluster(a, b), brute, 1e-8 * (1.0 + brute));
+}
+
+TEST_P(MetricsPropertyTest, D3IsMergedDiameter) {
+  size_t dim = GetParam();
+  Rng rng(200 + dim);
+  auto pa = Cloud(&rng, 11, dim, 0.0);
+  auto pb = Cloud(&rng, 13, dim, 3.0);
+  CfVector a = CfOf(pa), b = CfOf(pb);
+
+  auto all = pa;
+  all.insert(all.end(), pb.begin(), pb.end());
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = 0; j < all.size(); ++j) {
+      if (i != j) sum_sq += SquaredDistance(all[i], all[j]);
+    }
+  }
+  double n = static_cast<double>(all.size());
+  double brute = std::sqrt(sum_sq / (n * (n - 1.0)));
+  EXPECT_NEAR(AverageIntraCluster(a, b), brute, 1e-8 * (1.0 + brute));
+}
+
+TEST_P(MetricsPropertyTest, D4MatchesSseIncrease) {
+  size_t dim = GetParam();
+  Rng rng(300 + dim);
+  auto pa = Cloud(&rng, 9, dim, -2.0);
+  auto pb = Cloud(&rng, 21, dim, 2.0);
+  CfVector a = CfOf(pa), b = CfOf(pb);
+
+  auto sse = [](const std::vector<std::vector<double>>& pts) {
+    CfVector cf = CfOf(pts);
+    auto c = cf.Centroid();
+    double s = 0.0;
+    for (const auto& p : pts) s += SquaredDistance(p, c);
+    return s;
+  };
+  auto all = pa;
+  all.insert(all.end(), pb.begin(), pb.end());
+  double inc = sse(all) - sse(pa) - sse(pb);
+  EXPECT_NEAR(VarianceIncrease(a, b), std::sqrt(inc),
+              1e-7 * (1.0 + std::sqrt(inc)));
+}
+
+TEST_P(MetricsPropertyTest, D4WardFormula)  {
+  // D4^2 == N1*N2/(N1+N2) * ||c1-c2||^2 (Ward's method identity).
+  size_t dim = GetParam();
+  Rng rng(400 + dim);
+  auto pa = Cloud(&rng, 15, dim, 0.0);
+  auto pb = Cloud(&rng, 6, dim, 5.0);
+  CfVector a = CfOf(pa), b = CfOf(pb);
+  double d0 = CentroidEuclidean(a, b);
+  double ward = std::sqrt(a.n() * b.n() / (a.n() + b.n())) * d0;
+  EXPECT_NEAR(VarianceIncrease(a, b), ward, 1e-8 * (1.0 + ward));
+}
+
+TEST_P(MetricsPropertyTest, AllMetricsSymmetricAndNonNegative) {
+  size_t dim = GetParam();
+  Rng rng(500 + dim);
+  CfVector a = CfOf(Cloud(&rng, 8, dim, 1.0));
+  CfVector b = CfOf(Cloud(&rng, 12, dim, -1.0));
+  for (auto m : {DistanceMetric::kD0, DistanceMetric::kD1,
+                 DistanceMetric::kD2, DistanceMetric::kD3,
+                 DistanceMetric::kD4}) {
+    double ab = Distance(m, a, b);
+    double ba = Distance(m, b, a);
+    EXPECT_GE(ab, 0.0) << MetricName(m);
+    EXPECT_NEAR(ab, ba, 1e-10 * (1.0 + ab)) << MetricName(m);
+  }
+}
+
+TEST_P(MetricsPropertyTest, D0TriangleInequality) {
+  size_t dim = GetParam();
+  Rng rng(600 + dim);
+  CfVector a = CfOf(Cloud(&rng, 5, dim, 0.0));
+  CfVector b = CfOf(Cloud(&rng, 5, dim, 2.0));
+  CfVector c = CfOf(Cloud(&rng, 5, dim, 4.0));
+  EXPECT_LE(CentroidEuclidean(a, c),
+            CentroidEuclidean(a, b) + CentroidEuclidean(b, c) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MetricsPropertyTest,
+                         ::testing::Values<size_t>(1, 2, 3, 5, 10));
+
+}  // namespace
+}  // namespace birch

@@ -1,0 +1,136 @@
+// Tests for the simulated disk substrate: page store capacity/IO
+// accounting, spill file round trips, and the memory tracker.
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pagestore/memory_tracker.h"
+#include "pagestore/page_store.h"
+#include "pagestore/spill_file.h"
+#include "util/random.h"
+
+namespace birch {
+namespace {
+
+TEST(MemoryTrackerTest, BudgetEnforced) {
+  MemoryTracker mem(1000);
+  EXPECT_TRUE(mem.Allocate(600));
+  EXPECT_FALSE(mem.Allocate(500));
+  EXPECT_EQ(mem.used(), 600u);
+  EXPECT_TRUE(mem.Allocate(400));
+  EXPECT_EQ(mem.available(), 0u);
+  mem.Free(1000);
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, UnlimitedWhenZeroBudget) {
+  MemoryTracker mem;
+  EXPECT_TRUE(mem.Allocate(1u << 30));
+  EXPECT_FALSE(mem.over_budget());
+}
+
+TEST(MemoryTrackerTest, ForceAllocateOverdraft) {
+  MemoryTracker mem(100);
+  mem.ForceAllocate(150);
+  EXPECT_TRUE(mem.over_budget());
+  EXPECT_EQ(mem.peak(), 150u);
+  mem.Free(100);
+  EXPECT_FALSE(mem.over_budget());
+}
+
+TEST(PageStoreTest, AllocateWriteReadFree) {
+  PageStore store(64, /*capacity=*/256);
+  auto id = store.Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<uint8_t> data(64);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = uint8_t(i);
+  ASSERT_TRUE(store.Write(id.value(), data).ok());
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(store.Read(id.value(), &back).ok());
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(store.io_stats().pages_written, 1u);
+  EXPECT_EQ(store.io_stats().pages_read, 1u);
+  ASSERT_TRUE(store.Free(id.value()).ok());
+  EXPECT_EQ(store.num_pages(), 0u);
+}
+
+TEST(PageStoreTest, CapacityEnforced) {
+  PageStore store(64, 128);  // two pages max
+  ASSERT_TRUE(store.Allocate().ok());
+  ASSERT_TRUE(store.Allocate().ok());
+  auto third = store.Allocate();
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kOutOfDisk);
+}
+
+TEST(PageStoreTest, MissingPageIsNotFound) {
+  PageStore store(64);
+  std::vector<uint8_t> out;
+  EXPECT_EQ(store.Read(42, &out).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Free(42).code(), StatusCode::kNotFound);
+}
+
+TEST(PageStoreTest, OversizeWriteRejected) {
+  PageStore store(16);
+  auto id = store.Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<uint8_t> big(17);
+  EXPECT_EQ(store.Write(id.value(), big).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SpillFileTest, AppendDrainRoundTrip) {
+  PageStore store(1024);
+  SpillFile spill(&store, /*record_doubles=*/4);
+  Rng rng(5);
+  std::vector<double> expect;
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<double> rec = {rng.NextDouble(), rng.NextDouble(),
+                               rng.NextDouble(), rng.NextDouble()};
+    ASSERT_TRUE(spill.Append(rec).ok());
+    expect.insert(expect.end(), rec.begin(), rec.end());
+  }
+  EXPECT_EQ(spill.size(), 1000u);
+  std::vector<double> got;
+  ASSERT_TRUE(spill.DrainAll(&got).ok());
+  EXPECT_EQ(got, expect);
+  EXPECT_TRUE(spill.empty());
+  // All pages returned to the store.
+  EXPECT_EQ(store.num_pages(), 0u);
+}
+
+TEST(SpillFileTest, ArityMismatchRejected) {
+  PageStore store(1024);
+  SpillFile spill(&store, 4);
+  std::vector<double> rec3 = {1, 2, 3};
+  EXPECT_EQ(spill.Append(rec3).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpillFileTest, OutOfDiskSurfaces) {
+  PageStore store(64, /*capacity=*/64);  // exactly one page
+  SpillFile spill(&store, 4);            // 2 records per page
+  std::vector<double> rec = {1, 2, 3, 4};
+  ASSERT_TRUE(spill.Append(rec).ok());
+  ASSERT_TRUE(spill.Append(rec).ok());
+  // Third record forces a flush of the staging page -> allocates page 1.
+  ASSERT_TRUE(spill.Append(rec).ok());
+  ASSERT_TRUE(spill.Append(rec).ok());
+  // Fifth record needs a second page: out of disk.
+  EXPECT_EQ(spill.Append(rec).code(), StatusCode::kOutOfDisk);
+  // Draining recovers everything that was accepted.
+  std::vector<double> got;
+  ASSERT_TRUE(spill.DrainAll(&got).ok());
+  EXPECT_EQ(got.size(), 16u);
+}
+
+TEST(SpillFileTest, DrainEmpty) {
+  PageStore store(256);
+  SpillFile spill(&store, 3);
+  std::vector<double> got = {9, 9};
+  ASSERT_TRUE(spill.DrainAll(&got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+}  // namespace
+}  // namespace birch

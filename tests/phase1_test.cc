@@ -1,0 +1,177 @@
+// Phase-1 driver tests: the scan must finish inside the memory budget
+// (modulo the documented overdraft slack), conserve points between tree
+// and outliers, trigger rebuilds, write/re-absorb outliers through the
+// simulated disk, and honor the delay-split option.
+#include "birch/phase1.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "util/random.h"
+
+namespace birch {
+namespace {
+
+Phase1Options TightOptions(size_t memory = 16 * 1024) {
+  Phase1Options o;
+  o.tree.dim = 2;
+  o.tree.page_size = 512;
+  o.memory_budget_bytes = memory;
+  o.disk_budget_bytes = memory / 5;
+  return o;
+}
+
+GeneratedData ClusteredData(int k, int n_per, uint64_t seed,
+                            double noise = 0.0) {
+  GeneratorOptions g;
+  g.k = k;
+  g.n_low = g.n_high = n_per;
+  g.r_low = g.r_high = 1.0;
+  g.grid_spacing = 10.0;
+  g.noise_fraction = noise;
+  g.seed = seed;
+  auto data = Generate(g);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).ValueOrDie();
+}
+
+double TotalPoints(const Phase1Builder& b) {
+  double total = b.tree().TreeSummary().n();
+  for (const auto& e : b.final_outliers()) total += e.n();
+  return total;
+}
+
+TEST(Phase1Test, AllPointsAccountedFor) {
+  auto gen = ClusteredData(16, 500, 21);
+  Phase1Builder builder(TightOptions());
+  ASSERT_TRUE(builder.AddDataset(gen.data).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_NEAR(TotalPoints(builder), static_cast<double>(gen.data.size()),
+              1e-6);
+}
+
+TEST(Phase1Test, MemoryBudgetRespectedAtFinish) {
+  auto gen = ClusteredData(16, 500, 22);
+  Phase1Options o = TightOptions(12 * 1024);
+  Phase1Builder builder(o);
+  ASSERT_TRUE(builder.AddDataset(gen.data).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_LE(builder.memory().used(),
+            o.memory_budget_bytes + 2 * o.tree.page_size);
+  EXPECT_GT(builder.stats().rebuilds, 0u);
+  EXPECT_GT(builder.stats().final_threshold, 0.0);
+}
+
+TEST(Phase1Test, NoRebuildWhenMemoryAmple) {
+  auto gen = ClusteredData(4, 100, 23);
+  Phase1Options o = TightOptions(/*memory=*/0);  // unlimited
+  o.tree.threshold = 0.5;
+  Phase1Builder builder(o);
+  ASSERT_TRUE(builder.AddDataset(gen.data).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_EQ(builder.stats().rebuilds, 0u);
+  EXPECT_TRUE(builder.final_outliers().empty());
+}
+
+TEST(Phase1Test, LeafEntriesBoundedByMemory) {
+  auto gen = ClusteredData(16, 1000, 24);
+  Phase1Options o = TightOptions(10 * 1024);
+  Phase1Builder builder(o);
+  ASSERT_TRUE(builder.AddDataset(gen.data).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  size_t max_nodes = o.memory_budget_bytes / o.tree.page_size + 2;
+  EXPECT_LE(builder.tree().node_count(), max_nodes);
+}
+
+TEST(Phase1Test, NoisyDataYieldsOutliers) {
+  auto gen = ClusteredData(8, 800, 25, /*noise=*/0.10);
+  Phase1Options o = TightOptions(12 * 1024);
+  Phase1Builder builder(o);
+  ASSERT_TRUE(builder.AddDataset(gen.data).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_GT(builder.stats().outlier_entries_spilled, 0u);
+  EXPECT_NEAR(TotalPoints(builder), static_cast<double>(gen.data.size()),
+              1e-6);
+}
+
+TEST(Phase1Test, OutlierHandlingOffKeepsEverythingInTree) {
+  auto gen = ClusteredData(8, 400, 26, /*noise=*/0.05);
+  Phase1Options o = TightOptions(16 * 1024);
+  o.outlier_handling = false;
+  o.delay_split = false;
+  Phase1Builder builder(o);
+  ASSERT_TRUE(builder.AddDataset(gen.data).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_EQ(builder.stats().outlier_entries_spilled, 0u);
+  EXPECT_TRUE(builder.final_outliers().empty());
+  EXPECT_NEAR(builder.tree().TreeSummary().n(),
+              static_cast<double>(gen.data.size()), 1e-6);
+}
+
+TEST(Phase1Test, DelaySplitSpillsPoints) {
+  auto gen = ClusteredData(16, 800, 27);
+  Phase1Options with = TightOptions(10 * 1024);
+  with.delay_split = true;
+  Phase1Builder b1(with);
+  ASSERT_TRUE(b1.AddDataset(gen.data).ok());
+  ASSERT_TRUE(b1.Finish().ok());
+  EXPECT_GT(b1.stats().points_delay_spilled, 0u);
+  EXPECT_NEAR(TotalPoints(b1), static_cast<double>(gen.data.size()), 1e-6);
+
+  Phase1Options without = TightOptions(10 * 1024);
+  without.delay_split = false;
+  Phase1Builder b2(without);
+  ASSERT_TRUE(b2.AddDataset(gen.data).ok());
+  ASSERT_TRUE(b2.Finish().ok());
+  EXPECT_EQ(b2.stats().points_delay_spilled, 0u);
+}
+
+TEST(Phase1Test, WeightedPointsPreserveTotalWeight) {
+  Phase1Builder builder(TightOptions());
+  Rng rng(28);
+  double total = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> p = {rng.Uniform(0, 40), rng.Uniform(0, 40)};
+    double w = 1.0 + rng.UniformInt(uint64_t{5});
+    ASSERT_TRUE(builder.Add(p, w).ok());
+    total += w;
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_NEAR(TotalPoints(builder), total, 1e-6);
+}
+
+TEST(Phase1Test, ApiMisuseRejected) {
+  Phase1Builder builder(TightOptions());
+  std::vector<double> p3 = {1, 2, 3};
+  EXPECT_EQ(builder.Add(p3).code(), StatusCode::kInvalidArgument);
+  std::vector<double> p2 = {1, 2};
+  EXPECT_EQ(builder.Add(p2, 0.0).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(builder.Add(p2).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_EQ(builder.Finish().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(builder.Add(p2).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Phase1Test, TreeInvariantsAfterHeavyChurn) {
+  auto gen = ClusteredData(25, 600, 29, /*noise=*/0.05);
+  Phase1Options o = TightOptions(10 * 1024);
+  Phase1Builder builder(o);
+  ASSERT_TRUE(builder.AddDataset(gen.data).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  std::string why;
+  EXPECT_TRUE(builder.tree().CheckInvariants(&why)) << why;
+}
+
+TEST(Phase1Test, ThresholdSequenceRecordedInStats) {
+  auto gen = ClusteredData(16, 800, 30);
+  Phase1Builder builder(TightOptions(8 * 1024));
+  ASSERT_TRUE(builder.AddDataset(gen.data).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_GT(builder.stats().rebuilds, 0u);
+  EXPECT_DOUBLE_EQ(builder.stats().final_threshold,
+                   builder.tree().threshold());
+  EXPECT_EQ(builder.stats().points_added, gen.data.size());
+}
+
+}  // namespace
+}  // namespace birch

@@ -1,0 +1,110 @@
+// Phase-2 condensation tests: the tree must shrink to the target entry
+// count, conserve points (minus shed outliers), and keep invariants.
+#include "birch/phase2.h"
+
+#include <gtest/gtest.h>
+
+#include "pagestore/memory_tracker.h"
+#include "util/random.h"
+
+namespace birch {
+namespace {
+
+void Fill(CfTree* tree, int n, double range, uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> p = {rng.Uniform(0, range), rng.Uniform(0, range)};
+    tree->InsertPoint(p);
+  }
+}
+
+CfTreeOptions Opts(double t = 0.05) {
+  CfTreeOptions o;
+  o.dim = 2;
+  o.page_size = 512;
+  o.threshold = t;
+  return o;
+}
+
+TEST(Phase2Test, CondensesToTarget) {
+  MemoryTracker mem;
+  CfTree tree(Opts(), &mem);
+  Fill(&tree, 5000, 100.0, 31);
+  ASSERT_GT(tree.leaf_entry_count(), 200u);
+  double n_before = tree.TreeSummary().n();
+
+  Phase2Options o;
+  o.target_leaf_entries = 100;
+  Phase2Stats stats;
+  ASSERT_TRUE(CondenseTree(&tree, o, nullptr, &stats).ok());
+  EXPECT_LE(tree.leaf_entry_count(), 100u);
+  EXPECT_GT(stats.rounds, 0);
+  EXPECT_EQ(stats.final_leaf_entries, tree.leaf_entry_count());
+  EXPECT_NEAR(tree.TreeSummary().n(), n_before, 1e-6);
+  std::string why;
+  EXPECT_TRUE(tree.CheckInvariants(&why)) << why;
+}
+
+TEST(Phase2Test, NoopWhenAlreadySmall) {
+  MemoryTracker mem;
+  CfTree tree(Opts(1.0), &mem);
+  Fill(&tree, 100, 5.0, 32);
+  size_t entries = tree.leaf_entry_count();
+  ASSERT_LE(entries, 1000u);
+  Phase2Options o;
+  o.target_leaf_entries = 1000;
+  Phase2Stats stats;
+  ASSERT_TRUE(CondenseTree(&tree, o, nullptr, &stats).ok());
+  EXPECT_EQ(stats.rounds, 0);
+  EXPECT_EQ(tree.leaf_entry_count(), entries);
+}
+
+TEST(Phase2Test, ShedsOutliersWhenEnabled) {
+  MemoryTracker mem;
+  CfTree tree(Opts(0.2), &mem);
+  // Dense cluster + isolated singles.
+  Rng rng(33);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> p = {rng.Gaussian(0, 1), rng.Gaussian(0, 1)};
+    tree.InsertPoint(p);
+  }
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> p = {500.0 + 40.0 * i, -300.0};
+    tree.InsertPoint(p);
+  }
+  Phase2Options o;
+  o.target_leaf_entries = 30;
+  o.outlier_weight_threshold = 3.0;
+  std::vector<CfVector> outliers;
+  Phase2Stats stats;
+  ASSERT_TRUE(CondenseTree(&tree, o, &outliers, &stats).ok());
+  EXPECT_GT(outliers.size(), 0u);
+  EXPECT_EQ(stats.outliers_shed, outliers.size());
+  double shed = 0.0;
+  for (const auto& e : outliers) shed += e.n();
+  EXPECT_NEAR(tree.TreeSummary().n() + shed, 2020.0, 1e-6);
+}
+
+TEST(Phase2Test, ZeroTargetRejected) {
+  MemoryTracker mem;
+  CfTree tree(Opts(), &mem);
+  Phase2Options o;
+  o.target_leaf_entries = 0;
+  EXPECT_EQ(CondenseTree(&tree, o, nullptr, nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Phase2Test, AggressiveTargetStillTerminates) {
+  MemoryTracker mem;
+  CfTree tree(Opts(0.0), &mem);
+  Fill(&tree, 3000, 1000.0, 34);
+  Phase2Options o;
+  o.target_leaf_entries = 2;  // brutal
+  Phase2Stats stats;
+  ASSERT_TRUE(CondenseTree(&tree, o, nullptr, &stats).ok());
+  EXPECT_LE(tree.leaf_entry_count(), 2u);
+  EXPECT_NEAR(tree.TreeSummary().n(), 3000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace birch

@@ -1,0 +1,124 @@
+// Phase-4 tests: redistribution must assign points to the nearest
+// seed, move centroids toward the true centers, discard far outliers
+// when asked, and converge (stop when stable).
+#include "birch/refine.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace birch {
+namespace {
+
+Dataset TwoBlobs(uint64_t seed, int n_per, double cx0, double cx1) {
+  Dataset data(2);
+  Rng rng(seed);
+  for (int i = 0; i < n_per; ++i) {
+    std::vector<double> p = {rng.Gaussian(cx0, 1.0), rng.Gaussian(0, 1.0)};
+    data.Append(p);
+  }
+  for (int i = 0; i < n_per; ++i) {
+    std::vector<double> p = {rng.Gaussian(cx1, 1.0), rng.Gaussian(0, 1.0)};
+    data.Append(p);
+  }
+  return data;
+}
+
+std::vector<CfVector> SeedsAt(std::vector<std::vector<double>> centers) {
+  std::vector<CfVector> seeds;
+  for (auto& c : centers) seeds.push_back(CfVector::FromPoint(c));
+  return seeds;
+}
+
+TEST(RefineTest, AssignsToNearestSeed) {
+  Dataset data = TwoBlobs(51, 200, 0.0, 20.0);
+  auto seeds = SeedsAt({{0.0, 0.0}, {20.0, 0.0}});
+  RefineOptions o;
+  auto result = RefineClusters(data, seeds, o);
+  ASSERT_TRUE(result.ok());
+  const auto& r = result.value();
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(r.labels[static_cast<size_t>(i)], 0);
+  for (int i = 200; i < 400; ++i) {
+    EXPECT_EQ(r.labels[static_cast<size_t>(i)], 1);
+  }
+  EXPECT_NEAR(r.clusters[0].n(), 200.0, 1e-9);
+  EXPECT_NEAR(r.clusters[1].n(), 200.0, 1e-9);
+}
+
+TEST(RefineTest, CentroidsMoveTowardTruthAcrossPasses) {
+  Dataset data = TwoBlobs(52, 500, 0.0, 12.0);
+  // Seeds deliberately offset from the true centers.
+  auto seeds = SeedsAt({{3.0, 2.0}, {9.0, -2.0}});
+  RefineOptions o;
+  o.passes = 10;
+  auto result = RefineClusters(data, seeds, o);
+  ASSERT_TRUE(result.ok());
+  const auto& r = result.value();
+  // After refinement the centroids sit near (0,0) and (12,0).
+  auto c0 = r.clusters[0].Centroid();
+  auto c1 = r.clusters[1].Centroid();
+  if (c0[0] > c1[0]) std::swap(c0, c1);
+  EXPECT_NEAR(c0[0], 0.0, 0.3);
+  EXPECT_NEAR(c1[0], 12.0, 0.3);
+  EXPECT_LT(r.passes_run, 10);  // converged early
+}
+
+TEST(RefineTest, OutlierDiscard) {
+  Dataset data(2);
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> p = {rng.Gaussian(0, 0.5), rng.Gaussian(0, 0.5)};
+    data.Append(p);
+  }
+  std::vector<double> far = {500.0, 500.0};
+  data.Append(far);
+  auto seeds = SeedsAt({{0.0, 0.0}});
+  RefineOptions o;
+  o.outlier_distance = 10.0;
+  auto result = RefineClusters(data, seeds, o);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().labels.back(), -1);
+  EXPECT_EQ(result.value().points_discarded, 1u);
+  EXPECT_NEAR(result.value().clusters[0].n(), 100.0, 1e-9);
+}
+
+TEST(RefineTest, LabelPointsDoesNotMoveSeeds) {
+  Dataset data = TwoBlobs(54, 50, 0.0, 10.0);
+  auto seeds = SeedsAt({{0.0, 0.0}, {10.0, 0.0}});
+  auto result = LabelPoints(data, seeds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().passes_run, 1);
+  EXPECT_EQ(result.value().labels.size(), data.size());
+}
+
+TEST(RefineTest, WeightedPointsCountWithWeight) {
+  Dataset data(1);
+  std::vector<double> a = {0.0}, b = {10.0};
+  data.AppendWeighted(a, 7.0);
+  data.AppendWeighted(b, 3.0);
+  auto seeds = SeedsAt({{0.0}, {10.0}});
+  auto result = LabelPoints(data, seeds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().clusters[0].n(), 7.0, 1e-9);
+  EXPECT_NEAR(result.value().clusters[1].n(), 3.0, 1e-9);
+}
+
+TEST(RefineTest, InvalidInputsRejected) {
+  Dataset data = TwoBlobs(55, 10, 0.0, 5.0);
+  RefineOptions o;
+  EXPECT_EQ(RefineClusters(data, {}, o).status().code(),
+            StatusCode::kInvalidArgument);
+  auto seeds = SeedsAt({{0.0, 0.0}});
+  o.passes = 0;
+  EXPECT_EQ(RefineClusters(data, seeds, o).status().code(),
+            StatusCode::kInvalidArgument);
+  // Dimension mismatch.
+  std::vector<CfVector> bad = {CfVector::FromPoint(std::vector<double>{1.0})};
+  RefineOptions o2;
+  EXPECT_EQ(RefineClusters(data, bad, o2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace birch

@@ -1,0 +1,122 @@
+// Reproduction-claim regression tests: the paper's qualitative results,
+// pinned at test scale so a future change that silently breaks the
+// reproduction fails CI. Each test names the claim it guards.
+#include <gtest/gtest.h>
+
+#include "birch/birch.h"
+#include "datagen/paper_datasets.h"
+#include "eval/matching.h"
+#include "eval/quality.h"
+
+namespace birch {
+namespace {
+
+BirchOptions Opts(int k, double t0 = 0.0) {
+  BirchOptions o;
+  o.dim = 2;
+  o.k = k;
+  o.memory_bytes = 24 * 1024;
+  o.disk_bytes = 5 * 1024;
+  o.page_size = 512;
+  o.initial_threshold = t0;
+  return o;
+}
+
+// Claim (Sec. 6.5): "as long as the initial threshold is not
+// excessively high wrt. the dataset, an initial guess ... costs no
+// quality" — and an excessive one does.
+TEST(ReproductionTest, ExcessiveInitialThresholdCostsQuality) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1, 25, 300);
+  ASSERT_TRUE(gen.ok());
+  const auto& g = gen.value();
+  auto good = ClusterDataset(g.data, Opts(25, 0.0));
+  auto mild = ClusterDataset(g.data, Opts(25, 1.0));
+  auto excessive = ClusterDataset(g.data, Opts(25, 8.0));
+  ASSERT_TRUE(good.ok() && mild.ok() && excessive.ok());
+
+  MatchReport m_good = MatchClusters(g.actual, good.value().clusters);
+  MatchReport m_mild = MatchClusters(g.actual, mild.value().clusters);
+  MatchReport m_exc = MatchClusters(g.actual, excessive.value().clusters);
+  EXPECT_EQ(m_good.matched, 25);
+  EXPECT_EQ(m_mild.matched, 25);
+  EXPECT_LT(m_exc.matched, 20);  // clusters merged irreversibly
+
+  // A sane guess also saves rebuilds.
+  EXPECT_LE(mild.value().phase1.rebuilds, good.value().phase1.rebuilds);
+}
+
+// Claim (Sec. 6.5): Phase 4 compensates for the coarser granularity of
+// small pages / coarse trees — final quality is page-size independent.
+TEST(ReproductionTest, Phase4CompensatesForPageSize) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1, 25, 300);
+  ASSERT_TRUE(gen.ok());
+  const auto& g = gen.value();
+  double d_small = 0, d_large = 0;
+  for (size_t page : {256u, 2048u}) {
+    BirchOptions o = Opts(25);
+    o.page_size = page;
+    auto r = ClusterDataset(g.data, o);
+    ASSERT_TRUE(r.ok());
+    (page == 256u ? d_small : d_large) =
+        WeightedAverageDiameter(r.value().clusters);
+  }
+  EXPECT_NEAR(d_small, d_large, 0.08 * std::max(d_small, d_large));
+}
+
+// Claim (Sec. 6.4/Table 4): quality D is within a few percent of the
+// actual clusters' D on the base workload patterns.
+TEST(ReproductionTest, QualityTracksActualAcrossPatterns) {
+  for (auto ds :
+       {PaperDataset::kDS1, PaperDataset::kDS2, PaperDataset::kDS3}) {
+    auto gen = GeneratePaperDataset(ds, 25, 300);
+    ASSERT_TRUE(gen.ok());
+    const auto& g = gen.value();
+    auto r = ClusterDataset(g.data, Opts(25));
+    ASSERT_TRUE(r.ok());
+    std::vector<CfVector> actual_cfs;
+    for (const auto& a : g.actual) actual_cfs.push_back(a.cf);
+    double d_actual = WeightedAverageDiameter(actual_cfs);
+    double d_birch = WeightedAverageDiameter(r.value().clusters);
+    EXPECT_LT(d_birch, 1.30 * d_actual) << PaperDatasetName(ds);
+    EXPECT_GT(d_birch, 0.55 * d_actual) << PaperDatasetName(ds);
+  }
+}
+
+// Claim (Sec. 6.1/Fig. 4): per-point cost does not grow with N.
+TEST(ReproductionTest, PerPointWorkFlatInN) {
+  uint64_t cmp_small = 0, cmp_large = 0;
+  size_t n_small = 0, n_large = 0;
+  for (int n_per : {200, 800}) {
+    auto gen = GeneratePaperDataset(PaperDataset::kDS1, 25, n_per);
+    ASSERT_TRUE(gen.ok());
+    auto r = ClusterDataset(gen.value().data, Opts(25));
+    ASSERT_TRUE(r.ok());
+    if (n_per == 200) {
+      cmp_small = r.value().tree_stats.distance_comparisons;
+      n_small = gen.value().data.size();
+    } else {
+      cmp_large = r.value().tree_stats.distance_comparisons;
+      n_large = gen.value().data.size();
+    }
+  }
+  double per_small = static_cast<double>(cmp_small) / n_small;
+  double per_large = static_cast<double>(cmp_large) / n_large;
+  // 4x the data must not super-linearly inflate per-point work.
+  EXPECT_LT(per_large, 2.0 * per_small);
+}
+
+// Claim (Sec. 6.2/Table 2 defaults): the whole pipeline holds the
+// memory budget (up to the documented transient overdraft).
+TEST(ReproductionTest, MemoryBudgetHeldWithinOverdraft) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS2, 25, 400);
+  ASSERT_TRUE(gen.ok());
+  BirchOptions o = Opts(25);
+  auto r = ClusterDataset(gen.value().data, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().peak_memory_bytes,
+            static_cast<size_t>(1.5 * o.memory_bytes));
+  EXPECT_LE(r.value().tree_nodes * o.page_size, o.memory_bytes);
+}
+
+}  // namespace
+}  // namespace birch

@@ -1,0 +1,120 @@
+// Tests for the threshold-growth heuristic (Sec. 5.1.3): the suggested
+// sequence must be strictly increasing, respect the guaranteed-merge
+// distance, and the regression helper must fit exactly on exact data.
+#include "birch/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include "pagestore/memory_tracker.h"
+#include "util/random.h"
+
+namespace birch {
+namespace {
+
+TEST(LeastSquaresFitTest, ExactLine) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  std::vector<double> ys = {3, 5, 7, 9};  // y = 1 + 2x
+  double a = 0, b = 0;
+  ASSERT_TRUE(LeastSquaresFit(xs, ys, &a, &b));
+  EXPECT_NEAR(a, 1.0, 1e-9);
+  EXPECT_NEAR(b, 2.0, 1e-9);
+}
+
+TEST(LeastSquaresFitTest, UnderdeterminedFails) {
+  double a, b;
+  EXPECT_FALSE(LeastSquaresFit({1.0}, {2.0}, &a, &b));
+  EXPECT_FALSE(LeastSquaresFit({}, {}, &a, &b));
+  // Constant x is singular.
+  EXPECT_FALSE(LeastSquaresFit({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0}, &a, &b));
+}
+
+TEST(LeastSquaresFitTest, NoisyLineRecovered) {
+  Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.Uniform(0, 10);
+    xs.push_back(x);
+    ys.push_back(4.0 - 0.5 * x + rng.Gaussian(0, 0.01));
+  }
+  double a, b;
+  ASSERT_TRUE(LeastSquaresFit(xs, ys, &a, &b));
+  EXPECT_NEAR(a, 4.0, 0.05);
+  EXPECT_NEAR(b, -0.5, 0.05);
+}
+
+class ThresholdHeuristicTest : public ::testing::Test {
+ protected:
+  CfTreeOptions Opts(double t) {
+    CfTreeOptions o;
+    o.dim = 2;
+    o.page_size = 256;
+    o.threshold = t;
+    return o;
+  }
+};
+
+TEST_F(ThresholdHeuristicTest, StrictlyIncreasingFromZero) {
+  MemoryTracker mem;
+  CfTree tree(Opts(0.0), &mem);
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> p = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    tree.InsertPoint(p);
+  }
+  ThresholdHeuristic h(2);
+  double t1 = h.SuggestNext(tree, 500);
+  EXPECT_GT(t1, 0.0);
+  tree.Rebuild(t1);
+  double t2 = h.SuggestNext(tree, 1000);
+  EXPECT_GT(t2, t1);
+  tree.Rebuild(t2);
+  double t3 = h.SuggestNext(tree, 2000);
+  EXPECT_GT(t3, t2);
+}
+
+TEST_F(ThresholdHeuristicTest, AtLeastGuaranteedMergeDistance) {
+  MemoryTracker mem;
+  CfTree tree(Opts(0.0), &mem);
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> p = {rng.Uniform(0, 4), rng.Uniform(0, 4)};
+    tree.InsertPoint(p);
+  }
+  ThresholdHeuristic h(2);
+  double t1 = h.SuggestNext(tree, 300);
+  EXPECT_GE(t1, tree.MostCrowdedLeafMinMerge() - 1e-12);
+  // Rebuilding with the suggestion must actually shrink the tree.
+  size_t before = tree.leaf_entry_count();
+  tree.Rebuild(t1);
+  EXPECT_LT(tree.leaf_entry_count(), before);
+}
+
+TEST_F(ThresholdHeuristicTest, KnownTotalCapsExtrapolation) {
+  MemoryTracker mem;
+  CfTree tree(Opts(1.0), &mem);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<double> p = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    tree.InsertPoint(p);
+  }
+  // When nearly all data has been seen, the volume signal stays modest.
+  ThresholdHeuristic with_total(2, /*total_points=*/1001);
+  ThresholdHeuristic without_total(2, 0);
+  double t_with = with_total.SuggestNext(tree, 1000);
+  double t_without = without_total.SuggestNext(tree, 1000);
+  EXPECT_LE(t_with, t_without + 1e-12);
+  EXPECT_GT(t_with, tree.threshold());
+}
+
+TEST_F(ThresholdHeuristicTest, DegenerateSingleEntryTreeStillGrows) {
+  MemoryTracker mem;
+  CfTree tree(Opts(0.0), &mem);
+  std::vector<double> p = {1.0, 1.0};
+  tree.InsertPoint(p);
+  ThresholdHeuristic h(2);
+  // One entry, zero radius everywhere: must still return something > 0.
+  EXPECT_GT(h.SuggestNext(tree, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace birch

@@ -1,0 +1,164 @@
+// CF-tree persistence tests: write/read round trips must reproduce the
+// exact tree (summaries, leaf entries, structure), charge memory
+// correctly, surface store failures, and Release must return every
+// page.
+#include "birch/tree_io.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace birch {
+namespace {
+
+std::unique_ptr<CfTree> BuildTree(MemoryTracker* mem, int n, uint64_t seed,
+                                  size_t page = 512) {
+  CfTreeOptions o;
+  o.dim = 2;
+  o.page_size = page;
+  o.threshold = 0.4;
+  auto tree = std::make_unique<CfTree>(o, mem);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> p = {rng.Uniform(0, 40), rng.Uniform(0, 40)};
+    tree->InsertPoint(p);
+  }
+  return tree;
+}
+
+TEST(TreeIoTest, RoundTripPreservesEverything) {
+  MemoryTracker mem;
+  auto tree = BuildTree(&mem, 3000, 201);
+  std::vector<CfVector> entries_before;
+  tree->CollectLeafEntries(&entries_before);
+
+  PageStore store(512);
+  auto image_or = TreeIO::Write(*tree, &store);
+  ASSERT_TRUE(image_or.ok()) << image_or.status().ToString();
+  const TreeImage& image = image_or.value();
+  EXPECT_EQ(image.node_count, tree->node_count());
+  EXPECT_EQ(store.num_pages(), tree->node_count());
+
+  MemoryTracker mem2;
+  CfTreeOptions opts;  // runtime knobs; geometry comes from the image
+  auto back_or = TreeIO::Read(image, &store, opts, &mem2);
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  auto& back = back_or.value();
+
+  EXPECT_EQ(back->node_count(), tree->node_count());
+  EXPECT_EQ(back->leaf_entry_count(), tree->leaf_entry_count());
+  EXPECT_EQ(back->height(), tree->height());
+  EXPECT_DOUBLE_EQ(back->threshold(), tree->threshold());
+  EXPECT_EQ(back->TreeSummary(), tree->TreeSummary());
+  EXPECT_EQ(mem2.used(), back->node_count() * image.page_size);
+
+  // The leaf chain is regenerated in tree-traversal order, which need
+  // not match the mutation-history order of the original chain: compare
+  // the entry multisets, not the sequences.
+  std::vector<CfVector> entries_after;
+  back->CollectLeafEntries(&entries_after);
+  ASSERT_EQ(entries_after.size(), entries_before.size());
+  auto key = [](const CfVector& cf) {
+    std::vector<double> k;
+    cf.SerializeTo(&k);
+    return k;
+  };
+  std::vector<std::vector<double>> before_keys, after_keys;
+  for (const auto& e : entries_before) before_keys.push_back(key(e));
+  for (const auto& e : entries_after) after_keys.push_back(key(e));
+  std::sort(before_keys.begin(), before_keys.end());
+  std::sort(after_keys.begin(), after_keys.end());
+  EXPECT_EQ(before_keys, after_keys);
+  std::string why;
+  EXPECT_TRUE(back->CheckInvariants(&why)) << why;
+}
+
+TEST(TreeIoTest, ReopenedTreeAcceptsInserts) {
+  MemoryTracker mem;
+  auto tree = BuildTree(&mem, 1000, 202);
+  PageStore store(512);
+  auto image = TreeIO::Write(*tree, &store);
+  ASSERT_TRUE(image.ok());
+
+  MemoryTracker mem2;
+  auto back = TreeIO::Read(image.value(), &store, CfTreeOptions{}, &mem2);
+  ASSERT_TRUE(back.ok());
+  double n0 = back.value()->TreeSummary().n();
+  Rng rng(203);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> p = {rng.Uniform(0, 40), rng.Uniform(0, 40)};
+    back.value()->InsertPoint(p);
+  }
+  EXPECT_NEAR(back.value()->TreeSummary().n(), n0 + 500, 1e-6);
+  std::string why;
+  EXPECT_TRUE(back.value()->CheckInvariants(&why)) << why;
+}
+
+TEST(TreeIoTest, ReleaseFreesAllPages) {
+  MemoryTracker mem;
+  auto tree = BuildTree(&mem, 2000, 204);
+  PageStore store(512);
+  auto image = TreeIO::Write(*tree, &store);
+  ASSERT_TRUE(image.ok());
+  EXPECT_GT(store.num_pages(), 0u);
+  ASSERT_TRUE(TreeIO::Release(image.value(), &store).ok());
+  EXPECT_EQ(store.num_pages(), 0u);
+}
+
+TEST(TreeIoTest, StoreCapacitySurfacesAsError) {
+  MemoryTracker mem;
+  auto tree = BuildTree(&mem, 2000, 205);
+  ASSERT_GT(tree->node_count(), 4u);
+  PageStore tiny(512, 4 * 512);  // fewer pages than nodes
+  auto image = TreeIO::Write(*tree, &tiny);
+  EXPECT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), StatusCode::kOutOfDisk);
+}
+
+TEST(TreeIoTest, SmallerStorePageRejected) {
+  MemoryTracker mem;
+  auto tree = BuildTree(&mem, 100, 206, /*page=*/1024);
+  PageStore store(512);  // smaller than the tree's page
+  auto image = TreeIO::Write(*tree, &store);
+  EXPECT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TreeIoTest, CorruptRootRejected) {
+  PageStore store(512);
+  auto id = store.Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<uint8_t> junk(512, 0x5a);
+  ASSERT_TRUE(store.Write(id.value(), junk).ok());
+  TreeImage image;
+  image.root = id.value();
+  image.dim = 2;
+  image.page_size = 512;
+  MemoryTracker mem;
+  auto back = TreeIO::Read(image, &store, CfTreeOptions{}, &mem);
+  EXPECT_FALSE(back.ok());
+}
+
+TEST(TreeIoTest, SingleLeafTree) {
+  MemoryTracker mem;
+  CfTreeOptions o;
+  o.dim = 3;
+  o.page_size = 512;
+  o.threshold = 1.0;
+  CfTree tree(o, &mem);
+  std::vector<double> p = {1, 2, 3};
+  tree.InsertPoint(p);
+  PageStore store(512);
+  auto image = TreeIO::Write(tree, &store);
+  ASSERT_TRUE(image.ok());
+  MemoryTracker mem2;
+  auto back = TreeIO::Read(image.value(), &store, CfTreeOptions{}, &mem2);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value()->leaf_entry_count(), 1u);
+  EXPECT_EQ(back.value()->TreeSummary(), tree.TreeSummary());
+}
+
+}  // namespace
+}  // namespace birch

@@ -1,0 +1,140 @@
+// Util substrate tests: Status/StatusOr, deterministic RNG statistics,
+// table and CSV formatting, math helpers, dataset container.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "birch/dataset.h"
+#include "util/csv.h"
+#include "util/math.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace birch {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::OutOfMemory("budget");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(s.ToString(), "OutOfMemory: budget");
+}
+
+TEST(StatusTest, StatusOrHoldsValueOrStatus) {
+  StatusOr<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  StatusOr<int> bad(Status::NotFound("x"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    int64_t v = rng.UniformInt(int64_t{-3}, int64_t{4});
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 4);
+  }
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Rng rng(7);
+  double sum = 0, sum_sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RandomTest, ShufflePermutes) {
+  Rng rng(8);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto orig = v;
+  rng.Shuffle(&v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(MathTest, Distances) {
+  std::vector<double> a = {0, 0}, b = {3, 4};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(ManhattanDistance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(Dot(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(b), 25.0);
+  EXPECT_EQ(ClampNonNegative(-1e-18), 0.0);
+  EXPECT_EQ(ClampNonNegative(2.0), 2.0);
+}
+
+TEST(TableTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.Row().Add("x").Add(3.14159, 2);
+  t.Row().Add("long-name").Add(int64_t{42});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(s.find("| x         | 3.14  |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name | 42    |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.Cell(0, 1), "3.14");
+}
+
+TEST(CsvTest, EscapesSpecials) {
+  CsvWriter w({"a", "b"});
+  w.Row().Add("plain").Add(std::string("with,comma"));
+  w.Row().Add(std::string("quote\"inside")).Add(int64_t{1});
+  std::string s = w.ToString();
+  EXPECT_NE(s.find("a,b\n"), std::string::npos);
+  EXPECT_NE(s.find("plain,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(s.find("\"quote\"\"inside\",1\n"), std::string::npos);
+}
+
+TEST(CsvTest, WritesFile) {
+  CsvWriter w({"x"});
+  w.Row().Add(1.5);
+  std::string path = ::testing::TempDir() + "/birch_csv_test.csv";
+  ASSERT_TRUE(w.WriteFile(path).ok());
+  EXPECT_FALSE(w.WriteFile("/nonexistent-dir/f.csv").ok());
+}
+
+TEST(DatasetTest, RowsAndWeights) {
+  Dataset d(3);
+  std::vector<double> r0 = {1, 2, 3}, r1 = {4, 5, 6};
+  d.Append(r0);
+  EXPECT_FALSE(d.has_weights());
+  d.AppendWeighted(r1, 2.5);
+  EXPECT_TRUE(d.has_weights());
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.Weight(0), 1.0);
+  EXPECT_EQ(d.Weight(1), 2.5);
+  EXPECT_DOUBLE_EQ(d.TotalWeight(), 3.5);
+  auto row = d.Row(1);
+  EXPECT_EQ(row[2], 6.0);
+}
+
+}  // namespace
+}  // namespace birch

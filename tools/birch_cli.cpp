@@ -1,0 +1,171 @@
+// birch_cli: cluster a CSV of numeric rows from the command line.
+//
+//   birch_cli --input points.csv --k 10 [--output labels.csv]
+//             [--memory-kb 80] [--page 1024] [--metric D2]
+//             [--threshold 0] [--algorithm hc|kmeans|medoids]
+//             [--refine-passes 1] [--discard-distance 0]
+//             [--no-outliers] [--no-delay-split] [--seed 42]
+//
+// Prints one summary line per cluster; with --output, writes a CSV of
+// per-row cluster labels (-1 = outlier).
+#include <cstdio>
+#include <fstream>
+
+#include "birch/birch.h"
+#include "birch/dataset_io.h"
+#include "eval/quality.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace birch {
+namespace {
+
+StatusOr<DistanceMetric> ParseMetric(const std::string& name) {
+  for (auto m : {DistanceMetric::kD0, DistanceMetric::kD1,
+                 DistanceMetric::kD2, DistanceMetric::kD3,
+                 DistanceMetric::kD4}) {
+    if (name == MetricName(m)) return m;
+  }
+  return Status::InvalidArgument("unknown metric '" + name +
+                                 "' (want D0..D4)");
+}
+
+StatusOr<GlobalAlgorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "hc") return GlobalAlgorithm::kHierarchical;
+  if (name == "kmeans") return GlobalAlgorithm::kKMeans;
+  if (name == "medoids") return GlobalAlgorithm::kMedoids;
+  return Status::InvalidArgument("unknown algorithm '" + name +
+                                 "' (want hc|kmeans|medoids)");
+}
+
+int Run(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  Status known = flags.CheckKnown(
+      {"input", "output", "k", "distance-limit", "memory-kb", "page",
+       "metric", "threshold", "algorithm", "refine-passes",
+       "discard-distance", "no-outliers", "no-delay-split", "stream",
+       "seed", "help"});
+  if (!known.ok() || flags.Has("help") || !flags.Has("input") ||
+      (!flags.Has("k") && !flags.Has("distance-limit"))) {
+    if (!known.ok()) std::fprintf(stderr, "%s\n", known.ToString().c_str());
+    std::fprintf(stderr,
+                 "usage: birch_cli --input points.csv (--k K | "
+                 "--distance-limit D) [--output labels.csv] "
+                 "[--memory-kb 80] [--page 1024] [--metric D0..D4] "
+                 "[--threshold T0] [--algorithm hc|kmeans|medoids] "
+                 "[--refine-passes N] [--discard-distance D] "
+                 "[--no-outliers] [--no-delay-split] [--stream] "
+                 "[--seed S]\n"
+                 "  --stream clusters the file without loading it into "
+                 "memory (no per-row labels).\n");
+    return flags.Has("help") ? 0 : 2;
+  }
+  const bool stream = flags.GetBool("stream", false);
+  if (stream && flags.Has("output")) {
+    std::fprintf(stderr,
+                 "--stream computes no per-row labels; drop --output\n");
+    return 2;
+  }
+
+  BirchOptions o;
+  o.k = static_cast<int>(flags.GetInt("k", 0));
+  o.global_distance_limit = flags.GetDouble("distance-limit", 0.0);
+  o.memory_bytes = static_cast<size_t>(flags.GetInt("memory-kb", 80)) * 1024;
+  o.disk_bytes = o.memory_bytes / 5;
+  o.page_size = static_cast<size_t>(flags.GetInt("page", 1024));
+  o.initial_threshold = flags.GetDouble("threshold", 0.0);
+  o.refinement_passes = static_cast<int>(flags.GetInt("refine-passes", 1));
+  o.refine_outlier_distance = flags.GetDouble("discard-distance", 0.0);
+  o.outlier_handling = !flags.GetBool("no-outliers", false);
+  o.delay_split = !flags.GetBool("no-delay-split", false);
+  o.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  auto metric_or = ParseMetric(flags.GetString("metric", "D2"));
+  if (!metric_or.ok()) {
+    std::fprintf(stderr, "%s\n", metric_or.status().ToString().c_str());
+    return 2;
+  }
+  o.metric = metric_or.value();
+  o.global_metric = metric_or.value();
+  auto algo_or = ParseAlgorithm(flags.GetString("algorithm", "hc"));
+  if (!algo_or.ok()) {
+    std::fprintf(stderr, "%s\n", algo_or.status().ToString().c_str());
+    return 2;
+  }
+  o.global_algorithm = algo_or.value();
+
+  Dataset data(1);
+  StatusOr<BirchResult> result_or = Status::Internal("unreachable");
+  if (stream) {
+    // Out-of-core: the file is scanned, never loaded.
+    auto source_or = CsvPointSource::Open(flags.GetString("input"));
+    if (!source_or.ok()) {
+      std::fprintf(stderr, "opening input: %s\n",
+                   source_or.status().ToString().c_str());
+      return 1;
+    }
+    o.dim = source_or.value()->dim();
+    result_or = ClusterSource(source_or.value().get(), o);
+  } else {
+    auto data_or = ReadCsvPoints(flags.GetString("input"));
+    if (!data_or.ok()) {
+      std::fprintf(stderr, "reading input: %s\n",
+                   data_or.status().ToString().c_str());
+      return 1;
+    }
+    data = std::move(data_or).ValueOrDie();
+    o.dim = data.dim();
+    result_or = ClusterDataset(data, o);
+  }
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "clustering: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  const BirchResult& r = result_or.value();
+
+  double points_seen = static_cast<double>(r.phase1.points_added);
+  std::printf("%.0f points (dim %zu) -> %zu clusters in %.3fs; "
+              "weighted avg diameter %.4f; %llu rebuilds; peak memory "
+              "%zu KB%s\n",
+              points_seen, o.dim, r.clusters.size(), r.timings.Total(),
+              WeightedAverageDiameter(r.clusters),
+              static_cast<unsigned long long>(r.phase1.rebuilds),
+              r.peak_memory_bytes / 1024,
+              stream ? " (streamed; data never resident)" : "");
+
+  TablePrinter table({"cluster", "points", "radius", "centroid"});
+  for (size_t c = 0; c < r.clusters.size(); ++c) {
+    std::string centroid;
+    for (double v : r.centroids[c]) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%s%.3f", centroid.empty() ? "" : ", ",
+                    v);
+      centroid += buf;
+    }
+    table.Row()
+        .Add(c)
+        .Add(static_cast<int64_t>(r.clusters[c].n()))
+        .Add(r.clusters[c].Radius(), 3)
+        .Add("(" + centroid + ")");
+  }
+  table.Print();
+
+  if (flags.Has("output")) {
+    std::ofstream out(flags.GetString("output"));
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   flags.GetString("output").c_str());
+      return 1;
+    }
+    out << "label\n";
+    for (int l : r.labels) out << l << "\n";
+    std::printf("labels written to %s\n", flags.GetString("output").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace birch
+
+int main(int argc, char** argv) { return birch::Run(argc, argv); }
