@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_base_workload"
+  "../bench/bench_base_workload.pdb"
+  "CMakeFiles/bench_base_workload.dir/bench_base_workload.cc.o"
+  "CMakeFiles/bench_base_workload.dir/bench_base_workload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_base_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_disk_budget"
+  "../bench/bench_disk_budget.pdb"
+  "CMakeFiles/bench_disk_budget.dir/bench_disk_budget.cc.o"
+  "CMakeFiles/bench_disk_budget.dir/bench_disk_budget.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disk_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_cf"
+  "../bench/bench_micro_cf.pdb"
+  "CMakeFiles/bench_micro_cf.dir/bench_micro_cf.cc.o"
+  "CMakeFiles/bench_micro_cf.dir/bench_micro_cf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_cf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_outlier_options.cc" "bench-cmake/CMakeFiles/bench_outlier_options.dir/bench_outlier_options.cc.o" "gcc" "bench-cmake/CMakeFiles/bench_outlier_options.dir/bench_outlier_options.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/birch/CMakeFiles/birch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/birch_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/birch_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagestore/CMakeFiles/birch_pagestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/birch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_outlier_options"
+  "../bench/bench_outlier_options.pdb"
+  "CMakeFiles/bench_outlier_options.dir/bench_outlier_options.cc.o"
+  "CMakeFiles/bench_outlier_options.dir/bench_outlier_options.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_outlier_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scalability_k"
+  "../bench/bench_scalability_k.pdb"
+  "CMakeFiles/bench_scalability_k.dir/bench_scalability_k.cc.o"
+  "CMakeFiles/bench_scalability_k.dir/bench_scalability_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

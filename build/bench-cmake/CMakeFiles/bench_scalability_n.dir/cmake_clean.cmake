@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scalability_n"
+  "../bench/bench_scalability_n.pdb"
+  "CMakeFiles/bench_scalability_n.dir/bench_scalability_n.cc.o"
+  "CMakeFiles/bench_scalability_n.dir/bench_scalability_n.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sensitivity_memory"
+  "../bench/bench_sensitivity_memory.pdb"
+  "CMakeFiles/bench_sensitivity_memory.dir/bench_sensitivity_memory.cc.o"
+  "CMakeFiles/bench_sensitivity_memory.dir/bench_sensitivity_memory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

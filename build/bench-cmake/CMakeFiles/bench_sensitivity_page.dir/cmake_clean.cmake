@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sensitivity_page"
+  "../bench/bench_sensitivity_page.pdb"
+  "CMakeFiles/bench_sensitivity_page.dir/bench_sensitivity_page.cc.o"
+  "CMakeFiles/bench_sensitivity_page.dir/bench_sensitivity_page.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sensitivity_threshold"
+  "../bench/bench_sensitivity_threshold.pdb"
+  "CMakeFiles/bench_sensitivity_threshold.dir/bench_sensitivity_threshold.cc.o"
+  "CMakeFiles/bench_sensitivity_threshold.dir/bench_sensitivity_threshold.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_vs_clarans"
+  "../bench/bench_vs_clarans.pdb"
+  "CMakeFiles/bench_vs_clarans.dir/bench_vs_clarans.cc.o"
+  "CMakeFiles/bench_vs_clarans.dir/bench_vs_clarans.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_clarans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_quantization.dir/vector_quantization.cpp.o"
+  "CMakeFiles/vector_quantization.dir/vector_quantization.cpp.o.d"
+  "vector_quantization"
+  "vector_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

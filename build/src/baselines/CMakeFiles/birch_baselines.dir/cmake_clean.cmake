@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birch_baselines.dir/clara.cc.o"
+  "CMakeFiles/birch_baselines.dir/clara.cc.o.d"
+  "CMakeFiles/birch_baselines.dir/clarans.cc.o"
+  "CMakeFiles/birch_baselines.dir/clarans.cc.o.d"
+  "CMakeFiles/birch_baselines.dir/hierarchical.cc.o"
+  "CMakeFiles/birch_baselines.dir/hierarchical.cc.o.d"
+  "CMakeFiles/birch_baselines.dir/kmeans.cc.o"
+  "CMakeFiles/birch_baselines.dir/kmeans.cc.o.d"
+  "libbirch_baselines.a"
+  "libbirch_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birch_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

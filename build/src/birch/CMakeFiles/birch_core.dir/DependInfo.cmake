@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/birch/birch.cc" "src/birch/CMakeFiles/birch_core.dir/birch.cc.o" "gcc" "src/birch/CMakeFiles/birch_core.dir/birch.cc.o.d"
+  "/root/repo/src/birch/cf_tree.cc" "src/birch/CMakeFiles/birch_core.dir/cf_tree.cc.o" "gcc" "src/birch/CMakeFiles/birch_core.dir/cf_tree.cc.o.d"
+  "/root/repo/src/birch/cf_vector.cc" "src/birch/CMakeFiles/birch_core.dir/cf_vector.cc.o" "gcc" "src/birch/CMakeFiles/birch_core.dir/cf_vector.cc.o.d"
+  "/root/repo/src/birch/dataset_io.cc" "src/birch/CMakeFiles/birch_core.dir/dataset_io.cc.o" "gcc" "src/birch/CMakeFiles/birch_core.dir/dataset_io.cc.o.d"
+  "/root/repo/src/birch/global_cluster.cc" "src/birch/CMakeFiles/birch_core.dir/global_cluster.cc.o" "gcc" "src/birch/CMakeFiles/birch_core.dir/global_cluster.cc.o.d"
+  "/root/repo/src/birch/metrics.cc" "src/birch/CMakeFiles/birch_core.dir/metrics.cc.o" "gcc" "src/birch/CMakeFiles/birch_core.dir/metrics.cc.o.d"
+  "/root/repo/src/birch/phase1.cc" "src/birch/CMakeFiles/birch_core.dir/phase1.cc.o" "gcc" "src/birch/CMakeFiles/birch_core.dir/phase1.cc.o.d"
+  "/root/repo/src/birch/phase2.cc" "src/birch/CMakeFiles/birch_core.dir/phase2.cc.o" "gcc" "src/birch/CMakeFiles/birch_core.dir/phase2.cc.o.d"
+  "/root/repo/src/birch/refine.cc" "src/birch/CMakeFiles/birch_core.dir/refine.cc.o" "gcc" "src/birch/CMakeFiles/birch_core.dir/refine.cc.o.d"
+  "/root/repo/src/birch/threshold.cc" "src/birch/CMakeFiles/birch_core.dir/threshold.cc.o" "gcc" "src/birch/CMakeFiles/birch_core.dir/threshold.cc.o.d"
+  "/root/repo/src/birch/tree_io.cc" "src/birch/CMakeFiles/birch_core.dir/tree_io.cc.o" "gcc" "src/birch/CMakeFiles/birch_core.dir/tree_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/birch_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagestore/CMakeFiles/birch_pagestore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birch_core.dir/birch.cc.o"
+  "CMakeFiles/birch_core.dir/birch.cc.o.d"
+  "CMakeFiles/birch_core.dir/cf_tree.cc.o"
+  "CMakeFiles/birch_core.dir/cf_tree.cc.o.d"
+  "CMakeFiles/birch_core.dir/cf_vector.cc.o"
+  "CMakeFiles/birch_core.dir/cf_vector.cc.o.d"
+  "CMakeFiles/birch_core.dir/dataset_io.cc.o"
+  "CMakeFiles/birch_core.dir/dataset_io.cc.o.d"
+  "CMakeFiles/birch_core.dir/global_cluster.cc.o"
+  "CMakeFiles/birch_core.dir/global_cluster.cc.o.d"
+  "CMakeFiles/birch_core.dir/metrics.cc.o"
+  "CMakeFiles/birch_core.dir/metrics.cc.o.d"
+  "CMakeFiles/birch_core.dir/phase1.cc.o"
+  "CMakeFiles/birch_core.dir/phase1.cc.o.d"
+  "CMakeFiles/birch_core.dir/phase2.cc.o"
+  "CMakeFiles/birch_core.dir/phase2.cc.o.d"
+  "CMakeFiles/birch_core.dir/refine.cc.o"
+  "CMakeFiles/birch_core.dir/refine.cc.o.d"
+  "CMakeFiles/birch_core.dir/threshold.cc.o"
+  "CMakeFiles/birch_core.dir/threshold.cc.o.d"
+  "CMakeFiles/birch_core.dir/tree_io.cc.o"
+  "CMakeFiles/birch_core.dir/tree_io.cc.o.d"
+  "libbirch_core.a"
+  "libbirch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

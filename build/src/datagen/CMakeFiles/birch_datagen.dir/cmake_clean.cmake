@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birch_datagen.dir/generator.cc.o"
+  "CMakeFiles/birch_datagen.dir/generator.cc.o.d"
+  "CMakeFiles/birch_datagen.dir/paper_datasets.cc.o"
+  "CMakeFiles/birch_datagen.dir/paper_datasets.cc.o.d"
+  "CMakeFiles/birch_datagen.dir/streaming_generator.cc.o"
+  "CMakeFiles/birch_datagen.dir/streaming_generator.cc.o.d"
+  "libbirch_datagen.a"
+  "libbirch_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birch_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

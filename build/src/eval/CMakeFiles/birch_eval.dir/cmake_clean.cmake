@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birch_eval.dir/matching.cc.o"
+  "CMakeFiles/birch_eval.dir/matching.cc.o.d"
+  "CMakeFiles/birch_eval.dir/quality.cc.o"
+  "CMakeFiles/birch_eval.dir/quality.cc.o.d"
+  "CMakeFiles/birch_eval.dir/visualize.cc.o"
+  "CMakeFiles/birch_eval.dir/visualize.cc.o.d"
+  "libbirch_eval.a"
+  "libbirch_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birch_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

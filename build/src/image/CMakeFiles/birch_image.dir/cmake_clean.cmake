@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birch_image.dir/filter.cc.o"
+  "CMakeFiles/birch_image.dir/filter.cc.o.d"
+  "CMakeFiles/birch_image.dir/scene.cc.o"
+  "CMakeFiles/birch_image.dir/scene.cc.o.d"
+  "libbirch_image.a"
+  "libbirch_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birch_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pagestore/page_store.cc" "src/pagestore/CMakeFiles/birch_pagestore.dir/page_store.cc.o" "gcc" "src/pagestore/CMakeFiles/birch_pagestore.dir/page_store.cc.o.d"
+  "/root/repo/src/pagestore/spill_file.cc" "src/pagestore/CMakeFiles/birch_pagestore.dir/spill_file.cc.o" "gcc" "src/pagestore/CMakeFiles/birch_pagestore.dir/spill_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/birch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birch_pagestore.dir/page_store.cc.o"
+  "CMakeFiles/birch_pagestore.dir/page_store.cc.o.d"
+  "CMakeFiles/birch_pagestore.dir/spill_file.cc.o"
+  "CMakeFiles/birch_pagestore.dir/spill_file.cc.o.d"
+  "libbirch_pagestore.a"
+  "libbirch_pagestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birch_pagestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birch_util.dir/csv.cc.o"
+  "CMakeFiles/birch_util.dir/csv.cc.o.d"
+  "CMakeFiles/birch_util.dir/table.cc.o"
+  "CMakeFiles/birch_util.dir/table.cc.o.d"
+  "libbirch_util.a"
+  "libbirch_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birch_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbirch_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_tree_edge_test.dir/cf_tree_edge_test.cc.o"
+  "CMakeFiles/cf_tree_edge_test.dir/cf_tree_edge_test.cc.o.d"
+  "cf_tree_edge_test"
+  "cf_tree_edge_test.pdb"
+  "cf_tree_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_tree_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_vector_test.dir/cf_vector_test.cc.o"
+  "CMakeFiles/cf_vector_test.dir/cf_vector_test.cc.o.d"
+  "cf_vector_test"
+  "cf_vector_test.pdb"
+  "cf_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

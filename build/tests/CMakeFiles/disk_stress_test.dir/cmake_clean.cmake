@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_stress_test.dir/disk_stress_test.cc.o"
+  "CMakeFiles/disk_stress_test.dir/disk_stress_test.cc.o.d"
+  "disk_stress_test"
+  "disk_stress_test.pdb"
+  "disk_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_cluster_test.dir/global_cluster_test.cc.o"
+  "CMakeFiles/global_cluster_test.dir/global_cluster_test.cc.o.d"
+  "global_cluster_test"
+  "global_cluster_test.pdb"
+  "global_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagestore_test.dir/pagestore_test.cc.o"
+  "CMakeFiles/pagestore_test.dir/pagestore_test.cc.o.d"
+  "pagestore_test"
+  "pagestore_test.pdb"
+  "pagestore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagestore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phase1_test.cc" "tests/CMakeFiles/phase1_test.dir/phase1_test.cc.o" "gcc" "tests/CMakeFiles/phase1_test.dir/phase1_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/birch/CMakeFiles/birch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/birch_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagestore/CMakeFiles/birch_pagestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/birch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

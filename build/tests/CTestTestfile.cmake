@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/cf_vector_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/cf_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/pagestore_test[1]_include.cmake")
+include("/root/repo/build/tests/threshold_test[1]_include.cmake")
+include("/root/repo/build/tests/phase1_test[1]_include.cmake")
+include("/root/repo/build/tests/phase2_test[1]_include.cmake")
+include("/root/repo/build/tests/global_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/refine_test[1]_include.cmake")
+include("/root/repo/build/tests/birch_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/image_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_io_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_io_test[1]_include.cmake")
+include("/root/repo/build/tests/flags_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/adversarial_test[1]_include.cmake")
+include("/root/repo/build/tests/point_source_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/merge_test[1]_include.cmake")
+include("/root/repo/build/tests/cf_tree_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/reproduction_test[1]_include.cmake")

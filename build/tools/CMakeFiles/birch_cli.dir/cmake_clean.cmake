@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birch_cli.dir/birch_cli.cpp.o"
+  "CMakeFiles/birch_cli.dir/birch_cli.cpp.o.d"
+  "birch_cli"
+  "birch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
