@@ -13,6 +13,7 @@
 #include "eval/matching.h"
 #include "eval/quality.h"
 #include "util/csv.h"
+#include "util/table.h"
 #include "util/timer.h"
 
 namespace birch {
@@ -64,6 +65,33 @@ inline StatusOr<RunRow> RunBirch(const GeneratedData& gen,
   row.match = MatchClusters(gen.actual, row.result.clusters);
   row.label_accuracy = LabelAccuracy(gen.truth, row.result.labels, row.match);
   return row;
+}
+
+/// Shared RobustnessStats columns: append the headers to a table/CSV
+/// header list, then AddRobustnessCells on each row, so every bench
+/// that reports fault tolerance uses the same schema.
+inline void AppendRobustnessHeaders(std::vector<std::string>* headers) {
+  for (const char* h :
+       {"retries", "crc-fail", "lost-recs", "degraded", "fb-drop"}) {
+    headers->emplace_back(h);
+  }
+}
+
+inline void AddRobustnessCells(TablePrinter* table,
+                               const RobustnessStats& r) {
+  table->Add(static_cast<int64_t>(r.io_retries))
+      .Add(static_cast<int64_t>(r.checksum_failures))
+      .Add(static_cast<int64_t>(r.records_lost))
+      .Add(static_cast<int64_t>(r.degradation_events))
+      .Add(static_cast<int64_t>(r.fallback_dropped));
+}
+
+inline void AddRobustnessCells(CsvWriter* csv, const RobustnessStats& r) {
+  csv->Add(static_cast<int64_t>(r.io_retries))
+      .Add(static_cast<int64_t>(r.checksum_failures))
+      .Add(static_cast<int64_t>(r.records_lost))
+      .Add(static_cast<int64_t>(r.degradation_events))
+      .Add(static_cast<int64_t>(r.fallback_dropped));
 }
 
 /// --csv <path> support.

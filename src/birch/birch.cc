@@ -30,6 +30,8 @@ Phase1Options Phase1OptionsFrom(const BirchOptions& o) {
   p.outlier_fraction = o.outlier_fraction;
   p.delay_split = o.delay_split;
   p.expected_points = o.expected_points;
+  p.fault = o.fault;
+  p.retry = o.io_retry;
   return p;
 }
 
@@ -98,6 +100,7 @@ StatusOr<BirchResult> BirchClusterer::Finish(const Dataset* for_refinement) {
   CfTree* tree = phase1_->mutable_tree();
   result.timings.phase1 = timer.Seconds();
   result.phase1 = phase1_->stats();
+  result.robustness = phase1_->robustness();
   result.leaf_entries_after_phase1 = tree->leaf_entry_count();
 
   // --- Phase 2: condense for the global algorithm. ---

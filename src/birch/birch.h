@@ -41,6 +41,9 @@ struct BirchResult {
   PhaseTimings timings;
   Phase1Stats phase1;
   Phase2Stats phase2;
+  /// Fault-tolerance accounting: retries, checksum catches, records
+  /// lost, and degradation events on the outlier disk.
+  RobustnessStats robustness;
   CfTreeStats tree_stats;
   size_t leaf_entries_after_phase1 = 0;
   size_t leaf_entries_after_phase2 = 0;

@@ -62,7 +62,11 @@ void CfVector::CentroidInto(std::vector<double>* out) const {
 
 double CfVector::SquaredRadius() const {
   if (n_ <= 0.0) return 0.0;
-  return ClampNonNegative(ss_ / n_ - SquaredNorm(ls_) / (n_ * n_));
+  // Far from the origin SS/N and ||LS/N||^2 are huge and nearly equal;
+  // the guard zeroes results below the cancellation noise floor so a
+  // tight distant cluster reports radius 0 instead of sqrt(garbage).
+  return GuardedNonNegative(ss_ / n_ - SquaredNorm(ls_) / (n_ * n_),
+                            ss_ / n_);
 }
 
 double CfVector::Radius() const { return std::sqrt(SquaredRadius()); }
@@ -70,14 +74,15 @@ double CfVector::Radius() const { return std::sqrt(SquaredRadius()); }
 double CfVector::SquaredDiameter() const {
   if (n_ <= 1.0) return 0.0;
   double num = 2.0 * (n_ * ss_ - SquaredNorm(ls_));
-  return ClampNonNegative(num / (n_ * (n_ - 1.0)));
+  return GuardedNonNegative(num / (n_ * (n_ - 1.0)),
+                            2.0 * ss_ / (n_ - 1.0));
 }
 
 double CfVector::Diameter() const { return std::sqrt(SquaredDiameter()); }
 
 double CfVector::SumSquaredDeviation() const {
   if (n_ <= 0.0) return 0.0;
-  return ClampNonNegative(ss_ - SquaredNorm(ls_) / n_);
+  return GuardedNonNegative(ss_ - SquaredNorm(ls_) / n_, ss_);
 }
 
 void CfVector::SerializeTo(std::vector<double>* out) const {

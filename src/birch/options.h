@@ -10,6 +10,7 @@
 
 #include "birch/cf_tree.h"
 #include "birch/global_cluster.h"
+#include "pagestore/fault_injector.h"
 #include "util/status.h"
 
 namespace birch {
@@ -26,8 +27,30 @@ struct BirchOptions {
 
   // --- Resources (Phase 1) ---
   size_t memory_bytes = 80 * 1024;
+  /// Outlier-disk budget R (paper default: 20% of M). Two special
+  /// regimes interact with `outlier_handling`:
+  ///   - disk_bytes == 0: there is no outlier disk at all. Outlier
+  ///     handling and delay-split degrade to the in-tree fallback —
+  ///     low-density entries are re-absorbed at the current threshold
+  ///     when they fit and otherwise dropped straight to the final
+  ///     outlier list (with accounting in RobustnessStats); the run
+  ///     never fails for lack of a disk.
+  ///   - 0 < disk_bytes < page_size: rejected by Validate() — a budget
+  ///     that cannot hold one page is a configuration error, not a
+  ///     degraded device.
+  /// The same in-tree fallback engages mid-run if the disk fails
+  /// unrecoverably (see `fault` below).
   size_t disk_bytes = 16 * 1024;  // paper: R = 20% of M
   size_t page_size = 1024;
+
+  // --- Robustness ---
+  /// Deterministic fault injection for the outlier disk (chaos
+  /// testing): transient IOErrors, silent page loss, bit rot. The
+  /// default injects nothing.
+  FaultOptions fault;
+  /// Bounded retry-with-backoff applied to transient outlier-disk
+  /// errors before they are treated as unrecoverable.
+  RetryPolicy io_retry;
 
   // --- CF tree ---
   double initial_threshold = 0.0;
@@ -86,6 +109,13 @@ struct BirchOptions {
     if (outlier_fraction < 0.0 || outlier_fraction >= 1.0) {
       return Status::InvalidArgument("outlier_fraction must be in [0,1)");
     }
+    if (disk_bytes > 0 && disk_bytes < page_size) {
+      return Status::InvalidArgument(
+          "disk_bytes must be 0 (no outlier disk; in-tree fallback) or "
+          "at least one page");
+    }
+    BIRCH_RETURN_IF_ERROR(fault.Validate());
+    BIRCH_RETURN_IF_ERROR(io_retry.Validate());
     if (refinement_passes < 0) {
       return Status::InvalidArgument("refinement_passes must be >= 0");
     }

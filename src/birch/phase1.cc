@@ -7,17 +7,94 @@ namespace birch {
 Phase1Builder::Phase1Builder(const Phase1Options& options)
     : options_(options),
       mem_(options.memory_budget_bytes),
-      disk_(options.tree.page_size, options.disk_budget_bytes),
-      outlier_entries_(&disk_, CfVector::SerializedDoubles(options.tree.dim)),
-      delayed_points_(&disk_, CfVector::SerializedDoubles(options.tree.dim)),
+      // Budget 0 means "no outlier disk", not "unlimited" (which is
+      // what PageStore's 0 would mean): the store is built one page
+      // deep and never used — every spill takes the in-tree fallback.
+      disk_(options.tree.page_size,
+            options.disk_budget_bytes > 0 ? options.disk_budget_bytes
+                                          : options.tree.page_size,
+            options.fault),
+      outlier_entries_(&disk_, CfVector::SerializedDoubles(options.tree.dim),
+                       options.retry),
+      delayed_points_(&disk_, CfVector::SerializedDoubles(options.tree.dim),
+                      options.retry),
       tree_(std::make_unique<CfTree>(options.tree, &mem_)),
-      heuristic_(options.tree.dim, options.expected_points) {}
+      heuristic_(options.tree.dim, options.expected_points),
+      disk_enabled_(options.disk_budget_bytes > 0) {
+  robust_.outlier_disk_disabled = !disk_enabled_;
+}
 
 double Phase1Builder::OutlierWeightThreshold() const {
   size_t entries = tree_->leaf_entry_count();
   if (entries == 0) return 0.0;
   double avg = tree_->TreeSummary().n() / static_cast<double>(entries);
   return options_.outlier_fraction * avg;
+}
+
+RobustnessStats Phase1Builder::robustness() const {
+  RobustnessStats r = robust_;
+  for (const SpillFile* f : {&outlier_entries_, &delayed_points_}) {
+    r.transient_io_errors += f->stats().transient_errors;
+    r.io_retries += f->stats().io_retries;
+    r.simulated_backoff_us += f->stats().backoff_us;
+    r.pages_lost += f->stats().pages_lost;
+    r.records_lost += f->stats().records_lost;
+  }
+  r.checksum_failures = disk_.io_stats().checksum_failures;
+  return r;
+}
+
+void Phase1Builder::NoteDrainLoss(const DrainReport& report) {
+  if (report.records_lost == 0) return;
+  // The device demonstrably ate data: one degradation event per lossy
+  // drain (the per-record accounting lives in the spill stats).
+  ++robust_.degradation_events;
+  if (disk_enabled_ && report.pages_lost == report.pages_total) {
+    // Every page came back unreadable — stop trusting the device.
+    disk_enabled_ = false;
+    robust_.outlier_disk_disabled = true;
+  }
+}
+
+void Phase1Builder::FallbackOutlierEntry(const CfVector& e) {
+  // No disk to park the entry on: absorb it at the current threshold if
+  // it fits an existing entry, otherwise call it an outlier now. The
+  // entry can no longer ride later re-absorb cycles — that is the
+  // accepted quality cost of degraded mode.
+  InsertOutcome out = tree_->InsertEntry(e, InsertMode::kAbsorbOnly);
+  if (out != InsertOutcome::kRejected) {
+    ++robust_.fallback_absorbed;
+    return;
+  }
+  final_outliers_.push_back(e);
+  ++robust_.fallback_dropped;
+}
+
+Status Phase1Builder::DegradeOutlierDisk() {
+  if (!disk_enabled_) return Status::OK();
+  disk_enabled_ = false;
+  robust_.outlier_disk_disabled = true;
+  ++robust_.degradation_events;
+  const size_t rec = CfVector::SerializedDoubles(options_.tree.dim);
+
+  // Salvage whatever the device still returns, then never write again.
+  std::vector<double> drained;
+  DrainReport rep;
+  BIRCH_RETURN_IF_ERROR(outlier_entries_.DrainAll(&drained, &rep));
+  for (size_t off = 0; off + rec <= drained.size(); off += rec) {
+    FallbackOutlierEntry(CfVector::Deserialize(
+        std::span<const double>(drained.data() + off, rec),
+        options_.tree.dim));
+  }
+  BIRCH_RETURN_IF_ERROR(delayed_points_.DrainAll(&drained, &rep));
+  for (size_t off = 0; off + rec <= drained.size(); off += rec) {
+    CfVector e = CfVector::Deserialize(
+        std::span<const double>(drained.data() + off, rec),
+        options_.tree.dim);
+    tree_->InsertEntry(e);
+    if (tree_->over_budget()) BIRCH_RETURN_IF_ERROR(RebuildLarger());
+  }
+  return Status::OK();
 }
 
 Status Phase1Builder::Add(std::span<const double> x, double weight) {
@@ -44,13 +121,24 @@ Status Phase1Builder::Add(std::span<const double> x, double weight) {
       ++stats_.points_delay_spilled;
       return Status::OK();
     }
+    if (IsUnrecoverableDiskError(st)) {
+      // The disk is broken, not merely full: retire it (salvaging both
+      // spill files into the tree) and insert this point normally.
+      delay_mode_ = false;
+      BIRCH_RETURN_IF_ERROR(DegradeOutlierDisk());
+      tree_->InsertEntry(ent);
+      if (tree_->over_budget()) return HandleMemoryExhaustion();
+      return Status::OK();
+    }
     if (st.code() != StatusCode::kOutOfDisk) return st;
     // Disk is full too: rebuild with a larger threshold, replay the
     // spilled points, then insert this one normally.
     delay_mode_ = false;
     BIRCH_RETURN_IF_ERROR(RebuildLarger());
     std::vector<double> drained;
-    BIRCH_RETURN_IF_ERROR(delayed_points_.DrainAll(&drained));
+    DrainReport rep;
+    BIRCH_RETURN_IF_ERROR(delayed_points_.DrainAll(&drained, &rep));
+    NoteDrainLoss(rep);
     const size_t rec = CfVector::SerializedDoubles(options_.tree.dim);
     for (size_t off = 0; off + rec <= drained.size(); off += rec) {
       CfVector e = CfVector::Deserialize(
@@ -77,9 +165,10 @@ Status Phase1Builder::AddDataset(const Dataset& data) {
 }
 
 Status Phase1Builder::HandleMemoryExhaustion() {
-  if (options_.delay_split && !delay_mode_) {
+  if (options_.delay_split && disk_enabled_ && !delay_mode_) {
     // Delay-split option (Sec. 5.1.4): postpone the rebuild; absorb
-    // what fits and spill split-forcing points to disk instead.
+    // what fits and spill split-forcing points to disk instead. With
+    // the disk out of service there is nowhere to spill — rebuild.
     delay_mode_ = true;
     return Status::OK();
   }
@@ -110,6 +199,10 @@ Status Phase1Builder::RebuildLarger() {
 }
 
 Status Phase1Builder::SpillOutlierEntry(const CfVector& e) {
+  if (!disk_enabled_) {
+    FallbackOutlierEntry(e);
+    return Status::OK();
+  }
   std::vector<double> buf;
   e.SerializeTo(&buf);
   Status st = outlier_entries_.Append(buf);
@@ -117,13 +210,27 @@ Status Phase1Builder::SpillOutlierEntry(const CfVector& e) {
     ++stats_.outlier_entries_spilled;
     return Status::OK();
   }
+  if (IsUnrecoverableDiskError(st)) {
+    BIRCH_RETURN_IF_ERROR(DegradeOutlierDisk());
+    FallbackOutlierEntry(e);
+    return Status::OK();
+  }
   if (st.code() != StatusCode::kOutOfDisk) return st;
   // Outlier disk full: drain + re-absorb (Fig. 2's "out of disk space"
   // branch), then retry once.
   BIRCH_RETURN_IF_ERROR(ReabsorbOutliers(/*final_pass=*/false));
+  if (!disk_enabled_) {  // the re-absorb drain may have retired the disk
+    FallbackOutlierEntry(e);
+    return Status::OK();
+  }
   st = outlier_entries_.Append(buf);
   if (st.ok()) {
     ++stats_.outlier_entries_spilled;
+    return Status::OK();
+  }
+  if (IsUnrecoverableDiskError(st)) {
+    BIRCH_RETURN_IF_ERROR(DegradeOutlierDisk());
+    FallbackOutlierEntry(e);
     return Status::OK();
   }
   if (st.code() != StatusCode::kOutOfDisk) return st;
@@ -138,7 +245,9 @@ Status Phase1Builder::ReabsorbOutliers(bool final_pass) {
   if (outlier_entries_.empty()) return Status::OK();
   ++stats_.reabsorb_cycles;
   std::vector<double> drained;
-  BIRCH_RETURN_IF_ERROR(outlier_entries_.DrainAll(&drained));
+  DrainReport rep;
+  BIRCH_RETURN_IF_ERROR(outlier_entries_.DrainAll(&drained, &rep));
+  NoteDrainLoss(rep);
   const size_t rec = CfVector::SerializedDoubles(options_.tree.dim);
   for (size_t off = 0; off + rec <= drained.size(); off += rec) {
     CfVector e = CfVector::Deserialize(
@@ -155,10 +264,21 @@ Status Phase1Builder::ReabsorbOutliers(bool final_pass) {
       final_outliers_.push_back(std::move(e));
       continue;
     }
+    if (!disk_enabled_) {
+      // Disk retired mid-cycle: the entry has no spill to return to.
+      final_outliers_.push_back(std::move(e));
+      ++robust_.fallback_dropped;
+      continue;
+    }
     std::vector<double> buf;
     e.SerializeTo(&buf);
     Status st = outlier_entries_.Append(buf);
     if (!st.ok()) {
+      if (IsUnrecoverableDiskError(st)) {
+        BIRCH_RETURN_IF_ERROR(DegradeOutlierDisk());
+        FallbackOutlierEntry(e);
+        continue;
+      }
       if (st.code() != StatusCode::kOutOfDisk) return st;
       ++stats_.forced_inserts;
       tree_->InsertEntry(e);
@@ -176,7 +296,9 @@ Status Phase1Builder::Finish() {
 
   // Replay delay-split points with splits allowed.
   std::vector<double> drained;
-  BIRCH_RETURN_IF_ERROR(delayed_points_.DrainAll(&drained));
+  DrainReport rep;
+  BIRCH_RETURN_IF_ERROR(delayed_points_.DrainAll(&drained, &rep));
+  NoteDrainLoss(rep);
   const size_t rec = CfVector::SerializedDoubles(options_.tree.dim);
   for (size_t off = 0; off + rec <= drained.size(); off += rec) {
     CfVector e = CfVector::Deserialize(

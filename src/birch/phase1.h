@@ -27,11 +27,17 @@ namespace birch {
 struct Phase1Options {
   CfTreeOptions tree;
   size_t memory_budget_bytes = 80 * 1024;
+  /// 0 = no outlier disk: spill-dependent options run in the in-tree
+  /// fallback from the start (see RobustnessStats).
   size_t disk_budget_bytes = 16 * 1024;
   bool outlier_handling = true;
   double outlier_fraction = 0.25;
   bool delay_split = true;
   uint64_t expected_points = 0;  // N when known (threshold heuristic)
+  /// Fault injection for the outlier disk; default injects nothing.
+  FaultOptions fault;
+  /// Retry policy for transient outlier-disk errors.
+  RetryPolicy retry;
 };
 
 /// Counters exposed to the benchmarks and EXPERIMENTS.md.
@@ -44,6 +50,34 @@ struct Phase1Stats {
   uint64_t reabsorb_cycles = 0;
   uint64_t forced_inserts = 0;  // disk full fallbacks
   double final_threshold = 0.0;
+};
+
+/// Fault-tolerance accounting for one run: what the storage stack
+/// absorbed (retries, checksum catches) and what Phase 1 had to do
+/// about it (degradation to the in-tree fallback, records lost).
+struct RobustnessStats {
+  /// Transient IOErrors observed on the outlier disk (before retry).
+  uint64_t transient_io_errors = 0;
+  /// Retry attempts made after transient errors.
+  uint64_t io_retries = 0;
+  /// Simulated backoff time spent in those retries.
+  uint64_t simulated_backoff_us = 0;
+  /// Reads that failed CRC32C verification (bit rot caught).
+  uint64_t checksum_failures = 0;
+  /// Pages skipped by drains (lost, corrupt, or unreadable).
+  uint64_t pages_lost = 0;
+  /// Spill records inside those pages — gone, exactly counted.
+  uint64_t records_lost = 0;
+  /// Times Phase 1 degraded: an unrecoverable spill failure switched it
+  /// to the in-tree fallback, or a drain came back with data missing.
+  uint64_t degradation_events = 0;
+  /// Entries the in-tree fallback absorbed at the current threshold.
+  uint64_t fallback_absorbed = 0;
+  /// Entries the fallback sent straight to the final outlier list.
+  uint64_t fallback_dropped = 0;
+  /// True when the run ended with the outlier disk out of service
+  /// (disk_budget_bytes == 0, or disabled mid-run after a failure).
+  bool outlier_disk_disabled = false;
 };
 
 /// Single-scan builder. Usage: Add() every point, then Finish() exactly
@@ -72,6 +106,9 @@ class Phase1Builder {
   const MemoryTracker& memory() const { return mem_; }
   const PageStore& disk() const { return disk_; }
 
+  /// Aggregated fault-tolerance counters (storage stack + builder).
+  RobustnessStats robustness() const;
+
   /// Entries judged outliers that could not be re-absorbed at Finish().
   const std::vector<CfVector>& final_outliers() const {
     return final_outliers_;
@@ -90,8 +127,30 @@ class Phase1Builder {
   Status ReabsorbOutliers(bool final_pass);
 
   /// Spills `e` to the outlier disk; on OutOfDisk falls back to a
-  /// forced tree insert so progress is always made.
+  /// forced tree insert so progress is always made, and on an
+  /// unrecoverable device failure degrades to the in-tree fallback.
   Status SpillOutlierEntry(const CfVector& e);
+
+  /// In-tree fallback for one outlier entry when the disk is out of
+  /// service: absorb at the current threshold if possible, otherwise
+  /// drop to the final outlier list with accounting.
+  void FallbackOutlierEntry(const CfVector& e);
+
+  /// Takes the outlier disk out of service after an unrecoverable
+  /// failure: salvages whatever both spill files still hold (re-absorb
+  /// or drop outlier entries, replay delayed points) and routes all
+  /// future spills through the in-tree fallback.
+  Status DegradeOutlierDisk();
+
+  /// Records drain-loss accounting (degradation event per lossy drain).
+  void NoteDrainLoss(const DrainReport& report);
+
+  /// True for errors the spill layer could not recover from (transient
+  /// budget exhausted, or data demonstrably gone).
+  static bool IsUnrecoverableDiskError(const Status& st) {
+    return st.code() == StatusCode::kIOError ||
+           st.code() == StatusCode::kDataLoss;
+  }
 
   double OutlierWeightThreshold() const;
 
@@ -103,9 +162,13 @@ class Phase1Builder {
   std::unique_ptr<CfTree> tree_;
   ThresholdHeuristic heuristic_;
   Phase1Stats stats_;
+  RobustnessStats robust_;  // degradation counters; rest merged on read
   std::vector<CfVector> final_outliers_;
   bool delay_mode_ = false;
   bool finished_ = false;
+  /// False when there is no outlier disk (budget 0) or it failed
+  /// unrecoverably; spills then use the in-tree fallback.
+  bool disk_enabled_ = true;
 };
 
 }  // namespace birch

@@ -1,0 +1,136 @@
+// Deterministic fault injection for the simulated disk. Production
+// disks return transient errors, silently drop writes, and flip bits;
+// the perfect in-memory PageStore never did, so nothing above it had to
+// cope. The FaultInjector draws from a seeded RNG so every failure
+// scenario is exactly replayable, and the RetryPolicy describes how
+// callers (SpillFile) respond to the transient class.
+#ifndef BIRCH_PAGESTORE_FAULT_INJECTOR_H_
+#define BIRCH_PAGESTORE_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace birch {
+
+/// Per-operation fault probabilities for a PageStore. All rates are in
+/// [0, 1]; the default (all zero) is the fault-free device.
+struct FaultOptions {
+  /// Read fails with a retryable IOError; the page is unharmed.
+  double read_transient_rate = 0.0;
+  /// Write fails with a retryable IOError; the page is unmodified.
+  double write_transient_rate = 0.0;
+  /// Write reports success but the page is permanently lost; every
+  /// later Read returns DataLoss.
+  double page_loss_rate = 0.0;
+  /// Write reports success but one random bit of the stored image is
+  /// flipped; the page checksum catches it on the next Read (DataLoss).
+  double bit_flip_rate = 0.0;
+  uint64_t seed = 0xfa17ULL;
+
+  bool enabled() const {
+    return read_transient_rate > 0.0 || write_transient_rate > 0.0 ||
+           page_loss_rate > 0.0 || bit_flip_rate > 0.0;
+  }
+
+  Status Validate() const {
+    for (double rate : {read_transient_rate, write_transient_rate,
+                        page_loss_rate, bit_flip_rate}) {
+      if (rate < 0.0 || rate > 1.0) {
+        return Status::InvalidArgument("fault rates must be in [0, 1]");
+      }
+    }
+    return Status::OK();
+  }
+};
+
+/// Counters for faults actually injected (not merely configured).
+struct FaultStats {
+  uint64_t transient_reads = 0;
+  uint64_t transient_writes = 0;
+  uint64_t pages_lost = 0;
+  uint64_t bits_flipped = 0;
+};
+
+/// Draws fault decisions in call order from a private seeded RNG, so a
+/// given (options, operation sequence) pair always fails the same way.
+class FaultInjector {
+ public:
+  FaultInjector() : FaultInjector(FaultOptions{}) {}
+  explicit FaultInjector(const FaultOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  /// True if this Read should fail transiently.
+  bool InjectReadTransient() {
+    if (!Draw(options_.read_transient_rate)) return false;
+    ++stats_.transient_reads;
+    return true;
+  }
+
+  /// True if this Write should fail transiently.
+  bool InjectWriteTransient() {
+    if (!Draw(options_.write_transient_rate)) return false;
+    ++stats_.transient_writes;
+    return true;
+  }
+
+  /// True if this Write should silently lose the page.
+  bool InjectPageLoss() {
+    if (!Draw(options_.page_loss_rate)) return false;
+    ++stats_.pages_lost;
+    return true;
+  }
+
+  /// True if this Write should flip a stored bit; `*bit` gets the index
+  /// in [0, bits).
+  bool InjectBitFlip(size_t bits, size_t* bit) {
+    if (bits == 0 || !Draw(options_.bit_flip_rate)) return false;
+    *bit = static_cast<size_t>(rng_.UniformInt(static_cast<uint64_t>(bits)));
+    ++stats_.bits_flipped;
+    return true;
+  }
+
+  bool enabled() const { return options_.enabled(); }
+  const FaultOptions& options() const { return options_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  // Rate 0 must not consume randomness: a fault-free store stays
+  // byte-identical to one built before fault injection existed.
+  bool Draw(double rate) { return rate > 0.0 && rng_.Bernoulli(rate); }
+
+  FaultOptions options_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+/// Bounded retry-with-exponential-backoff for the transient (IOError)
+/// failure class. The simulated disk never actually blocks, so backoff
+/// is accounted in virtual microseconds instead of slept.
+struct RetryPolicy {
+  /// Total tries per operation (1 = no retries).
+  int max_attempts = 4;
+  /// First wait; doubles per retry up to `backoff_max_us`.
+  uint64_t backoff_initial_us = 100;
+  uint64_t backoff_max_us = 10000;
+
+  Status Validate() const {
+    if (max_attempts < 1) {
+      return Status::InvalidArgument("retry max_attempts must be >= 1");
+    }
+    return Status::OK();
+  }
+
+  /// Simulated wait before retry number `retry` (1-based).
+  uint64_t BackoffUs(int retry) const {
+    uint64_t wait = backoff_initial_us;
+    for (int i = 1; i < retry && wait < backoff_max_us; ++i) wait *= 2;
+    return wait < backoff_max_us ? wait : backoff_max_us;
+  }
+};
+
+}  // namespace birch
+
+#endif  // BIRCH_PAGESTORE_FAULT_INJECTOR_H_

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "pagestore/crc32c.h"
 
 namespace birch {
 
-PageStore::PageStore(size_t page_size, size_t capacity_bytes)
-    : page_size_(page_size), capacity_bytes_(capacity_bytes) {
+PageStore::PageStore(size_t page_size, size_t capacity_bytes,
+                     const FaultOptions& faults)
+    : page_size_(page_size), capacity_bytes_(capacity_bytes),
+      injector_(faults) {
   assert(page_size_ > 0);
 }
 
@@ -16,7 +21,9 @@ StatusOr<PageId> PageStore::Allocate() {
                              std::to_string(capacity_bytes_) + " bytes)");
   }
   PageId id = next_id_++;
-  pages_.emplace(id, Page(page_size_));
+  Page page(page_size_);
+  page.crc = Crc32c(page.bytes);
+  pages_.emplace(id, std::move(page));
   return id;
 }
 
@@ -28,7 +35,25 @@ Status PageStore::Write(PageId id, std::span<const uint8_t> data) {
   if (data.size() > page_size_) {
     return Status::InvalidArgument("write larger than page size");
   }
-  std::copy(data.begin(), data.end(), it->second.bytes.begin());
+  if (injector_.InjectWriteTransient()) {
+    ++io_.transient_write_errors;
+    return Status::IOError("transient write fault on page " +
+                           std::to_string(id));
+  }
+  Page& page = it->second;
+  std::copy(data.begin(), data.end(), page.bytes.begin());
+  page.crc = Crc32c(page.bytes);
+  page.lost = false;
+  // Silent faults: the write reports success, the damage surfaces on
+  // the next Read (as DataLoss, via the lost flag or the checksum).
+  if (injector_.InjectPageLoss()) {
+    page.lost = true;
+  } else {
+    size_t bit = 0;
+    if (injector_.InjectBitFlip(page_size_ * 8, &bit)) {
+      page.bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+  }
   ++io_.pages_written;
   return Status::OK();
 }
@@ -38,7 +63,23 @@ Status PageStore::Read(PageId id, std::vector<uint8_t>* out) {
   if (it == pages_.end()) {
     return Status::NotFound("page " + std::to_string(id));
   }
-  *out = it->second.bytes;
+  if (injector_.InjectReadTransient()) {
+    ++io_.transient_read_errors;
+    return Status::IOError("transient read fault on page " +
+                           std::to_string(id));
+  }
+  const Page& page = it->second;
+  if (page.lost) {
+    ++io_.lost_page_reads;
+    return Status::DataLoss("page " + std::to_string(id) +
+                            " was lost (write silently dropped)");
+  }
+  if (Crc32c(page.bytes) != page.crc) {
+    ++io_.checksum_failures;
+    return Status::DataLoss("checksum mismatch on page " +
+                            std::to_string(id));
+  }
+  *out = page.bytes;
   ++io_.pages_read;
   return Status::OK();
 }
@@ -50,6 +91,18 @@ Status PageStore::Free(PageId id) {
   }
   pages_.erase(it);
   ++io_.pages_freed;
+  return Status::OK();
+}
+
+Status PageStore::CorruptBitForTesting(PageId id, size_t bit) {
+  auto it = pages_.find(id);
+  if (it == pages_.end()) {
+    return Status::NotFound("page " + std::to_string(id));
+  }
+  if (bit >= page_size_ * 8) {
+    return Status::InvalidArgument("bit index out of range");
+  }
+  it->second.bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
   return Status::OK();
 }
 

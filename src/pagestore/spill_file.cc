@@ -2,16 +2,46 @@
 
 #include <cassert>
 #include <cstring>
+#include <string>
 
 namespace birch {
 
-SpillFile::SpillFile(PageStore* store, size_t record_doubles)
-    : store_(store), record_doubles_(record_doubles) {
+SpillFile::SpillFile(PageStore* store, size_t record_doubles,
+                     const RetryPolicy& retry)
+    : store_(store), record_doubles_(record_doubles), retry_(retry) {
   assert(record_doubles_ > 0);
   records_per_page_ = store_->page_size() / (record_doubles_ * sizeof(double));
   assert(records_per_page_ >= 1 &&
          "page too small to hold one spill record");
   staging_.reserve(records_per_page_ * record_doubles_);
+}
+
+Status SpillFile::WriteWithRetry(PageId id, std::span<const uint8_t> data) {
+  Status st;
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    st = store_->Write(id, data);
+    if (st.code() != StatusCode::kIOError) return st;
+    ++stats_.transient_errors;
+    if (attempt < retry_.max_attempts) {
+      ++stats_.io_retries;
+      stats_.backoff_us += retry_.BackoffUs(attempt);
+    }
+  }
+  return st;
+}
+
+Status SpillFile::ReadWithRetry(PageId id, std::vector<uint8_t>* out) {
+  Status st;
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    st = store_->Read(id, out);
+    if (st.code() != StatusCode::kIOError) return st;
+    ++stats_.transient_errors;
+    if (attempt < retry_.max_attempts) {
+      ++stats_.io_retries;
+      stats_.backoff_us += retry_.BackoffUs(attempt);
+    }
+  }
+  return st;
 }
 
 Status SpillFile::Append(std::span<const double> record) {
@@ -32,19 +62,42 @@ Status SpillFile::FlushStaging() {
   if (!id_or.ok()) return id_or.status();
   std::vector<uint8_t> buf(staging_.size() * sizeof(double));
   std::memcpy(buf.data(), staging_.data(), buf.size());
-  BIRCH_RETURN_IF_ERROR(store_->Write(id_or.value(), buf));
+  Status st = WriteWithRetry(id_or.value(), buf);
+  if (!st.ok()) {
+    // Give the page back: a failed flush must not leak capacity, and
+    // the staging buffer stays intact for the next attempt.
+    store_->Free(id_or.value());
+    return st;
+  }
   pages_.push_back(id_or.value());
   page_records_.push_back(staging_.size() / record_doubles_);
   staging_.clear();
   return Status::OK();
 }
 
-Status SpillFile::DrainAll(std::vector<double>* out) {
+Status SpillFile::DrainAll(std::vector<double>* out, DrainReport* report) {
   out->clear();
   out->reserve(count_ * record_doubles_);
+  DrainReport rep;
+  rep.pages_total = pages_.size();
   std::vector<uint8_t> buf;
   for (size_t i = 0; i < pages_.size(); ++i) {
-    BIRCH_RETURN_IF_ERROR(store_->Read(pages_[i], &buf));
+    Status st = ReadWithRetry(pages_[i], &buf);
+    if (!st.ok()) {
+      if (st.code() != StatusCode::kDataLoss &&
+          st.code() != StatusCode::kIOError) {
+        return st;  // structural error (e.g. NotFound) — a real bug
+      }
+      // The page is gone (lost, corrupt, or unreadable past the retry
+      // budget): skip it rather than decode garbage, and account for
+      // every record it held.
+      ++rep.pages_lost;
+      rep.records_lost += page_records_[i];
+      ++stats_.pages_lost;
+      stats_.records_lost += page_records_[i];
+      store_->Free(pages_[i]);
+      continue;
+    }
     size_t doubles = page_records_[i] * record_doubles_;
     size_t old = out->size();
     out->resize(old + doubles);
@@ -56,6 +109,16 @@ Status SpillFile::DrainAll(std::vector<double>* out) {
   page_records_.clear();
   staging_.clear();
   count_ = 0;
+  rep.records_returned = out->size() / record_doubles_;
+  if (report != nullptr) {
+    *report = rep;
+    return Status::OK();
+  }
+  if (rep.records_lost > 0) {
+    return Status::DataLoss("spill drain lost " +
+                            std::to_string(rep.records_lost) + " records (" +
+                            std::to_string(rep.pages_lost) + " pages)");
+  }
   return Status::OK();
 }
 

@@ -3,6 +3,12 @@
 // a serialized CF entry (N, LS[0..d), SS). The spill file is agnostic to
 // the record semantics — it just moves fixed-size records to and from
 // the simulated disk.
+//
+// The spill file owns the fault response for its store: transient
+// IOErrors are retried under a bounded exponential-backoff policy, and
+// the drain skips pages the device lost or corrupted (kDataLoss),
+// reporting exactly how many records went with them — corrupt records
+// are never silently returned as data.
 #ifndef BIRCH_PAGESTORE_SPILL_FILE_H_
 #define BIRCH_PAGESTORE_SPILL_FILE_H_
 
@@ -10,10 +16,33 @@
 #include <span>
 #include <vector>
 
+#include "pagestore/fault_injector.h"
 #include "pagestore/page_store.h"
 #include "util/status.h"
 
 namespace birch {
+
+/// Cumulative fault-handling counters for one SpillFile.
+struct SpillStats {
+  /// Transient IOErrors observed (each retry attempt that failed).
+  uint64_t transient_errors = 0;
+  /// Extra attempts made after a transient error.
+  uint64_t io_retries = 0;
+  /// Simulated backoff time spent waiting between retries.
+  uint64_t backoff_us = 0;
+  /// Pages the drain had to skip (lost, corrupt, or unreadable after
+  /// retries) and the records stored in them.
+  uint64_t pages_lost = 0;
+  uint64_t records_lost = 0;
+};
+
+/// Outcome of one DrainAll: how much came back, how much did not.
+struct DrainReport {
+  size_t records_returned = 0;
+  size_t records_lost = 0;
+  size_t pages_total = 0;  // flushed pages the drain visited
+  size_t pages_lost = 0;
+};
 
 /// Append-only queue of records of `record_doubles` doubles each, backed
 /// by `store`. Records are buffered into a page-sized staging buffer and
@@ -21,7 +50,8 @@ namespace birch {
 class SpillFile {
  public:
   /// `store` must outlive the SpillFile. A page must hold >= 1 record.
-  SpillFile(PageStore* store, size_t record_doubles);
+  SpillFile(PageStore* store, size_t record_doubles,
+            const RetryPolicy& retry = RetryPolicy{});
 
   /// Number of doubles per record.
   size_t record_doubles() const { return record_doubles_; }
@@ -30,26 +60,40 @@ class SpillFile {
   size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
 
+  const SpillStats& stats() const { return stats_; }
+
   /// Appends one record (must have exactly record_doubles elements).
-  /// Fails with OutOfDisk when the backing store is full; in that case
-  /// the record is NOT stored and the caller must drain first.
+  /// Fails with OutOfDisk when the backing store is full and with
+  /// IOError when a flush write keeps failing past the retry budget.
+  /// Either way the record is NOT stored, the staging buffer is left
+  /// intact, and every previously-accepted record remains drainable
+  /// exactly once.
   Status Append(std::span<const double> record);
 
   /// Reads every record (flushing the staging buffer first), frees all
-  /// backing pages, and resets the file to empty. Records come back in
-  /// append order, flattened into `out` (size = size()*record_doubles).
-  Status DrainAll(std::vector<double>* out);
+  /// backing pages, and resets the file to empty. Surviving records
+  /// come back in append order, flattened into `out`; pages the device
+  /// lost or corrupted are skipped, never decoded. With `report`
+  /// non-null the drain returns OK and the report carries the loss
+  /// counts; with `report` null any loss turns into a kDataLoss status
+  /// (out still holds the survivors) so data never vanishes silently.
+  Status DrainAll(std::vector<double>* out, DrainReport* report = nullptr);
 
  private:
   Status FlushStaging();
+  /// Store ops with bounded retry on transient (kIOError) failures.
+  Status WriteWithRetry(PageId id, std::span<const uint8_t> data);
+  Status ReadWithRetry(PageId id, std::vector<uint8_t>* out);
 
   PageStore* store_;
   size_t record_doubles_;
   size_t records_per_page_;
+  RetryPolicy retry_;
   std::vector<double> staging_;        // < records_per_page_ records
   std::vector<PageId> pages_;          // flushed pages, in append order
   std::vector<size_t> page_records_;   // records stored in each page
   size_t count_ = 0;
+  SpillStats stats_;
 };
 
 }  // namespace birch

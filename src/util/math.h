@@ -43,8 +43,25 @@ inline double ManhattanDistance(std::span<const double> a,
 }
 
 /// max(x, 0): clamps tiny negative values produced by floating-point
-/// cancellation in variance-style expressions before sqrt.
+/// cancellation in variance-style expressions before sqrt. NaN also
+/// maps to 0 (the comparison is false), so sqrt never sees garbage.
 inline double ClampNonNegative(double x) { return x > 0.0 ? x : 0.0; }
+
+/// BETULA-style guard (Lang & Schubert 2020) for variance-style
+/// differences `a - b` of large, nearly-equal terms, e.g. the CF
+/// radius SS/N - ||LS/N||^2. For clusters far from the origin the
+/// subtraction cancels catastrophically: the true value drowns below
+/// the rounding error of the operands, and the raw result is noise of
+/// either sign — not just tiny negatives but plausible-looking
+/// positive garbage. Anything smaller than a few hundred ulps of the
+/// operands' magnitude is therefore indistinguishable from zero and is
+/// clamped to exactly 0 (as are negatives and NaN).
+inline double GuardedNonNegative(double x, double magnitude) {
+  if (!(x > 0.0)) return 0.0;
+  constexpr double kCancellationEps = 1e-12;  // ~4500 double ulps
+  if (x < kCancellationEps * magnitude) return 0.0;
+  return x;
+}
 
 }  // namespace birch
 

@@ -22,6 +22,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIOError,
+  /// Stored data is unrecoverable: a page was lost or failed checksum
+  /// verification. Unlike kIOError this is NOT retryable — the bytes
+  /// are gone; callers degrade and account for the loss instead.
+  kDataLoss,
 };
 
 /// Result of an operation: either OK or a code plus a human-readable
@@ -54,6 +58,9 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,6 +82,7 @@ class Status {
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kIOError: return "IOError";
+      case StatusCode::kDataLoss: return "DataLoss";
     }
     return "Unknown";
   }

@@ -192,5 +192,40 @@ TEST(CfVectorTest, RadiusNeverNegativeUnderCancellation) {
   EXPECT_GE(cf.SquaredDiameter(), 0.0);
 }
 
+TEST(CfVectorTest, FarFromOriginGuardClampsCancellationNoise) {
+  // BETULA-style guard regression: a cluster of IDENTICAL points far
+  // from the origin has radius and diameter exactly 0, but the raw
+  // SS/N - ||LS/N||^2 cancellation yields noise of either sign — the
+  // positive-garbage case used to survive the old max(x, 0) clamp and
+  // propagate through sqrt as a plausible-looking nonzero radius.
+  for (double c : {1e6, 1e7, 1e8, -1e8}) {
+    CfVector cf(3);
+    for (int i = 0; i < 1000; ++i) {
+      cf.AddPoint(std::vector<double>{c, c * 0.5, -c});
+    }
+    EXPECT_EQ(cf.SquaredRadius(), 0.0) << "center " << c;
+    EXPECT_EQ(cf.Radius(), 0.0) << "center " << c;
+    EXPECT_EQ(cf.SquaredDiameter(), 0.0) << "center " << c;
+    EXPECT_EQ(cf.Diameter(), 0.0) << "center " << c;
+    EXPECT_EQ(cf.SumSquaredDeviation(), 0.0) << "center " << c;
+    EXPECT_FALSE(std::isnan(cf.Radius()));
+  }
+}
+
+TEST(CfVectorTest, GuardPreservesResolvableSpread) {
+  // The guard must clamp only sub-noise-floor values: a genuine spread
+  // well above the cancellation noise must come through accurately.
+  Rng rng(123);
+  CfVector cf(2);
+  double c = 1e3;  // far enough to be interesting, near enough to resolve
+  for (int i = 0; i < 2000; ++i) {
+    cf.AddPoint(std::vector<double>{rng.Gaussian(c, 1.0),
+                                    rng.Gaussian(-c, 1.0)});
+  }
+  // True RMS distance to the centroid is ~sqrt(2) for unit sigma in 2-d.
+  EXPECT_NEAR(cf.Radius(), std::sqrt(2.0), 0.1);
+  EXPECT_GT(cf.SquaredDiameter(), 0.0);
+}
+
 }  // namespace
 }  // namespace birch

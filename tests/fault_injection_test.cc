@@ -1,0 +1,197 @@
+// End-to-end fault-tolerance tests: BIRCH on a misbehaving outlier
+// disk. Transient error rates up to 10% must be absorbed by the retry
+// policy with no quality impact beyond noise; permanent page loss and
+// bit rot must degrade the run gracefully (in-tree fallback) with exact
+// loss accounting in RobustnessStats — never a failed run, never
+// silently-corrupt records.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "birch/birch.h"
+#include "birch/phase1.h"
+#include "datagen/generator.h"
+#include "eval/quality.h"
+
+namespace birch {
+namespace {
+
+/// DS1-style workload (grid-placed Gaussian clusters, Table 1) with
+/// background noise so rebuilds produce genuine outlier spills.
+GeneratedData Ds1Style(uint64_t seed) {
+  GeneratorOptions g;
+  g.dim = 2;
+  g.k = 20;
+  g.n_low = g.n_high = 500;
+  g.r_low = g.r_high = 1.0;
+  g.pattern = PlacementPattern::kGrid;
+  g.grid_spacing = 10.0;
+  g.noise_fraction = 0.10;
+  g.seed = seed;
+  auto gen = Generate(g);
+  EXPECT_TRUE(gen.ok());
+  return std::move(gen).ValueOrDie();
+}
+
+/// Small budgets so Phase 1 rebuilds, spills, and re-absorbs — the
+/// faulty disk must actually be on the hot path.
+BirchOptions StressedOptions(size_t n) {
+  BirchOptions o;
+  o.dim = 2;
+  o.k = 20;
+  o.memory_bytes = 24 * 1024;
+  o.disk_bytes = 4 * 1024;
+  o.page_size = 512;
+  o.expected_points = n;
+  return o;
+}
+
+TEST(FaultInjectionTest, TransientFaultsUpTo10PercentPreserveQuality) {
+  auto g = Ds1Style(801);
+  BirchOptions base = StressedOptions(g.data.size());
+  auto clean_or = ClusterDataset(g.data, base);
+  ASSERT_TRUE(clean_or.ok()) << clean_or.status().ToString();
+  const BirchResult& clean = clean_or.value();
+  double clean_d = WeightedAverageDiameter(clean.clusters);
+  ASSERT_GT(clean_d, 0.0);
+  // The workload must actually exercise the disk for this test to mean
+  // anything.
+  ASSERT_GT(clean.phase1.outlier_entries_spilled, 0u);
+
+  for (double rate : {0.02, 0.05, 0.10}) {
+    BirchOptions o = StressedOptions(g.data.size());
+    o.fault.read_transient_rate = rate;
+    o.fault.write_transient_rate = rate;
+    o.fault.seed = 4242;
+    auto faulty_or = ClusterDataset(g.data, o);
+    ASSERT_TRUE(faulty_or.ok())
+        << "rate " << rate << ": " << faulty_or.status().ToString();
+    const BirchResult& faulty = faulty_or.value();
+    EXPECT_EQ(faulty.clusters.size(), clean.clusters.size())
+        << "rate " << rate;
+    double faulty_d = WeightedAverageDiameter(faulty.clusters);
+    EXPECT_NEAR(faulty_d, clean_d, 0.05 * clean_d) << "rate " << rate;
+    // The injector fired and the retry policy absorbed it.
+    EXPECT_GT(faulty.robustness.transient_io_errors, 0u) << "rate " << rate;
+    EXPECT_GT(faulty.robustness.io_retries, 0u) << "rate " << rate;
+    EXPECT_EQ(faulty.robustness.checksum_failures, 0u) << "rate " << rate;
+  }
+}
+
+TEST(FaultInjectionTest, FaultRunsAreDeterministicallyReplayable) {
+  auto g = Ds1Style(802);
+  BirchOptions o = StressedOptions(g.data.size());
+  o.fault.read_transient_rate = 0.10;
+  o.fault.write_transient_rate = 0.10;
+  o.fault.page_loss_rate = 0.02;
+  o.fault.seed = 77;
+  auto a_or = ClusterDataset(g.data, o);
+  auto b_or = ClusterDataset(g.data, o);
+  ASSERT_TRUE(a_or.ok());
+  ASSERT_TRUE(b_or.ok());
+  const RobustnessStats& a = a_or.value().robustness;
+  const RobustnessStats& b = b_or.value().robustness;
+  EXPECT_EQ(a.transient_io_errors, b.transient_io_errors);
+  EXPECT_EQ(a.io_retries, b.io_retries);
+  EXPECT_EQ(a.records_lost, b.records_lost);
+  EXPECT_EQ(a.degradation_events, b.degradation_events);
+  EXPECT_EQ(a_or.value().clusters.size(), b_or.value().clusters.size());
+}
+
+TEST(FaultInjectionTest, BitRotIsCaughtByChecksumsNeverDecoded) {
+  auto g = Ds1Style(803);
+  BirchOptions o = StressedOptions(g.data.size());
+  o.fault.bit_flip_rate = 0.25;
+  o.fault.seed = 9;
+  auto result_or = ClusterDataset(g.data, o);
+  ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
+  const RobustnessStats& r = result_or.value().robustness;
+  // Corruption happened, was caught by CRC32C on read, and the affected
+  // records were dropped with exact accounting — not decoded as data.
+  EXPECT_GT(r.checksum_failures, 0u);
+  EXPECT_GT(r.records_lost, 0u);
+  EXPECT_GT(r.degradation_events, 0u);
+  EXPECT_EQ(result_or.value().clusters.size(), 20u);
+}
+
+TEST(FaultInjectionTest, PermanentDiskLossDegradesGracefully) {
+  auto g = Ds1Style(804);
+  BirchOptions base = StressedOptions(g.data.size());
+  auto clean_or = ClusterDataset(g.data, base);
+  ASSERT_TRUE(clean_or.ok());
+
+  BirchOptions o = StressedOptions(g.data.size());
+  o.fault.page_loss_rate = 1.0;  // the disk silently eats every write
+  auto result_or = ClusterDataset(g.data, o);
+  ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
+  const BirchResult& result = result_or.value();
+  const RobustnessStats& r = result.robustness;
+  EXPECT_GT(r.degradation_events, 0u);
+  EXPECT_TRUE(r.outlier_disk_disabled);
+  EXPECT_GT(r.records_lost, 0u);
+  // Exact loss accounting: with every write lost, the records lost are
+  // exactly the records that reached a flushed page — every page the
+  // drains visited was lost, none decoded.
+  EXPECT_EQ(r.records_lost,
+            r.pages_lost * (o.page_size / (4 * sizeof(double))));
+  EXPECT_EQ(result.clusters.size(), clean_or.value().clusters.size());
+}
+
+TEST(FaultInjectionTest, ZeroDiskBytesRunsInTreeFallback) {
+  auto g = Ds1Style(805);
+  BirchOptions o = StressedOptions(g.data.size());
+  o.disk_bytes = 0;  // no outlier disk at all
+  ASSERT_TRUE(o.Validate().ok());
+  auto result_or = ClusterDataset(g.data, o);
+  ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
+  const BirchResult& result = result_or.value();
+  EXPECT_TRUE(result.robustness.outlier_disk_disabled);
+  EXPECT_EQ(result.disk_pages_written, 0u);
+  // Outliers still got handled — through the in-tree fallback.
+  EXPECT_GT(result.robustness.fallback_absorbed +
+                result.robustness.fallback_dropped,
+            0u);
+  EXPECT_EQ(result.clusters.size(), 20u);
+}
+
+TEST(FaultInjectionTest, ZeroDiskPhase1ConservesEveryPoint) {
+  auto g = Ds1Style(806);
+  Phase1Options o;
+  o.tree.dim = 2;
+  o.tree.page_size = 512;
+  o.memory_budget_bytes = 16 * 1024;
+  o.disk_budget_bytes = 0;
+  Phase1Builder b(o);
+  ASSERT_TRUE(b.AddDataset(g.data).ok());
+  ASSERT_TRUE(b.Finish().ok());
+  double total = b.tree().TreeSummary().n();
+  for (const auto& e : b.final_outliers()) total += e.n();
+  EXPECT_NEAR(total, static_cast<double>(g.data.size()), 1e-6);
+  EXPECT_TRUE(b.robustness().outlier_disk_disabled);
+  EXPECT_EQ(b.disk().io_stats().pages_written, 0u);
+}
+
+TEST(FaultInjectionTest, OptionsValidateFaultAndDiskInteraction) {
+  BirchOptions o;
+  o.k = 5;
+  ASSERT_TRUE(o.Validate().ok());
+  o.disk_bytes = 0;  // documented: no disk, in-tree fallback
+  EXPECT_TRUE(o.Validate().ok());
+  o.disk_bytes = o.page_size - 1;  // cannot hold a single page
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.disk_bytes = o.page_size;
+  EXPECT_TRUE(o.Validate().ok());
+  o.fault.page_loss_rate = 1.5;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.fault.page_loss_rate = 0.5;
+  EXPECT_TRUE(o.Validate().ok());
+  o.fault.read_transient_rate = -0.1;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.fault.read_transient_rate = 0.0;
+  o.io_retry.max_attempts = 0;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace birch

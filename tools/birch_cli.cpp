@@ -41,10 +41,11 @@ StatusOr<GlobalAlgorithm> ParseAlgorithm(const std::string& name) {
 int Run(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
   Status known = flags.CheckKnown(
-      {"input", "output", "k", "distance-limit", "memory-kb", "page",
-       "metric", "threshold", "algorithm", "refine-passes",
+      {"input", "output", "k", "distance-limit", "memory-kb", "disk-kb",
+       "page", "metric", "threshold", "algorithm", "refine-passes",
        "discard-distance", "no-outliers", "no-delay-split", "stream",
-       "seed", "help"});
+       "seed", "fault-read", "fault-write", "fault-lose", "fault-flip",
+       "fault-seed", "io-attempts", "help"});
   if (!known.ok() || flags.Has("help") || !flags.Has("input") ||
       (!flags.Has("k") && !flags.Has("distance-limit"))) {
     if (!known.ok()) std::fprintf(stderr, "%s\n", known.ToString().c_str());
@@ -56,8 +57,15 @@ int Run(int argc, char** argv) {
                  "[--refine-passes N] [--discard-distance D] "
                  "[--no-outliers] [--no-delay-split] [--stream] "
                  "[--seed S]\n"
+                 "       [--disk-kb R] [--fault-read P] [--fault-write P] "
+                 "[--fault-lose P] [--fault-flip P] [--fault-seed S] "
+                 "[--io-attempts N]\n"
                  "  --stream clusters the file without loading it into "
-                 "memory (no per-row labels).\n");
+                 "memory (no per-row labels).\n"
+                 "  --disk-kb 0 disables the outlier disk (in-tree "
+                 "fallback); --fault-* inject seeded\n"
+                 "  disk faults (probabilities in [0,1]) retried up to "
+                 "--io-attempts times.\n");
     return flags.Has("help") ? 0 : 2;
   }
   const bool stream = flags.GetBool("stream", false);
@@ -71,7 +79,18 @@ int Run(int argc, char** argv) {
   o.k = static_cast<int>(flags.GetInt("k", 0));
   o.global_distance_limit = flags.GetDouble("distance-limit", 0.0);
   o.memory_bytes = static_cast<size_t>(flags.GetInt("memory-kb", 80)) * 1024;
-  o.disk_bytes = o.memory_bytes / 5;
+  o.disk_bytes = static_cast<size_t>(flags.GetInt(
+                     "disk-kb",
+                     static_cast<int64_t>(o.memory_bytes / 5 / 1024))) *
+                 1024;
+  o.fault.read_transient_rate = flags.GetDouble("fault-read", 0.0);
+  o.fault.write_transient_rate = flags.GetDouble("fault-write", 0.0);
+  o.fault.page_loss_rate = flags.GetDouble("fault-lose", 0.0);
+  o.fault.bit_flip_rate = flags.GetDouble("fault-flip", 0.0);
+  o.fault.seed = static_cast<uint64_t>(
+      flags.GetInt("fault-seed", static_cast<int64_t>(o.fault.seed)));
+  o.io_retry.max_attempts =
+      static_cast<int>(flags.GetInt("io-attempts", o.io_retry.max_attempts));
   o.page_size = static_cast<size_t>(flags.GetInt("page", 1024));
   o.initial_threshold = flags.GetDouble("threshold", 0.0);
   o.refinement_passes = static_cast<int>(flags.GetInt("refine-passes", 1));
@@ -133,6 +152,20 @@ int Run(int argc, char** argv) {
               static_cast<unsigned long long>(r.phase1.rebuilds),
               r.peak_memory_bytes / 1024,
               stream ? " (streamed; data never resident)" : "");
+  const RobustnessStats& rb = r.robustness;
+  if (o.fault.enabled() || rb.degradation_events > 0 ||
+      rb.outlier_disk_disabled) {
+    std::printf("robustness: %llu transient errors (%llu retries), "
+                "%llu checksum failures, %llu records lost, "
+                "%llu degradation events%s\n",
+                static_cast<unsigned long long>(rb.transient_io_errors),
+                static_cast<unsigned long long>(rb.io_retries),
+                static_cast<unsigned long long>(rb.checksum_failures),
+                static_cast<unsigned long long>(rb.records_lost),
+                static_cast<unsigned long long>(rb.degradation_events),
+                rb.outlier_disk_disabled ? "; outlier disk out of service"
+                                         : "");
+  }
 
   TablePrinter table({"cluster", "points", "radius", "centroid"});
   for (size_t c = 0; c < r.clusters.size(); ++c) {
