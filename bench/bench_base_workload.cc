@@ -19,6 +19,10 @@ namespace birch {
 namespace {
 
 int Run(int argc, char** argv) {
+  // --smoke: scaled-down DS1 with metrics + trace export, fast enough
+  // for `ctest -L smoke`. Exercises the full bench + obs pipeline.
+  const bool smoke = bench::HasFlagArg(argc, argv, "--smoke");
+  if (smoke) obs::Tracer::Default().StartRecording();
   std::printf(
       "E1 / Table 4: base workload (paper: BIRCH ~= 50s per dataset on "
       "1996 hardware,\nD within a few %% of the actual clusters, all 100 "
@@ -29,23 +33,30 @@ int Run(int argc, char** argv) {
   CsvWriter csv({"dataset", "n", "seconds", "d", "d_actual", "entries",
                  "rebuilds", "matched", "centroid_disp"});
 
-  for (auto ds :
-       {PaperDataset::kDS1, PaperDataset::kDS2, PaperDataset::kDS3}) {
-    auto gen = GeneratePaperDataset(ds);
+  std::vector<PaperDataset> datasets =
+      smoke ? std::vector<PaperDataset>{PaperDataset::kDS1}
+            : std::vector<PaperDataset>{PaperDataset::kDS1,
+                                        PaperDataset::kDS2,
+                                        PaperDataset::kDS3};
+  const int k = smoke ? 25 : 100;
+  obs::MetricsSnapshot smoke_metrics;
+  for (auto ds : datasets) {
+    auto gen = smoke ? GeneratePaperDataset(ds, k, /*n_override=*/100)
+                     : GeneratePaperDataset(ds);
     if (!gen.ok()) {
       std::fprintf(stderr, "generate failed: %s\n",
                    gen.status().ToString().c_str());
       return 1;
     }
     const auto& g = gen.value();
-    auto row_or =
-        bench::RunBirch(g, bench::PaperDefaults(100, g.data.size()));
+    auto row_or = bench::RunBirch(g, bench::PaperDefaults(k, g.data.size()));
     if (!row_or.ok()) {
       std::fprintf(stderr, "run failed: %s\n",
                    row_or.status().ToString().c_str());
       return 1;
     }
     const auto& row = row_or.value();
+    if (smoke) smoke_metrics = row.result.metrics;
     table.Row()
         .Add(PaperDatasetName(ds))
         .Add(g.data.size())
@@ -70,7 +81,7 @@ int Run(int argc, char** argv) {
         .Add(static_cast<int64_t>(row.match.matched))
         .Add(row.match.mean_centroid_displacement);
 
-    if (ds == PaperDataset::kDS1) {
+    if (ds == PaperDataset::kDS1 && !smoke) {
       // Figs. 6-7 stand-in: actual vs BIRCH clusters for DS1.
       std::vector<CfVector> actual_cfs;
       for (const auto& a : g.actual) actual_cfs.push_back(a.cf);
@@ -82,6 +93,18 @@ int Run(int argc, char** argv) {
   }
   table.Print();
   bench::MaybeWriteCsv(csv, bench::CsvPathFromArgs(argc, argv));
+  if (smoke) {
+    // The smoke run must prove the export pipeline end to end: a
+    // metrics table with real counts, a CSV, and a loadable trace.
+    if (smoke_metrics.empty()) {
+      std::fprintf(stderr, "smoke: metrics snapshot is empty\n");
+      return 1;
+    }
+    if (!bench::DumpMetrics(smoke_metrics, "smoke_metrics.csv",
+                            "smoke_trace.json")) {
+      return 1;
+    }
+  }
   return 0;
 }
 

@@ -4,9 +4,12 @@
 // decisions called out in DESIGN.md (entry layout, descent metric).
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "birch/cf_tree.h"
 #include "birch/cf_vector.h"
 #include "birch/metrics.h"
+#include "obs/metrics.h"
 #include "pagestore/memory_tracker.h"
 #include "util/random.h"
 
@@ -99,6 +102,41 @@ void BM_TreeInsertMetric(benchmark::State& state) {
   state.SetLabel(MetricName(o.metric));
 }
 BENCHMARK(BM_TreeInsertMetric)->DenseRange(0, 4);
+
+// Instrumentation overhead on the insert path, obs enabled vs
+// disabled. The tree is warmed to steady state on a fixed point set
+// first (repeat inserts are pure absorptions), so per-insert cost does
+// not depend on the iteration count and the two columns are directly
+// comparable. The obs-off column is the baseline; the delta documents
+// the <3% insert-path overhead budget (DESIGN.md "Observability").
+void BM_TreeInsertObs(benchmark::State& state) {
+  const bool obs_on = state.range(0) != 0;
+  const bool prev = obs::Enabled();
+  obs::SetEnabled(obs_on);
+  CfTreeOptions o;
+  o.dim = 2;
+  o.page_size = 1024;
+  o.threshold = 0.5;
+  Rng rng(4);
+  MemoryTracker mem;
+  CfTree tree(o, &mem);
+  constexpr size_t kPoints = 4096;
+  std::vector<std::array<double, 2>> pts(kPoints);
+  for (auto& p : pts) {
+    p[0] = rng.Uniform(0, 100);
+    p[1] = rng.Uniform(0, 100);
+  }
+  for (const auto& p : pts) tree.InsertPoint(p);  // warm to steady state
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.InsertPoint(pts[i]));
+    i = (i + 1) % kPoints;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(obs_on ? "obs-on" : "obs-off");
+  obs::SetEnabled(prev);
+}
+BENCHMARK(BM_TreeInsertObs)->Arg(0)->Arg(1);
 
 void BM_TreeRebuild(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -12,6 +12,8 @@
 #include "datagen/generator.h"
 #include "eval/matching.h"
 #include "eval/quality.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "util/csv.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -100,6 +102,46 @@ inline std::string CsvPathFromArgs(int argc, char** argv) {
     if (std::string(argv[i]) == "--csv") return argv[i + 1];
   }
   return "";
+}
+
+/// Bare-flag lookup (e.g. --smoke) for bench binaries.
+inline bool HasFlagArg(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == name) return true;
+  }
+  return false;
+}
+
+/// Shared instrumentation dump: prints the summary table and optionally
+/// writes the metrics CSV and the Chrome trace (stops recording first
+/// so every open "B" has its "E"). Returns false if a write failed.
+inline bool DumpMetrics(const obs::MetricsSnapshot& snapshot,
+                        const std::string& csv_path = "",
+                        const std::string& trace_path = "") {
+  std::printf("%s", obs::SummaryTable(snapshot).c_str());
+  bool ok = true;
+  if (!csv_path.empty()) {
+    Status st = obs::WriteCsv(snapshot, csv_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics csv write failed: %s\n",
+                   st.ToString().c_str());
+      ok = false;
+    } else {
+      std::printf("(metrics csv written to %s)\n", csv_path.c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    obs::Tracer::Default().StopRecording();
+    Status st = obs::Tracer::Default().WriteChromeTrace(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   st.ToString().c_str());
+      ok = false;
+    } else {
+      std::printf("(trace written to %s)\n", trace_path.c_str());
+    }
+  }
+  return ok;
 }
 
 inline void MaybeWriteCsv(const CsvWriter& csv, const std::string& path) {

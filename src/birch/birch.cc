@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "util/math.h"
 #include "util/timer.h"
 
@@ -39,7 +41,8 @@ Phase1Options Phase1OptionsFrom(const BirchOptions& o) {
 
 BirchClusterer::BirchClusterer(const BirchOptions& options)
     : options_(options),
-      phase1_(std::make_unique<Phase1Builder>(Phase1OptionsFrom(options))) {}
+      phase1_(std::make_unique<Phase1Builder>(Phase1OptionsFrom(options))),
+      metrics_baseline_(obs::CaptureSnapshot()) {}
 
 StatusOr<std::unique_ptr<BirchClusterer>> BirchClusterer::Create(
     const BirchOptions& options) {
@@ -98,13 +101,17 @@ StatusOr<BirchResult> BirchClusterer::Finish(const Dataset* for_refinement) {
   // --- Phase 1 tail: flush delayed points, settle outliers. ---
   BIRCH_RETURN_IF_ERROR(phase1_->Finish());
   CfTree* tree = phase1_->mutable_tree();
-  result.timings.phase1 = timer.Seconds();
+  // Phase 1 started when the clusterer was built: the Add() stream is
+  // the phase, not just this tail.
+  result.timings.phase1 = phase1_timer_.Seconds();
+  phase1_span_.End();
   result.phase1 = phase1_->stats();
   result.robustness = phase1_->robustness();
   result.leaf_entries_after_phase1 = tree->leaf_entry_count();
 
   // --- Phase 2: condense for the global algorithm. ---
   timer.Restart();
+  obs::SpanScope phase2_span("birch/phase2");
   std::vector<CfVector> shed_outliers;
   if (options_.use_phase2 &&
       tree->leaf_entry_count() > options_.phase2_target_entries) {
@@ -122,9 +129,11 @@ StatusOr<BirchResult> BirchClusterer::Finish(const Dataset* for_refinement) {
   }
   result.leaf_entries_after_phase2 = tree->leaf_entry_count();
   result.timings.phase2 = timer.Seconds();
+  phase2_span.End();
 
   // --- Phase 3: global clustering of the leaf entries. ---
   timer.Restart();
+  obs::SpanScope phase3_span("birch/phase3");
   std::vector<CfVector> entries;
   tree->CollectLeafEntries(&entries);
   if (entries.empty()) {
@@ -140,11 +149,13 @@ StatusOr<BirchResult> BirchClusterer::Finish(const Dataset* for_refinement) {
   if (!clustering_or.ok()) return clustering_or.status();
   GlobalClustering& clustering = clustering_or.value();
   result.timings.phase3 = timer.Seconds();
+  phase3_span.End();
 
   result.clusters = clustering.clusters;
 
   // --- Phase 4: refinement / labelling over the raw data. ---
   timer.Restart();
+  obs::SpanScope phase4_span("birch/phase4");
   if (for_refinement != nullptr && !for_refinement->empty()) {
     RefineOptions r;
     r.passes = std::max(1, options_.refinement_passes);
@@ -174,6 +185,7 @@ StatusOr<BirchResult> BirchClusterer::Finish(const Dataset* for_refinement) {
     }
   }
   result.timings.phase4 = timer.Seconds();
+  phase4_span.End();
 
   // --- Bookkeeping ---
   result.centroids.clear();
@@ -191,6 +203,8 @@ StatusOr<BirchResult> BirchClusterer::Finish(const Dataset* for_refinement) {
   for (const auto& e : phase1_->final_outliers()) outlier_points += e.n();
   for (const auto& e : shed_outliers) outlier_points += e.n();
   result.outlier_points = static_cast<uint64_t>(outlier_points + 0.5);
+  tree->ExportOccupancy();
+  result.metrics = obs::CaptureSnapshot().DeltaSince(metrics_baseline_);
   return result;
 }
 
@@ -209,6 +223,7 @@ StatusOr<BirchResult> ClusterSource(PointSource* source,
 
   // Streaming Phase 4: re-scan the source per pass in O(k) memory.
   if (opts.refinement_passes > 0 && source->Rewind().ok()) {
+    TRACE_SPAN("birch/phase4");
     Timer timer;
     std::vector<std::vector<double>> centers = result.centroids;
     std::vector<double> p(opts.dim);

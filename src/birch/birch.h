@@ -15,6 +15,9 @@
 #include "birch/phase2.h"
 #include "birch/point_source.h"
 #include "birch/refine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 
 namespace birch {
 
@@ -53,6 +56,11 @@ struct BirchResult {
   uint64_t disk_pages_read = 0;
   double final_threshold = 0.0;
   uint64_t outlier_points = 0;  // points in never-absorbed outlier entries
+
+  /// Instrumentation snapshot for this run only (counters, gauges,
+  /// histograms, span aggregates, deltas against the registry state at
+  /// clusterer construction). Empty when obs is disabled.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Incremental clustering: feed points as they arrive; Finish() runs
@@ -94,6 +102,14 @@ class BirchClusterer {
   BirchOptions options_;
   std::unique_ptr<Phase1Builder> phase1_;
   bool finished_ = false;
+
+  /// Registry state at construction; Finish() reports the delta so
+  /// BirchResult::metrics covers exactly this run.
+  obs::MetricsSnapshot metrics_baseline_;
+  /// Phase 1 runs from construction (the Add() stream) through the
+  /// Finish() tail — one timer and one span cover the whole stretch.
+  Timer phase1_timer_;
+  obs::SpanScope phase1_span_{"birch/phase1"};
 };
 
 /// One-call API: cluster `data` with `options`. Labels are always

@@ -8,6 +8,9 @@
 #include <string>
 #include <unordered_set>
 
+#include "obs/export.h"
+#include "obs/trace.h"
+
 namespace birch {
 
 namespace {
@@ -42,12 +45,14 @@ CfTree::~CfTree() {
 CfNode* CfTree::AllocNode(bool leaf) {
   mem_->ForceAllocate(options_.page_size);
   ++node_count_;
+  OBS_GAUGE_ADD("tree/nodes", 1);
   return new CfNode(leaf);
 }
 
 void CfTree::FreeNode(CfNode* node) {
   mem_->Free(options_.page_size);
   --node_count_;
+  OBS_GAUGE_ADD("tree/nodes", -1);
   delete node;
 }
 
@@ -75,6 +80,7 @@ size_t CfTree::ClosestIndex(const CfNode& node, const CfVector& cf) const {
       best = i;
     }
   }
+  OBS_COUNTER_ADD("tree/distance_comps", node.entries.size());
   return best;
 }
 
@@ -100,6 +106,7 @@ InsertOutcome CfTree::InsertEntry(const CfVector& entry, InsertMode mode) {
   if (entry.empty()) return InsertOutcome::kAbsorbed;  // no-op
   assert(entry.dim() == options_.dim);
   ++stats_.inserts;
+  OBS_COUNTER_INC("tree/inserts");
 
   // Descend to the closest leaf, recording the path.
   std::vector<PathStep> path;
@@ -265,8 +272,10 @@ CfNode* CfTree::SplitNode(CfNode* node) {
     node->next = right;
     right->prev = node;
     ++stats_.leaf_splits;
+    OBS_COUNTER_INC("tree/leaf_splits");
   } else {
     ++stats_.nonleaf_splits;
+    OBS_COUNTER_INC("tree/nonleaf_splits");
   }
   return right;
 }
@@ -308,6 +317,7 @@ void CfTree::MergingRefinement(CfNode* parent, size_t split_a,
   cb->children.clear();
   FreeNode(cb);
   ++stats_.merge_refinements;
+  OBS_COUNTER_INC("tree/merge_refinements");
 
   if (ca->size() <= cap) {
     // Plain merge: drop entry b.
@@ -336,7 +346,11 @@ void CfTree::AbsorbTree(const CfTree& other) {
 
 void CfTree::Rebuild(double new_threshold, double outlier_n_threshold,
                      std::vector<CfVector>* outliers) {
+  TRACE_SPAN("tree/rebuild");
+  TRACE_COUNTER("tree/threshold", new_threshold);
   ++stats_.rebuilds;
+  OBS_COUNTER_INC("tree/rebuilds");
+  OBS_GAUGE_SET("tree/threshold", new_threshold);
   CfNode* old_root = root_;
   CfNode* leaf = first_leaf_;
 
@@ -414,6 +428,42 @@ double CfTree::AverageLeafEntryRadius() const {
     }
   }
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+void CfTree::ExportOccupancy() const {
+#ifndef BIRCH_NO_OBS
+  if (!obs::Enabled()) return;
+  obs::Registry& reg = obs::Registry::Default();
+  // Per-level node/entry totals, level 1 = root.
+  std::vector<std::pair<uint64_t, uint64_t>> levels;  // {nodes, entries}
+  std::function<void(const CfNode*, size_t)> visit = [&](const CfNode* n,
+                                                         size_t depth) {
+    if (levels.size() < depth) levels.resize(depth, {0, 0});
+    ++levels[depth - 1].first;
+    levels[depth - 1].second += n->size();
+    if (!n->is_leaf) {
+      for (const CfNode* c : n->children) visit(c, depth + 1);
+    }
+  };
+  visit(root_, 1);
+  for (size_t d = 0; d < levels.size(); ++d) {
+    std::string prefix = "tree/l" + std::to_string(d + 1);
+    reg.GetGauge(prefix + "/nodes").Set(
+        static_cast<double>(levels[d].first));
+    reg.GetGauge(prefix + "/entries").Set(
+        static_cast<double>(levels[d].second));
+  }
+  reg.GetGauge("tree/height").Set(static_cast<double>(height_));
+  reg.GetGauge("tree/leaf_entries").Set(
+      static_cast<double>(leaf_entries_));
+  const auto& leaf_level = levels.back();
+  reg.GetGauge("tree/avg_leaf_occupancy")
+      .Set(leaf_level.first == 0
+               ? 0.0
+               : static_cast<double>(leaf_level.second) /
+                     static_cast<double>(leaf_level.first) /
+                     static_cast<double>(layout_.L()));
+#endif  // BIRCH_NO_OBS
 }
 
 namespace {

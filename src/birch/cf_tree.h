@@ -147,6 +147,12 @@ class CfTree {
   /// returns false and fills `*why` on violation.
   bool CheckInvariants(std::string* why) const;
 
+  /// Publishes per-level occupancy gauges ("tree/l<depth>/nodes",
+  /// "tree/l<depth>/entries") plus height/leaf-entry/occupancy gauges
+  /// to the default obs registry. Cold path — call at phase
+  /// boundaries, not per insert. No-op when obs is disabled.
+  void ExportOccupancy() const;
+
  private:
   friend class TreeIO;  // persistence needs the raw node structure
 

@@ -3,9 +3,24 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/math.h"
 
 namespace birch {
+
+namespace {
+
+// GuardedNonNegative plus a trip counter: each time the guard clamps a
+// nonzero raw difference to 0 (catastrophic cancellation, tiny
+// negative, or NaN) the "cf/cancellation_guard" counter ticks, so a
+// run can report how often the numerical floor was actually hit.
+double GuardedStat(double x, double magnitude) {
+  double g = GuardedNonNegative(x, magnitude);
+  if (g == 0.0 && x != 0.0) OBS_COUNTER_INC("cf/cancellation_guard");
+  return g;
+}
+
+}  // namespace
 
 CfVector CfVector::FromPoint(std::span<const double> x, double weight) {
   CfVector cf(x.size());
@@ -65,8 +80,7 @@ double CfVector::SquaredRadius() const {
   // Far from the origin SS/N and ||LS/N||^2 are huge and nearly equal;
   // the guard zeroes results below the cancellation noise floor so a
   // tight distant cluster reports radius 0 instead of sqrt(garbage).
-  return GuardedNonNegative(ss_ / n_ - SquaredNorm(ls_) / (n_ * n_),
-                            ss_ / n_);
+  return GuardedStat(ss_ / n_ - SquaredNorm(ls_) / (n_ * n_), ss_ / n_);
 }
 
 double CfVector::Radius() const { return std::sqrt(SquaredRadius()); }
@@ -74,15 +88,14 @@ double CfVector::Radius() const { return std::sqrt(SquaredRadius()); }
 double CfVector::SquaredDiameter() const {
   if (n_ <= 1.0) return 0.0;
   double num = 2.0 * (n_ * ss_ - SquaredNorm(ls_));
-  return GuardedNonNegative(num / (n_ * (n_ - 1.0)),
-                            2.0 * ss_ / (n_ - 1.0));
+  return GuardedStat(num / (n_ * (n_ - 1.0)), 2.0 * ss_ / (n_ - 1.0));
 }
 
 double CfVector::Diameter() const { return std::sqrt(SquaredDiameter()); }
 
 double CfVector::SumSquaredDeviation() const {
   if (n_ <= 0.0) return 0.0;
-  return GuardedNonNegative(ss_ - SquaredNorm(ls_) / n_, ss_);
+  return GuardedStat(ss_ - SquaredNorm(ls_) / n_, ss_);
 }
 
 void CfVector::SerializeTo(std::vector<double>* out) const {

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math.h"
 #include "util/random.h"
 
@@ -358,6 +360,8 @@ GlobalClustering MedoidsCluster(std::span<const CfVector> entries,
 
 StatusOr<GlobalClustering> GlobalCluster(
     std::span<const CfVector> entries, const GlobalClusterOptions& options) {
+  TRACE_SPAN("phase3/global");
+  OBS_COUNTER_ADD("phase3/input_entries", entries.size());
   if (entries.empty()) {
     return Status::InvalidArgument("no subclusters to cluster");
   }

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace birch {
 
 Phase1Builder::Phase1Builder(const Phase1Options& options)
@@ -75,6 +79,8 @@ Status Phase1Builder::DegradeOutlierDisk() {
   disk_enabled_ = false;
   robust_.outlier_disk_disabled = true;
   ++robust_.degradation_events;
+  OBS_COUNTER_INC("phase1/disk_degradations");
+  TRACE_INSTANT("phase1/degrade_disk");
   const size_t rec = CfVector::SerializedDoubles(options_.tree.dim);
 
   // Salvage whatever the device still returns, then never write again.
@@ -108,6 +114,7 @@ Status Phase1Builder::Add(std::span<const double> x, double weight) {
     return Status::InvalidArgument("weight must be positive");
   }
   ++stats_.points_added;
+  OBS_COUNTER_INC("phase1/points");
   CfVector ent = CfVector::FromPoint(x, weight);
 
   if (delay_mode_) {
@@ -119,6 +126,7 @@ Status Phase1Builder::Add(std::span<const double> x, double weight) {
     Status st = delayed_points_.Append(buf);
     if (st.ok()) {
       ++stats_.points_delay_spilled;
+      OBS_COUNTER_INC("phase1/delay_spills");
       return Status::OK();
     }
     if (IsUnrecoverableDiskError(st)) {
@@ -170,12 +178,15 @@ Status Phase1Builder::HandleMemoryExhaustion() {
     // what fits and spill split-forcing points to disk instead. With
     // the disk out of service there is nowhere to spill — rebuild.
     delay_mode_ = true;
+    TRACE_INSTANT("phase1/delay_split_on");
     return Status::OK();
   }
   return RebuildLarger();
 }
 
 Status Phase1Builder::RebuildLarger() {
+  TRACE_SPAN("phase1/rebuild");
+  Timer rebuild_timer;
   int guard = 0;
   do {
     double t_next = heuristic_.SuggestNext(*tree_, stats_.points_added);
@@ -185,6 +196,9 @@ Status Phase1Builder::RebuildLarger() {
     tree_->Rebuild(t_next, outlier_n, &outliers);
     ++stats_.rebuilds;
     stats_.final_threshold = t_next;
+    OBS_COUNTER_INC("phase1/rebuilds");
+    OBS_GAUGE_SET("phase1/threshold", t_next);
+    TRACE_COUNTER("phase1/threshold", t_next);
     for (const CfVector& e : outliers) {
       BIRCH_RETURN_IF_ERROR(SpillOutlierEntry(e));
     }
@@ -195,6 +209,7 @@ Status Phase1Builder::RebuildLarger() {
     return Status::OutOfMemory(
         "memory budget unattainable after repeated rebuilds");
   }
+  OBS_HISTOGRAM_RECORD("phase1/rebuild_us", rebuild_timer.Seconds() * 1e6);
   return Status::OK();
 }
 
@@ -208,6 +223,7 @@ Status Phase1Builder::SpillOutlierEntry(const CfVector& e) {
   Status st = outlier_entries_.Append(buf);
   if (st.ok()) {
     ++stats_.outlier_entries_spilled;
+    OBS_COUNTER_INC("phase1/outlier_spills");
     return Status::OK();
   }
   if (IsUnrecoverableDiskError(st)) {
@@ -226,6 +242,7 @@ Status Phase1Builder::SpillOutlierEntry(const CfVector& e) {
   st = outlier_entries_.Append(buf);
   if (st.ok()) {
     ++stats_.outlier_entries_spilled;
+    OBS_COUNTER_INC("phase1/outlier_spills");
     return Status::OK();
   }
   if (IsUnrecoverableDiskError(st)) {
@@ -237,13 +254,16 @@ Status Phase1Builder::SpillOutlierEntry(const CfVector& e) {
   // Still full (delayed points may hold the disk): force the entry back
   // into the tree so progress is guaranteed.
   ++stats_.forced_inserts;
+  OBS_COUNTER_INC("phase1/forced_inserts");
   tree_->InsertEntry(e);
   return Status::OK();
 }
 
 Status Phase1Builder::ReabsorbOutliers(bool final_pass) {
   if (outlier_entries_.empty()) return Status::OK();
+  TRACE_SPAN("phase1/reabsorb");
   ++stats_.reabsorb_cycles;
+  OBS_COUNTER_INC("phase1/reabsorb_cycles");
   std::vector<double> drained;
   DrainReport rep;
   BIRCH_RETURN_IF_ERROR(outlier_entries_.DrainAll(&drained, &rep));
@@ -258,6 +278,7 @@ Status Phase1Builder::ReabsorbOutliers(bool final_pass) {
     InsertOutcome out = tree_->InsertEntry(e, InsertMode::kAbsorbOnly);
     if (out != InsertOutcome::kRejected) {
       ++stats_.outlier_entries_reabsorbed;
+      OBS_COUNTER_INC("phase1/outliers_reabsorbed");
       continue;
     }
     if (final_pass) {
@@ -281,6 +302,7 @@ Status Phase1Builder::ReabsorbOutliers(bool final_pass) {
       }
       if (st.code() != StatusCode::kOutOfDisk) return st;
       ++stats_.forced_inserts;
+      OBS_COUNTER_INC("phase1/forced_inserts");
       tree_->InsertEntry(e);
     }
   }
@@ -291,6 +313,7 @@ Status Phase1Builder::Finish() {
   if (finished_) {
     return Status::FailedPrecondition("Finish() called twice");
   }
+  TRACE_SPAN("phase1/finish");
   finished_ = true;
   delay_mode_ = false;
 

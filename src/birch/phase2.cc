@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace birch {
 
 Status CondenseTree(CfTree* tree, const Phase2Options& options,
                     std::vector<CfVector>* outliers, Phase2Stats* stats) {
+  TRACE_SPAN("phase2/condense");
   Phase2Stats local;
   Phase2Stats* out = stats ? stats : &local;
   *out = Phase2Stats{};
@@ -31,7 +35,11 @@ Status CondenseTree(CfTree* tree, const Phase2Options& options,
     size_t shed_before = outliers ? outliers->size() : 0;
     tree->Rebuild(t_next, options.outlier_weight_threshold, outliers);
     ++out->rounds;
-    if (outliers) out->outliers_shed += outliers->size() - shed_before;
+    OBS_COUNTER_INC("phase2/rounds");
+    if (outliers) {
+      out->outliers_shed += outliers->size() - shed_before;
+      OBS_COUNTER_ADD("phase2/outliers_shed", outliers->size() - shed_before);
+    }
 
     if (tree->leaf_entry_count() >= before &&
         tree->leaf_entry_count() > options.target_leaf_entries) {
@@ -41,6 +49,7 @@ Status CondenseTree(CfTree* tree, const Phase2Options& options,
       tree->Rebuild(2.0 * t_next, options.outlier_weight_threshold,
                     outliers);
       ++out->rounds;
+      OBS_COUNTER_INC("phase2/rounds");
     }
   }
   out->final_threshold = tree->threshold();

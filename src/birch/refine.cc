@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math.h"
 
 namespace birch {
@@ -64,6 +66,7 @@ StatusOr<RefineResult> RefineClusters(const Dataset& data,
     }
   }
 
+  TRACE_SPAN("phase4/refine");
   std::vector<std::vector<double>> centers;
   centers.reserve(seeds.size());
   for (const auto& s : seeds) centers.push_back(s.Centroid());
@@ -79,6 +82,8 @@ StatusOr<RefineResult> RefineClusters(const Dataset& data,
                    &result.clusters, &discarded);
     result.points_discarded = discarded;
     ++result.passes_run;
+    OBS_COUNTER_INC("phase4/passes");
+    OBS_COUNTER_ADD("phase4/label_changes", changes);
     // Move each seed to its refined centroid for the next pass.
     for (size_t c = 0; c < result.clusters.size(); ++c) {
       if (!result.clusters[c].empty()) {
@@ -87,6 +92,7 @@ StatusOr<RefineResult> RefineClusters(const Dataset& data,
     }
     if (options.stop_when_stable && changes == 0) break;
   }
+  OBS_COUNTER_ADD("phase4/points_discarded", result.points_discarded);
   return result;
 }
 

@@ -1,0 +1,111 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/trace.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace birch {
+namespace obs {
+
+namespace {
+
+std::string FormatUs(double us) {
+  char buf[48];
+  if (us >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", us / 1e6);
+  } else if (us >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fus", us);
+  }
+  return buf;
+}
+
+std::string FormatDouble(double v) {
+  char buf[48];
+  // Integers print bare; everything else keeps a readable precision.
+  if (v == static_cast<int64_t>(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+MetricsSnapshot CaptureSnapshot() {
+  MetricsSnapshot s = Registry::Default().Snapshot();
+  s.spans = Tracer::Default().span_aggregates();
+  return s;
+}
+
+std::string SummaryTable(const MetricsSnapshot& snapshot) {
+  TablePrinter table({"metric", "kind", "value", "detail"});
+  for (const auto& [name, value] : snapshot.counters) {
+    table.Row().Add(name).Add("counter").Add(
+        static_cast<int64_t>(value)).Add("");
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    table.Row().Add(name).Add("gauge").Add(FormatDouble(value)).Add("");
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    char detail[128];
+    std::snprintf(detail, sizeof(detail), "mean=%s min=%s max=%s",
+                  FormatDouble(h.Mean()).c_str(),
+                  FormatDouble(h.min).c_str(),
+                  FormatDouble(h.max).c_str());
+    table.Row().Add(name).Add("histogram").Add(
+        static_cast<int64_t>(h.count)).Add(detail);
+  }
+  for (const auto& [name, s] : snapshot.spans) {
+    char detail[128];
+    std::snprintf(detail, sizeof(detail), "total=%s max=%s n=%llu",
+                  FormatUs(s.total_us).c_str(), FormatUs(s.max_us).c_str(),
+                  static_cast<unsigned long long>(s.count));
+    table.Row().Add(name).Add("span").Add(FormatUs(s.total_us)).Add(
+        detail);
+  }
+  return table.ToString();
+}
+
+namespace {
+
+CsvWriter SnapshotCsv(const MetricsSnapshot& snapshot) {
+  CsvWriter csv({"metric", "kind", "value", "count", "sum", "min", "max"});
+  for (const auto& [name, value] : snapshot.counters) {
+    csv.Row().Add(name).Add("counter").Add(
+        static_cast<int64_t>(value)).Add("").Add("").Add("").Add("");
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    csv.Row().Add(name).Add("gauge").Add(value).Add("").Add("").Add("")
+        .Add("");
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    csv.Row().Add(name).Add("histogram").Add("").Add(
+        static_cast<int64_t>(h.count)).Add(h.sum).Add(h.min).Add(h.max);
+  }
+  for (const auto& [name, s] : snapshot.spans) {
+    csv.Row().Add(name).Add("span").Add("").Add(
+        static_cast<int64_t>(s.count)).Add(s.total_us).Add("").Add(
+        s.max_us);
+  }
+  return csv;
+}
+
+}  // namespace
+
+std::string ToCsv(const MetricsSnapshot& snapshot) {
+  return SnapshotCsv(snapshot).ToString();
+}
+
+Status WriteCsv(const MetricsSnapshot& snapshot, const std::string& path) {
+  return SnapshotCsv(snapshot).WriteFile(path);
+}
+
+}  // namespace obs
+}  // namespace birch

@@ -1,0 +1,31 @@
+// Exporters for MetricsSnapshot: the human-readable summary table
+// (util/table), CSV (util/csv), and the snapshot capture that merges
+// the registry with the tracer's span aggregates.
+#ifndef BIRCH_OBS_EXPORT_H_
+#define BIRCH_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace birch {
+namespace obs {
+
+/// Registry::Default() metrics plus Tracer::Default() span aggregates.
+MetricsSnapshot CaptureSnapshot();
+
+/// Fixed-width summary table: one row per metric, sorted by name
+/// within kind (counters, gauges, histograms, spans).
+std::string SummaryTable(const MetricsSnapshot& snapshot);
+
+/// CSV with schema metric,kind,value,count,sum,min,max — counters and
+/// gauges fill `value`; histograms and spans fill the aggregate
+/// columns (span sum/max are microseconds).
+std::string ToCsv(const MetricsSnapshot& snapshot);
+Status WriteCsv(const MetricsSnapshot& snapshot, const std::string& path);
+
+}  // namespace obs
+}  // namespace birch
+
+#endif  // BIRCH_OBS_EXPORT_H_

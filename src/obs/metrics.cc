@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace birch {
+namespace obs {
+
+namespace internal {
+
+namespace {
+bool EnabledFromEnv() {
+  const char* v = std::getenv("BIRCH_OBS");
+  if (v == nullptr) return true;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "false") != 0 &&
+         std::strcmp(v, "off") != 0;
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{EnabledFromEnv()};
+
+}  // namespace internal
+
+void SetEnabled(bool on) {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Histogram::Record(double v) {
+  if (!Enabled()) return;
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t prior = count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+  // First record seeds min/max; later records CAS toward the extremes.
+  if (prior == 0) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+    return;
+  }
+  double m = min_.load(std::memory_order_relaxed);
+  while (v < m &&
+         !min_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+  }
+  m = max_.load(std::memory_order_relaxed);
+  while (v > m &&
+         !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+  }
+}
+
+size_t Histogram::BucketIndex(double v) {
+  if (!(v >= 1.0)) return 0;  // < 1, negative, or NaN
+  int e = static_cast<int>(std::floor(std::log2(v)));
+  return std::min(kNumBuckets - 1, static_cast<size_t>(e) + 1);
+}
+
+double Histogram::BucketLowerBound(size_t i) {
+  return i == 0 ? 0.0 : std::pow(2.0, static_cast<double>(i - 1));
+}
+
+double Histogram::BucketUpperBound(size_t i) {
+  if (i + 1 >= kNumBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::pow(2.0, static_cast<double>(i));
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  s.max = s.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  s.buckets.reserve(kNumBuckets);
+  for (const auto& b : buckets_) {
+    s.buckets.push_back(b.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& base) const {
+  MetricsSnapshot out = *this;
+  for (auto& [name, value] : out.counters) {
+    auto it = base.counters.find(name);
+    if (it != base.counters.end()) value -= std::min(value, it->second);
+  }
+  for (auto& [name, hist] : out.histograms) {
+    auto it = base.histograms.find(name);
+    if (it == base.histograms.end()) continue;
+    hist.count -= std::min(hist.count, it->second.count);
+    hist.sum -= it->second.sum;
+    for (size_t i = 0;
+         i < hist.buckets.size() && i < it->second.buckets.size(); ++i) {
+      hist.buckets[i] -= std::min(hist.buckets[i], it->second.buckets[i]);
+    }
+  }
+  for (auto& [name, span] : out.spans) {
+    auto it = base.spans.find(name);
+    if (it == base.spans.end()) continue;
+    span.count -= std::min(span.count, it->second.count);
+    span.total_us -= it->second.total_us;
+  }
+  return out;
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::make_unique<Gauge>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    s.histograms[name] = h->Snapshot();
+  }
+  return s;
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace birch

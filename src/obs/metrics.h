@@ -1,0 +1,240 @@
+// Metrics registry: named monotonic counters, gauges, and log-scale
+// histograms, shared process-wide through Registry::Default(). The hot
+// path is an enabled-flag load plus one relaxed atomic op; metric
+// handles are resolved once per instrumentation site (static local in
+// the OBS_* macros), so steady-state cost is independent of the
+// registry size. Disable at runtime with SetEnabled(false) or the
+// BIRCH_OBS=0 environment variable; compile every instrumentation site
+// out entirely with -DBIRCH_NO_OBS.
+//
+// Naming scheme: `subsystem/name` (e.g. "tree/distance_comps",
+// "pagestore/read_us"). Histogram names carry their unit as a suffix
+// (`_us`, `_bytes`).
+#ifndef BIRCH_OBS_METRICS_H_
+#define BIRCH_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace birch {
+namespace obs {
+
+namespace internal {
+/// Process-wide instrumentation switch, initialized from BIRCH_OBS
+/// ("0"/"false"/"off" disable; anything else, or unset, enables).
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True when instrumentation records. Hot-path check: one relaxed load.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips the process-wide switch (counters keep their values).
+void SetEnabled(bool on);
+
+/// Monotonic counter. Thread-safe; increments are relaxed atomics.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Increment(uint64_t delta = 1) {
+    if (Enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge (double so it can carry thresholds as well as
+/// occupancy counts). Set/Add are relaxed; Add is a CAS loop.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double v) {
+    if (Enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(double delta) {
+    if (!Enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Aggregated view of one histogram (see Histogram below).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when count == 0
+  double max = 0.0;
+  std::vector<uint64_t> buckets;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// Log-scale histogram with fixed power-of-two bucket boundaries:
+/// bucket 0 holds values < 1, bucket i (i >= 1) holds [2^(i-1), 2^i).
+/// The top bucket absorbs everything beyond the last boundary. Records
+/// are relaxed atomics; min/max are CAS loops.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  void Record(double v);
+
+  /// Bucket for value `v` (NaN and negatives land in bucket 0).
+  static size_t BucketIndex(double v);
+  /// Inclusive lower bound of bucket `i` (0 for bucket 0).
+  static double BucketLowerBound(size_t i);
+  /// Exclusive upper bound of bucket `i` (+inf for the last).
+  static double BucketUpperBound(size_t i);
+
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+/// Aggregate of one named span family (filled from the tracer).
+struct SpanSnapshot {
+  uint64_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Point-in-time copy of every metric, exported through BirchResult and
+/// the table/CSV/trace writers. Counters, histograms, and spans are
+/// cumulative since process start; DeltaSince() turns two snapshots
+/// into a per-run view (gauges stay at their current level — a level
+/// has no meaningful delta).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, SpanSnapshot> spans;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           spans.empty();
+  }
+
+  /// This snapshot minus `base` (counters/histograms/spans subtract;
+  /// gauges and histogram min/max keep their current values). Metrics
+  /// absent from `base` are treated as zero there.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& base) const;
+};
+
+/// Owner of all metrics. Handles returned by Get* are stable for the
+/// registry's lifetime; lookups are mutex-guarded (sites cache the
+/// handle in a static local via the OBS_* macros).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry the OBS_* macros record into.
+  static Registry& Default();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Copies every metric (spans are merged in by CaptureSnapshot()).
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric value. Handles stay valid (instrumentation
+  /// sites cache them), so this is safe between runs; racing it against
+  /// concurrent recording merely loses the in-flight updates.
+  void ResetValues();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace birch
+
+// --- Instrumentation macros -------------------------------------------
+//
+// `name` must be a string constant: the metric handle is resolved once
+// (static local) and reused for the lifetime of the process. All macros
+// compile to nothing under -DBIRCH_NO_OBS.
+
+#define BIRCH_OBS_CONCAT_INNER_(a, b) a##b
+#define BIRCH_OBS_CONCAT_(a, b) BIRCH_OBS_CONCAT_INNER_(a, b)
+
+#ifdef BIRCH_NO_OBS
+
+#define OBS_COUNTER_ADD(name, delta) ((void)0)
+#define OBS_COUNTER_INC(name) ((void)0)
+#define OBS_GAUGE_SET(name, value) ((void)0)
+#define OBS_GAUGE_ADD(name, delta) ((void)0)
+#define OBS_HISTOGRAM_RECORD(name, value) ((void)0)
+
+#else
+
+#define OBS_COUNTER_ADD(name, delta)                              \
+  do {                                                            \
+    static ::birch::obs::Counter& obs_counter_ =                  \
+        ::birch::obs::Registry::Default().GetCounter(name);       \
+    obs_counter_.Increment(static_cast<uint64_t>(delta));         \
+  } while (0)
+#define OBS_COUNTER_INC(name) OBS_COUNTER_ADD(name, 1)
+
+#define OBS_GAUGE_SET(name, value)                                \
+  do {                                                            \
+    static ::birch::obs::Gauge& obs_gauge_ =                      \
+        ::birch::obs::Registry::Default().GetGauge(name);         \
+    obs_gauge_.Set(static_cast<double>(value));                   \
+  } while (0)
+#define OBS_GAUGE_ADD(name, delta)                                \
+  do {                                                            \
+    static ::birch::obs::Gauge& obs_gauge_ =                      \
+        ::birch::obs::Registry::Default().GetGauge(name);         \
+    obs_gauge_.Add(static_cast<double>(delta));                   \
+  } while (0)
+
+#define OBS_HISTOGRAM_RECORD(name, value)                         \
+  do {                                                            \
+    static ::birch::obs::Histogram& obs_histogram_ =              \
+        ::birch::obs::Registry::Default().GetHistogram(name);     \
+    obs_histogram_.Record(static_cast<double>(value));            \
+  } while (0)
+
+#endif  // BIRCH_NO_OBS
+
+#endif  // BIRCH_OBS_METRICS_H_

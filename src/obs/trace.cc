@@ -1,0 +1,156 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace birch {
+namespace obs {
+
+namespace {
+
+thread_local int t_depth = 0;
+
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void AppendJsonString(const char* s, std::string* out) {
+  out->push_back('"');
+  for (; *s; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::StartRecording() {
+  recording_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::StopRecording() {
+  recording_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::NowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::Record(const TraceEvent& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(e);
+}
+
+bool Tracer::BeginSpan(const char* name) {
+  ++t_depth;
+  if (!recording()) return false;
+  Record({TraceEvent::Phase::kBegin, name, NowUs(), ThisThreadId()});
+  return true;
+}
+
+void Tracer::EndSpan(const char* name, uint64_t start_us,
+                     bool emitted_begin) {
+  --t_depth;
+  uint64_t now = NowUs();
+  double dur_us = static_cast<double>(now - start_us);
+  if (Enabled()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    SpanSnapshot& agg = aggregates_[name];
+    ++agg.count;
+    agg.total_us += dur_us;
+    if (dur_us > agg.max_us) agg.max_us = dur_us;
+  }
+  if (emitted_begin) {
+    Record({TraceEvent::Phase::kEnd, name, now, ThisThreadId()});
+  }
+}
+
+void Tracer::Instant(const char* name) {
+  if (!recording()) return;
+  Record({TraceEvent::Phase::kInstant, name, NowUs(), ThisThreadId()});
+}
+
+void Tracer::CounterSample(const char* name, double value) {
+  if (!recording()) return;
+  Record({TraceEvent::Phase::kCounter, name, NowUs(), ThisThreadId(),
+          value});
+}
+
+int Tracer::ThreadDepth() { return t_depth; }
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::map<std::string, SpanSnapshot> Tracer::span_aggregates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aggregates_;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  aggregates_.clear();
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::vector<TraceEvent> evs = events();
+  std::string out = "{\"traceEvents\":[";
+  char buf[96];
+  for (size_t i = 0; i < evs.size(); ++i) {
+    const TraceEvent& e = evs[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":";
+    AppendJsonString(e.name, &out);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"%c\",\"ts\":%" PRIu64 ",\"pid\":1,\"tid\":%u",
+                  static_cast<char>(e.phase), e.ts_us, e.tid);
+    out += buf;
+    if (e.phase == TraceEvent::Phase::kCounter) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%.17g}",
+                    e.value);
+      out += buf;
+    } else if (e.phase == TraceEvent::Phase::kInstant) {
+      out += ",\"s\":\"t\"";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open trace file: " + path);
+  f << ChromeTraceJson();
+  f.close();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace birch

@@ -1,0 +1,177 @@
+// Span tracer: RAII scopes (TRACE_SPAN) with begin/end timestamps and
+// nesting, instant events (TRACE_INSTANT) for discrete occurrences,
+// and counter samples (TRACE_COUNTER) for trajectories like the
+// Phase-1 threshold. Two independent outputs:
+//
+//  - Span aggregation (count/total/max per span name) feeds the
+//    metrics snapshot whenever obs::Enabled(); it costs one map lookup
+//    per span end, nothing per instant.
+//  - Event recording (off by default; StartRecording()) buffers every
+//    event for Chrome trace_event JSON export, loadable in
+//    chrome://tracing or https://ui.perfetto.dev.
+//
+// Span names must be string literals (the tracer stores the pointer).
+// Every recorded "B" event is matched by an "E": a scope that began
+// while recording always emits its end, even if recording stops while
+// it is open.
+#ifndef BIRCH_OBS_TRACE_H_
+#define BIRCH_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace birch {
+namespace obs {
+
+/// One trace_event-model event.
+struct TraceEvent {
+  enum class Phase : char {
+    kBegin = 'B',
+    kEnd = 'E',
+    kInstant = 'i',
+    kCounter = 'C',
+  };
+  Phase phase;
+  const char* name;  // static string
+  uint64_t ts_us;    // microseconds since tracer epoch
+  uint32_t tid;
+  double value = 0.0;  // kCounter payload
+};
+
+/// Process-wide tracer (Tracer::Default()); separate instances exist
+/// only for tests.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& Default();
+
+  /// Event buffering for Chrome-trace export. Aggregation is always on
+  /// (gated by obs::Enabled() only).
+  void StartRecording();
+  void StopRecording();
+  bool recording() const {
+    return recording_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since this tracer's construction.
+  uint64_t NowUs() const;
+
+  /// Span begin: bumps the thread's nesting depth; buffers a "B" event
+  /// when recording. Returns true when a "B" event was buffered (the
+  /// scope then owes a matching "E" regardless of later state).
+  bool BeginSpan(const char* name);
+  /// Span end: aggregates `now - start_us` when obs::Enabled(), and
+  /// buffers an "E" event iff `emitted_begin` — never otherwise, so
+  /// every buffered "B" has exactly one "E" and vice versa.
+  void EndSpan(const char* name, uint64_t start_us, bool emitted_begin);
+
+  /// Instant event (buffered only while recording).
+  void Instant(const char* name);
+  /// Counter sample, e.g. the threshold trajectory ("C" event).
+  void CounterSample(const char* name, double value);
+
+  /// Current nesting depth of the calling thread.
+  static int ThreadDepth();
+
+  /// Copies the buffered events (append order).
+  std::vector<TraceEvent> events() const;
+  /// Per-name span aggregates accumulated so far.
+  std::map<std::string, SpanSnapshot> span_aggregates() const;
+  /// Drops buffered events and aggregates (open scopes stay valid:
+  /// their pending "E" events simply land in the fresh buffer).
+  void Reset();
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}).
+  std::string ChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  void Record(const TraceEvent& e);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> recording_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::string, SpanSnapshot> aggregates_;
+};
+
+/// RAII span over the default tracer. Cheap when idle: construction is
+/// two relaxed loads when neither aggregation nor recording is on.
+/// Under -DBIRCH_NO_OBS the whole class is a no-op, so direct members
+/// (e.g. BirchClusterer's phase-1 span) compile out with the macros.
+class SpanScope {
+ public:
+#ifdef BIRCH_NO_OBS
+  explicit SpanScope(const char*) {}
+  void End() {}
+#else
+  explicit SpanScope(const char* name) {
+    if (Enabled() || Tracer::Default().recording()) {
+      name_ = name;
+      start_us_ = Tracer::Default().NowUs();
+      emitted_begin_ = Tracer::Default().BeginSpan(name);
+    }
+  }
+  ~SpanScope() { End(); }
+
+  /// Ends the span now (idempotent; the destructor is then a no-op).
+  void End() {
+    if (name_ == nullptr) return;
+    Tracer::Default().EndSpan(name_, start_us_, emitted_begin_);
+    name_ = nullptr;
+  }
+#endif  // BIRCH_NO_OBS
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+#ifndef BIRCH_NO_OBS
+  const char* name_ = nullptr;
+  uint64_t start_us_ = 0;
+  bool emitted_begin_ = false;
+#endif
+};
+
+}  // namespace obs
+}  // namespace birch
+
+#ifdef BIRCH_NO_OBS
+
+#define TRACE_SPAN(name) ((void)0)
+#define TRACE_INSTANT(name) ((void)0)
+#define TRACE_COUNTER(name, value) ((void)0)
+
+#else
+
+/// Scoped span; lives until the end of the enclosing block.
+#define TRACE_SPAN(name) \
+  ::birch::obs::SpanScope BIRCH_OBS_CONCAT_(obs_span_, __COUNTER__)(name)
+#define TRACE_INSTANT(name)                               \
+  do {                                                    \
+    if (::birch::obs::Tracer::Default().recording()) {    \
+      ::birch::obs::Tracer::Default().Instant(name);      \
+    }                                                     \
+  } while (0)
+#define TRACE_COUNTER(name, value)                                       \
+  do {                                                                   \
+    if (::birch::obs::Tracer::Default().recording()) {                   \
+      ::birch::obs::Tracer::Default().CounterSample(                     \
+          name, static_cast<double>(value));                             \
+    }                                                                    \
+  } while (0)
+
+#endif  // BIRCH_NO_OBS
+
+#endif  // BIRCH_OBS_TRACE_H_

@@ -4,7 +4,10 @@
 #include <cassert>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pagestore/crc32c.h"
+#include "util/timer.h"
 
 namespace birch {
 
@@ -24,6 +27,8 @@ StatusOr<PageId> PageStore::Allocate() {
   Page page(page_size_);
   page.crc = Crc32c(page.bytes);
   pages_.emplace(id, std::move(page));
+  OBS_COUNTER_INC("pagestore/pages_allocated");
+  OBS_GAUGE_SET("pagestore/used_bytes", used_bytes());
   return id;
 }
 
@@ -37,9 +42,11 @@ Status PageStore::Write(PageId id, std::span<const uint8_t> data) {
   }
   if (injector_.InjectWriteTransient()) {
     ++io_.transient_write_errors;
+    OBS_COUNTER_INC("pagestore/transient_write_errors");
     return Status::IOError("transient write fault on page " +
                            std::to_string(id));
   }
+  Timer timer;
   Page& page = it->second;
   std::copy(data.begin(), data.end(), page.bytes.begin());
   page.crc = Crc32c(page.bytes);
@@ -55,6 +62,8 @@ Status PageStore::Write(PageId id, std::span<const uint8_t> data) {
     }
   }
   ++io_.pages_written;
+  OBS_COUNTER_INC("pagestore/pages_written");
+  OBS_HISTOGRAM_RECORD("pagestore/write_us", timer.Seconds() * 1e6);
   return Status::OK();
 }
 
@@ -65,22 +74,29 @@ Status PageStore::Read(PageId id, std::vector<uint8_t>* out) {
   }
   if (injector_.InjectReadTransient()) {
     ++io_.transient_read_errors;
+    OBS_COUNTER_INC("pagestore/transient_read_errors");
     return Status::IOError("transient read fault on page " +
                            std::to_string(id));
   }
+  Timer timer;
   const Page& page = it->second;
   if (page.lost) {
     ++io_.lost_page_reads;
+    OBS_COUNTER_INC("pagestore/lost_page_reads");
     return Status::DataLoss("page " + std::to_string(id) +
                             " was lost (write silently dropped)");
   }
   if (Crc32c(page.bytes) != page.crc) {
     ++io_.checksum_failures;
+    OBS_COUNTER_INC("pagestore/checksum_failures");
+    TRACE_INSTANT("pagestore/checksum_failure");
     return Status::DataLoss("checksum mismatch on page " +
                             std::to_string(id));
   }
   *out = page.bytes;
   ++io_.pages_read;
+  OBS_COUNTER_INC("pagestore/pages_read");
+  OBS_HISTOGRAM_RECORD("pagestore/read_us", timer.Seconds() * 1e6);
   return Status::OK();
 }
 
@@ -91,6 +107,8 @@ Status PageStore::Free(PageId id) {
   }
   pages_.erase(it);
   ++io_.pages_freed;
+  OBS_COUNTER_INC("pagestore/pages_freed");
+  OBS_GAUGE_SET("pagestore/used_bytes", used_bytes());
   return Status::OK();
 }
 

@@ -4,6 +4,9 @@
 #include <cstring>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace birch {
 
 SpillFile::SpillFile(PageStore* store, size_t record_doubles,
@@ -25,6 +28,9 @@ Status SpillFile::WriteWithRetry(PageId id, std::span<const uint8_t> data) {
     if (attempt < retry_.max_attempts) {
       ++stats_.io_retries;
       stats_.backoff_us += retry_.BackoffUs(attempt);
+      OBS_COUNTER_INC("spill/io_retries");
+      OBS_HISTOGRAM_RECORD("spill/backoff_us", retry_.BackoffUs(attempt));
+      TRACE_INSTANT("spill/write_retry");
     }
   }
   return st;
@@ -39,6 +45,9 @@ Status SpillFile::ReadWithRetry(PageId id, std::vector<uint8_t>* out) {
     if (attempt < retry_.max_attempts) {
       ++stats_.io_retries;
       stats_.backoff_us += retry_.BackoffUs(attempt);
+      OBS_COUNTER_INC("spill/io_retries");
+      OBS_HISTOGRAM_RECORD("spill/backoff_us", retry_.BackoffUs(attempt));
+      TRACE_INSTANT("spill/read_retry");
     }
   }
   return st;
@@ -53,6 +62,7 @@ Status SpillFile::Append(std::span<const double> record) {
   }
   staging_.insert(staging_.end(), record.begin(), record.end());
   ++count_;
+  OBS_COUNTER_INC("spill/records_appended");
   return Status::OK();
 }
 
@@ -76,6 +86,7 @@ Status SpillFile::FlushStaging() {
 }
 
 Status SpillFile::DrainAll(std::vector<double>* out, DrainReport* report) {
+  TRACE_SPAN("spill/drain");
   out->clear();
   out->reserve(count_ * record_doubles_);
   DrainReport rep;
@@ -95,6 +106,9 @@ Status SpillFile::DrainAll(std::vector<double>* out, DrainReport* report) {
       rep.records_lost += page_records_[i];
       ++stats_.pages_lost;
       stats_.records_lost += page_records_[i];
+      OBS_COUNTER_INC("spill/pages_lost");
+      OBS_COUNTER_ADD("spill/records_lost", page_records_[i]);
+      TRACE_INSTANT("spill/page_lost");
       store_->Free(pages_[i]);
       continue;
     }

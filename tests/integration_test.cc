@@ -193,5 +193,38 @@ TEST(IntegrationTest, WeightedStreamEquivalentToExpanded) {
               0.05);
 }
 
+TEST(IntegrationTest, PhaseTimingsAndMetricsPopulated) {
+  // Every phase that ran must report non-zero wall time (phase1 covers
+  // the Add() stream, not just the Finish() tail), and the run's
+  // metrics snapshot must carry the core counters and phase spans.
+  auto g = Blobs(2, 8, 400, 404);
+  BirchOptions o;
+  o.dim = 2;
+  o.k = 8;
+  o.memory_bytes = 24 * 1024;  // tight: forces rebuild activity
+  o.refinement_passes = 1;
+  auto result = ClusterDataset(g.data, o);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const BirchResult& r = result.value();
+
+  const PhaseTimings& t = r.timings;
+  EXPECT_GT(t.phase1, 0.0);
+  EXPECT_GT(t.phase3, 0.0);
+  EXPECT_GT(t.phase4, 0.0);  // refinement ran (passes = 1)
+  // Phase 1 streamed 3200 points; its wall time must dominate the
+  // Finish() tail alone by covering the insert stream.
+  EXPECT_GE(t.phase1, t.Total() * 0.01);
+
+  if (obs::Enabled()) {
+    ASSERT_FALSE(r.metrics.empty());
+    EXPECT_EQ(r.metrics.counters.at("phase1/points"), 3200u);
+    EXPECT_GT(r.metrics.counters.at("tree/inserts"), 0u);
+    EXPECT_GT(r.metrics.counters.at("tree/distance_comps"), 0u);
+    EXPECT_GT(r.metrics.spans.at("birch/phase1").total_us, 0.0);
+    EXPECT_EQ(r.metrics.spans.at("birch/phase3").count, 1u);
+    EXPECT_EQ(r.metrics.spans.at("birch/phase4").count, 1u);
+  }
+}
+
 }  // namespace
 }  // namespace birch

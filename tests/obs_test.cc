@@ -1,0 +1,313 @@
+// Unit tests for the instrumentation subsystem (src/obs): counter /
+// gauge / histogram semantics, the log-scale bucket boundaries, span
+// nesting and aggregation, snapshot deltas, the enabled switch, and
+// the Chrome trace_event exporter (valid JSON, every "B" matched by an
+// "E").
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace birch {
+namespace obs {
+namespace {
+
+// The registry and tracer are process-wide; tests use unique metric
+// names and restore the enabled flag so they compose in one binary.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetEnabled(true); }
+  void TearDown() override { SetEnabled(true); }
+};
+
+TEST_F(ObsTest, CounterIncrementsAndResets) {
+  Counter& c = Registry::Default().GetCounter("test/counter_basic");
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST_F(ObsTest, CounterIgnoredWhenDisabled) {
+  Counter& c = Registry::Default().GetCounter("test/counter_disabled");
+  SetEnabled(false);
+  c.Increment(100);
+  EXPECT_EQ(c.Value(), 0u);
+  SetEnabled(true);
+  c.Increment(1);
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableHandles) {
+  Counter& a = Registry::Default().GetCounter("test/handle_stability");
+  Counter& b = Registry::Default().GetCounter("test/handle_stability");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  Registry::Default().ResetValues();
+  // Values are zeroed but the handle object survives.
+  EXPECT_EQ(b.Value(), 0u);
+  b.Increment();
+  EXPECT_EQ(a.Value(), 1u);
+}
+
+TEST_F(ObsTest, GaugeSetAddAndLastValueWins) {
+  Gauge& g = Registry::Default().GetGauge("test/gauge_basic");
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 4.0);
+  g.Add(-5.0);
+  EXPECT_DOUBLE_EQ(g.Value(), -1.0);
+  g.Set(7.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 7.0);
+}
+
+TEST_F(ObsTest, CounterIsThreadSafe) {
+  Counter& c = Registry::Default().GetCounter("test/counter_threads");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST_F(ObsTest, HistogramBucketEdges) {
+  // Bucket 0 is [0, 1); bucket i >= 1 is [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(0.999), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1.0), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(1.999), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2.0), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3.999), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4.0), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1024.0), 11u);
+  // Negatives and NaN land in bucket 0; huge values in the top bucket.
+  EXPECT_EQ(Histogram::BucketIndex(-5.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kNumBuckets - 1);
+  // Bounds are consistent with the index mapping.
+  for (size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(i)), i);
+    double below_upper = Histogram::BucketUpperBound(i) * (1 - 1e-9);
+    if (below_upper >= Histogram::BucketLowerBound(i)) {
+      EXPECT_EQ(Histogram::BucketIndex(below_upper), i) << "bucket " << i;
+    }
+  }
+}
+
+TEST_F(ObsTest, HistogramRecordsCountSumMinMax) {
+  Histogram& h = Registry::Default().GetHistogram("test/hist_basic");
+  for (double v : {3.0, 0.5, 100.0, 7.0}) h.Record(v);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 110.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 110.5 / 4);
+  EXPECT_EQ(s.buckets[Histogram::BucketIndex(0.5)], 1u);
+  EXPECT_EQ(s.buckets[Histogram::BucketIndex(3.0)], 1u);
+  EXPECT_EQ(s.buckets[Histogram::BucketIndex(100.0)], 1u);
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().count, 0u);
+  EXPECT_DOUBLE_EQ(h.Snapshot().min, 0.0);
+}
+
+TEST_F(ObsTest, MacrosRecordThroughRegistry) {
+  OBS_COUNTER_INC("test/macro_counter");
+  OBS_COUNTER_ADD("test/macro_counter", 4);
+  OBS_GAUGE_SET("test/macro_gauge", 3.25);
+  OBS_HISTOGRAM_RECORD("test/macro_hist", 6.0);
+  EXPECT_EQ(Registry::Default().GetCounter("test/macro_counter").Value(),
+            5u);
+  EXPECT_DOUBLE_EQ(Registry::Default().GetGauge("test/macro_gauge").Value(),
+                   3.25);
+  EXPECT_EQ(
+      Registry::Default().GetHistogram("test/macro_hist").Snapshot().count,
+      1u);
+}
+
+TEST_F(ObsTest, SnapshotDeltaSubtractsRun) {
+  Counter& c = Registry::Default().GetCounter("test/delta_counter");
+  Histogram& h = Registry::Default().GetHistogram("test/delta_hist");
+  c.Increment(10);
+  h.Record(1.0);
+  MetricsSnapshot base = Registry::Default().Snapshot();
+  c.Increment(32);
+  h.Record(2.0);
+  h.Record(4.0);
+  MetricsSnapshot delta =
+      Registry::Default().Snapshot().DeltaSince(base);
+  EXPECT_EQ(delta.counters.at("test/delta_counter"), 32u);
+  EXPECT_EQ(delta.histograms.at("test/delta_hist").count, 2u);
+}
+
+TEST_F(ObsTest, SpanNestingTracksThreadDepth) {
+  EXPECT_EQ(Tracer::ThreadDepth(), 0);
+  {
+    TRACE_SPAN("test/outer");
+    EXPECT_EQ(Tracer::ThreadDepth(), 1);
+    {
+      TRACE_SPAN("test/inner");
+      EXPECT_EQ(Tracer::ThreadDepth(), 2);
+    }
+    EXPECT_EQ(Tracer::ThreadDepth(), 1);
+  }
+  EXPECT_EQ(Tracer::ThreadDepth(), 0);
+  std::map<std::string, SpanSnapshot> agg =
+      Tracer::Default().span_aggregates();
+  EXPECT_GE(agg.at("test/outer").count, 1u);
+  EXPECT_GE(agg.at("test/inner").count, 1u);
+  // The outer span encloses the inner one.
+  EXPECT_GE(agg.at("test/outer").total_us, agg.at("test/inner").total_us);
+}
+
+TEST_F(ObsTest, SpanEndIsIdempotent) {
+  SpanScope scope("test/explicit_end");
+  scope.End();
+  scope.End();  // no double-count
+  EXPECT_EQ(Tracer::Default().span_aggregates().at("test/explicit_end").count,
+            1u);
+  Tracer::Default().Reset();
+}
+
+TEST_F(ObsTest, SpanAggregationOffWhenDisabled) {
+  Tracer::Default().Reset();
+  SetEnabled(false);
+  { TRACE_SPAN("test/disabled_span"); }
+  SetEnabled(true);
+  auto agg = Tracer::Default().span_aggregates();
+  EXPECT_EQ(agg.count("test/disabled_span"), 0u);
+}
+
+// Minimal JSON scanner: validates object/array bracket balance and
+// extracts string values for a key. Enough to verify the exporter
+// without a JSON dependency.
+size_t CountKey(const std::string& json, const std::string& needle) {
+  size_t n = 0;
+  for (size_t pos = json.find(needle); pos != std::string::npos;
+       pos = json.find(needle, pos + 1)) {
+    ++n;
+  }
+  return n;
+}
+
+TEST_F(ObsTest, ChromeTraceHasMatchedBeginEndPairs) {
+  Tracer& tracer = Tracer::Default();
+  tracer.Reset();
+  tracer.StartRecording();
+  {
+    TRACE_SPAN("test/trace_outer");
+    { TRACE_SPAN("test/trace_inner"); }
+    TRACE_INSTANT("test/trace_instant");
+    TRACE_COUNTER("test/trace_counter", 42.0);
+  }
+  tracer.StopRecording();
+
+  std::vector<TraceEvent> events = tracer.events();
+  int depth = 0;
+  size_t begins = 0, ends = 0;
+  for (const TraceEvent& e : events) {
+    if (e.phase == TraceEvent::Phase::kBegin) {
+      ++begins;
+      ++depth;
+    } else if (e.phase == TraceEvent::Phase::kEnd) {
+      ++ends;
+      --depth;
+      ASSERT_GE(depth, 0) << "E before its B";
+    }
+  }
+  EXPECT_EQ(begins, 2u);
+  EXPECT_EQ(ends, 2u);
+  EXPECT_EQ(depth, 0);
+
+  std::string json = tracer.ChromeTraceJson();
+  // Structure: balanced brackets, the trace_event envelope, and one
+  // "ph" entry per event.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  int braces = 0, brackets = 0;
+  for (char ch : json) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(CountKey(json, "\"ph\":\"B\""), 2u);
+  EXPECT_EQ(CountKey(json, "\"ph\":\"E\""), 2u);
+  EXPECT_EQ(CountKey(json, "\"ph\":\"i\""), 1u);
+  EXPECT_EQ(CountKey(json, "\"ph\":\"C\""), 1u);
+  tracer.Reset();
+}
+
+TEST_F(ObsTest, RecordingStopMidSpanStillEmitsEnd) {
+  Tracer& tracer = Tracer::Default();
+  tracer.Reset();
+  tracer.StartRecording();
+  {
+    TRACE_SPAN("test/stop_mid_span");
+    tracer.StopRecording();  // recording ends while the span is open
+  }
+  std::vector<TraceEvent> events = tracer.events();
+  size_t begins = 0, ends = 0;
+  for (const TraceEvent& e : events) {
+    if (e.phase == TraceEvent::Phase::kBegin) ++begins;
+    if (e.phase == TraceEvent::Phase::kEnd) ++ends;
+  }
+  EXPECT_EQ(begins, 1u);
+  EXPECT_EQ(ends, 1u);
+  tracer.Reset();
+}
+
+TEST_F(ObsTest, ChromeTraceGoldenShape) {
+  // Golden-file-style check on a deterministic single-event trace:
+  // everything except the timestamp is fixed.
+  Tracer& tracer = Tracer::Default();
+  tracer.Reset();
+  tracer.StartRecording();
+  tracer.Instant("golden/event");
+  tracer.StopRecording();
+  std::string json = tracer.ChromeTraceJson();
+  EXPECT_NE(json.find("\"name\":\"golden/event\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos) << json;
+  tracer.Reset();
+}
+
+TEST_F(ObsTest, SummaryTableAndCsvListEveryMetric) {
+  OBS_COUNTER_ADD("test/export_counter", 3);
+  OBS_GAUGE_SET("test/export_gauge", 1.5);
+  OBS_HISTOGRAM_RECORD("test/export_hist", 10.0);
+  MetricsSnapshot snap = CaptureSnapshot();
+  std::string table = SummaryTable(snap);
+  for (const char* name :
+       {"test/export_counter", "test/export_gauge", "test/export_hist"}) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+  std::string csv = ToCsv(snap);
+  EXPECT_NE(csv.find("metric,kind,value,count,sum,min,max"),
+            std::string::npos);
+  EXPECT_NE(csv.find("test/export_counter,counter,3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace birch

@@ -14,6 +14,8 @@
 #include "birch/birch.h"
 #include "birch/dataset_io.h"
 #include "eval/quality.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -45,7 +47,8 @@ int Run(int argc, char** argv) {
        "page", "metric", "threshold", "algorithm", "refine-passes",
        "discard-distance", "no-outliers", "no-delay-split", "stream",
        "seed", "fault-read", "fault-write", "fault-lose", "fault-flip",
-       "fault-seed", "io-attempts", "help"});
+       "fault-seed", "io-attempts", "metrics", "metrics-csv", "trace-out",
+       "help"});
   if (!known.ok() || flags.Has("help") || !flags.Has("input") ||
       (!flags.Has("k") && !flags.Has("distance-limit"))) {
     if (!known.ok()) std::fprintf(stderr, "%s\n", known.ToString().c_str());
@@ -65,7 +68,11 @@ int Run(int argc, char** argv) {
                  "  --disk-kb 0 disables the outlier disk (in-tree "
                  "fallback); --fault-* inject seeded\n"
                  "  disk faults (probabilities in [0,1]) retried up to "
-                 "--io-attempts times.\n");
+                 "--io-attempts times.\n"
+                 "  --metrics prints the instrumentation summary; "
+                 "--metrics-csv FILE writes it as CSV;\n"
+                 "  --trace-out FILE records a Chrome trace_event JSON "
+                 "(chrome://tracing, ui.perfetto.dev).\n");
     return flags.Has("help") ? 0 : 2;
   }
   const bool stream = flags.GetBool("stream", false);
@@ -113,6 +120,8 @@ int Run(int argc, char** argv) {
   }
   o.global_algorithm = algo_or.value();
 
+  if (flags.Has("trace-out")) obs::Tracer::Default().StartRecording();
+
   Dataset data(1);
   StatusOr<BirchResult> result_or = Status::Internal("unreachable");
   if (stream) {
@@ -143,6 +152,18 @@ int Run(int argc, char** argv) {
   }
   const BirchResult& r = result_or.value();
 
+  if (flags.Has("trace-out")) {
+    obs::Tracer::Default().StopRecording();
+    Status st =
+        obs::Tracer::Default().WriteChromeTrace(flags.GetString("trace-out"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n",
+                flags.GetString("trace-out").c_str());
+  }
+
   double points_seen = static_cast<double>(r.phase1.points_added);
   std::printf("%.0f points (dim %zu) -> %zu clusters in %.3fs; "
               "weighted avg diameter %.4f; %llu rebuilds; peak memory "
@@ -165,6 +186,34 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(rb.degradation_events),
                 rb.outlier_disk_disabled ? "; outlier disk out of service"
                                          : "");
+  }
+  const CfTreeStats& ts = r.tree_stats;
+  std::printf("tree: %llu inserts (%llu absorbed, %llu new, %llu rejected), "
+              "%llu leaf + %llu nonleaf splits, %llu merge refinements, "
+              "%llu rebuilds, %llu distance comparisons, %zu nodes\n",
+              static_cast<unsigned long long>(ts.inserts),
+              static_cast<unsigned long long>(ts.absorbed),
+              static_cast<unsigned long long>(ts.new_entries),
+              static_cast<unsigned long long>(ts.rejected),
+              static_cast<unsigned long long>(ts.leaf_splits),
+              static_cast<unsigned long long>(ts.nonleaf_splits),
+              static_cast<unsigned long long>(ts.merge_refinements),
+              static_cast<unsigned long long>(ts.rebuilds),
+              static_cast<unsigned long long>(ts.distance_comparisons),
+              r.tree_nodes);
+
+  if (flags.Has("metrics")) {
+    std::printf("%s", obs::SummaryTable(r.metrics).c_str());
+  }
+  if (flags.Has("metrics-csv")) {
+    Status st = obs::WriteCsv(r.metrics, flags.GetString("metrics-csv"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics csv write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics csv written to %s\n",
+                flags.GetString("metrics-csv").c_str());
   }
 
   TablePrinter table({"cluster", "points", "radius", "centroid"});
