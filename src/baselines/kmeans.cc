@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
 #include "util/math.h"
 #include "util/random.h"
 
@@ -62,31 +65,65 @@ StatusOr<KMeansResult> KMeans(const Dataset& data,
 
   KMeansResult result;
   result.labels.assign(n, -1);
+  const size_t num_chunks =
+      exec::ParallelForNumChunks(options.pool, n, /*min_per_chunk=*/256);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    bool changed = false;
-    for (size_t i = 0; i < n; ++i) {
-      auto row = data.Row(i);
-      int best = 0;
-      double best_d = std::numeric_limits<double>::infinity();
-      for (size_t c = 0; c < k; ++c) {
-        double d = SquaredDistance(row, centers[c]);
-        if (d < best_d) {
-          best_d = d;
-          best = static_cast<int>(c);
-        }
-      }
-      if (result.labels[i] != best) {
-        result.labels[i] = best;
-        changed = true;
-      }
-    }
+    // Assignment sweep: every point is independent.
+    std::vector<uint8_t> chunk_changed(num_chunks, 0);
+    exec::ParallelFor(
+        options.pool, n,
+        [&](size_t begin, size_t end, size_t chunk) {
+          bool local_changed = false;
+          for (size_t i = begin; i < end; ++i) {
+            auto row = data.Row(i);
+            int best = 0;
+            double best_d = std::numeric_limits<double>::infinity();
+            for (size_t c = 0; c < k; ++c) {
+              double d = SquaredDistance(row, centers[c]);
+              if (d < best_d) {
+                best_d = d;
+                best = static_cast<int>(c);
+              }
+            }
+            if (result.labels[i] != best) {
+              result.labels[i] = best;
+              local_changed = true;
+            }
+          }
+          if (local_changed) chunk_changed[chunk] = 1;
+        },
+        /*min_per_chunk=*/256);
+    bool changed =
+        std::any_of(chunk_changed.begin(), chunk_changed.end(),
+                    [](uint8_t c) { return c != 0; });
     ++result.iterations;
     if (!changed && iter > 0) break;
 
+    // Centroid sums: single chunk keeps the exact serial accumulation
+    // order; chunked partials fold in chunk order (deterministic for a
+    // fixed chunk count).
     std::vector<CfVector> sums(k, CfVector(data.dim()));
-    for (size_t i = 0; i < n; ++i) {
-      sums[static_cast<size_t>(result.labels[i])].AddPoint(data.Row(i),
-                                                           data.Weight(i));
+    if (num_chunks <= 1) {
+      for (size_t i = 0; i < n; ++i) {
+        sums[static_cast<size_t>(result.labels[i])].AddPoint(data.Row(i),
+                                                             data.Weight(i));
+      }
+    } else {
+      std::vector<std::vector<CfVector>> partial(num_chunks);
+      exec::ParallelFor(
+          options.pool, n,
+          [&](size_t begin, size_t end, size_t chunk) {
+            auto& local = partial[chunk];
+            local.assign(k, CfVector(data.dim()));
+            for (size_t i = begin; i < end; ++i) {
+              local[static_cast<size_t>(result.labels[i])].AddPoint(
+                  data.Row(i), data.Weight(i));
+            }
+          },
+          /*min_per_chunk=*/256);
+      for (const auto& local : partial) {
+        for (size_t c = 0; c < k; ++c) sums[c].Add(local[c]);
+      }
     }
     for (size_t c = 0; c < k; ++c) {
       if (sums[c].empty()) {

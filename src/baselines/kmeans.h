@@ -13,10 +13,19 @@
 
 namespace birch {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 struct KMeansOptions {
   int k = 0;
   int max_iterations = 100;
   uint64_t seed = 42;
+  /// Optional worker pool for the assignment / centroid sweeps.
+  /// nullptr runs them inline (exact serial arithmetic); with a pool,
+  /// per-chunk partials fold in chunk order, deterministic for a fixed
+  /// (seed, pool size).
+  exec::ThreadPool* pool = nullptr;
 };
 
 struct KMeansResult {

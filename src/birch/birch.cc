@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "birch/phase1_parallel.h"
+#include "exec/thread_pool.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "util/math.h"
@@ -35,6 +37,228 @@ Phase1Options Phase1OptionsFrom(const BirchOptions& o) {
   p.fault = o.fault;
   p.retry = o.io_retry;
   return p;
+}
+
+/// What Phases 2-4 need from a finished Phase 1, whether it ran
+/// serially (one Phase1Builder) or sharded (RunShardedPhase1).
+struct Phase1Outcome {
+  CfTree* tree = nullptr;
+  Phase1Stats stats;
+  RobustnessStats robustness;
+  const std::vector<CfVector>* final_outliers = nullptr;
+  /// Tracker backing `tree`; its peak is read after Phase 4 (Phase-2
+  /// condensation can still raise the high-water mark).
+  const MemoryTracker* mem = nullptr;
+  /// Sharded runs: sum of the per-shard tracker peaks (the shards
+  /// coexisted with each other, and briefly with the merged tree).
+  size_t shard_peak_bytes = 0;
+  uint64_t disk_pages_written = 0;
+  uint64_t disk_pages_read = 0;
+  double seconds = 0.0;
+};
+
+/// Phases 2-4 plus result bookkeeping, shared by the serial and the
+/// sharded pipelines. `pool` is nullptr for the serial path, which
+/// keeps every loop bit-for-bit identical to the serial-only
+/// implementation.
+StatusOr<BirchResult> RunPhases234(const BirchOptions& options,
+                                   const Phase1Outcome& p1,
+                                   const Dataset* for_refinement,
+                                   exec::ThreadPool* pool,
+                                   const obs::MetricsSnapshot& baseline) {
+  BirchResult result;
+  Timer timer;
+  CfTree* tree = p1.tree;
+  result.timings.phase1 = p1.seconds;
+  result.phase1 = p1.stats;
+  result.robustness = p1.robustness;
+  result.leaf_entries_after_phase1 = tree->leaf_entry_count();
+
+  // --- Phase 2: condense for the global algorithm. ---
+  timer.Restart();
+  obs::SpanScope phase2_span("birch/phase2");
+  std::vector<CfVector> shed_outliers;
+  if (options.use_phase2 &&
+      tree->leaf_entry_count() > options.phase2_target_entries) {
+    Phase2Options p2;
+    p2.target_leaf_entries = options.phase2_target_entries;
+    if (options.outlier_handling && tree->leaf_entry_count() > 0) {
+      // Phase 2 "removes more outliers" (paper Sec. 5): entries far
+      // below the average density are shed while condensing.
+      double avg = tree->TreeSummary().n() /
+                   static_cast<double>(tree->leaf_entry_count());
+      p2.outlier_weight_threshold = options.outlier_fraction * avg;
+    }
+    BIRCH_RETURN_IF_ERROR(
+        CondenseTree(tree, p2, &shed_outliers, &result.phase2));
+  }
+  result.leaf_entries_after_phase2 = tree->leaf_entry_count();
+  result.timings.phase2 = timer.Seconds();
+  phase2_span.End();
+
+  // --- Phase 3: global clustering of the leaf entries. ---
+  timer.Restart();
+  obs::SpanScope phase3_span("birch/phase3");
+  std::vector<CfVector> entries;
+  tree->CollectLeafEntries(&entries);
+  if (entries.empty()) {
+    return Status::FailedPrecondition("no data was added");
+  }
+  GlobalClusterOptions g;
+  g.k = options.k;
+  g.distance_limit = options.global_distance_limit;
+  g.algorithm = options.global_algorithm;
+  g.metric = options.global_metric;
+  g.seed = options.seed;
+  g.pool = pool;
+  auto clustering_or = GlobalCluster(entries, g);
+  if (!clustering_or.ok()) return clustering_or.status();
+  GlobalClustering& clustering = clustering_or.value();
+  result.timings.phase3 = timer.Seconds();
+  phase3_span.End();
+
+  result.clusters = clustering.clusters;
+
+  // --- Phase 4: refinement / labelling over the raw data. ---
+  timer.Restart();
+  obs::SpanScope phase4_span("birch/phase4");
+  if (for_refinement != nullptr && !for_refinement->empty()) {
+    RefineOptions r;
+    r.passes = std::max(1, options.refinement_passes);
+    r.stop_when_stable = true;
+    r.outlier_distance = options.refine_outlier_distance;
+    r.pool = pool;
+    auto refined_or = RefineClusters(*for_refinement, result.clusters, r);
+    if (!refined_or.ok()) return refined_or.status();
+    RefineResult& refined = refined_or.value();
+    if (options.refinement_passes > 0) {
+      // Keep the refined clusters (drop any that ended empty).
+      result.labels = std::move(refined.labels);
+      std::vector<int> remap(refined.clusters.size(), -1);
+      std::vector<CfVector> kept;
+      for (size_t c = 0; c < refined.clusters.size(); ++c) {
+        if (!refined.clusters[c].empty()) {
+          remap[c] = static_cast<int>(kept.size());
+          kept.push_back(refined.clusters[c]);
+        }
+      }
+      for (auto& l : result.labels) {
+        if (l >= 0) l = remap[static_cast<size_t>(l)];
+      }
+      result.clusters = std::move(kept);
+    } else {
+      // refinement_passes == 0: labels only, clusters stay Phase-3.
+      result.labels = std::move(refined.labels);
+    }
+  }
+  result.timings.phase4 = timer.Seconds();
+  phase4_span.End();
+
+  // --- Bookkeeping ---
+  result.centroids.clear();
+  result.centroids.reserve(result.clusters.size());
+  for (const auto& c : result.clusters) {
+    result.centroids.push_back(c.Centroid());
+  }
+  result.tree_stats = tree->stats();
+  result.peak_memory_bytes =
+      p1.shard_peak_bytes + (p1.mem != nullptr ? p1.mem->peak() : 0);
+  result.tree_nodes = tree->node_count();
+  result.disk_pages_written = p1.disk_pages_written;
+  result.disk_pages_read = p1.disk_pages_read;
+  result.final_threshold = tree->threshold();
+  double outlier_points = 0.0;
+  for (const auto& e : *p1.final_outliers) outlier_points += e.n();
+  for (const auto& e : shed_outliers) outlier_points += e.n();
+  result.outlier_points = static_cast<uint64_t>(outlier_points + 0.5);
+  tree->ExportOccupancy();
+  result.metrics = obs::CaptureSnapshot().DeltaSince(baseline);
+  return result;
+}
+
+/// Sharded Phase 1 over `source` on `pool`, then Phases 2-4. Shared by
+/// the parallel branches of ClusterDataset / ClusterSource.
+StatusOr<BirchResult> RunParallelPipeline(PointSource* source,
+                                          const Dataset* for_refinement,
+                                          const BirchOptions& opts,
+                                          exec::ThreadPool* pool,
+                                          const obs::MetricsSnapshot& baseline) {
+  Timer phase1_timer;
+  obs::SpanScope phase1_span("birch/phase1");
+  ShardedPhase1Options sp;
+  sp.phase1 = Phase1OptionsFrom(opts);
+  sp.num_shards = opts.num_threads;
+  auto sharded_or = RunShardedPhase1(source, sp, pool);
+  if (!sharded_or.ok()) return sharded_or.status();
+  ShardedPhase1Result sharded = std::move(sharded_or).ValueOrDie();
+  phase1_span.End();
+
+  Phase1Outcome p1;
+  p1.tree = sharded.tree.get();
+  p1.stats = sharded.stats;
+  p1.robustness = sharded.robustness;
+  p1.final_outliers = &sharded.final_outliers;
+  p1.mem = sharded.mem.get();
+  p1.shard_peak_bytes = sharded.peak_memory_bytes;
+  p1.disk_pages_written = sharded.disk_pages_written;
+  p1.disk_pages_read = sharded.disk_pages_read;
+  p1.seconds = phase1_timer.Seconds();
+  return RunPhases234(opts, p1, for_refinement, pool, baseline);
+}
+
+/// Streaming Phase 4: re-scan the source per pass in O(k) memory.
+/// Refines `result` in place; no-op if the source cannot rewind.
+Status StreamingRefine(PointSource* source, const BirchOptions& opts,
+                       BirchResult* result) {
+  if (opts.refinement_passes <= 0 || !source->Rewind().ok()) {
+    return Status::OK();
+  }
+  TRACE_SPAN("birch/phase4");
+  Timer timer;
+  std::vector<std::vector<double>> centers = result->centroids;
+  std::vector<double> p(opts.dim);
+  double w = 1.0;
+  const double limit_sq =
+      opts.refine_outlier_distance > 0.0
+          ? opts.refine_outlier_distance * opts.refine_outlier_distance
+          : std::numeric_limits<double>::infinity();
+  for (int pass = 0; pass < opts.refinement_passes; ++pass) {
+    if (pass > 0) BIRCH_RETURN_IF_ERROR(source->Rewind());
+    std::vector<CfVector> sums(centers.size(), CfVector(opts.dim));
+    while (source->Next(p, &w)) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < centers.size(); ++c) {
+        double d = SquaredDistance(p, centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (best_d <= limit_sq) sums[best].AddPoint(p, w);
+    }
+    double moved = 0.0;
+    for (size_t c = 0; c < centers.size(); ++c) {
+      if (sums[c].empty()) continue;
+      std::vector<double> next = sums[c].Centroid();
+      moved += SquaredDistance(centers[c], next);
+      centers[c] = std::move(next);
+    }
+    result->clusters = std::move(sums);
+    if (moved < 1e-18) break;
+  }
+  // Drop empty clusters, refresh centroids.
+  std::vector<CfVector> kept;
+  for (auto& c : result->clusters) {
+    if (!c.empty()) kept.push_back(std::move(c));
+  }
+  result->clusters = std::move(kept);
+  result->centroids.clear();
+  for (const auto& c : result->clusters) {
+    result->centroids.push_back(c.Centroid());
+  }
+  result->timings.phase4 = timer.Seconds();
+  return Status::OK();
 }
 
 }  // namespace
@@ -95,117 +319,29 @@ StatusOr<BirchResult> BirchClusterer::Finish(const Dataset* for_refinement) {
   if (finished_) return Status::FailedPrecondition("Finish() called twice");
   finished_ = true;
 
-  BirchResult result;
-  Timer timer;
-
   // --- Phase 1 tail: flush delayed points, settle outliers. ---
   BIRCH_RETURN_IF_ERROR(phase1_->Finish());
-  CfTree* tree = phase1_->mutable_tree();
+  Phase1Outcome p1;
+  p1.tree = phase1_->mutable_tree();
   // Phase 1 started when the clusterer was built: the Add() stream is
   // the phase, not just this tail.
-  result.timings.phase1 = phase1_timer_.Seconds();
+  p1.seconds = phase1_timer_.Seconds();
   phase1_span_.End();
-  result.phase1 = phase1_->stats();
-  result.robustness = phase1_->robustness();
-  result.leaf_entries_after_phase1 = tree->leaf_entry_count();
+  p1.stats = phase1_->stats();
+  p1.robustness = phase1_->robustness();
+  p1.final_outliers = &phase1_->final_outliers();
+  p1.mem = &phase1_->memory();
+  p1.disk_pages_written = phase1_->disk().io_stats().pages_written;
+  p1.disk_pages_read = phase1_->disk().io_stats().pages_read;
 
-  // --- Phase 2: condense for the global algorithm. ---
-  timer.Restart();
-  obs::SpanScope phase2_span("birch/phase2");
-  std::vector<CfVector> shed_outliers;
-  if (options_.use_phase2 &&
-      tree->leaf_entry_count() > options_.phase2_target_entries) {
-    Phase2Options p2;
-    p2.target_leaf_entries = options_.phase2_target_entries;
-    if (options_.outlier_handling && tree->leaf_entry_count() > 0) {
-      // Phase 2 "removes more outliers" (paper Sec. 5): entries far
-      // below the average density are shed while condensing.
-      double avg = tree->TreeSummary().n() /
-                   static_cast<double>(tree->leaf_entry_count());
-      p2.outlier_weight_threshold = options_.outlier_fraction * avg;
-    }
-    BIRCH_RETURN_IF_ERROR(
-        CondenseTree(tree, p2, &shed_outliers, &result.phase2));
+  // The streaming API ingests serially (points arrive one Add() at a
+  // time), but Phases 3/4 still parallelize when asked.
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (options_.num_threads > 0) {
+    pool = std::make_unique<exec::ThreadPool>(options_.num_threads);
   }
-  result.leaf_entries_after_phase2 = tree->leaf_entry_count();
-  result.timings.phase2 = timer.Seconds();
-  phase2_span.End();
-
-  // --- Phase 3: global clustering of the leaf entries. ---
-  timer.Restart();
-  obs::SpanScope phase3_span("birch/phase3");
-  std::vector<CfVector> entries;
-  tree->CollectLeafEntries(&entries);
-  if (entries.empty()) {
-    return Status::FailedPrecondition("no data was added");
-  }
-  GlobalClusterOptions g;
-  g.k = options_.k;
-  g.distance_limit = options_.global_distance_limit;
-  g.algorithm = options_.global_algorithm;
-  g.metric = options_.global_metric;
-  g.seed = options_.seed;
-  auto clustering_or = GlobalCluster(entries, g);
-  if (!clustering_or.ok()) return clustering_or.status();
-  GlobalClustering& clustering = clustering_or.value();
-  result.timings.phase3 = timer.Seconds();
-  phase3_span.End();
-
-  result.clusters = clustering.clusters;
-
-  // --- Phase 4: refinement / labelling over the raw data. ---
-  timer.Restart();
-  obs::SpanScope phase4_span("birch/phase4");
-  if (for_refinement != nullptr && !for_refinement->empty()) {
-    RefineOptions r;
-    r.passes = std::max(1, options_.refinement_passes);
-    r.stop_when_stable = true;
-    r.outlier_distance = options_.refine_outlier_distance;
-    auto refined_or = RefineClusters(*for_refinement, result.clusters, r);
-    if (!refined_or.ok()) return refined_or.status();
-    RefineResult& refined = refined_or.value();
-    if (options_.refinement_passes > 0) {
-      // Keep the refined clusters (drop any that ended empty).
-      result.labels = std::move(refined.labels);
-      std::vector<int> remap(refined.clusters.size(), -1);
-      std::vector<CfVector> kept;
-      for (size_t c = 0; c < refined.clusters.size(); ++c) {
-        if (!refined.clusters[c].empty()) {
-          remap[c] = static_cast<int>(kept.size());
-          kept.push_back(refined.clusters[c]);
-        }
-      }
-      for (auto& l : result.labels) {
-        if (l >= 0) l = remap[static_cast<size_t>(l)];
-      }
-      result.clusters = std::move(kept);
-    } else {
-      // refinement_passes == 0: labels only, clusters stay Phase-3.
-      result.labels = std::move(refined.labels);
-    }
-  }
-  result.timings.phase4 = timer.Seconds();
-  phase4_span.End();
-
-  // --- Bookkeeping ---
-  result.centroids.clear();
-  result.centroids.reserve(result.clusters.size());
-  for (const auto& c : result.clusters) {
-    result.centroids.push_back(c.Centroid());
-  }
-  result.tree_stats = tree->stats();
-  result.peak_memory_bytes = phase1_->memory().peak();
-  result.tree_nodes = tree->node_count();
-  result.disk_pages_written = phase1_->disk().io_stats().pages_written;
-  result.disk_pages_read = phase1_->disk().io_stats().pages_read;
-  result.final_threshold = tree->threshold();
-  double outlier_points = 0.0;
-  for (const auto& e : phase1_->final_outliers()) outlier_points += e.n();
-  for (const auto& e : shed_outliers) outlier_points += e.n();
-  result.outlier_points = static_cast<uint64_t>(outlier_points + 0.5);
-  tree->ExportOccupancy();
-  result.metrics = obs::CaptureSnapshot().DeltaSince(metrics_baseline_);
-  return result;
+  return RunPhases234(options_, p1, for_refinement, pool.get(),
+                      metrics_baseline_);
 }
 
 StatusOr<BirchResult> ClusterSource(PointSource* source,
@@ -213,6 +349,19 @@ StatusOr<BirchResult> ClusterSource(PointSource* source,
   BirchOptions opts = options;
   opts.dim = source->dim();
   if (opts.expected_points == 0) opts.expected_points = source->SizeHint();
+
+  if (opts.num_threads > 0) {
+    BIRCH_RETURN_IF_ERROR(opts.Validate());
+    obs::MetricsSnapshot baseline = obs::CaptureSnapshot();
+    exec::ThreadPool pool(opts.num_threads);
+    auto result_or =
+        RunParallelPipeline(source, nullptr, opts, &pool, baseline);
+    if (!result_or.ok()) return result_or.status();
+    BirchResult result = std::move(result_or).ValueOrDie();
+    BIRCH_RETURN_IF_ERROR(StreamingRefine(source, opts, &result));
+    return result;
+  }
+
   auto clusterer_or = BirchClusterer::Create(opts);
   if (!clusterer_or.ok()) return clusterer_or.status();
   auto& clusterer = clusterer_or.value();
@@ -220,55 +369,7 @@ StatusOr<BirchResult> ClusterSource(PointSource* source,
   auto result_or = clusterer->Finish(nullptr);
   if (!result_or.ok()) return result_or.status();
   BirchResult result = std::move(result_or).ValueOrDie();
-
-  // Streaming Phase 4: re-scan the source per pass in O(k) memory.
-  if (opts.refinement_passes > 0 && source->Rewind().ok()) {
-    TRACE_SPAN("birch/phase4");
-    Timer timer;
-    std::vector<std::vector<double>> centers = result.centroids;
-    std::vector<double> p(opts.dim);
-    double w = 1.0;
-    const double limit_sq =
-        opts.refine_outlier_distance > 0.0
-            ? opts.refine_outlier_distance * opts.refine_outlier_distance
-            : std::numeric_limits<double>::infinity();
-    for (int pass = 0; pass < opts.refinement_passes; ++pass) {
-      if (pass > 0) BIRCH_RETURN_IF_ERROR(source->Rewind());
-      std::vector<CfVector> sums(centers.size(), CfVector(opts.dim));
-      while (source->Next(p, &w)) {
-        size_t best = 0;
-        double best_d = std::numeric_limits<double>::infinity();
-        for (size_t c = 0; c < centers.size(); ++c) {
-          double d = SquaredDistance(p, centers[c]);
-          if (d < best_d) {
-            best_d = d;
-            best = c;
-          }
-        }
-        if (best_d <= limit_sq) sums[best].AddPoint(p, w);
-      }
-      double moved = 0.0;
-      for (size_t c = 0; c < centers.size(); ++c) {
-        if (sums[c].empty()) continue;
-        std::vector<double> next = sums[c].Centroid();
-        moved += SquaredDistance(centers[c], next);
-        centers[c] = std::move(next);
-      }
-      result.clusters = std::move(sums);
-      if (moved < 1e-18) break;
-    }
-    // Drop empty clusters, refresh centroids.
-    std::vector<CfVector> kept;
-    for (auto& c : result.clusters) {
-      if (!c.empty()) kept.push_back(std::move(c));
-    }
-    result.clusters = std::move(kept);
-    result.centroids.clear();
-    for (const auto& c : result.clusters) {
-      result.centroids.push_back(c.Centroid());
-    }
-    result.timings.phase4 = timer.Seconds();
-  }
+  BIRCH_RETURN_IF_ERROR(StreamingRefine(source, opts, &result));
   return result;
 }
 
@@ -276,6 +377,18 @@ StatusOr<BirchResult> ClusterDataset(const Dataset& data,
                                      const BirchOptions& options) {
   BirchOptions opts = options;
   if (opts.expected_points == 0) opts.expected_points = data.size();
+
+  if (opts.num_threads > 0) {
+    BIRCH_RETURN_IF_ERROR(opts.Validate());
+    if (data.dim() != opts.dim) {
+      return Status::InvalidArgument("dataset dimension mismatch");
+    }
+    obs::MetricsSnapshot baseline = obs::CaptureSnapshot();
+    exec::ThreadPool pool(opts.num_threads);
+    DatasetSource source(&data);
+    return RunParallelPipeline(&source, &data, opts, &pool, baseline);
+  }
+
   auto clusterer_or = BirchClusterer::Create(opts);
   if (!clusterer_or.ok()) return clusterer_or.status();
   auto& clusterer = clusterer_or.value();

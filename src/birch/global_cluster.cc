@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/math.h"
@@ -49,7 +51,14 @@ GlobalClustering HierarchicalCluster(std::span<const CfVector> entries,
       }
     }
   };
-  for (size_t i = 0; i < m; ++i) recompute_nn(i);
+  // Each slot only writes its own nn/nn_dist entry, so the initial
+  // O(m^2) scan parallelizes without synchronization.
+  exec::ParallelFor(
+      options.pool, m,
+      [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) recompute_nn(i);
+      },
+      /*min_per_chunk=*/32);
 
   size_t live = m;
   while (live > static_cast<size_t>(k)) {
@@ -76,20 +85,26 @@ GlobalClustering HierarchicalCluster(std::span<const CfVector> entries,
     members[b].clear();
     --live;
     if (live <= 1) break;
-    // Refresh neighbours: a changed, b vanished.
+    // Refresh neighbours: a changed, b vanished. Slot j only touches
+    // its own cached neighbour, so the refresh sweep parallelizes too.
     recompute_nn(a);
-    for (size_t j = 0; j < m; ++j) {
-      if (!active[j] || j == a) continue;
-      if (nn[j] == b || nn[j] == a) {
-        recompute_nn(j);
-      } else {
-        double d = Distance(options.metric, cfs[j], cfs[a]);
-        if (d < nn_dist[j]) {
-          nn_dist[j] = d;
-          nn[j] = a;
-        }
-      }
-    }
+    exec::ParallelFor(
+        options.pool, m,
+        [&](size_t begin, size_t end, size_t) {
+          for (size_t j = begin; j < end; ++j) {
+            if (!active[j] || j == a) continue;
+            if (nn[j] == b || nn[j] == a) {
+              recompute_nn(j);
+            } else {
+              double d = Distance(options.metric, cfs[j], cfs[a]);
+              if (d < nn_dist[j]) {
+                nn_dist[j] = d;
+                nn[j] = a;
+              }
+            }
+          }
+        },
+        /*min_per_chunk=*/256);
   }
 
   GlobalClustering result;
@@ -170,29 +185,65 @@ GlobalClustering KMeansCluster(std::span<const CfVector> entries,
       KMeansPlusPlusSeeds(entries, k, &rng);
 
   std::vector<int> assign(m, -1);
+  const size_t num_chunks = exec::ParallelForNumChunks(options.pool, m,
+                                                       /*min_per_chunk=*/64);
   for (int iter = 0; iter < options.kmeans_max_iterations; ++iter) {
-    bool changed = false;
-    for (size_t i = 0; i < m; ++i) {
-      int best = 0;
-      double best_d = kInf;
-      for (int c = 0; c < k; ++c) {
-        double d = CentroidSqDist(entries[i], centers[c]);
-        if (d < best_d) {
-          best_d = d;
-          best = c;
-        }
-      }
-      if (assign[i] != best) {
-        assign[i] = best;
-        changed = true;
-      }
-    }
+    // Assignment sweep: each point is independent; chunks report
+    // whether they changed any label.
+    std::vector<uint8_t> chunk_changed(num_chunks, 0);
+    exec::ParallelFor(
+        options.pool, m,
+        [&](size_t begin, size_t end, size_t chunk) {
+          bool local_changed = false;
+          for (size_t i = begin; i < end; ++i) {
+            int best = 0;
+            double best_d = kInf;
+            for (int c = 0; c < k; ++c) {
+              double d = CentroidSqDist(entries[i], centers[c]);
+              if (d < best_d) {
+                best_d = d;
+                best = c;
+              }
+            }
+            if (assign[i] != best) {
+              assign[i] = best;
+              local_changed = true;
+            }
+          }
+          if (local_changed) chunk_changed[chunk] = 1;
+        },
+        /*min_per_chunk=*/64);
+    bool changed =
+        std::any_of(chunk_changed.begin(), chunk_changed.end(),
+                    [](uint8_t c) { return c != 0; });
     if (!changed && iter > 0) break;
 
-    // Weighted centroid update.
+    // Weighted centroid update. The single-chunk path accumulates
+    // directly (the exact serial arithmetic); the chunked path folds
+    // per-chunk partial CFs in chunk order, which is deterministic for
+    // a fixed chunk count.
     std::vector<CfVector> sums(static_cast<size_t>(k), CfVector(dim));
-    for (size_t i = 0; i < m; ++i) {
-      sums[static_cast<size_t>(assign[i])].Add(entries[i]);
+    if (num_chunks <= 1) {
+      for (size_t i = 0; i < m; ++i) {
+        sums[static_cast<size_t>(assign[i])].Add(entries[i]);
+      }
+    } else {
+      std::vector<std::vector<CfVector>> partial(num_chunks);
+      exec::ParallelFor(
+          options.pool, m,
+          [&](size_t begin, size_t end, size_t chunk) {
+            auto& local = partial[chunk];
+            local.assign(static_cast<size_t>(k), CfVector(dim));
+            for (size_t i = begin; i < end; ++i) {
+              local[static_cast<size_t>(assign[i])].Add(entries[i]);
+            }
+          },
+          /*min_per_chunk=*/64);
+      for (const auto& local : partial) {
+        for (int c = 0; c < k; ++c) {
+          sums[static_cast<size_t>(c)].Add(local[static_cast<size_t>(c)]);
+        }
+      }
     }
     for (int c = 0; c < k; ++c) {
       if (sums[static_cast<size_t>(c)].empty()) {

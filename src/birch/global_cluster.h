@@ -17,6 +17,10 @@
 
 namespace birch {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 enum class GlobalAlgorithm {
   kHierarchical = 0,  // paper default: adapted agglomerative HC
   kKMeans,            // CF-weighted Lloyd with k-means++ seeding
@@ -41,6 +45,11 @@ struct GlobalClusterOptions {
   uint64_t seed = 42;
   /// Guard: hierarchical input size limit (cost is quadratic).
   size_t max_hierarchical_inputs = 20000;
+  /// Optional worker pool for the O(m^2) distance loops and the
+  /// k-means sweeps. nullptr runs the loops inline, bit-for-bit
+  /// identical to the serial implementation; with a pool the result is
+  /// deterministic for a fixed (seed, pool size).
+  exec::ThreadPool* pool = nullptr;
 };
 
 struct GlobalClustering {

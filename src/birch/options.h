@@ -78,6 +78,20 @@ struct BirchOptions {
   /// > 0: discard points farther than this from every centroid.
   double refine_outlier_distance = 0.0;
 
+  // --- Parallel execution (src/exec) ---
+  /// Worker threads for the parallel paths. 0 (the default) runs the
+  /// fully serial pipeline — bit-for-bit identical to the
+  /// pre-parallel implementation. N >= 1 shards Phase 1 across N
+  /// private CF trees (round-robin by arrival index, merged by CF
+  /// additivity) and runs the Phase-3 / Phase-4 loops through a
+  /// ThreadPool of N workers. Results are deterministic for a fixed
+  /// (seed, num_threads) pair; different thread counts may differ in
+  /// the last float bits (chunked summation order).
+  int num_threads = 0;
+  /// Upper bound Validate() accepts for num_threads (a guard against
+  /// absurd CLI values, not a tuning knob).
+  static constexpr int kMaxThreads = 256;
+
   /// If the total point count is known up front, the threshold
   /// heuristic uses it; 0 = unknown.
   uint64_t expected_points = 0;
@@ -121,6 +135,11 @@ struct BirchOptions {
     }
     if (phase2_target_entries == 0) {
       return Status::InvalidArgument("phase2_target_entries must be > 0");
+    }
+    if (num_threads < 0 || num_threads > kMaxThreads) {
+      return Status::InvalidArgument(
+          "num_threads must be in [0, " + std::to_string(kMaxThreads) +
+          "] (0 = serial)");
     }
     return Status::OK();
   }

@@ -1,0 +1,270 @@
+#include "birch/phase1_parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "birch/threshold.h"
+#include "exec/channel.h"
+#include "exec/parallel_for.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace birch {
+
+namespace {
+
+/// One hand-off unit: `xs` holds batch points flattened dim-major.
+struct PointBatch {
+  std::vector<double> xs;
+  std::vector<double> ws;
+};
+
+/// Completion latch for the shard workers.
+struct ShardLatch {
+  std::mutex mu;
+  std::condition_variable cv;
+  int pending;
+
+  explicit ShardLatch(int n) : pending(n) {}
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--pending == 0) cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return pending == 0; });
+  }
+};
+
+/// Divides the run's total budgets across `shards` builders. Each
+/// shard keeps at least the minimum viable slice (4 pages of memory,
+/// one page of disk) so a high shard count degrades throughput, never
+/// correctness.
+Phase1Options ShardOptions(const Phase1Options& total, int shards) {
+  Phase1Options o = total;
+  const size_t s = static_cast<size_t>(shards);
+  if (total.memory_budget_bytes > 0) {
+    o.memory_budget_bytes = std::max(total.memory_budget_bytes / s,
+                                     4 * total.tree.page_size);
+  }
+  if (total.disk_budget_bytes > 0) {
+    o.disk_budget_bytes =
+        std::max(total.disk_budget_bytes / s, total.tree.page_size);
+  }
+  o.expected_points = total.expected_points / s;
+  return o;
+}
+
+void MergeStats(const Phase1Stats& in, Phase1Stats* out) {
+  out->points_added += in.points_added;
+  out->rebuilds += in.rebuilds;
+  out->outlier_entries_spilled += in.outlier_entries_spilled;
+  out->outlier_entries_reabsorbed += in.outlier_entries_reabsorbed;
+  out->points_delay_spilled += in.points_delay_spilled;
+  out->reabsorb_cycles += in.reabsorb_cycles;
+  out->forced_inserts += in.forced_inserts;
+}
+
+void MergeRobustness(const RobustnessStats& in, RobustnessStats* out) {
+  out->transient_io_errors += in.transient_io_errors;
+  out->io_retries += in.io_retries;
+  out->simulated_backoff_us += in.simulated_backoff_us;
+  out->checksum_failures += in.checksum_failures;
+  out->pages_lost += in.pages_lost;
+  out->records_lost += in.records_lost;
+  out->degradation_events += in.degradation_events;
+  out->fallback_absorbed += in.fallback_absorbed;
+  out->fallback_dropped += in.fallback_dropped;
+  out->outlier_disk_disabled |= in.outlier_disk_disabled;
+}
+
+}  // namespace
+
+StatusOr<ShardedPhase1Result> RunShardedPhase1(
+    PointSource* source, const ShardedPhase1Options& options,
+    exec::ThreadPool* pool) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("sharded Phase 1 needs a thread pool");
+  }
+  const size_t dim = options.phase1.tree.dim;
+  if (source->dim() != dim) {
+    return Status::InvalidArgument("source dimension mismatch");
+  }
+  const int shards =
+      std::clamp(options.num_shards, 1, std::max(1, pool->size()));
+  const size_t batch_points = std::max<size_t>(1, options.batch_points);
+
+  OBS_GAUGE_SET("exec/shards", shards);
+
+  // --- 1. Scan: deal points round-robin to one builder per shard. ---
+  std::vector<std::unique_ptr<Phase1Builder>> builders;
+  std::vector<std::unique_ptr<exec::Channel<PointBatch>>> channels;
+  std::vector<Status> shard_status(static_cast<size_t>(shards));
+  builders.reserve(static_cast<size_t>(shards));
+  channels.reserve(static_cast<size_t>(shards));
+  const Phase1Options shard_opts = ShardOptions(options.phase1, shards);
+  for (int s = 0; s < shards; ++s) {
+    builders.push_back(std::make_unique<Phase1Builder>(shard_opts));
+    channels.push_back(
+        std::make_unique<exec::Channel<PointBatch>>(options.channel_capacity));
+  }
+
+  ShardLatch latch(shards);
+  for (int s = 0; s < shards; ++s) {
+    Phase1Builder* builder = builders[static_cast<size_t>(s)].get();
+    exec::Channel<PointBatch>* ch = channels[static_cast<size_t>(s)].get();
+    Status* st = &shard_status[static_cast<size_t>(s)];
+    pool->Submit([builder, ch, st, dim, &latch] {
+      obs::SpanScope span("phase1/shard");
+      PointBatch batch;
+      // After a failure keep draining: a stalled consumer would wedge
+      // the reader on a full channel.
+      while (ch->Pop(&batch)) {
+        if (!st->ok()) continue;
+        const size_t n = batch.ws.size();
+        for (size_t j = 0; j < n; ++j) {
+          *st = builder->Add(
+              std::span<const double>(batch.xs.data() + j * dim, dim),
+              batch.ws[j]);
+          if (!st->ok()) break;
+        }
+      }
+      if (st->ok()) *st = builder->Finish();
+      latch.Done();
+    });
+  }
+
+  {
+    TRACE_SPAN("phase1/scan");
+    std::vector<PointBatch> pending(static_cast<size_t>(shards));
+    std::vector<double> p(dim);
+    double w = 1.0;
+    uint64_t i = 0;
+    while (source->Next(p, &w)) {
+      size_t s = static_cast<size_t>(i % static_cast<uint64_t>(shards));
+      PointBatch& b = pending[s];
+      b.xs.insert(b.xs.end(), p.begin(), p.end());
+      b.ws.push_back(w);
+      if (b.ws.size() >= batch_points) {
+        channels[s]->Push(std::move(b));
+        b = PointBatch{};
+      }
+      ++i;
+    }
+    for (int s = 0; s < shards; ++s) {
+      if (!pending[static_cast<size_t>(s)].ws.empty()) {
+        channels[static_cast<size_t>(s)]->Push(
+            std::move(pending[static_cast<size_t>(s)]));
+      }
+      channels[static_cast<size_t>(s)]->Close();
+    }
+    latch.Wait();
+  }
+  for (const Status& st : shard_status) BIRCH_RETURN_IF_ERROR(st);
+
+  ShardedPhase1Result result;
+  for (int s = 0; s < shards; ++s) {
+    const Phase1Builder& b = *builders[static_cast<size_t>(s)];
+    MergeStats(b.stats(), &result.stats);
+    MergeRobustness(b.robustness(), &result.robustness);
+    result.disk_pages_written += b.disk().io_stats().pages_written;
+    result.disk_pages_read += b.disk().io_stats().pages_read;
+    result.peak_memory_bytes += b.memory().peak();
+    if (obs::Enabled()) {
+      obs::Registry::Default()
+          .GetGauge("exec/shard" + std::to_string(s) + "/points")
+          .Set(static_cast<double>(b.stats().points_added));
+    }
+  }
+
+  // --- 2. Pairwise fold of the shard trees (CF additivity makes the
+  // merge exact at subcluster granularity). Each round merges disjoint
+  // pairs in parallel; the destination is the pair member with the
+  // larger threshold so absorbed entries never face a tighter bound
+  // than the one they were built under. ---
+  {
+    TRACE_SPAN("phase1/merge_shards");
+    std::vector<CfTree*> active;
+    active.reserve(static_cast<size_t>(shards));
+    for (auto& b : builders) active.push_back(b->mutable_tree());
+    while (active.size() > 1) {
+      const size_t pairs = active.size() / 2;
+      std::vector<CfTree*> next(pairs + active.size() % 2);
+      exec::ParallelFor(
+          pool, pairs,
+          [&](size_t begin, size_t end, size_t) {
+            for (size_t j = begin; j < end; ++j) {
+              CfTree* a = active[2 * j];
+              CfTree* b = active[2 * j + 1];
+              CfTree* dst = b->threshold() > a->threshold() ? b : a;
+              const CfTree* src = dst == a ? b : a;
+              dst->AbsorbTree(*src);
+              next[j] = dst;
+            }
+          },
+          /*min_per_chunk=*/1);
+      if (active.size() % 2 == 1) next.back() = active.back();
+      active = std::move(next);
+    }
+
+    // --- 3. Re-home the fold into a tree charged against the *total*
+    // memory budget (the per-shard trackers each only carry 1/S). ---
+    result.mem =
+        std::make_unique<MemoryTracker>(options.phase1.memory_budget_bytes);
+    CfTreeOptions merged_opts = options.phase1.tree;
+    merged_opts.threshold = active[0]->threshold();
+    result.tree = std::make_unique<CfTree>(merged_opts, result.mem.get());
+    result.tree->AbsorbTree(*active[0]);
+  }
+
+  // --- 4. Threshold-consistency reabsorb pass. ---
+  TRACE_SPAN("phase1/merge_reabsorb");
+  std::vector<CfVector> shed;
+  if (result.tree->over_budget()) {
+    ThresholdHeuristic heuristic(dim, result.stats.points_added);
+    int guard = 0;
+    do {
+      double t_next =
+          heuristic.SuggestNext(*result.tree, result.stats.points_added);
+      double outlier_n = 0.0;
+      if (options.phase1.outlier_handling &&
+          result.tree->leaf_entry_count() > 0) {
+        double avg = result.tree->TreeSummary().n() /
+                     static_cast<double>(result.tree->leaf_entry_count());
+        outlier_n = options.phase1.outlier_fraction * avg;
+      }
+      result.tree->Rebuild(t_next, outlier_n, &shed);
+      ++result.stats.rebuilds;
+      OBS_COUNTER_INC("phase1/rebuilds");
+    } while (result.tree->over_budget() && ++guard < 16);
+    if (result.tree->over_budget()) {
+      return Status::OutOfMemory(
+          "memory budget unattainable after merging shard trees");
+    }
+  }
+  // Entries that were outliers within one shard (or shed just above)
+  // get one absorb-only retry against the union; a genuine outlier
+  // must still not re-enter the tree as a fresh entry (Sec. 5.1.4).
+  auto reabsorb = [&](const CfVector& e) {
+    if (result.tree->InsertEntry(e, InsertMode::kAbsorbOnly) !=
+        InsertOutcome::kRejected) {
+      ++result.stats.outlier_entries_reabsorbed;
+      OBS_COUNTER_INC("phase1/outliers_reabsorbed");
+    } else {
+      result.final_outliers.push_back(e);
+    }
+  };
+  for (auto& b : builders) {
+    for (const CfVector& e : b->final_outliers()) reabsorb(e);
+  }
+  for (const CfVector& e : shed) reabsorb(e);
+
+  builders.clear();  // release the shard trees and trackers
+  result.stats.final_threshold = result.tree->threshold();
+  return result;
+}
+
+}  // namespace birch

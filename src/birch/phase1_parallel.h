@@ -1,0 +1,83 @@
+// Sharded Phase 1 — the paper's parallelism sketch (Sec. 4.1: the CF
+// vector is additive, so partitioned builds merge exactly at
+// subcluster granularity) made concrete:
+//
+//   1. The calling thread scans the PointSource once and deals point i
+//      to shard (i mod S) — a deterministic round-robin that does not
+//      depend on thread timing — handing batches to each shard worker
+//      through a bounded exec::Channel (backpressure, O(S * batch)
+//      transient memory).
+//   2. Each of the S pool workers runs a private, fully serial
+//      Phase1Builder (its own CF tree, memory tracker, outlier disk)
+//      over its shard of the stream.
+//   3. The shard trees are folded pairwise (parallel rounds on the
+//      pool; destination = the pair member with the larger threshold)
+//      via CfTree::AbsorbTree, then absorbed into a final tree charged
+//      against the full memory budget.
+//   4. Threshold-consistency reabsorb pass: if the merged tree
+//      overflows the total budget it is rebuilt at the heuristic's
+//      next threshold, and every per-shard final outlier gets one
+//      absorb-only retry against the merged tree (an entry that looked
+//      like an outlier inside one shard may sit squarely inside a
+//      cluster of the union).
+//
+// Every step is deterministic for a fixed (options, num_shards) pair:
+// shard assignment, per-shard insertion order, fold pairing, and the
+// final reabsorb order are all functions of the input alone.
+#ifndef BIRCH_BIRCH_PHASE1_PARALLEL_H_
+#define BIRCH_BIRCH_PHASE1_PARALLEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "birch/phase1.h"
+#include "birch/point_source.h"
+#include "exec/thread_pool.h"
+#include "util/status.h"
+
+namespace birch {
+
+struct ShardedPhase1Options {
+  /// Template configuration; memory_budget_bytes, disk_budget_bytes
+  /// and expected_points are totals that get divided across shards.
+  Phase1Options phase1;
+  /// Number of shards; clamped to [1, pool->size()] (each shard
+  /// occupies one pool worker for the duration of the scan).
+  int num_shards = 1;
+  /// Points per hand-off batch (amortizes channel locking).
+  size_t batch_points = 256;
+  /// Batches buffered per shard channel before the reader blocks.
+  size_t channel_capacity = 4;
+};
+
+/// Everything Phases 2-4 need from a (sharded) Phase 1 run.
+struct ShardedPhase1Result {
+  /// Tracker of the merged tree, budgeted at the full memory budget.
+  std::unique_ptr<MemoryTracker> mem;
+  /// The merged CF tree.
+  std::unique_ptr<CfTree> tree;
+  /// Summed per-shard counters plus the merge's own rebuilds;
+  /// final_threshold is the merged tree's.
+  Phase1Stats stats;
+  /// Summed per-shard fault-tolerance accounting.
+  RobustnessStats robustness;
+  /// Entries no shard could place that the merged tree rejected too.
+  std::vector<CfVector> final_outliers;
+  uint64_t disk_pages_written = 0;
+  uint64_t disk_pages_read = 0;
+  /// Sum of the per-shard tracker peaks only. The merged tree's own
+  /// high-water mark lives in `mem` and keeps moving through Phases
+  /// 2-4, so the caller reads `mem->peak()` at the end of the run and
+  /// adds it to this.
+  size_t peak_memory_bytes = 0;
+};
+
+/// Runs sharded Phase 1 over `source` on `pool`. The pool must outlive
+/// the call; `options.phase1.tree.dim` must match the source.
+StatusOr<ShardedPhase1Result> RunShardedPhase1(
+    PointSource* source, const ShardedPhase1Options& options,
+    exec::ThreadPool* pool);
+
+}  // namespace birch
+
+#endif  // BIRCH_BIRCH_PHASE1_PARALLEL_H_

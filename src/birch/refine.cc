@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/math.h"
@@ -12,9 +14,13 @@ namespace birch {
 namespace {
 
 /// One redistribution pass. Returns the number of label changes.
+/// With a pool, chunks accumulate private partial CFs / counters that
+/// are folded in chunk order; the single-chunk path is the exact
+/// serial arithmetic.
 uint64_t AssignPass(const Dataset& data,
                     const std::vector<std::vector<double>>& centers,
-                    double outlier_distance, std::vector<int>* labels,
+                    double outlier_distance, exec::ThreadPool* pool,
+                    std::vector<int>* labels,
                     std::vector<CfVector>* cluster_cfs,
                     uint64_t* discarded) {
   const size_t k = centers.size();
@@ -24,29 +30,59 @@ uint64_t AssignPass(const Dataset& data,
   for (auto& cf : *cluster_cfs) cf = CfVector(data.dim());
   uint64_t changes = 0;
   *discarded = 0;
-  for (size_t i = 0; i < data.size(); ++i) {
-    auto row = data.Row(i);
-    int best = -1;
-    double best_d = std::numeric_limits<double>::infinity();
-    for (size_t c = 0; c < k; ++c) {
-      double d = SquaredDistance(row, centers[c]);
-      if (d < best_d) {
-        best_d = d;
-        best = static_cast<int>(c);
+
+  // Assigns [begin, end); accumulates into cfs/changes/discarded.
+  auto assign_range = [&](size_t begin, size_t end,
+                          std::vector<CfVector>* cfs, uint64_t* local_changes,
+                          uint64_t* local_discarded) {
+    for (size_t i = begin; i < end; ++i) {
+      auto row = data.Row(i);
+      int best = -1;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        double d = SquaredDistance(row, centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (best_d > limit_sq) {
+        best = -1;
+        ++*local_discarded;
+      }
+      if ((*labels)[i] != best) {
+        (*labels)[i] = best;
+        ++*local_changes;
+      }
+      if (best >= 0) {
+        (*cfs)[static_cast<size_t>(best)].AddPoint(row, data.Weight(i));
       }
     }
-    if (best_d > limit_sq) {
-      best = -1;
-      ++*discarded;
+  };
+
+  const size_t num_chunks = exec::ParallelForNumChunks(pool, data.size(),
+                                                       /*min_per_chunk=*/256);
+  if (num_chunks <= 1) {
+    assign_range(0, data.size(), cluster_cfs, &changes, discarded);
+    return changes;
+  }
+  std::vector<std::vector<CfVector>> partial_cfs(num_chunks);
+  std::vector<uint64_t> partial_changes(num_chunks, 0);
+  std::vector<uint64_t> partial_discarded(num_chunks, 0);
+  exec::ParallelFor(
+      pool, data.size(),
+      [&](size_t begin, size_t end, size_t chunk) {
+        partial_cfs[chunk].assign(k, CfVector(data.dim()));
+        assign_range(begin, end, &partial_cfs[chunk],
+                     &partial_changes[chunk], &partial_discarded[chunk]);
+      },
+      /*min_per_chunk=*/256);
+  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    for (size_t c = 0; c < k; ++c) {
+      (*cluster_cfs)[c].Add(partial_cfs[chunk][c]);
     }
-    if ((*labels)[i] != best) {
-      (*labels)[i] = best;
-      ++changes;
-    }
-    if (best >= 0) {
-      (*cluster_cfs)[static_cast<size_t>(best)].AddPoint(row,
-                                                         data.Weight(i));
-    }
+    changes += partial_changes[chunk];
+    *discarded += partial_discarded[chunk];
   }
   return changes;
 }
@@ -78,8 +114,8 @@ StatusOr<RefineResult> RefineClusters(const Dataset& data,
   for (int pass = 0; pass < options.passes; ++pass) {
     uint64_t discarded = 0;
     uint64_t changes =
-        AssignPass(data, centers, options.outlier_distance, &result.labels,
-                   &result.clusters, &discarded);
+        AssignPass(data, centers, options.outlier_distance, options.pool,
+                   &result.labels, &result.clusters, &discarded);
     result.points_discarded = discarded;
     ++result.passes_run;
     OBS_COUNTER_INC("phase4/passes");

@@ -19,6 +19,10 @@
 
 namespace birch {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 struct RefineOptions {
   /// Number of redistribution passes (>= 1).
   int passes = 1;
@@ -27,6 +31,11 @@ struct RefineOptions {
   double outlier_distance = 0.0;
   /// Stop early once a pass changes no label.
   bool stop_when_stable = true;
+  /// Optional worker pool for the assignment sweep. nullptr runs the
+  /// pass inline, bit-for-bit identical to the serial implementation;
+  /// with a pool, per-chunk partial CFs are folded in chunk order, so
+  /// the result is deterministic for a fixed pool size.
+  exec::ThreadPool* pool = nullptr;
 };
 
 struct RefineResult {

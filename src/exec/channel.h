@@ -1,0 +1,82 @@
+// Bounded blocking channel for streaming hand-off between threads.
+// Supports one or many producers and one or many consumers (the
+// sharded Phase-1 reader uses it SPSC: one reader thread feeding one
+// worker per shard). Push blocks while the channel is full — the
+// bounded capacity is the backpressure that keeps a fast producer from
+// buffering an unbounded slice of the stream — and Pop blocks while it
+// is empty. Close() wakes everyone: pending items are still delivered,
+// then Pop returns false; Push after Close returns false and drops the
+// item.
+#ifndef BIRCH_EXEC_CHANNEL_H_
+#define BIRCH_EXEC_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace birch {
+namespace exec {
+
+template <typename T>
+class Channel {
+ public:
+  /// `capacity` is clamped to >= 1.
+  explicit Channel(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks until there is room (or the channel closes). Returns false
+  /// iff the channel was closed; the value is then dropped.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the channel is closed and
+  /// drained). Returns false iff closed with nothing left.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Idempotent. Already-queued items remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace exec
+}  // namespace birch
+
+#endif  // BIRCH_EXEC_CHANNEL_H_

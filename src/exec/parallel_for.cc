@@ -1,0 +1,61 @@
+#include "exec/parallel_for.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+namespace birch {
+namespace exec {
+
+namespace {
+
+/// Completion latch for one ParallelFor call.
+struct WaitGroup {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t pending;
+
+  explicit WaitGroup(size_t n) : pending(n) {}
+
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--pending == 0) cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return pending == 0; });
+  }
+};
+
+}  // namespace
+
+size_t ParallelForNumChunks(const ThreadPool* pool, size_t n,
+                            size_t min_per_chunk) {
+  if (pool == nullptr || n == 0) return 1;
+  size_t per = std::max<size_t>(1, min_per_chunk);
+  size_t by_size = (n + per - 1) / per;
+  return std::max<size_t>(1, std::min(static_cast<size_t>(pool->size()),
+                                      by_size));
+}
+
+void ParallelFor(ThreadPool* pool, size_t n, const ChunkFn& fn,
+                 size_t min_per_chunk) {
+  const size_t nc = ParallelForNumChunks(pool, n, min_per_chunk);
+  if (nc <= 1) {
+    fn(0, n, 0);
+    return;
+  }
+  auto chunk_begin = [n, nc](size_t c) { return c * n / nc; };
+  WaitGroup wg(nc - 1);
+  for (size_t c = 1; c < nc; ++c) {
+    pool->Submit([&fn, &wg, chunk_begin, c] {
+      fn(chunk_begin(c), chunk_begin(c + 1), c);
+      wg.Done();
+    });
+  }
+  fn(0, chunk_begin(1), 0);
+  wg.Wait();
+}
+
+}  // namespace exec
+}  // namespace birch

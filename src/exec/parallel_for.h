@@ -1,0 +1,41 @@
+// ParallelFor with deterministic static chunking: [0, n) is split into
+// at most pool->size() contiguous chunks whose boundaries depend only
+// on (n, chunk count) — never on thread timing — so a caller that keeps
+// per-chunk partial state and folds it in chunk order gets bit-for-bit
+// reproducible results for a fixed thread count. With a null pool (or a
+// single chunk) the body runs inline on the calling thread as one chunk
+// covering the whole range, which keeps the serial path's arithmetic
+// and iteration order untouched.
+#ifndef BIRCH_EXEC_PARALLEL_FOR_H_
+#define BIRCH_EXEC_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "exec/thread_pool.h"
+
+namespace birch {
+namespace exec {
+
+/// Chunk body: half-open index range plus the chunk's index (stable
+/// across runs; use it to address per-chunk partial state).
+using ChunkFn = std::function<void(size_t begin, size_t end, size_t chunk)>;
+
+/// Number of chunks ParallelFor will use for a range of `n` elements:
+/// min(pool size, ceil(n / min_per_chunk)), at least 1. Deterministic
+/// in (pool size, n, min_per_chunk); call it to pre-size per-chunk
+/// accumulators.
+size_t ParallelForNumChunks(const ThreadPool* pool, size_t n,
+                            size_t min_per_chunk = 1);
+
+/// Runs `fn` over [0, n) split into ParallelForNumChunks() contiguous
+/// chunks (chunk c covers [c*n/nc, (c+1)*n/nc)) and blocks until every
+/// chunk finished. Chunk 0 runs on the calling thread. Must not be
+/// called from inside a pool worker (see ThreadPool::Submit).
+void ParallelFor(ThreadPool* pool, size_t n, const ChunkFn& fn,
+                 size_t min_per_chunk = 1);
+
+}  // namespace exec
+}  // namespace birch
+
+#endif  // BIRCH_EXEC_PARALLEL_FOR_H_

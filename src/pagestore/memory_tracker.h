@@ -2,34 +2,49 @@
 // paper's Phase 1 runs under. CF-tree node allocation charges the
 // tracker; when the budget is exhausted the tree must be rebuilt with a
 // larger threshold (Sec. 5.1 of the paper).
+//
+// Thread-safe for concurrent ingest: a tracker may be shared by several
+// builders (or charged from pool workers), so the budget check and the
+// reservation are one atomic compare-exchange — a plain load followed
+// by an add would let two threads both observe headroom and jointly
+// overshoot the budget. All counters are relaxed atomics: the tracker
+// carries no data dependencies, it is pure accounting.
 #ifndef BIRCH_PAGESTORE_MEMORY_TRACKER_H_
 #define BIRCH_PAGESTORE_MEMORY_TRACKER_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 
 namespace birch {
 
-/// Tracks bytes in use against a fixed budget. Not thread-safe (BIRCH is
-/// a single-scan sequential algorithm).
+/// Tracks bytes in use against a fixed budget.
 class MemoryTracker {
  public:
   /// budget_bytes == 0 means "unlimited".
   explicit MemoryTracker(size_t budget_bytes = 0)
       : budget_(budget_bytes) {}
 
-  /// True if `bytes` more can be allocated within the budget.
+  /// True if `bytes` more can be allocated within the budget. Advisory
+  /// under concurrency — another thread may take the headroom between
+  /// this check and Allocate(); Allocate() itself re-checks atomically.
   bool CanAllocate(size_t bytes) const {
-    return budget_ == 0 || used_ + bytes <= budget_;
+    return budget_ == 0 ||
+           used_.load(std::memory_order_relaxed) + bytes <= budget_;
   }
 
-  /// Charges `bytes`. Returns false (and charges nothing) if over budget.
+  /// Charges `bytes`. Returns false (and charges nothing) if over
+  /// budget. Check-then-reserve is a single CAS loop, so concurrent
+  /// callers can never jointly exceed the budget.
   bool Allocate(size_t bytes) {
-    if (!CanAllocate(bytes)) return false;
-    used_ += bytes;
-    peak_ = used_ > peak_ ? used_ : peak_;
-    ++allocations_;
+    size_t cur = used_.load(std::memory_order_relaxed);
+    do {
+      if (budget_ != 0 && cur + bytes > budget_) return false;
+    } while (!used_.compare_exchange_weak(cur, cur + bytes,
+                                          std::memory_order_relaxed));
+    UpdatePeak(cur + bytes);
+    allocations_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
@@ -38,36 +53,50 @@ class MemoryTracker {
   /// a small overdraft (the paper's "h extra pages" slack) and the
   /// caller observes over_budget() and rebuilds.
   void ForceAllocate(size_t bytes) {
-    used_ += bytes;
-    peak_ = used_ > peak_ ? used_ : peak_;
-    ++allocations_;
+    size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    UpdatePeak(now);
+    allocations_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// True when ForceAllocate pushed usage past the budget.
-  bool over_budget() const { return budget_ != 0 && used_ > budget_; }
+  bool over_budget() const {
+    return budget_ != 0 && used_.load(std::memory_order_relaxed) > budget_;
+  }
 
   /// Releases `bytes` previously charged.
   void Free(size_t bytes) {
-    assert(bytes <= used_);
-    used_ -= bytes;
-    ++frees_;
+    size_t prev = used_.fetch_sub(bytes, std::memory_order_relaxed);
+    assert(bytes <= prev);
+    (void)prev;
+    frees_.fetch_add(1, std::memory_order_relaxed);
   }
 
   size_t budget() const { return budget_; }
-  size_t used() const { return used_; }
-  size_t peak() const { return peak_; }
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t peak() const { return peak_.load(std::memory_order_relaxed); }
   size_t available() const {
-    return budget_ == 0 ? static_cast<size_t>(-1) : budget_ - used_;
+    if (budget_ == 0) return static_cast<size_t>(-1);
+    size_t u = used_.load(std::memory_order_relaxed);
+    return u >= budget_ ? 0 : budget_ - u;
   }
-  uint64_t allocations() const { return allocations_; }
-  uint64_t frees() const { return frees_; }
+  uint64_t allocations() const {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+  uint64_t frees() const { return frees_.load(std::memory_order_relaxed); }
 
  private:
-  size_t budget_;
-  size_t used_ = 0;
-  size_t peak_ = 0;
-  uint64_t allocations_ = 0;
-  uint64_t frees_ = 0;
+  void UpdatePeak(size_t now) {
+    size_t p = peak_.load(std::memory_order_relaxed);
+    while (now > p && !peak_.compare_exchange_weak(
+                          p, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  const size_t budget_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
+  std::atomic<uint64_t> allocations_{0};
+  std::atomic<uint64_t> frees_{0};
 };
 
 }  // namespace birch

@@ -2,6 +2,7 @@
 // accounting, per-page checksum verification, fault injection, spill
 // file round trips with retry/loss handling, and the memory tracker.
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -40,6 +41,56 @@ TEST(MemoryTrackerTest, ForceAllocateOverdraft) {
   EXPECT_EQ(mem.peak(), 150u);
   mem.Free(100);
   EXPECT_FALSE(mem.over_budget());
+}
+
+// Regression: the budget check and the reservation must be one atomic
+// step. With a read-check-add implementation, 8 threads racing on the
+// last slots of the budget would jointly overshoot it; the CAS-loop
+// Allocate() makes that impossible. (Run under TSan as
+// pagestore_test.tsan.)
+TEST(MemoryTrackerTest, ConcurrentAllocateNeverOvershootsBudget) {
+  constexpr size_t kBudget = 8000;
+  constexpr size_t kChunk = 10;
+  constexpr int kThreads = 8;
+  MemoryTracker mem(kBudget);
+  std::vector<size_t> granted(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mem, &granted, t] {
+      // Everyone hammers until the budget is exhausted.
+      while (mem.Allocate(kChunk)) granted[static_cast<size_t>(t)] += kChunk;
+    });
+  }
+  for (auto& th : threads) th.join();
+  size_t total = 0;
+  for (size_t g : granted) total += g;
+  EXPECT_EQ(total, kBudget);  // fully handed out...
+  EXPECT_EQ(mem.used(), kBudget);
+  EXPECT_LE(mem.peak(), kBudget);  // ...and never jointly exceeded
+  EXPECT_FALSE(mem.over_budget());
+  EXPECT_FALSE(mem.Allocate(1));
+  mem.Free(kBudget);
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, ConcurrentForceAllocateTracksPeakExactly) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  MemoryTracker mem(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mem] {
+      for (int i = 0; i < kPerThread; ++i) {
+        mem.ForceAllocate(3);
+        mem.Free(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mem.used(), size_t(kThreads) * kPerThread * 2);
+  EXPECT_GE(mem.peak(), mem.used());
+  EXPECT_EQ(mem.allocations(), uint64_t(kThreads) * kPerThread);
+  EXPECT_EQ(mem.frees(), uint64_t(kThreads) * kPerThread);
 }
 
 TEST(PageStoreTest, AllocateWriteReadFree) {

@@ -5,6 +5,7 @@
 //             [--threshold 0] [--algorithm hc|kmeans|medoids]
 //             [--refine-passes 1] [--discard-distance 0]
 //             [--no-outliers] [--no-delay-split] [--seed 42]
+//             [--threads 0]
 //
 // Prints one summary line per cluster; with --output, writes a CSV of
 // per-row cluster labels (-1 = outlier).
@@ -46,9 +47,9 @@ int Run(int argc, char** argv) {
       {"input", "output", "k", "distance-limit", "memory-kb", "disk-kb",
        "page", "metric", "threshold", "algorithm", "refine-passes",
        "discard-distance", "no-outliers", "no-delay-split", "stream",
-       "seed", "fault-read", "fault-write", "fault-lose", "fault-flip",
-       "fault-seed", "io-attempts", "metrics", "metrics-csv", "trace-out",
-       "help"});
+       "seed", "threads", "fault-read", "fault-write", "fault-lose",
+       "fault-flip", "fault-seed", "io-attempts", "metrics", "metrics-csv",
+       "trace-out", "help"});
   if (!known.ok() || flags.Has("help") || !flags.Has("input") ||
       (!flags.Has("k") && !flags.Has("distance-limit"))) {
     if (!known.ok()) std::fprintf(stderr, "%s\n", known.ToString().c_str());
@@ -59,12 +60,16 @@ int Run(int argc, char** argv) {
                  "[--threshold T0] [--algorithm hc|kmeans|medoids] "
                  "[--refine-passes N] [--discard-distance D] "
                  "[--no-outliers] [--no-delay-split] [--stream] "
-                 "[--seed S]\n"
+                 "[--seed S] [--threads N]\n"
                  "       [--disk-kb R] [--fault-read P] [--fault-write P] "
                  "[--fault-lose P] [--fault-flip P] [--fault-seed S] "
                  "[--io-attempts N]\n"
                  "  --stream clusters the file without loading it into "
                  "memory (no per-row labels).\n"
+                 "  --threads N shards Phase 1 across N workers and "
+                 "parallelizes Phases 3/4\n"
+                 "  (0 = serial, the default; deterministic for a fixed "
+                 "seed and thread count).\n"
                  "  --disk-kb 0 disables the outlier disk (in-tree "
                  "fallback); --fault-* inject seeded\n"
                  "  disk faults (probabilities in [0,1]) retried up to "
@@ -105,6 +110,15 @@ int Run(int argc, char** argv) {
   o.outlier_handling = !flags.GetBool("no-outliers", false);
   o.delay_split = !flags.GetBool("no-delay-split", false);
   o.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  int64_t threads = flags.GetInt("threads", 0);
+  if (threads < 0 || threads > BirchOptions::kMaxThreads) {
+    std::fprintf(stderr,
+                 "--threads must be in [0, %d] (0 = serial), got %lld\n",
+                 BirchOptions::kMaxThreads,
+                 static_cast<long long>(threads));
+    return 2;
+  }
+  o.num_threads = static_cast<int>(threads);
 
   auto metric_or = ParseMetric(flags.GetString("metric", "D2"));
   if (!metric_or.ok()) {
