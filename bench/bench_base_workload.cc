@@ -22,12 +22,15 @@ int Run(int argc, char** argv) {
   // --smoke: scaled-down DS1 with metrics + trace export, fast enough
   // for `ctest -L smoke`. Exercises the full bench + obs pipeline.
   const bool smoke = bench::HasFlagArg(argc, argv, "--smoke");
+  // --scalar-kernel: A/B the batched kernels against the scalar oracle
+  // (identical output; Phase-1 wall time is the number to compare).
+  const KernelKind kernel = bench::KernelFromArgs(argc, argv);
   if (smoke) obs::Tracer::Default().StartRecording();
   std::printf(
       "E1 / Table 4: base workload (paper: BIRCH ~= 50s per dataset on "
       "1996 hardware,\nD within a few %% of the actual clusters, all 100 "
       "clusters recovered)\n\n");
-  TablePrinter table({"dataset", "N", "time(s)", "ph1-3(s)", "ph4(s)", "D",
+  TablePrinter table({"dataset", "N", "time(s)", "ph1(s)", "ph4(s)", "D",
                       "D-actual", "entries", "rebuilds", "peak-mem(KB)",
                       "matched", "centroid-disp"});
   CsvWriter csv({"dataset", "n", "seconds", "d", "d_actual", "entries",
@@ -49,7 +52,9 @@ int Run(int argc, char** argv) {
       return 1;
     }
     const auto& g = gen.value();
-    auto row_or = bench::RunBirch(g, bench::PaperDefaults(k, g.data.size()));
+    BirchOptions opts = bench::PaperDefaults(k, g.data.size());
+    opts.exec.kernel = kernel;
+    auto row_or = bench::RunBirch(g, opts);
     if (!row_or.ok()) {
       std::fprintf(stderr, "run failed: %s\n",
                    row_or.status().ToString().c_str());
@@ -61,7 +66,7 @@ int Run(int argc, char** argv) {
         .Add(PaperDatasetName(ds))
         .Add(g.data.size())
         .Add(row.seconds_total, 2)
-        .Add(row.result.timings.Phases123(), 2)
+        .Add(row.result.timings.phase1, 3)
         .Add(row.result.timings.phase4, 2)
         .Add(row.weighted_diameter, 2)
         .Add(row.actual_diameter, 2)

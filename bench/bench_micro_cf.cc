@@ -4,10 +4,14 @@
 // decisions called out in DESIGN.md (entry layout, descent metric).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
+#include <cmath>
+#include <string>
 
 #include "birch/cf_tree.h"
 #include "birch/cf_vector.h"
+#include "birch/kernel/kernel.h"
 #include "birch/metrics.h"
 #include "obs/metrics.h"
 #include "pagestore/memory_tracker.h"
@@ -102,6 +106,45 @@ void BM_TreeInsertMetric(benchmark::State& state) {
   state.SetLabel(MetricName(o.metric));
 }
 BENCHMARK(BM_TreeInsertMetric)->DenseRange(0, 4);
+
+// The tentpole A/B: identical insert workload through the scalar
+// per-entry oracle vs the batched SoA kernel scans. Steady-state
+// (warmed tree, fixed point set, pure absorb/descend traffic) so the
+// measured delta is the descent cost itself. The page size scales
+// with dim so node fan-out stays in the paper's regime (~dozens of
+// entries per node) instead of collapsing to B≈7 at dim=64, where
+// there is no scan left to batch.
+void BM_TreeInsertKernel(benchmark::State& state) {
+  const auto kernel = static_cast<KernelKind>(state.range(0));
+  const size_t dim = static_cast<size_t>(state.range(1));
+  CfTreeOptions o;
+  o.dim = dim;
+  o.page_size = std::max<size_t>(4096, dim * 512);
+  o.threshold = 0.5 * std::sqrt(static_cast<double>(dim));
+  o.kernel = kernel;
+  Rng rng(4);
+  MemoryTracker mem;
+  CfTree tree(o, &mem);
+  constexpr size_t kPoints = 4096;
+  std::vector<std::vector<double>> pts(kPoints, std::vector<double>(dim));
+  for (auto& p : pts) {
+    for (auto& v : p) v = rng.Uniform(0, 100);
+  }
+  for (const auto& p : pts) tree.InsertPoint(p);  // warm to steady state
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.InsertPoint(pts[i]));
+    i = (i + 1) % kPoints;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(KernelName(kernel)) + "/dim=" +
+                 std::to_string(dim) +
+                 (kernel == KernelKind::kBatch && kernel::Avx2Active()
+                      ? "/avx2"
+                      : ""));
+}
+BENCHMARK(BM_TreeInsertKernel)
+    ->ArgsProduct({{0, 1}, {2, 16, 64}});
 
 // Instrumentation overhead on the insert path, obs enabled vs
 // disabled. The tree is warmed to steady state on a fixed point set

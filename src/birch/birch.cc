@@ -22,6 +22,7 @@ CfTreeOptions TreeOptionsFrom(const BirchOptions& o) {
   t.metric = o.metric;
   t.threshold_kind = o.threshold_kind;
   t.merging_refinement = o.merging_refinement;
+  t.kernel = o.exec.kernel;
   return t;
 }
 
@@ -111,6 +112,7 @@ StatusOr<BirchResult> RunPhases234(const BirchOptions& options,
   g.metric = options.global_metric;
   g.seed = options.seed;
   g.pool = pool;
+  g.kernel = options.exec.kernel;
   auto clustering_or = GlobalCluster(entries, g);
   if (!clustering_or.ok()) return clustering_or.status();
   GlobalClustering& clustering = clustering_or.value();
@@ -128,6 +130,7 @@ StatusOr<BirchResult> RunPhases234(const BirchOptions& options,
     r.stop_when_stable = true;
     r.outlier_distance = options.refine_outlier_distance;
     r.pool = pool;
+    r.kernel = options.exec.kernel;
     auto refined_or = RefineClusters(*for_refinement, result.clusters, r);
     if (!refined_or.ok()) return refined_or.status();
     RefineResult& refined = refined_or.value();
@@ -176,36 +179,6 @@ StatusOr<BirchResult> RunPhases234(const BirchOptions& options,
   return result;
 }
 
-/// Sharded Phase 1 over `source` on `pool`, then Phases 2-4. Shared by
-/// the parallel branches of ClusterDataset / ClusterSource.
-StatusOr<BirchResult> RunParallelPipeline(PointSource* source,
-                                          const Dataset* for_refinement,
-                                          const BirchOptions& opts,
-                                          exec::ThreadPool* pool,
-                                          const obs::MetricsSnapshot& baseline) {
-  Timer phase1_timer;
-  obs::SpanScope phase1_span("birch/phase1");
-  ShardedPhase1Options sp;
-  sp.phase1 = Phase1OptionsFrom(opts);
-  sp.num_shards = opts.num_threads;
-  auto sharded_or = RunShardedPhase1(source, sp, pool);
-  if (!sharded_or.ok()) return sharded_or.status();
-  ShardedPhase1Result sharded = std::move(sharded_or).ValueOrDie();
-  phase1_span.End();
-
-  Phase1Outcome p1;
-  p1.tree = sharded.tree.get();
-  p1.stats = sharded.stats;
-  p1.robustness = sharded.robustness;
-  p1.final_outliers = &sharded.final_outliers;
-  p1.mem = sharded.mem.get();
-  p1.shard_peak_bytes = sharded.peak_memory_bytes;
-  p1.disk_pages_written = sharded.disk_pages_written;
-  p1.disk_pages_read = sharded.disk_pages_read;
-  p1.seconds = phase1_timer.Seconds();
-  return RunPhases234(opts, p1, for_refinement, pool, baseline);
-}
-
 /// Streaming Phase 4: re-scan the source per pass in O(k) memory.
 /// Refines `result` in place; no-op if the source cannot rewind.
 Status StreamingRefine(PointSource* source, const BirchOptions& opts,
@@ -222,17 +195,28 @@ Status StreamingRefine(PointSource* source, const BirchOptions& opts,
       opts.refine_outlier_distance > 0.0
           ? opts.refine_outlier_distance * opts.refine_outlier_distance
           : std::numeric_limits<double>::infinity();
+  const bool use_batch = opts.exec.kernel == KernelKind::kBatch;
+  kernel::CenterBatch cbatch;
+  kernel::Workspace ws;
   for (int pass = 0; pass < opts.refinement_passes; ++pass) {
     if (pass > 0) BIRCH_RETURN_IF_ERROR(source->Rewind());
+    // Centers move between passes; refresh the SoA mirror per pass.
+    if (use_batch) cbatch.Assign(centers);
     std::vector<CfVector> sums(centers.size(), CfVector(opts.dim));
     while (source->Next(p, &w)) {
       size_t best = 0;
       double best_d = std::numeric_limits<double>::infinity();
-      for (size_t c = 0; c < centers.size(); ++c) {
-        double d = SquaredDistance(p, centers[c]);
-        if (d < best_d) {
-          best_d = d;
-          best = c;
+      if (use_batch) {
+        kernel::ScanResult r = cbatch.NearestSq(p, &ws);
+        best_d = r.distance;
+        if (r.index != static_cast<size_t>(-1)) best = r.index;
+      } else {
+        for (size_t c = 0; c < centers.size(); ++c) {
+          double d = SquaredDistance(p, centers[c]);
+          if (d < best_d) {
+            best_d = d;
+            best = c;
+          }
         }
       }
       if (best_d <= limit_sq) sums[best].AddPoint(p, w);
@@ -268,10 +252,20 @@ BirchClusterer::BirchClusterer(const BirchOptions& options)
       phase1_(std::make_unique<Phase1Builder>(Phase1OptionsFrom(options))),
       metrics_baseline_(obs::CaptureSnapshot()) {}
 
+BirchClusterer::~BirchClusterer() = default;
+
 StatusOr<std::unique_ptr<BirchClusterer>> BirchClusterer::Create(
     const BirchOptions& options) {
   BIRCH_RETURN_IF_ERROR(options.Validate());
   return std::unique_ptr<BirchClusterer>(new BirchClusterer(options));
+}
+
+const CfTree& BirchClusterer::tree() const {
+  return sharded_ != nullptr ? *sharded_->tree : phase1_->tree();
+}
+
+const Phase1Stats& BirchClusterer::phase1_stats() const {
+  return sharded_ != nullptr ? sharded_->stats : phase1_->stats();
 }
 
 Status BirchClusterer::Add(std::span<const double> x, double weight) {
@@ -280,6 +274,9 @@ Status BirchClusterer::Add(std::span<const double> x, double weight) {
 }
 
 Status BirchClusterer::AddDataset(const Dataset& data) {
+  if (finished_) {
+    return Status::FailedPrecondition("AddDataset() after Finish()");
+  }
   if (data.dim() != options_.dim) {
     return Status::InvalidArgument("dataset dimension mismatch");
   }
@@ -287,6 +284,9 @@ Status BirchClusterer::AddDataset(const Dataset& data) {
 }
 
 Status BirchClusterer::AddSource(PointSource* source) {
+  if (finished_) {
+    return Status::FailedPrecondition("AddSource() after Finish()");
+  }
   if (source->dim() != options_.dim) {
     return Status::InvalidArgument("source dimension mismatch");
   }
@@ -298,21 +298,44 @@ Status BirchClusterer::AddSource(PointSource* source) {
   return Status::OK();
 }
 
-StatusOr<GlobalClustering> BirchClusterer::Snapshot(int k) const {
+StatusOr<BirchResult> BirchClusterer::Snapshot(int k) const {
   std::vector<CfVector> entries;
-  phase1_->tree().CollectLeafEntries(&entries);
+  tree().CollectLeafEntries(&entries);
   if (entries.empty()) {
     return Status::FailedPrecondition("no data to snapshot");
   }
+  Timer timer;
   GlobalClusterOptions g;
   g.k = k;
   g.metric = options_.global_metric;
   g.seed = options_.seed;
+  g.kernel = options_.exec.kernel;
   // Large live trees fall back to k-means (no Phase 2 available here).
   g.algorithm = entries.size() > g.max_hierarchical_inputs
                     ? GlobalAlgorithm::kKMeans
                     : options_.global_algorithm;
-  return GlobalCluster(entries, g);
+  auto clustering_or = GlobalCluster(entries, g);
+  if (!clustering_or.ok()) return clustering_or.status();
+  GlobalClustering& clustering = clustering_or.value();
+
+  // No labels: a snapshot never revisits the raw stream. Everything
+  // else a Finish() result carries (current-state flavoured) is here.
+  BirchResult result;
+  result.clusters = std::move(clustering.clusters);
+  result.centroids.reserve(result.clusters.size());
+  for (const auto& c : result.clusters) {
+    result.centroids.push_back(c.Centroid());
+  }
+  result.timings.phase1 = phase1_timer_.Seconds();
+  result.timings.phase3 = timer.Seconds();
+  result.phase1 = phase1_stats();
+  result.tree_stats = tree().stats();
+  result.leaf_entries_after_phase1 = entries.size();
+  result.leaf_entries_after_phase2 = entries.size();
+  result.tree_nodes = tree().node_count();
+  result.final_threshold = tree().threshold();
+  result.metrics = obs::CaptureSnapshot().DeltaSince(metrics_baseline_);
+  return result;
 }
 
 StatusOr<BirchResult> BirchClusterer::Finish(const Dataset* for_refinement) {
@@ -344,29 +367,55 @@ StatusOr<BirchResult> BirchClusterer::Finish(const Dataset* for_refinement) {
                       metrics_baseline_);
 }
 
+StatusOr<BirchResult> BirchClusterer::Cluster(PointSource* source,
+                                              const Dataset* for_refinement) {
+  if (finished_) {
+    return Status::FailedPrecondition("Cluster() after Finish()");
+  }
+  if (source->dim() != options_.dim) {
+    return Status::InvalidArgument("source dimension mismatch");
+  }
+  if (options_.exec.num_threads <= 0) {
+    // Serial: the streaming path, point by point.
+    BIRCH_RETURN_IF_ERROR(AddSource(source));
+    return Finish(for_refinement);
+  }
+
+  // Sharded: N private trees merged by CF additivity, then the
+  // parallel Phases 2-4. The result outlives the pool; the merged
+  // tree is kept so tree()/phase1_stats() work afterwards.
+  finished_ = true;
+  exec::ThreadPool pool(options_.exec.num_threads);
+  ShardedPhase1Options sp;
+  sp.phase1 = Phase1OptionsFrom(options_);
+  sp.num_shards = options_.exec.num_threads;
+  auto sharded_or = RunShardedPhase1(source, sp, &pool);
+  if (!sharded_or.ok()) return sharded_or.status();
+  sharded_ = std::make_unique<ShardedPhase1Result>(
+      std::move(sharded_or).ValueOrDie());
+  Phase1Outcome p1;
+  p1.tree = sharded_->tree.get();
+  p1.stats = sharded_->stats;
+  p1.robustness = sharded_->robustness;
+  p1.final_outliers = &sharded_->final_outliers;
+  p1.mem = sharded_->mem.get();
+  p1.shard_peak_bytes = sharded_->peak_memory_bytes;
+  p1.disk_pages_written = sharded_->disk_pages_written;
+  p1.disk_pages_read = sharded_->disk_pages_read;
+  p1.seconds = phase1_timer_.Seconds();
+  phase1_span_.End();
+  return RunPhases234(options_, p1, for_refinement, &pool, metrics_baseline_);
+}
+
 StatusOr<BirchResult> ClusterSource(PointSource* source,
                                     const BirchOptions& options) {
   BirchOptions opts = options;
   opts.dim = source->dim();
   if (opts.expected_points == 0) opts.expected_points = source->SizeHint();
 
-  if (opts.num_threads > 0) {
-    BIRCH_RETURN_IF_ERROR(opts.Validate());
-    obs::MetricsSnapshot baseline = obs::CaptureSnapshot();
-    exec::ThreadPool pool(opts.num_threads);
-    auto result_or =
-        RunParallelPipeline(source, nullptr, opts, &pool, baseline);
-    if (!result_or.ok()) return result_or.status();
-    BirchResult result = std::move(result_or).ValueOrDie();
-    BIRCH_RETURN_IF_ERROR(StreamingRefine(source, opts, &result));
-    return result;
-  }
-
   auto clusterer_or = BirchClusterer::Create(opts);
   if (!clusterer_or.ok()) return clusterer_or.status();
-  auto& clusterer = clusterer_or.value();
-  BIRCH_RETURN_IF_ERROR(clusterer->AddSource(source));
-  auto result_or = clusterer->Finish(nullptr);
+  auto result_or = clusterer_or.value()->Cluster(source, nullptr);
   if (!result_or.ok()) return result_or.status();
   BirchResult result = std::move(result_or).ValueOrDie();
   BIRCH_RETURN_IF_ERROR(StreamingRefine(source, opts, &result));
@@ -378,22 +427,10 @@ StatusOr<BirchResult> ClusterDataset(const Dataset& data,
   BirchOptions opts = options;
   if (opts.expected_points == 0) opts.expected_points = data.size();
 
-  if (opts.num_threads > 0) {
-    BIRCH_RETURN_IF_ERROR(opts.Validate());
-    if (data.dim() != opts.dim) {
-      return Status::InvalidArgument("dataset dimension mismatch");
-    }
-    obs::MetricsSnapshot baseline = obs::CaptureSnapshot();
-    exec::ThreadPool pool(opts.num_threads);
-    DatasetSource source(&data);
-    return RunParallelPipeline(&source, &data, opts, &pool, baseline);
-  }
-
   auto clusterer_or = BirchClusterer::Create(opts);
   if (!clusterer_or.ok()) return clusterer_or.status();
-  auto& clusterer = clusterer_or.value();
-  BIRCH_RETURN_IF_ERROR(clusterer->AddDataset(data));
-  return clusterer->Finish(&data);
+  DatasetSource source(&data);
+  return clusterer_or.value()->Cluster(&source, &data);
 }
 
 }  // namespace birch

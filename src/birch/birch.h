@@ -1,6 +1,9 @@
-// Public entry points: the streaming BirchClusterer (Phase 1 as data
-// arrives, Phases 2-4 at Finish) and the one-call ClusterDataset
-// convenience wrapper. This is the API the examples and benchmarks
+// Public entry points. BirchClusterer is the single engine: stream
+// points in with Add()/AddDataset()/AddSource() and call Finish(), or
+// hand it a whole PointSource via Cluster() (which picks the serial or
+// sharded Phase-1 pipeline from options.exec.num_threads). The
+// one-call ClusterDataset / ClusterSource wrappers are thin
+// delegations to it. This is the API the examples and benchmarks
 // build on.
 #ifndef BIRCH_BIRCH_BIRCH_H_
 #define BIRCH_BIRCH_BIRCH_H_
@@ -63,44 +66,64 @@ struct BirchResult {
   obs::MetricsSnapshot metrics;
 };
 
+struct ShardedPhase1Result;
+
 /// Incremental clustering: feed points as they arrive; Finish() runs
 /// Phases 2-4 and returns the result. Snapshot() clusters the current
 /// tree contents without disturbing the stream — the paper's
-/// "incremental" claim as a first-class API.
+/// "incremental" claim as a first-class API. For whole-input runs,
+/// Cluster() drives the full pipeline (sharded Phase 1 when
+/// options.exec.num_threads > 0) in one call.
 class BirchClusterer {
  public:
   /// Fails on invalid options.
   static StatusOr<std::unique_ptr<BirchClusterer>> Create(
       const BirchOptions& options);
+  ~BirchClusterer();
 
-  /// Inserts one point (Phase 1).
+  /// Inserts one point (Phase 1). Fails after Finish()/Cluster().
   Status Add(std::span<const double> x, double weight = 1.0);
 
-  /// Inserts every row of `data`.
+  /// Inserts every row of `data`. Fails after Finish()/Cluster().
   Status AddDataset(const Dataset& data);
 
   /// Drains `source` into the tree (single scan; the stream is never
-  /// materialized).
+  /// materialized). Fails after Finish()/Cluster().
   Status AddSource(PointSource* source);
 
   /// Runs Phases 2-4. If `for_refinement` is non-null, Phase 4
   /// labels/refines against it (it should be the full data seen so
-  /// far). Consumes the builder: Add() afterwards fails.
+  /// far). Consumes the builder: Add() afterwards fails, but tree()
+  /// and phase1_stats() remain valid for inspection.
   StatusOr<BirchResult> Finish(const Dataset* for_refinement = nullptr);
 
-  /// Clusters the current leaf entries into `k` clusters without
-  /// modifying the tree. Cheap relative to the stream.
-  StatusOr<GlobalClustering> Snapshot(int k) const;
+  /// Whole-pipeline convenience: drains `source` through Phase 1
+  /// (sharded across options.exec.num_threads trees when > 0, the
+  /// streaming serial path otherwise), then runs Phases 2-4 exactly
+  /// like Finish(). Consumes the builder the same way.
+  StatusOr<BirchResult> Cluster(PointSource* source,
+                                const Dataset* for_refinement = nullptr);
 
-  /// Phase-1 state inspection.
-  const CfTree& tree() const { return phase1_->tree(); }
-  const Phase1Stats& phase1_stats() const { return phase1_->stats(); }
+  /// Clusters the current leaf entries into `k` clusters without
+  /// modifying the tree. Cheap relative to the stream. The result has
+  /// no labels (no raw data is revisited); clusters, centroids,
+  /// Phase-1/tree stats and the metrics delta are filled in.
+  StatusOr<BirchResult> Snapshot(int k) const;
+
+  /// Phase-1 state inspection. Valid before and after
+  /// Finish()/Cluster(); with a sharded Cluster() run these report
+  /// the merged tree.
+  const CfTree& tree() const;
+  const Phase1Stats& phase1_stats() const;
 
  private:
   explicit BirchClusterer(const BirchOptions& options);
 
   BirchOptions options_;
   std::unique_ptr<Phase1Builder> phase1_;
+  /// Set by a sharded Cluster() run; keeps the merged tree alive so
+  /// tree()/phase1_stats() stay valid after the run.
+  std::unique_ptr<ShardedPhase1Result> sharded_;
   bool finished_ = false;
 
   /// Registry state at construction; Finish() reports the delta so

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "birch/cf_vector.h"
+#include "birch/kernel/kernel.h"
 
 namespace birch {
 
@@ -62,6 +63,15 @@ struct CfNode {
 
   CfNode* prev = nullptr;  // leaf chain
   CfNode* next = nullptr;  // leaf chain
+
+  /// SoA mirror of `entries` for the batch distance kernel, rebuilt
+  /// lazily by CfTree (kernel = kBatch only; see kernel/kernel.h).
+  /// `scratch_valid` is the invalidation flag: any structural entry
+  /// change clears it; the in-place absorb path updates one row
+  /// instead. The scratch is bookkeeping, not data — it is not charged
+  /// against the memory budget and is never serialized.
+  mutable kernel::CfBatch scratch;
+  mutable bool scratch_valid = false;
 
   size_t size() const { return entries.size(); }
 

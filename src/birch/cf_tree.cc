@@ -69,7 +69,29 @@ void CfTree::UnlinkLeaf(CfNode* leaf) {
   leaf->prev = leaf->next = nullptr;
 }
 
+void CfTree::EnsureScratch(const CfNode& node) const {
+  if (node.scratch_valid) return;
+  // Capacity + 1: a node transiently holds one entry over capacity
+  // between the overflow push_back and the split, and the scratch must
+  // be able to mirror that state.
+  node.scratch.Init(options_.dim, Capacity(node) + 1,
+                    kernel::CfBatch::Needs::For(options_.metric));
+  node.scratch.Assign(node.entries);
+  node.scratch_valid = true;
+}
+
 size_t CfTree::ClosestIndex(const CfNode& node, const CfVector& cf) const {
+  if (options_.kernel == KernelKind::kBatch) {
+    if (node.entries.empty()) return kNone;
+    EnsureScratch(node);
+    kernel::CfQuery query;
+    query.Prepare(cf, options_.metric, &ws_.query_centroid);
+    kernel::ScanResult r =
+        kernel::NearestEntry(node.scratch, query, options_.metric, &ws_);
+    stats_.distance_comparisons += node.entries.size();
+    OBS_COUNTER_ADD("tree/distance_comps", node.entries.size());
+    return r.index;
+  }
   size_t best = kNone;
   double best_d = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < node.entries.size(); ++i) {
@@ -94,12 +116,21 @@ double CfTree::MergedThresholdValue(const CfVector& a,
 
 bool CfTree::CanAbsorb(const CfVector& existing,
                        const CfVector& incoming) const {
+  if (options_.kernel == KernelKind::kBatch) {
+    // Allocation-free merged statistic, bitwise equal to
+    // MergedThresholdValue (which materializes the merged CF).
+    double v = options_.threshold_kind == ThresholdKind::kDiameter
+                   ? kernel::MergedDiameter(existing, incoming)
+                   : kernel::MergedRadius(existing, incoming);
+    return v <= threshold_;
+  }
   return MergedThresholdValue(existing, incoming) <= threshold_;
 }
 
 InsertOutcome CfTree::InsertPoint(std::span<const double> x, double weight,
                                   InsertMode mode) {
-  return InsertEntry(CfVector::FromPoint(x, weight), mode);
+  point_cf_.AssignPoint(x, weight);
+  return InsertEntry(point_cf_, mode);
 }
 
 InsertOutcome CfTree::InsertEntry(const CfVector& entry, InsertMode mode) {
@@ -108,8 +139,10 @@ InsertOutcome CfTree::InsertEntry(const CfVector& entry, InsertMode mode) {
   ++stats_.inserts;
   OBS_COUNTER_INC("tree/inserts");
 
-  // Descend to the closest leaf, recording the path.
-  std::vector<PathStep> path;
+  // Descend to the closest leaf, recording the path (reused member
+  // buffer; InsertEntry is not reentrant).
+  std::vector<PathStep>& path = path_;
+  path.clear();
   CfNode* node = root_;
   while (!node->is_leaf) {
     size_t ci = ClosestIndex(*node, entry);
@@ -118,10 +151,17 @@ InsertOutcome CfTree::InsertEntry(const CfVector& entry, InsertMode mode) {
   }
 
   // Try to absorb into the closest leaf entry.
+  // The absorb path mutates exactly one entry per path node, so a
+  // valid scratch gets an O(d) row refresh instead of invalidation.
+  auto add_to_entry = [](CfNode* n, size_t i, const CfVector& cf) {
+    n->entries[i].Add(cf);
+    if (n->scratch_valid) n->scratch.Update(i, n->entries[i]);
+  };
+
   size_t ei = ClosestIndex(*node, entry);
   if (ei != kNone && CanAbsorb(node->entries[ei], entry)) {
-    node->entries[ei].Add(entry);
-    for (auto& step : path) step.node->entries[step.child].Add(entry);
+    add_to_entry(node, ei, entry);
+    for (auto& step : path) add_to_entry(step.node, step.child, entry);
     ++stats_.absorbed;
     return InsertOutcome::kAbsorbed;
   }
@@ -134,8 +174,9 @@ InsertOutcome CfTree::InsertEntry(const CfVector& entry, InsertMode mode) {
   // Add as a new leaf entry if there is room.
   if (node->size() < layout_.L()) {
     node->entries.push_back(entry);
+    if (node->scratch_valid) node->scratch.Append(entry);
     ++leaf_entries_;
-    for (auto& step : path) step.node->entries[step.child].Add(entry);
+    for (auto& step : path) add_to_entry(step.node, step.child, entry);
     ++stats_.new_entries;
     return InsertOutcome::kNewEntry;
   }
@@ -149,6 +190,7 @@ InsertOutcome CfTree::InsertEntry(const CfVector& entry, InsertMode mode) {
   ++stats_.new_entries;
   ++leaf_entries_;
   node->entries.push_back(entry);
+  node->scratch_valid = false;
   CfNode* left = node;
   CfNode* right = SplitNode(node);
 
@@ -158,6 +200,7 @@ InsertOutcome CfTree::InsertEntry(const CfVector& entry, InsertMode mode) {
     parent->entries[ci] = left->Summary();
     parent->entries.push_back(right->Summary());
     parent->children.push_back(right);
+    parent->scratch_valid = false;
     if (parent->size() <= layout_.B()) {
       // Split stopped here: apply merging refinement, then update the
       // remaining ancestors with the plain CF addition.
@@ -165,7 +208,7 @@ InsertOutcome CfTree::InsertEntry(const CfVector& entry, InsertMode mode) {
         MergingRefinement(parent, ci, parent->size() - 1);
       }
       for (int j = level - 1; j >= 0; --j) {
-        path[j].node->entries[path[j].child].Add(entry);
+        add_to_entry(path[j].node, path[j].child, entry);
       }
       return InsertOutcome::kSplit;
     }
@@ -263,6 +306,7 @@ CfNode* CfTree::SplitNode(CfNode* node) {
   }
   node->entries = std::move(left_entries);
   node->children = std::move(left_children);
+  node->scratch_valid = false;
   right->entries = std::move(right_entries);
   right->children = std::move(right_children);
 
@@ -312,6 +356,7 @@ void CfTree::MergingRefinement(CfNode* parent, size_t split_a,
   // Pull everything from cb into ca.
   for (auto& e : cb->entries) ca->entries.push_back(std::move(e));
   for (CfNode* c : cb->children) ca->children.push_back(c);
+  ca->scratch_valid = false;
   if (cb->is_leaf) UnlinkLeaf(cb);
   cb->entries.clear();
   cb->children.clear();
@@ -334,6 +379,7 @@ void CfTree::MergingRefinement(CfNode* parent, size_t split_a,
     parent->children[b] = nb;
     ++stats_.resplits;
   }
+  parent->scratch_valid = false;
 }
 
 void CfTree::AbsorbTree(const CfTree& other) {

@@ -36,6 +36,10 @@ struct CfTreeOptions {
   DistanceMetric metric = DistanceMetric::kD2;
   ThresholdKind threshold_kind = ThresholdKind::kDiameter;
   bool merging_refinement = true;
+  /// Distance-scan implementation for descent and absorption tests.
+  /// kBatch scans each node's SoA scratch block; kScalar is the
+  /// per-entry oracle. Results are bitwise identical.
+  KernelKind kernel = KernelKind::kBatch;
 };
 
 /// Operation counters (cost-model benchmarks read these).
@@ -175,6 +179,9 @@ class CfTree {
 
   bool CanAbsorb(const CfVector& existing, const CfVector& incoming) const;
 
+  /// Rebuilds `node.scratch` from its entries if stale (kBatch only).
+  void EnsureScratch(const CfNode& node) const;
+
   /// Splits an over-full node with farthest-pair seeding; returns the
   /// new right sibling and maintains the leaf chain.
   CfNode* SplitNode(CfNode* node);
@@ -197,6 +204,15 @@ class CfTree {
   size_t leaf_entries_ = 0;
   size_t height_ = 1;
   mutable CfTreeStats stats_;  // mutable: const lookups count comparisons
+  /// Reusable batch-scan workspace (distance array, query centroid).
+  /// The tree is externally synchronized (one writer), so sharing one
+  /// workspace across const lookups is safe, like stats_.
+  mutable kernel::Workspace ws_;
+  /// Reused per-insert buffers (InsertEntry is not reentrant): the
+  /// point's CF and the root-to-leaf descent path. Both would otherwise
+  /// cost a malloc/free pair on every insert.
+  CfVector point_cf_;
+  std::vector<PathStep> path_;
 };
 
 }  // namespace birch

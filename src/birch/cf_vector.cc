@@ -28,6 +28,13 @@ CfVector CfVector::FromPoint(std::span<const double> x, double weight) {
   return cf;
 }
 
+void CfVector::AssignPoint(std::span<const double> x, double weight) {
+  ls_.assign(x.size(), 0.0);  // no realloc once sized
+  n_ = 0.0;
+  ss_ = 0.0;
+  AddPoint(x, weight);
+}
+
 void CfVector::Add(const CfVector& other) {
   if (ls_.empty()) ls_.assign(other.dim(), 0.0);
   assert(dim() == other.dim());

@@ -27,6 +27,11 @@ class CfVector {
   /// CF of a single (optionally weighted) point.
   static CfVector FromPoint(std::span<const double> x, double weight = 1.0);
 
+  /// Re-initializes this CF to a single (optionally weighted) point,
+  /// reusing the existing LS storage: the allocation-free FromPoint,
+  /// bitwise-identical result. Used on the per-point insert hot path.
+  void AssignPoint(std::span<const double> x, double weight = 1.0);
+
   /// Dimensionality (0 for a default-constructed CF).
   size_t dim() const { return ls_.size(); }
 

@@ -37,10 +37,32 @@ GlobalClustering HierarchicalCluster(std::span<const CfVector> entries,
   std::vector<std::vector<int>> members(m);
   for (size_t i = 0; i < m; ++i) members[i] = {static_cast<int>(i)};
 
-  // Nearest active neighbour per active cluster.
+  // Nearest active neighbour per active cluster. The batch kernel
+  // keeps an SoA mirror of `cfs` (updated after each merge) and a
+  // uint8_t activity mask; the masked one-pass scan visits candidates
+  // in the same order with the same first-wins comparison as the
+  // scalar loop, so both paths pick identical neighbours.
+  const bool use_batch = options.kernel == KernelKind::kBatch;
+  kernel::CfBatch batch;
+  std::vector<uint8_t> amask;
+  if (use_batch) {
+    batch.Init(cfs.empty() ? 0 : cfs[0].dim(), m,
+               kernel::CfBatch::Needs::For(options.metric));
+    batch.Assign(cfs);
+    amask.assign(m, 1);
+  }
   std::vector<size_t> nn(m, 0);
   std::vector<double> nn_dist(m, kInf);
-  auto recompute_nn = [&](size_t i) {
+  auto recompute_nn = [&](size_t i, kernel::Workspace* ws) {
+    if (use_batch) {
+      kernel::CfQuery query;
+      query.Prepare(cfs[i], options.metric, &ws->query_centroid);
+      kernel::ScanResult r = kernel::NearestEntry(
+          batch, query, options.metric, ws, amask.data(), /*exclude=*/i);
+      nn_dist[i] = r.distance;
+      if (r.index != static_cast<size_t>(-1)) nn[i] = r.index;
+      return;
+    }
     nn_dist[i] = kInf;
     for (size_t j = 0; j < m; ++j) {
       if (j == i || !active[j]) continue;
@@ -56,9 +78,11 @@ GlobalClustering HierarchicalCluster(std::span<const CfVector> entries,
   exec::ParallelFor(
       options.pool, m,
       [&](size_t begin, size_t end, size_t) {
-        for (size_t i = begin; i < end; ++i) recompute_nn(i);
+        kernel::Workspace ws;
+        for (size_t i = begin; i < end; ++i) recompute_nn(i, &ws);
       },
       /*min_per_chunk=*/32);
+  kernel::Workspace main_ws;
 
   size_t live = m;
   while (live > static_cast<size_t>(k)) {
@@ -80,6 +104,10 @@ GlobalClustering HierarchicalCluster(std::span<const CfVector> entries,
     // Merge b into a.
     cfs[a].Add(cfs[b]);
     active[b] = false;
+    if (use_batch) {
+      batch.Update(a, cfs[a]);
+      amask[b] = 0;
+    }
     members[a].insert(members[a].end(), members[b].begin(),
                       members[b].end());
     members[b].clear();
@@ -87,14 +115,15 @@ GlobalClustering HierarchicalCluster(std::span<const CfVector> entries,
     if (live <= 1) break;
     // Refresh neighbours: a changed, b vanished. Slot j only touches
     // its own cached neighbour, so the refresh sweep parallelizes too.
-    recompute_nn(a);
+    recompute_nn(a, &main_ws);
     exec::ParallelFor(
         options.pool, m,
         [&](size_t begin, size_t end, size_t) {
+          kernel::Workspace ws;
           for (size_t j = begin; j < end; ++j) {
             if (!active[j] || j == a) continue;
             if (nn[j] == b || nn[j] == a) {
-              recompute_nn(j);
+              recompute_nn(j, &ws);
             } else {
               double d = Distance(options.metric, cfs[j], cfs[a]);
               if (d < nn_dist[j]) {
@@ -185,24 +214,41 @@ GlobalClustering KMeansCluster(std::span<const CfVector> entries,
       KMeansPlusPlusSeeds(entries, k, &rng);
 
   std::vector<int> assign(m, -1);
+  const bool use_batch = options.kernel == KernelKind::kBatch;
   const size_t num_chunks = exec::ParallelForNumChunks(options.pool, m,
                                                        /*min_per_chunk=*/64);
+  kernel::CenterBatch cbatch;
   for (int iter = 0; iter < options.kmeans_max_iterations; ++iter) {
     // Assignment sweep: each point is independent; chunks report
-    // whether they changed any label.
+    // whether they changed any label. The batch path scans an SoA
+    // block over the centers; per-dimension arithmetic and first-wins
+    // argmin order match CentroidSqDist exactly.
+    if (use_batch) cbatch.Assign(centers);
     std::vector<uint8_t> chunk_changed(num_chunks, 0);
     exec::ParallelFor(
         options.pool, m,
         [&](size_t begin, size_t end, size_t chunk) {
           bool local_changed = false;
+          kernel::Workspace ws;
+          std::vector<double> centroid(dim);
           for (size_t i = begin; i < end; ++i) {
             int best = 0;
-            double best_d = kInf;
-            for (int c = 0; c < k; ++c) {
-              double d = CentroidSqDist(entries[i], centers[c]);
-              if (d < best_d) {
-                best_d = d;
-                best = c;
+            if (use_batch) {
+              const CfVector& e = entries[i];
+              std::span<const double> ls = e.ls();
+              for (size_t t = 0; t < dim; ++t) centroid[t] = ls[t] / e.n();
+              kernel::ScanResult r = cbatch.NearestSq(centroid, &ws);
+              if (r.index != static_cast<size_t>(-1)) {
+                best = static_cast<int>(r.index);
+              }
+            } else {
+              double best_d = kInf;
+              for (int c = 0; c < k; ++c) {
+                double d = CentroidSqDist(entries[i], centers[c]);
+                if (d < best_d) {
+                  best_d = d;
+                  best = c;
+                }
               }
             }
             if (assign[i] != best) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "birch/cf_vector.h"
+#include "birch/kernel/kernel.h"
 #include "birch/metrics.h"
 #include "util/status.h"
 
@@ -50,6 +51,10 @@ struct GlobalClusterOptions {
   /// identical to the serial implementation; with a pool the result is
   /// deterministic for a fixed (seed, pool size).
   exec::ThreadPool* pool = nullptr;
+  /// Distance-scan implementation for the hierarchical
+  /// nearest-neighbour sweeps and the k-means assignment loop
+  /// (kernel/kernel.h). kScalar and kBatch are bitwise identical.
+  KernelKind kernel = KernelKind::kBatch;
 };
 
 struct GlobalClustering {

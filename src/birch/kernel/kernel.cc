@@ -1,0 +1,361 @@
+#include "birch/kernel/kernel.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "birch/kernel/kernel_ops.h"
+#include "obs/metrics.h"
+#include "util/math.h"
+
+namespace birch {
+
+const char* KernelName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar: return "scalar";
+    case KernelKind::kBatch: return "batch";
+  }
+  return "?";
+}
+
+namespace kernel {
+
+namespace detail {
+
+namespace {
+
+void SqDiffPortable(double* acc, const double* cols, size_t stride,
+                    const double* q, size_t dims, size_t m) {
+  for (size_t k = 0; k < dims; ++k) {
+    const double qk = q[k];
+    const double* col = cols + k * stride;
+    for (size_t j = 0; j < m; ++j) {
+      double d = qk - col[j];
+      acc[j] += d * d;
+    }
+  }
+}
+
+void AbsDiffPortable(double* acc, const double* cols, size_t stride,
+                     const double* q, size_t dims, size_t m) {
+  for (size_t k = 0; k < dims; ++k) {
+    const double qk = q[k];
+    const double* col = cols + k * stride;
+    for (size_t j = 0; j < m; ++j) acc[j] += std::fabs(qk - col[j]);
+  }
+}
+
+void DotPortable(double* acc, const double* cols, size_t stride,
+                 const double* q, size_t dims, size_t m) {
+  for (size_t k = 0; k < dims; ++k) {
+    const double qk = q[k];
+    const double* col = cols + k * stride;
+    for (size_t j = 0; j < m; ++j) acc[j] += qk * col[j];
+  }
+}
+
+void MergedNormPortable(double* acc, const double* cols, size_t stride,
+                        const double* q, size_t dims, size_t m) {
+  for (size_t k = 0; k < dims; ++k) {
+    const double qk = q[k];
+    const double* col = cols + k * stride;
+    for (size_t j = 0; j < m; ++j) {
+      double t = qk + col[j];
+      acc[j] += t * t;
+    }
+  }
+}
+
+void SqrtArrPortable(double* acc, size_t m) {
+  for (size_t j = 0; j < m; ++j) acc[j] = std::sqrt(acc[j]);
+}
+
+void FinishD2Portable(double* acc, const double* n, const double* msq,
+                      double qn, double qmsq, size_t m) {
+  for (size_t j = 0; j < m; ++j) {
+    double d2 = qmsq + msq[j] - 2.0 * acc[j] / (qn * n[j]);
+    acc[j] = std::sqrt(ClampNonNegative(d2));
+  }
+}
+
+}  // namespace
+
+const Ops kPortableOps = {&SqDiffPortable,    &AbsDiffPortable,
+                          &DotPortable,       &MergedNormPortable,
+                          &SqrtArrPortable,   &FinishD2Portable};
+
+const Ops& GetOps() {
+#if defined(BIRCH_KERNEL_AVX2)
+  static const bool use_avx2 = __builtin_cpu_supports("avx2");
+  if (use_avx2) return kAvx2Ops;
+#endif
+  return kPortableOps;
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+// Mirror of the GuardedStat in cf_vector.cc: same clamp, same
+// "cf/cancellation_guard" trip counter. The kernel recomputes the
+// guarded statistics itself (it never materializes the merged CF), so
+// it must replicate the accounting too.
+double GuardedStat(double x, double magnitude) {
+  double g = GuardedNonNegative(x, magnitude);
+  if (g == 0.0 && x != 0.0) OBS_COUNTER_INC("cf/cancellation_guard");
+  return g;
+}
+
+}  // namespace
+
+void CfQuery::Prepare(const CfVector& q, DistanceMetric metric,
+                      std::vector<double>* centroid_buf) {
+  cf = &q;
+  n = q.n();
+  ss = q.ss();
+  mean_sq = n > 0.0 ? ss / n : 0.0;
+  ssd = metric == DistanceMetric::kD4 ? q.SumSquaredDeviation() : 0.0;
+  centroid = nullptr;
+  if (metric == DistanceMetric::kD0 || metric == DistanceMetric::kD1) {
+    centroid_buf->resize(q.dim());
+    std::span<const double> ls = q.ls();
+    for (size_t k = 0; k < ls.size(); ++k) (*centroid_buf)[k] = ls[k] / n;
+    centroid = centroid_buf->data();
+  }
+}
+
+CfBatch::Needs CfBatch::Needs::For(DistanceMetric metric) {
+  Needs needs;
+  switch (metric) {
+    case DistanceMetric::kD0:
+    case DistanceMetric::kD1:
+      needs.centroid = true;
+      break;
+    case DistanceMetric::kD2:
+    case DistanceMetric::kD3:
+      needs.ls = true;
+      break;
+    case DistanceMetric::kD4:
+      needs.ls = true;
+      needs.ssd = true;
+      break;
+  }
+  return needs;
+}
+
+void CfBatch::Init(size_t dim, size_t capacity, Needs needs) {
+  dim_ = dim;
+  capacity_ = capacity;
+  needs_ = needs;
+  size_ = 0;
+  n_.assign(capacity, 0.0);
+  ss_.assign(capacity, 0.0);
+  mean_sq_.assign(capacity, 0.0);
+  if (needs.ssd) {
+    ssd_.assign(capacity, 0.0);
+  } else {
+    ssd_.clear();
+  }
+  if (needs.ls) {
+    ls_.assign(dim * capacity, 0.0);
+  } else {
+    ls_.clear();
+  }
+  if (needs.centroid) {
+    centroid_.assign(dim * capacity, 0.0);
+  } else {
+    centroid_.clear();
+  }
+}
+
+void CfBatch::Assign(std::span<const CfVector> entries) {
+  assert(entries.size() <= capacity_);
+  size_ = entries.size();
+  for (size_t i = 0; i < size_; ++i) Update(i, entries[i]);
+}
+
+void CfBatch::Append(const CfVector& entry) {
+  assert(size_ < capacity_);
+  ++size_;
+  Update(size_ - 1, entry);
+}
+
+void CfBatch::Update(size_t i, const CfVector& entry) {
+  assert(i < size_);
+  assert(entry.dim() == dim_);
+  const double en = entry.n();
+  n_[i] = en;
+  ss_[i] = entry.ss();
+  mean_sq_[i] = en > 0.0 ? entry.ss() / en : 0.0;
+  std::span<const double> ls = entry.ls();
+  if (needs_.ls) {
+    for (size_t k = 0; k < dim_; ++k) ls_[k * capacity_ + i] = ls[k];
+  }
+  if (needs_.centroid) {
+    for (size_t k = 0; k < dim_; ++k) {
+      centroid_[k * capacity_ + i] = ls[k] / en;
+    }
+  }
+  if (needs_.ssd) ssd_[i] = entry.SumSquaredDeviation();
+}
+
+void FillDistances(const CfBatch& batch, const CfQuery& query,
+                   DistanceMetric metric, Workspace* ws) {
+  const size_t m = batch.size();
+  const size_t cap = batch.capacity();
+  const size_t dim = batch.dim();
+  ws->dist.assign(m, 0.0);
+  if (m == 0) return;
+  double* acc = ws->dist.data();
+  const detail::Ops& ops = detail::GetOps();
+
+  switch (metric) {
+    case DistanceMetric::kD0: {
+      ops.sq_diff(acc, batch.centroid(), cap, query.centroid, dim, m);
+      ops.sqrt_arr(acc, m);
+      break;
+    }
+    case DistanceMetric::kD1: {
+      ops.abs_diff(acc, batch.centroid(), cap, query.centroid, dim, m);
+      break;
+    }
+    case DistanceMetric::kD2: {
+      // acc holds the cross term Dot(LS_q, LS_j) first, then the
+      // finished distance.
+      ops.dot(acc, batch.ls(), cap, query.cf->ls().data(), dim, m);
+      ops.finish_d2(acc, batch.n(), batch.mean_sq(), query.n, query.mean_sq,
+                    m);
+      break;
+    }
+    case DistanceMetric::kD3: {
+      // acc holds ||LS_q + LS_j||^2 first.
+      ops.merged_norm(acc, batch.ls(), cap, query.cf->ls().data(), dim, m);
+      const double* n = batch.n();
+      const double* ss = batch.ss();
+      for (size_t j = 0; j < m; ++j) {
+        double nm = query.n + n[j];
+        if (nm <= 1.0) {
+          acc[j] = 0.0;
+          continue;
+        }
+        double ssm = query.ss + ss[j];
+        double num = 2.0 * (nm * ssm - acc[j]);
+        double sq = GuardedStat(num / (nm * (nm - 1.0)),
+                                2.0 * ssm / (nm - 1.0));
+        acc[j] = std::sqrt(sq);
+      }
+      break;
+    }
+    case DistanceMetric::kD4: {
+      ops.merged_norm(acc, batch.ls(), cap, query.cf->ls().data(), dim, m);
+      const double* n = batch.n();
+      const double* ss = batch.ss();
+      const double* ssd = batch.ssd();
+      for (size_t j = 0; j < m; ++j) {
+        double nm = query.n + n[j];
+        double ssm = query.ss + ss[j];
+        double merged_ssd =
+            nm <= 0.0 ? 0.0 : GuardedStat(ssm - acc[j] / nm, ssm);
+        double inc = merged_ssd - query.ssd - ssd[j];
+        acc[j] = std::sqrt(ClampNonNegative(inc));
+      }
+      break;
+    }
+  }
+}
+
+ScanResult NearestEntry(const CfBatch& batch, const CfQuery& query,
+                        DistanceMetric metric, Workspace* ws,
+                        const uint8_t* active, size_t exclude) {
+  FillDistances(batch, query, metric, ws);
+  ScanResult r;
+  r.distance = std::numeric_limits<double>::infinity();
+  const double* dist = ws->dist.data();
+  for (size_t j = 0; j < batch.size(); ++j) {
+    if (j == exclude) continue;
+    if (active != nullptr && active[j] == 0) continue;
+    if (dist[j] < r.distance) {
+      r.distance = dist[j];
+      r.index = j;
+    }
+  }
+  return r;
+}
+
+double MergedDiameter(const CfVector& a, const CfVector& b) {
+  double nm = a.n() + b.n();
+  if (nm <= 1.0) return 0.0;
+  double ssm = a.ss() + b.ss();
+  std::span<const double> al = a.ls();
+  std::span<const double> bl = b.ls();
+  double norm = 0.0;
+  for (size_t k = 0; k < al.size(); ++k) {
+    double t = al[k] + bl[k];
+    norm += t * t;
+  }
+  double num = 2.0 * (nm * ssm - norm);
+  return std::sqrt(
+      GuardedStat(num / (nm * (nm - 1.0)), 2.0 * ssm / (nm - 1.0)));
+}
+
+double MergedRadius(const CfVector& a, const CfVector& b) {
+  double nm = a.n() + b.n();
+  if (nm <= 0.0) return 0.0;
+  double ssm = a.ss() + b.ss();
+  std::span<const double> al = a.ls();
+  std::span<const double> bl = b.ls();
+  double norm = 0.0;
+  for (size_t k = 0; k < al.size(); ++k) {
+    double t = al[k] + bl[k];
+    norm += t * t;
+  }
+  return std::sqrt(GuardedStat(ssm / nm - norm / (nm * nm), ssm / nm));
+}
+
+void CenterBatch::Assign(const std::vector<std::vector<double>>& centers) {
+  size_ = centers.size();
+  capacity_ = size_;
+  dim_ = size_ > 0 ? centers[0].size() : 0;
+  comps_.assign(dim_ * capacity_, 0.0);
+  for (size_t j = 0; j < size_; ++j) {
+    assert(centers[j].size() == dim_);
+    for (size_t k = 0; k < dim_; ++k) {
+      comps_[k * capacity_ + j] = centers[j][k];
+    }
+  }
+}
+
+ScanResult CenterBatch::NearestSq(std::span<const double> point,
+                                  Workspace* ws) const {
+  assert(point.size() == dim_);
+  const size_t m = size_;
+  ws->dist.assign(m, 0.0);
+  double* acc = ws->dist.data();
+  const detail::Ops& ops = detail::GetOps();
+  ops.sq_diff(acc, comps_.data(), capacity_, point.data(), dim_, m);
+  ScanResult r;
+  r.distance = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < m; ++j) {
+    if (acc[j] < r.distance) {
+      r.distance = acc[j];
+      r.index = j;
+    }
+  }
+  return r;
+}
+
+bool Avx2Active() {
+#if defined(BIRCH_KERNEL_AVX2)
+  return &detail::GetOps() == &detail::kAvx2Ops;
+#else
+  return false;
+#endif
+}
+
+// Silence -Wunused for kNone in builds where asserts compile out.
+static_assert(kNone == static_cast<size_t>(-1));
+
+}  // namespace kernel
+}  // namespace birch

@@ -1,0 +1,141 @@
+// AVX2 specialization of the column-accumulate primitives. This is the
+// only translation unit compiled with -mavx2; it includes nothing but
+// kernel_ops.h and <immintrin.h> so no shared inline function can be
+// emitted here with AVX2 encodings (see kernel_ops.h).
+//
+// Equivalence: every lane performs the same operation sequence as the
+// portable loop — separate mul and add (no FMA), fabs as a sign-bit
+// mask — so results are bitwise identical element by element.
+#include "birch/kernel/kernel_ops.h"
+
+#if defined(BIRCH_KERNEL_AVX2)
+
+#include <immintrin.h>
+
+namespace birch {
+namespace kernel {
+namespace detail {
+
+namespace {
+
+void SqDiffAvx2(double* acc, const double* cols, size_t stride,
+                const double* q, size_t dims, size_t m) {
+  for (size_t k = 0; k < dims; ++k) {
+    const double qk = q[k];
+    const double* col = cols + k * stride;
+    const __m256d qv = _mm256_set1_pd(qk);
+    size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      __m256d d = _mm256_sub_pd(qv, _mm256_loadu_pd(col + j));
+      __m256d a = _mm256_loadu_pd(acc + j);
+      a = _mm256_add_pd(a, _mm256_mul_pd(d, d));
+      _mm256_storeu_pd(acc + j, a);
+    }
+    for (; j < m; ++j) {
+      double d = qk - col[j];
+      acc[j] += d * d;
+    }
+  }
+}
+
+void AbsDiffAvx2(double* acc, const double* cols, size_t stride,
+                 const double* q, size_t dims, size_t m) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  for (size_t k = 0; k < dims; ++k) {
+    const double qk = q[k];
+    const double* col = cols + k * stride;
+    const __m256d qv = _mm256_set1_pd(qk);
+    size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      __m256d d = _mm256_sub_pd(qv, _mm256_loadu_pd(col + j));
+      d = _mm256_andnot_pd(sign, d);
+      __m256d a = _mm256_loadu_pd(acc + j);
+      _mm256_storeu_pd(acc + j, _mm256_add_pd(a, d));
+    }
+    for (; j < m; ++j) {
+      double d = qk - col[j];
+      acc[j] += d < 0.0 ? -d : d;
+    }
+  }
+}
+
+void DotAvx2(double* acc, const double* cols, size_t stride,
+             const double* q, size_t dims, size_t m) {
+  for (size_t k = 0; k < dims; ++k) {
+    const double qk = q[k];
+    const double* col = cols + k * stride;
+    const __m256d qv = _mm256_set1_pd(qk);
+    size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      __m256d p = _mm256_mul_pd(qv, _mm256_loadu_pd(col + j));
+      __m256d a = _mm256_loadu_pd(acc + j);
+      _mm256_storeu_pd(acc + j, _mm256_add_pd(a, p));
+    }
+    for (; j < m; ++j) acc[j] += qk * col[j];
+  }
+}
+
+void MergedNormAvx2(double* acc, const double* cols, size_t stride,
+                    const double* q, size_t dims, size_t m) {
+  for (size_t k = 0; k < dims; ++k) {
+    const double qk = q[k];
+    const double* col = cols + k * stride;
+    const __m256d qv = _mm256_set1_pd(qk);
+    size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      __m256d t = _mm256_add_pd(qv, _mm256_loadu_pd(col + j));
+      __m256d a = _mm256_loadu_pd(acc + j);
+      a = _mm256_add_pd(a, _mm256_mul_pd(t, t));
+      _mm256_storeu_pd(acc + j, a);
+    }
+    for (; j < m; ++j) {
+      double t = qk + col[j];
+      acc[j] += t * t;
+    }
+  }
+}
+
+// VSQRTPD is the correctly-rounded IEEE sqrt, so each lane is bitwise
+// identical to scalar sqrt. Tails use __builtin_sqrt (not <cmath>,
+// which would pull shared inline functions into this -mavx2 TU).
+void SqrtArrAvx2(double* acc, size_t m) {
+  size_t j = 0;
+  for (; j + 4 <= m; j += 4) {
+    _mm256_storeu_pd(acc + j, _mm256_sqrt_pd(_mm256_loadu_pd(acc + j)));
+  }
+  for (; j < m; ++j) acc[j] = __builtin_sqrt(acc[j]);
+}
+
+void FinishD2Avx2(double* acc, const double* n, const double* msq,
+                  double qn, double qmsq, size_t m) {
+  const __m256d qnv = _mm256_set1_pd(qn);
+  const __m256d qmsqv = _mm256_set1_pd(qmsq);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d zero = _mm256_setzero_pd();
+  size_t j = 0;
+  for (; j + 4 <= m; j += 4) {
+    __m256d cross = _mm256_loadu_pd(acc + j);
+    __m256d denom = _mm256_mul_pd(qnv, _mm256_loadu_pd(n + j));
+    __m256d term = _mm256_div_pd(_mm256_mul_pd(two, cross), denom);
+    __m256d d2 =
+        _mm256_sub_pd(_mm256_add_pd(qmsqv, _mm256_loadu_pd(msq + j)), term);
+    // ClampNonNegative: d2 > 0 ? d2 : 0 (NaN compares false -> 0).
+    d2 = _mm256_and_pd(d2, _mm256_cmp_pd(d2, zero, _CMP_GT_OQ));
+    _mm256_storeu_pd(acc + j, _mm256_sqrt_pd(d2));
+  }
+  for (; j < m; ++j) {
+    double d2 = qmsq + msq[j] - 2.0 * acc[j] / (qn * n[j]);
+    acc[j] = __builtin_sqrt(d2 > 0.0 ? d2 : 0.0);
+  }
+}
+
+}  // namespace
+
+const Ops kAvx2Ops = {&SqDiffAvx2,     &AbsDiffAvx2, &DotAvx2,
+                      &MergedNormAvx2, &SqrtArrAvx2, &FinishD2Avx2};
+
+}  // namespace detail
+}  // namespace kernel
+}  // namespace birch
+
+#endif  // BIRCH_KERNEL_AVX2

@@ -1,0 +1,63 @@
+// Internal dispatch table for the kernel's column-accumulate
+// primitives. Kept deliberately free of other birch headers: the AVX2
+// translation unit (kernel_avx2.cc) is compiled with -mavx2, and any
+// inline function it pulled in from a shared header could be emitted
+// with AVX2 encodings and then win at link time over the SSE2 copy —
+// an ISA-mixing bug. Only this header crosses that boundary.
+#ifndef BIRCH_BIRCH_KERNEL_KERNEL_OPS_H_
+#define BIRCH_BIRCH_KERNEL_KERNEL_OPS_H_
+
+#include <cstddef>
+
+namespace birch {
+namespace kernel {
+namespace detail {
+
+/// Whole-scan accumulate primitives: one call folds ALL dims of a
+/// dimension-major block (`cols[k * stride + j]`, k in [0, dims), j in
+/// [0, m)) into the per-entry accumulators — dims-outer, entries-inner,
+/// `acc[j] op= f(q[k], cols[k * stride + j])`. One indirect call per
+/// scan keeps dispatch cost off the per-dimension path (a node scan at
+/// dim=64 would otherwise pay 64 indirect calls over tiny columns).
+/// The portable and AVX2 implementations are element-wise bitwise
+/// identical (the AVX2 code uses separate mul and add, never FMA, and
+/// fabs via sign-bit masking).
+struct Ops {
+  /// acc[j] += sum_k (q[k] - cols[k*stride+j])^2
+  void (*sq_diff)(double* acc, const double* cols, size_t stride,
+                  const double* q, size_t dims, size_t m);
+  /// acc[j] += sum_k |q[k] - cols[k*stride+j]|
+  void (*abs_diff)(double* acc, const double* cols, size_t stride,
+                   const double* q, size_t dims, size_t m);
+  /// acc[j] += sum_k q[k] * cols[k*stride+j]
+  void (*dot)(double* acc, const double* cols, size_t stride,
+              const double* q, size_t dims, size_t m);
+  /// t = q[k] + cols[k*stride+j]; acc[j] += sum_k t * t
+  void (*merged_norm)(double* acc, const double* cols, size_t stride,
+                      const double* q, size_t dims, size_t m);
+  /// acc[j] = sqrt(acc[j]). Correctly-rounded IEEE sqrt in both lanes
+  /// (VSQRTPD is exact), so the vector pass is bitwise identical to a
+  /// scalar std::sqrt loop. Inputs must be non-negative.
+  void (*sqrt_arr)(double* acc, size_t m);
+  /// The D2 finishing pass over the accumulated cross terms:
+  ///   d2 = qmsq + msq[j] - 2*acc[j] / (qn*n[j])
+  ///   acc[j] = sqrt(d2 > 0 ? d2 : 0)
+  /// Every step is an exact IEEE op, so vector and scalar agree bitwise.
+  void (*finish_d2)(double* acc, const double* n, const double* msq,
+                    double qn, double qmsq, size_t m);
+};
+
+/// The active implementation: AVX2 when compiled in (BIRCH_KERNEL_AVX2)
+/// and supported by this CPU, portable otherwise. Resolved once.
+const Ops& GetOps();
+
+extern const Ops kPortableOps;
+#if defined(BIRCH_KERNEL_AVX2)
+extern const Ops kAvx2Ops;  // defined in kernel_avx2.cc
+#endif
+
+}  // namespace detail
+}  // namespace kernel
+}  // namespace birch
+
+#endif  // BIRCH_BIRCH_KERNEL_KERNEL_OPS_H_

@@ -2,14 +2,22 @@
 // M = 80 KB memory, R = 20% of M disk, P = 1 KB pages, T0 = 0, metric
 // D2, diameter threshold, outlier handling on, one Phase-4 refinement
 // pass.
+//
+// Fields are grouped into nested sub-structs by subsystem (resources,
+// tree, outliers, global_phase, refine, exec). The old flat field
+// names remain as reference aliases into those groups, so existing
+// code keeps compiling; new code should prefer the grouped names or
+// the fluent BirchOptions::Builder, which validates at Build().
 #ifndef BIRCH_BIRCH_OPTIONS_H_
 #define BIRCH_BIRCH_OPTIONS_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "birch/cf_tree.h"
 #include "birch/global_cluster.h"
+#include "birch/kernel/kernel.h"
 #include "pagestore/fault_injector.h"
 #include "util/status.h"
 
@@ -20,129 +28,273 @@ struct BirchOptions {
   size_t dim = 2;
   /// Number of clusters to produce. The paper allows the clustering
   /// goal to be stated either as K or as a distance bound: set k > 0,
-  /// OR set k = 0 and global_distance_limit > 0 (hierarchical Phase 3
-  /// then merges until the next merge would exceed the limit).
+  /// OR set k = 0 and global_phase.distance_limit > 0 (hierarchical
+  /// Phase 3 then merges until the next merge would exceed the limit).
   int k = 0;
-  double global_distance_limit = 0.0;
+  /// If the total point count is known up front, the threshold
+  /// heuristic uses it; 0 = unknown.
+  uint64_t expected_points = 0;
+  uint64_t seed = 42;
 
   // --- Resources (Phase 1) ---
-  size_t memory_bytes = 80 * 1024;
-  /// Outlier-disk budget R (paper default: 20% of M). Two special
-  /// regimes interact with `outlier_handling`:
-  ///   - disk_bytes == 0: there is no outlier disk at all. Outlier
-  ///     handling and delay-split degrade to the in-tree fallback —
-  ///     low-density entries are re-absorbed at the current threshold
-  ///     when they fit and otherwise dropped straight to the final
-  ///     outlier list (with accounting in RobustnessStats); the run
-  ///     never fails for lack of a disk.
-  ///   - 0 < disk_bytes < page_size: rejected by Validate() — a budget
-  ///     that cannot hold one page is a configuration error, not a
-  ///     degraded device.
-  /// The same in-tree fallback engages mid-run if the disk fails
-  /// unrecoverably (see `fault` below).
-  size_t disk_bytes = 16 * 1024;  // paper: R = 20% of M
-  size_t page_size = 1024;
-
-  // --- Robustness ---
-  /// Deterministic fault injection for the outlier disk (chaos
-  /// testing): transient IOErrors, silent page loss, bit rot. The
-  /// default injects nothing.
-  FaultOptions fault;
-  /// Bounded retry-with-backoff applied to transient outlier-disk
-  /// errors before they are treated as unrecoverable.
-  RetryPolicy io_retry;
+  struct Resources {
+    size_t memory_bytes = 80 * 1024;
+    /// Outlier-disk budget R (paper default: 20% of M). Two special
+    /// regimes interact with `outliers.handling`:
+    ///   - disk_bytes == 0: there is no outlier disk at all. Outlier
+    ///     handling and delay-split degrade to the in-tree fallback —
+    ///     low-density entries are re-absorbed at the current
+    ///     threshold when they fit and otherwise dropped straight to
+    ///     the final outlier list (with accounting in
+    ///     RobustnessStats); the run never fails for lack of a disk.
+    ///   - 0 < disk_bytes < page_size: rejected by Validate() — a
+    ///     budget that cannot hold one page is a configuration error,
+    ///     not a degraded device.
+    /// The same in-tree fallback engages mid-run if the disk fails
+    /// unrecoverably (see `fault` below).
+    size_t disk_bytes = 16 * 1024;  // paper: R = 20% of M
+    size_t page_size = 1024;
+    /// Deterministic fault injection for the outlier disk (chaos
+    /// testing): transient IOErrors, silent page loss, bit rot. The
+    /// default injects nothing.
+    FaultOptions fault;
+    /// Bounded retry-with-backoff applied to transient outlier-disk
+    /// errors before they are treated as unrecoverable.
+    RetryPolicy io_retry;
+  };
 
   // --- CF tree ---
-  double initial_threshold = 0.0;
-  DistanceMetric metric = DistanceMetric::kD2;
-  ThresholdKind threshold_kind = ThresholdKind::kDiameter;
-  bool merging_refinement = true;
+  struct Tree {
+    double initial_threshold = 0.0;
+    DistanceMetric metric = DistanceMetric::kD2;
+    ThresholdKind threshold_kind = ThresholdKind::kDiameter;
+    bool merging_refinement = true;
+  };
 
-  // --- Options of Sec. 5.1.4 ---
-  bool outlier_handling = true;
-  double outlier_fraction = 0.25;  // "< 25% of average" rule
-  bool delay_split = true;
+  // --- Outlier options of Sec. 5.1.4 ---
+  struct Outliers {
+    bool handling = true;
+    double fraction = 0.25;  // "< 25% of average" rule
+    bool delay_split = true;
+  };
 
-  // --- Phase 2 ---
-  bool use_phase2 = true;
-  size_t phase2_target_entries = 1000;
-
-  // --- Phase 3 ---
-  GlobalAlgorithm global_algorithm = GlobalAlgorithm::kHierarchical;
-  DistanceMetric global_metric = DistanceMetric::kD2;
+  // --- Phases 2-3 ---
+  struct GlobalPhase {
+    bool use_phase2 = true;
+    size_t phase2_target_entries = 1000;
+    GlobalAlgorithm algorithm = GlobalAlgorithm::kHierarchical;
+    DistanceMetric metric = DistanceMetric::kD2;
+    /// When k == 0: merge until the next merge would exceed this.
+    double distance_limit = 0.0;
+  };
 
   // --- Phase 4 ---
-  /// Redistribution passes over the raw data; 0 skips Phase 4 (labels
-  /// are then produced by a single non-moving labelling pass).
-  int refinement_passes = 1;
-  /// > 0: discard points farther than this from every centroid.
-  double refine_outlier_distance = 0.0;
+  struct Refine {
+    /// Redistribution passes over the raw data; 0 skips Phase 4
+    /// (labels are then produced by a single non-moving labelling
+    /// pass).
+    int passes = 1;
+    /// > 0: discard points farther than this from every centroid.
+    double outlier_distance = 0.0;
+  };
 
-  // --- Parallel execution (src/exec) ---
-  /// Worker threads for the parallel paths. 0 (the default) runs the
-  /// fully serial pipeline — bit-for-bit identical to the
-  /// pre-parallel implementation. N >= 1 shards Phase 1 across N
-  /// private CF trees (round-robin by arrival index, merged by CF
-  /// additivity) and runs the Phase-3 / Phase-4 loops through a
-  /// ThreadPool of N workers. Results are deterministic for a fixed
-  /// (seed, num_threads) pair; different thread counts may differ in
-  /// the last float bits (chunked summation order).
-  int num_threads = 0;
+  // --- Execution (src/exec + src/birch/kernel) ---
+  struct Exec {
+    /// Worker threads for the parallel paths. 0 (the default) runs
+    /// the fully serial pipeline — bit-for-bit identical to the
+    /// pre-parallel implementation. N >= 1 shards Phase 1 across N
+    /// private CF trees (round-robin by arrival index, merged by CF
+    /// additivity) and runs the Phase-3 / Phase-4 loops through a
+    /// ThreadPool of N workers. Results are deterministic for a fixed
+    /// (seed, num_threads) pair; different thread counts may differ
+    /// in the last float bits (chunked summation order).
+    int num_threads = 0;
+    /// Distance-scan implementation for the hot paths (tree descent,
+    /// Phase-3 sweeps, Phase-4 assignment). kScalar and kBatch are
+    /// bitwise identical; kBatch is the SoA one-pass scan
+    /// (kernel/kernel.h).
+    KernelKind kernel = KernelKind::kBatch;
+  };
+
+  Resources resources;
+  Tree tree;
+  Outliers outliers;
+  GlobalPhase global_phase;
+  Refine refine;
+  Exec exec;
+
+  // --- Deprecated flat aliases ---
+  // Reference views of the grouped fields above, preserving the
+  // pre-grouping flat names. Reads and writes hit the nested field
+  // directly. New code should use the grouped names.
+  size_t& memory_bytes = resources.memory_bytes;
+  size_t& disk_bytes = resources.disk_bytes;
+  size_t& page_size = resources.page_size;
+  FaultOptions& fault = resources.fault;
+  RetryPolicy& io_retry = resources.io_retry;
+  double& initial_threshold = tree.initial_threshold;
+  DistanceMetric& metric = tree.metric;
+  ThresholdKind& threshold_kind = tree.threshold_kind;
+  bool& merging_refinement = tree.merging_refinement;
+  bool& outlier_handling = outliers.handling;
+  double& outlier_fraction = outliers.fraction;
+  bool& delay_split = outliers.delay_split;
+  bool& use_phase2 = global_phase.use_phase2;
+  size_t& phase2_target_entries = global_phase.phase2_target_entries;
+  GlobalAlgorithm& global_algorithm = global_phase.algorithm;
+  DistanceMetric& global_metric = global_phase.metric;
+  double& global_distance_limit = global_phase.distance_limit;
+  int& refinement_passes = refine.passes;
+  double& refine_outlier_distance = refine.outlier_distance;
+  int& num_threads = exec.num_threads;
+  KernelKind& kernel = exec.kernel;
+
   /// Upper bound Validate() accepts for num_threads (a guard against
   /// absurd CLI values, not a tuning knob).
   static constexpr int kMaxThreads = 256;
 
-  /// If the total point count is known up front, the threshold
-  /// heuristic uses it; 0 = unknown.
-  uint64_t expected_points = 0;
+  // The reference aliases pin the implicit copy/assign (a default
+  // copy would re-seat nothing and a default assign is deleted), so
+  // copy the value groups and let each alias re-bind to *this* via
+  // its default member initializer.
+  BirchOptions() = default;
+  BirchOptions(const BirchOptions& other)
+      : dim(other.dim),
+        k(other.k),
+        expected_points(other.expected_points),
+        seed(other.seed),
+        resources(other.resources),
+        tree(other.tree),
+        outliers(other.outliers),
+        global_phase(other.global_phase),
+        refine(other.refine),
+        exec(other.exec) {}
+  BirchOptions& operator=(const BirchOptions& other) {
+    dim = other.dim;
+    k = other.k;
+    expected_points = other.expected_points;
+    seed = other.seed;
+    resources = other.resources;
+    tree = other.tree;
+    outliers = other.outliers;
+    global_phase = other.global_phase;
+    refine = other.refine;
+    exec = other.exec;
+    return *this;
+  }
 
-  uint64_t seed = 42;
+  class Builder;
 
   /// Checks internal consistency.
   Status Validate() const {
     if (dim == 0) return Status::InvalidArgument("dim must be > 0");
     if (k < 0) return Status::InvalidArgument("k must be >= 0");
     if (k == 0) {
-      if (global_distance_limit <= 0.0) {
+      if (global_phase.distance_limit <= 0.0) {
         return Status::InvalidArgument(
-            "set k > 0, or k == 0 with global_distance_limit > 0");
+            "set k > 0, or k == 0 with global_phase.distance_limit > 0");
       }
-      if (global_algorithm != GlobalAlgorithm::kHierarchical) {
+      if (global_phase.algorithm != GlobalAlgorithm::kHierarchical) {
         return Status::InvalidArgument(
             "distance-limited clustering requires the hierarchical "
             "global algorithm");
       }
     }
-    if (page_size < (dim + 2) * sizeof(double) + 64) {
+    if (resources.page_size < (dim + 2) * sizeof(double) + 64) {
       return Status::InvalidArgument(
           "page_size too small for this dimensionality");
     }
-    if (memory_bytes != 0 && memory_bytes < 4 * page_size) {
+    if (resources.memory_bytes != 0 &&
+        resources.memory_bytes < 4 * resources.page_size) {
       return Status::InvalidArgument("memory budget below 4 pages");
     }
-    if (outlier_fraction < 0.0 || outlier_fraction >= 1.0) {
+    if (outliers.fraction < 0.0 || outliers.fraction >= 1.0) {
       return Status::InvalidArgument("outlier_fraction must be in [0,1)");
     }
-    if (disk_bytes > 0 && disk_bytes < page_size) {
+    if (resources.disk_bytes > 0 &&
+        resources.disk_bytes < resources.page_size) {
       return Status::InvalidArgument(
           "disk_bytes must be 0 (no outlier disk; in-tree fallback) or "
           "at least one page");
     }
-    BIRCH_RETURN_IF_ERROR(fault.Validate());
-    BIRCH_RETURN_IF_ERROR(io_retry.Validate());
-    if (refinement_passes < 0) {
+    BIRCH_RETURN_IF_ERROR(resources.fault.Validate());
+    BIRCH_RETURN_IF_ERROR(resources.io_retry.Validate());
+    if (refine.passes < 0) {
       return Status::InvalidArgument("refinement_passes must be >= 0");
     }
-    if (phase2_target_entries == 0) {
+    if (global_phase.phase2_target_entries == 0) {
       return Status::InvalidArgument("phase2_target_entries must be > 0");
     }
-    if (num_threads < 0 || num_threads > kMaxThreads) {
+    if (exec.num_threads < 0 || exec.num_threads > kMaxThreads) {
       return Status::InvalidArgument(
           "num_threads must be in [0, " + std::to_string(kMaxThreads) +
           "] (0 = serial)");
     }
     return Status::OK();
   }
+};
+
+/// Fluent construction with validation at the end:
+///
+///   auto opts_or = BirchOptions::Builder()
+///                      .Dim(16).K(8)
+///                      .MemoryBytes(1 << 20)
+///                      .NumThreads(4)
+///                      .Build();
+///
+/// Build() returns InvalidArgument instead of letting a bad
+/// configuration reach the clusterer.
+class BirchOptions::Builder {
+ public:
+  Builder() = default;
+
+  // --- Problem ---
+  Builder& Dim(size_t v) { o_.dim = v; return *this; }
+  Builder& K(int v) { o_.k = v; return *this; }
+  Builder& ExpectedPoints(uint64_t v) { o_.expected_points = v; return *this; }
+  Builder& Seed(uint64_t v) { o_.seed = v; return *this; }
+
+  // --- Resources ---
+  Builder& MemoryBytes(size_t v) { o_.resources.memory_bytes = v; return *this; }
+  Builder& DiskBytes(size_t v) { o_.resources.disk_bytes = v; return *this; }
+  Builder& PageSize(size_t v) { o_.resources.page_size = v; return *this; }
+  Builder& Fault(const FaultOptions& v) { o_.resources.fault = v; return *this; }
+  Builder& IoRetry(const RetryPolicy& v) { o_.resources.io_retry = v; return *this; }
+
+  // --- CF tree ---
+  Builder& InitialThreshold(double v) { o_.tree.initial_threshold = v; return *this; }
+  Builder& Metric(DistanceMetric v) { o_.tree.metric = v; return *this; }
+  Builder& ThresholdKind(birch::ThresholdKind v) { o_.tree.threshold_kind = v; return *this; }
+  Builder& MergingRefinement(bool v) { o_.tree.merging_refinement = v; return *this; }
+
+  // --- Outliers ---
+  Builder& OutlierHandling(bool v) { o_.outliers.handling = v; return *this; }
+  Builder& OutlierFraction(double v) { o_.outliers.fraction = v; return *this; }
+  Builder& DelaySplit(bool v) { o_.outliers.delay_split = v; return *this; }
+
+  // --- Phases 2-3 ---
+  Builder& UsePhase2(bool v) { o_.global_phase.use_phase2 = v; return *this; }
+  Builder& Phase2TargetEntries(size_t v) { o_.global_phase.phase2_target_entries = v; return *this; }
+  Builder& GlobalAlgorithm(birch::GlobalAlgorithm v) { o_.global_phase.algorithm = v; return *this; }
+  Builder& GlobalMetric(DistanceMetric v) { o_.global_phase.metric = v; return *this; }
+  Builder& DistanceLimit(double v) { o_.global_phase.distance_limit = v; return *this; }
+
+  // --- Phase 4 ---
+  Builder& RefinementPasses(int v) { o_.refine.passes = v; return *this; }
+  Builder& RefineOutlierDistance(double v) { o_.refine.outlier_distance = v; return *this; }
+
+  // --- Execution ---
+  Builder& NumThreads(int v) { o_.exec.num_threads = v; return *this; }
+  Builder& Kernel(KernelKind v) { o_.exec.kernel = v; return *this; }
+
+  /// Validates and returns the finished options.
+  StatusOr<BirchOptions> Build() const {
+    BIRCH_RETURN_IF_ERROR(o_.Validate());
+    return o_;
+  }
+
+ private:
+  BirchOptions o_;
 };
 
 }  // namespace birch

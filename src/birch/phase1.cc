@@ -115,7 +115,8 @@ Status Phase1Builder::Add(std::span<const double> x, double weight) {
   }
   ++stats_.points_added;
   OBS_COUNTER_INC("phase1/points");
-  CfVector ent = CfVector::FromPoint(x, weight);
+  point_cf_.AssignPoint(x, weight);
+  const CfVector& ent = point_cf_;
 
   if (delay_mode_) {
     // Memory is exhausted: keep absorbing what fits, spill the rest.

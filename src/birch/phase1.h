@@ -164,6 +164,9 @@ class Phase1Builder {
   Phase1Stats stats_;
   RobustnessStats robust_;  // degradation counters; rest merged on read
   std::vector<CfVector> final_outliers_;
+  /// Reused per-point CF (Add is not reentrant): avoids a malloc/free
+  /// pair per point on the Phase-1 hot path.
+  CfVector point_cf_;
   bool delay_mode_ = false;
   bool finished_ = false;
   /// False when there is no outlier disk (budget 0) or it failed

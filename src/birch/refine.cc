@@ -20,7 +20,7 @@ namespace {
 uint64_t AssignPass(const Dataset& data,
                     const std::vector<std::vector<double>>& centers,
                     double outlier_distance, exec::ThreadPool* pool,
-                    std::vector<int>* labels,
+                    KernelKind kernel_kind, std::vector<int>* labels,
                     std::vector<CfVector>* cluster_cfs,
                     uint64_t* discarded) {
   const size_t k = centers.size();
@@ -30,20 +30,32 @@ uint64_t AssignPass(const Dataset& data,
   for (auto& cf : *cluster_cfs) cf = CfVector(data.dim());
   uint64_t changes = 0;
   *discarded = 0;
+  const bool use_batch = kernel_kind == KernelKind::kBatch;
+  kernel::CenterBatch cbatch;
+  if (use_batch) cbatch.Assign(centers);
 
   // Assigns [begin, end); accumulates into cfs/changes/discarded.
   auto assign_range = [&](size_t begin, size_t end,
                           std::vector<CfVector>* cfs, uint64_t* local_changes,
                           uint64_t* local_discarded) {
+    kernel::Workspace ws;
     for (size_t i = begin; i < end; ++i) {
       auto row = data.Row(i);
       int best = -1;
       double best_d = std::numeric_limits<double>::infinity();
-      for (size_t c = 0; c < k; ++c) {
-        double d = SquaredDistance(row, centers[c]);
-        if (d < best_d) {
-          best_d = d;
-          best = static_cast<int>(c);
+      if (use_batch) {
+        kernel::ScanResult r = cbatch.NearestSq(row, &ws);
+        best_d = r.distance;
+        if (r.index != static_cast<size_t>(-1)) {
+          best = static_cast<int>(r.index);
+        }
+      } else {
+        for (size_t c = 0; c < k; ++c) {
+          double d = SquaredDistance(row, centers[c]);
+          if (d < best_d) {
+            best_d = d;
+            best = static_cast<int>(c);
+          }
         }
       }
       if (best_d > limit_sq) {
@@ -115,7 +127,8 @@ StatusOr<RefineResult> RefineClusters(const Dataset& data,
     uint64_t discarded = 0;
     uint64_t changes =
         AssignPass(data, centers, options.outlier_distance, options.pool,
-                   &result.labels, &result.clusters, &discarded);
+                   options.kernel, &result.labels, &result.clusters,
+                   &discarded);
     result.points_discarded = discarded;
     ++result.passes_run;
     OBS_COUNTER_INC("phase4/passes");

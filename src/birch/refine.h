@@ -15,6 +15,7 @@
 
 #include "birch/cf_vector.h"
 #include "birch/dataset.h"
+#include "birch/kernel/kernel.h"
 #include "util/status.h"
 
 namespace birch {
@@ -36,6 +37,9 @@ struct RefineOptions {
   /// with a pool, per-chunk partial CFs are folded in chunk order, so
   /// the result is deterministic for a fixed pool size.
   exec::ThreadPool* pool = nullptr;
+  /// Distance-scan implementation for the point->center argmin
+  /// (kernel/kernel.h). kScalar and kBatch are bitwise identical.
+  KernelKind kernel = KernelKind::kBatch;
 };
 
 struct RefineResult {

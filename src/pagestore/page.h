@@ -2,6 +2,7 @@
 #ifndef BIRCH_PAGESTORE_PAGE_H_
 #define BIRCH_PAGESTORE_PAGE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

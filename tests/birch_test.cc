@@ -209,6 +209,96 @@ TEST(BirchTest, OptionValidation) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(BirchTest, BuilderMatchesFlatFieldConfiguration) {
+  // The deprecated flat aliases and the Builder must describe the same
+  // configuration — and produce the identical clustering.
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1, 25, 150);
+  ASSERT_TRUE(gen.ok());
+
+  BirchOptions flat;
+  flat.dim = 2;
+  flat.k = 25;
+  flat.memory_bytes = 24 * 1024;  // deprecated alias spelling
+  flat.disk_bytes = 5 * 1024;
+  flat.page_size = 512;
+  flat.metric = DistanceMetric::kD4;
+  flat.threshold_kind = ThresholdKind::kRadius;
+  flat.refinement_passes = 2;
+  flat.kernel = KernelKind::kBatch;
+
+  auto built_or = BirchOptions::Builder()
+                      .Dim(2)
+                      .K(25)
+                      .MemoryBytes(24 * 1024)
+                      .DiskBytes(5 * 1024)
+                      .PageSize(512)
+                      .Metric(DistanceMetric::kD4)
+                      .ThresholdKind(ThresholdKind::kRadius)
+                      .RefinementPasses(2)
+                      .Kernel(KernelKind::kBatch)
+                      .Build();
+  ASSERT_TRUE(built_or.ok()) << built_or.status().ToString();
+  const BirchOptions& built = built_or.value();
+
+  // Alias writes landed in the nested groups.
+  EXPECT_EQ(flat.resources.memory_bytes, 24u * 1024u);
+  EXPECT_EQ(flat.tree.metric, DistanceMetric::kD4);
+  EXPECT_EQ(flat.refine.passes, 2);
+  // And the Builder produced the same nested values.
+  EXPECT_EQ(built.resources.memory_bytes, flat.resources.memory_bytes);
+  EXPECT_EQ(built.tree.threshold_kind, flat.tree.threshold_kind);
+  EXPECT_EQ(built.exec.kernel, flat.exec.kernel);
+
+  auto rf = ClusterDataset(gen.value().data, flat);
+  auto rb = ClusterDataset(gen.value().data, built);
+  ASSERT_TRUE(rf.ok() && rb.ok());
+  EXPECT_EQ(rf.value().labels, rb.value().labels);
+  ASSERT_EQ(rf.value().clusters.size(), rb.value().clusters.size());
+  for (size_t c = 0; c < rf.value().clusters.size(); ++c) {
+    EXPECT_EQ(rf.value().clusters[c], rb.value().clusters[c]);
+  }
+}
+
+TEST(BirchTest, BuilderRejectsInvalidConfiguration) {
+  EXPECT_EQ(BirchOptions::Builder().Dim(0).K(3).Build().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BirchOptions::Builder().Dim(2).K(-1).Build().status().code(),
+            StatusCode::kInvalidArgument);
+  // Copies re-seat the aliases onto the copy's own groups.
+  BirchOptions a;
+  a.memory_bytes = 123 * 1024;
+  BirchOptions b = a;
+  b.memory_bytes = 77 * 1024;
+  EXPECT_EQ(a.resources.memory_bytes, 123u * 1024u);
+  EXPECT_EQ(b.resources.memory_bytes, 77u * 1024u);
+}
+
+TEST(BirchTest, AccessorsStayValidAfterFinish) {
+  // Regression: Finish() used to half-consume the clusterer. The
+  // stream accessors must keep answering afterwards, and ingest must
+  // fail cleanly instead of corrupting the finished tree.
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1, 9, 80);
+  ASSERT_TRUE(gen.ok());
+  auto clusterer_or = BirchClusterer::Create(SmallOptions(9));
+  ASSERT_TRUE(clusterer_or.ok());
+  auto& clusterer = clusterer_or.value();
+  ASSERT_TRUE(clusterer->AddDataset(gen.value().data).ok());
+  size_t leaves_before = clusterer->tree().leaf_entry_count();
+  ASSERT_TRUE(clusterer->Finish(nullptr).ok());
+
+  EXPECT_GE(clusterer->tree().leaf_entry_count(), 1u);
+  EXPECT_GT(clusterer->phase1_stats().points_added, 0u);
+  (void)leaves_before;
+
+  std::vector<double> p = {0.0, 0.0};
+  EXPECT_EQ(clusterer->Add(p).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(clusterer->AddDataset(gen.value().data).code(),
+            StatusCode::kFailedPrecondition);
+  DatasetSource src(&gen.value().data);
+  EXPECT_EQ(clusterer->AddSource(&src).code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST(BirchTest, EmptyInputFails) {
   Dataset empty(2);
   auto result = ClusterDataset(empty, SmallOptions(3));
