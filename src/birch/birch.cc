@@ -1,8 +1,10 @@
 #include "birch/birch.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "birch/checkpoint.h"
 #include "birch/phase1_parallel.h"
 #include "exec/thread_pool.h"
 #include "obs/export.h"
@@ -170,10 +172,17 @@ StatusOr<BirchResult> RunPhases234(const BirchOptions& options,
   result.disk_pages_written = p1.disk_pages_written;
   result.disk_pages_read = p1.disk_pages_read;
   result.final_threshold = tree->threshold();
-  double outlier_points = 0.0;
-  for (const auto& e : *p1.final_outliers) outlier_points += e.n();
-  for (const auto& e : shed_outliers) outlier_points += e.n();
-  result.outlier_points = static_cast<uint64_t>(outlier_points + 0.5);
+  // Accumulate in integers: CF point counts are integral (weights are
+  // summed exactly for unit-weight streams), and a double accumulator
+  // stops counting distinct values past 2^53.
+  uint64_t outlier_points = 0;
+  for (const auto& e : *p1.final_outliers) {
+    outlier_points += static_cast<uint64_t>(std::llround(e.n()));
+  }
+  for (const auto& e : shed_outliers) {
+    outlier_points += static_cast<uint64_t>(std::llround(e.n()));
+  }
+  result.outlier_points = outlier_points;
   tree->ExportOccupancy();
   result.metrics = obs::CaptureSnapshot().DeltaSince(baseline);
   return result;
@@ -268,9 +277,22 @@ const Phase1Stats& BirchClusterer::phase1_stats() const {
   return sharded_ != nullptr ? sharded_->stats : phase1_->stats();
 }
 
+Status BirchClusterer::MaybeAutoCheckpoint() {
+  const uint64_t n = options_.resources.checkpoint_every_n;
+  if (n == 0) return Status::OK();
+  if (++points_since_checkpoint_ < n) return Status::OK();
+  points_since_checkpoint_ = 0;
+  return SaveCheckpoint(options_.resources.checkpoint_path);
+}
+
 Status BirchClusterer::Add(std::span<const double> x, double weight) {
   if (finished_) return Status::FailedPrecondition("Add() after Finish()");
-  return phase1_->Add(x, weight);
+  if (!resume_freezes_.empty()) {
+    return Status::FailedPrecondition(
+        "restored from a sharded checkpoint: resume with Cluster()");
+  }
+  BIRCH_RETURN_IF_ERROR(phase1_->Add(x, weight));
+  return MaybeAutoCheckpoint();
 }
 
 Status BirchClusterer::AddDataset(const Dataset& data) {
@@ -280,7 +302,15 @@ Status BirchClusterer::AddDataset(const Dataset& data) {
   if (data.dim() != options_.dim) {
     return Status::InvalidArgument("dataset dimension mismatch");
   }
-  return phase1_->AddDataset(data);
+  if (!resume_freezes_.empty()) {
+    return Status::FailedPrecondition(
+        "restored from a sharded checkpoint: resume with Cluster()");
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    BIRCH_RETURN_IF_ERROR(phase1_->Add(data.Row(i), data.Weight(i)));
+    BIRCH_RETURN_IF_ERROR(MaybeAutoCheckpoint());
+  }
+  return Status::OK();
 }
 
 Status BirchClusterer::AddSource(PointSource* source) {
@@ -290,15 +320,111 @@ Status BirchClusterer::AddSource(PointSource* source) {
   if (source->dim() != options_.dim) {
     return Status::InvalidArgument("source dimension mismatch");
   }
+  if (!resume_freezes_.empty()) {
+    return Status::FailedPrecondition(
+        "restored from a sharded checkpoint: resume with Cluster()");
+  }
   std::vector<double> p(options_.dim);
   double w = 1.0;
   while (source->Next(p, &w)) {
     BIRCH_RETURN_IF_ERROR(phase1_->Add(p, w));
+    BIRCH_RETURN_IF_ERROR(MaybeAutoCheckpoint());
   }
   return Status::OK();
 }
 
+Status BirchClusterer::SaveCheckpoint(const std::string& path) {
+  if (finished_) {
+    return Status::FailedPrecondition("SaveCheckpoint() after Finish()");
+  }
+  if (!resume_freezes_.empty()) {
+    return Status::FailedPrecondition(
+        "restored from a sharded checkpoint: sharded images are written "
+        "by the auto-checkpoint hook inside Cluster()");
+  }
+  auto freeze_or = phase1_->Freeze();
+  if (!freeze_or.ok()) return freeze_or.status();
+  CheckpointImage img;
+  img.dim = options_.dim;
+  img.page_size = options_.resources.page_size;
+  img.metric = static_cast<uint32_t>(options_.tree.metric);
+  img.threshold_kind = static_cast<uint32_t>(options_.tree.threshold_kind);
+  img.shard_count = 0;
+  img.points_ingested = phase1_->stats().points_added;
+  img.freezes.push_back(std::move(freeze_or).ValueOrDie());
+  return WriteCheckpointFile(path, img);
+}
+
+StatusOr<std::unique_ptr<BirchClusterer>> BirchClusterer::Restore(
+    const std::string& path, const BirchOptions& options) {
+  BIRCH_RETURN_IF_ERROR(options.Validate());
+  auto img_or = ReadCheckpointFile(path);
+  if (!img_or.ok()) return img_or.status();
+  CheckpointImage img = std::move(img_or).ValueOrDie();
+
+  // Fingerprint: options that shape the CF tree and its serialized form
+  // must match the checkpointed run exactly.
+  if (img.dim != options.dim) {
+    return Status::InvalidArgument(
+        "checkpoint was written with dim " + std::to_string(img.dim) +
+        ", options say " + std::to_string(options.dim));
+  }
+  if (img.page_size != options.resources.page_size) {
+    return Status::InvalidArgument(
+        "checkpoint was written with page_size " +
+        std::to_string(img.page_size) + ", options say " +
+        std::to_string(options.resources.page_size));
+  }
+  if (img.metric != static_cast<uint32_t>(options.tree.metric)) {
+    return Status::InvalidArgument(
+        "checkpoint distance metric does not match options");
+  }
+  if (img.threshold_kind !=
+      static_cast<uint32_t>(options.tree.threshold_kind)) {
+    return Status::InvalidArgument(
+        "checkpoint threshold kind does not match options");
+  }
+
+  std::unique_ptr<BirchClusterer> c(new BirchClusterer(options));
+  c->resume_skip_points_ = img.points_ingested;
+  if (options.resources.checkpoint_every_n > 0) {
+    // Keep the auto-checkpoint cadence aligned with absolute stream
+    // position, matching what the uninterrupted run would do.
+    c->points_since_checkpoint_ =
+        img.points_ingested % options.resources.checkpoint_every_n;
+  }
+  if (img.shard_count == 0) {
+    if (options.exec.num_threads != 0) {
+      return Status::InvalidArgument(
+          "serial checkpoint requires num_threads == 0");
+    }
+    auto b_or = Phase1Builder::Thaw(Phase1OptionsFrom(options),
+                                    img.freezes.front());
+    if (!b_or.ok()) return b_or.status();
+    c->phase1_ = std::move(b_or).ValueOrDie();
+  } else {
+    if (options.exec.num_threads != static_cast<int>(img.shard_count)) {
+      return Status::InvalidArgument(
+          "sharded checkpoint was written by " +
+          std::to_string(img.shard_count) +
+          " shards; options.exec.num_threads must equal that");
+    }
+    c->resume_freezes_ = std::move(img.freezes);
+  }
+  return c;
+}
+
 StatusOr<BirchResult> BirchClusterer::Snapshot(int k) const {
+  if (options_.exec.num_threads > 0 && !finished_) {
+    // The sharded pipeline merges its per-shard trees only at the end
+    // of Cluster(); mid-stream this clusterer's tree() has seen
+    // nothing. Refuse loudly instead of snapshotting a stale view.
+    return Status::FailedPrecondition(
+        "Snapshot() before Cluster() on the sharded path (num_threads > "
+        "0): per-shard trees merge only when Cluster() finishes — run "
+        "Cluster() first, or use num_threads == 0 for mid-stream "
+        "snapshots");
+  }
   std::vector<CfVector> entries;
   tree().CollectLeafEntries(&entries);
   if (entries.empty()) {
@@ -376,7 +502,22 @@ StatusOr<BirchResult> BirchClusterer::Cluster(PointSource* source,
     return Status::InvalidArgument("source dimension mismatch");
   }
   if (options_.exec.num_threads <= 0) {
-    // Serial: the streaming path, point by point.
+    // Serial: the streaming path, point by point. A restored clusterer
+    // skips what the checkpointed run already consumed.
+    if (resume_skip_points_ > 0) {
+      std::vector<double> p(options_.dim);
+      double w = 1.0;
+      uint64_t skipped = 0;
+      while (skipped < resume_skip_points_ && source->Next(p, &w)) ++skipped;
+      if (skipped < resume_skip_points_) {
+        return Status::InvalidArgument(
+            "source ended before the checkpoint's resume offset (" +
+            std::to_string(skipped) + " < " +
+            std::to_string(resume_skip_points_) +
+            "); pass the same stream the checkpointed run consumed");
+      }
+      resume_skip_points_ = 0;
+    }
     BIRCH_RETURN_IF_ERROR(AddSource(source));
     return Finish(for_refinement);
   }
@@ -389,8 +530,34 @@ StatusOr<BirchResult> BirchClusterer::Cluster(PointSource* source,
   ShardedPhase1Options sp;
   sp.phase1 = Phase1OptionsFrom(options_);
   sp.num_shards = options_.exec.num_threads;
+  sp.resume = resume_freezes_.empty() ? nullptr : &resume_freezes_;
+  sp.resume_skip_points = resume_skip_points_;
+  if (options_.resources.checkpoint_every_n > 0) {
+    sp.checkpoint_every_n = options_.resources.checkpoint_every_n;
+    const BirchOptions& o = options_;
+    sp.on_checkpoint =
+        [&o](uint64_t points_dealt,
+             std::vector<std::unique_ptr<Phase1Builder>>* builders) -> Status {
+      CheckpointImage img;
+      img.dim = o.dim;
+      img.page_size = o.resources.page_size;
+      img.metric = static_cast<uint32_t>(o.tree.metric);
+      img.threshold_kind = static_cast<uint32_t>(o.tree.threshold_kind);
+      img.shard_count = static_cast<uint32_t>(builders->size());
+      img.points_ingested = points_dealt;
+      img.freezes.reserve(builders->size());
+      for (auto& b : *builders) {
+        auto f_or = b->Freeze();
+        if (!f_or.ok()) return f_or.status();
+        img.freezes.push_back(std::move(f_or).ValueOrDie());
+      }
+      return WriteCheckpointFile(o.resources.checkpoint_path, img);
+    };
+  }
   auto sharded_or = RunShardedPhase1(source, sp, &pool);
   if (!sharded_or.ok()) return sharded_or.status();
+  resume_freezes_.clear();
+  resume_skip_points_ = 0;
   sharded_ = std::make_unique<ShardedPhase1Result>(
       std::move(sharded_or).ValueOrDie());
   Phase1Outcome p1;

@@ -108,7 +108,31 @@ class BirchClusterer {
   /// modifying the tree. Cheap relative to the stream. The result has
   /// no labels (no raw data is revisited); clusters, centroids,
   /// Phase-1/tree stats and the metrics delta are filled in.
+  /// With options.exec.num_threads > 0 a mid-stream snapshot would read
+  /// per-shard state that is only merged at Cluster()'s end, so it
+  /// returns FailedPrecondition until the run finishes (afterwards it
+  /// snapshots the merged tree).
   StatusOr<BirchResult> Snapshot(int k) const;
+
+  /// Writes a durable checkpoint of the live Phase-1 state to `path`
+  /// (atomic replace; format in birch/checkpoint.h) without disturbing
+  /// the stream — Add() more points and checkpoint again at will.
+  /// FailedPrecondition after Finish()/Cluster(), and on a clusterer
+  /// restored from a *sharded* checkpoint before its Cluster() call
+  /// (sharded images are written by the auto-checkpoint hook inside
+  /// Cluster(), where the shards exist).
+  Status SaveCheckpoint(const std::string& path);
+
+  /// Reopens a checkpoint. `options` must fingerprint-match the
+  /// checkpointed run (dim, page_size, metric, threshold kind →
+  /// InvalidArgument otherwise), and num_threads must be 0 for a
+  /// serial image / equal to the shard count for a sharded one.
+  /// Resume by feeding only the unseen points via Add()/AddSource() +
+  /// Finish(), or by handing the SAME full stream to Cluster(), which
+  /// skips the first points_ingested points automatically. A fault-
+  /// free serial resume is bitwise identical to the uninterrupted run.
+  static StatusOr<std::unique_ptr<BirchClusterer>> Restore(
+      const std::string& path, const BirchOptions& options);
 
   /// Phase-1 state inspection. Valid before and after
   /// Finish()/Cluster(); with a sharded Cluster() run these report
@@ -119,12 +143,28 @@ class BirchClusterer {
  private:
   explicit BirchClusterer(const BirchOptions& options);
 
+  /// Auto-checkpoint bookkeeping for the serial ingest paths: counts
+  /// points and saves to options_.resources.checkpoint_path every
+  /// checkpoint_every_n of them.
+  Status MaybeAutoCheckpoint();
+
   BirchOptions options_;
   std::unique_ptr<Phase1Builder> phase1_;
   /// Set by a sharded Cluster() run; keeps the merged tree alive so
   /// tree()/phase1_stats() stay valid after the run.
   std::unique_ptr<ShardedPhase1Result> sharded_;
   bool finished_ = false;
+
+  // --- Checkpoint / resume state ---
+  /// Points the checkpoint's run had consumed; Cluster() skips this
+  /// many source points before ingesting.
+  uint64_t resume_skip_points_ = 0;
+  /// Pending per-shard freezes from a sharded-checkpoint Restore();
+  /// consumed by Cluster(). Non-empty blocks Add()/AddDataset()/
+  /// AddSource()/SaveCheckpoint().
+  std::vector<Phase1Freeze> resume_freezes_;
+  /// Serial auto-checkpoint counter (points since the last save).
+  uint64_t points_since_checkpoint_ = 0;
 
   /// Registry state at construction; Finish() reports the delta so
   /// BirchResult::metrics covers exactly this run.

@@ -1,0 +1,67 @@
+// Durable checkpoint files for streaming ingest — the operational form
+// of the paper's "stop and resume a scan" claim. A checkpoint captures
+// one or more Phase1Freeze images (one per shard; serial runs write
+// exactly one) plus a fingerprint of the options that produced them,
+// framed and CRC32C-checksummed so torn, truncated, or bit-rotted
+// files are detected as kCorruption — never silently decoded into a
+// different clustering.
+//
+// File layout (all integers little-endian):
+//   magic "BIRCHCP1" (8 bytes)
+//   header section, then one section per freeze, then a footer section
+// Section framing:
+//   [u32 tag][u64 payload_bytes][payload][u32 crc32c(payload)]
+// The footer closes the file; a missing or invalid footer means the
+// writer died mid-write (truncation) and the file is rejected.
+//
+// Writes are atomic: the image is staged to "<path>.tmp" and renamed
+// over `path`, so a crash during SaveCheckpoint leaves the previous
+// checkpoint intact.
+#ifndef BIRCH_BIRCH_CHECKPOINT_H_
+#define BIRCH_BIRCH_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "birch/phase1.h"
+#include "util/status.h"
+
+namespace birch {
+
+/// Current on-disk format version. Readers reject versions they do not
+/// know (InvalidArgument, not Corruption: the file is fine, we are old).
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// In-memory form of one checkpoint file: the options fingerprint that
+/// must match on restore, the resume offset, and the frozen builders.
+struct CheckpointImage {
+  uint32_t version = kCheckpointVersion;
+  // --- Options fingerprint (validated by BirchClusterer::Restore) ---
+  uint64_t dim = 0;
+  uint64_t page_size = 0;
+  uint32_t metric = 0;          // static_cast of DistanceMetric
+  uint32_t threshold_kind = 0;  // static_cast of ThresholdKind
+  /// 0 = serial image (exactly one freeze); N >= 1 = sharded image
+  /// written by an N-shard run (exactly N freezes, shard order).
+  uint32_t shard_count = 0;
+  /// Points the checkpointed run had ingested; the resume offset into
+  /// the original stream.
+  uint64_t points_ingested = 0;
+  std::vector<Phase1Freeze> freezes;
+};
+
+/// Serializes `image` and atomically replaces `path` with it. IOError
+/// on filesystem failure.
+Status WriteCheckpointFile(const std::string& path,
+                           const CheckpointImage& image);
+
+/// Parses a checkpoint file. Corruption on bad magic, bad framing,
+/// checksum mismatch, truncation, or a payload that does not decode;
+/// InvalidArgument on an unknown format version; IOError when the file
+/// cannot be read at all.
+StatusOr<CheckpointImage> ReadCheckpointFile(const std::string& path);
+
+}  // namespace birch
+
+#endif  // BIRCH_BIRCH_CHECKPOINT_H_

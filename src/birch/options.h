@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "birch/cf_tree.h"
 #include "birch/global_cluster.h"
@@ -61,6 +62,15 @@ struct BirchOptions {
     /// Bounded retry-with-backoff applied to transient outlier-disk
     /// errors before they are treated as unrecoverable.
     RetryPolicy io_retry;
+    /// Auto-checkpoint: every `checkpoint_every_n` ingested points,
+    /// write a durable checkpoint of the live Phase-1 state to
+    /// `checkpoint_path` (atomically replacing the previous one). 0
+    /// disables. Works on both the serial streaming path and the
+    /// sharded Cluster() path (shards quiesce at a barrier so the file
+    /// is one coherent image). See birch/checkpoint.h for the format
+    /// and BirchClusterer::Restore for the resume side.
+    uint64_t checkpoint_every_n = 0;
+    std::string checkpoint_path;
   };
 
   // --- CF tree ---
@@ -219,6 +229,11 @@ struct BirchOptions {
     }
     BIRCH_RETURN_IF_ERROR(resources.fault.Validate());
     BIRCH_RETURN_IF_ERROR(resources.io_retry.Validate());
+    if (resources.checkpoint_every_n > 0 &&
+        resources.checkpoint_path.empty()) {
+      return Status::InvalidArgument(
+          "checkpoint_every_n > 0 requires a checkpoint_path");
+    }
     if (refine.passes < 0) {
       return Status::InvalidArgument("refinement_passes must be >= 0");
     }
@@ -260,6 +275,8 @@ class BirchOptions::Builder {
   Builder& PageSize(size_t v) { o_.resources.page_size = v; return *this; }
   Builder& Fault(const FaultOptions& v) { o_.resources.fault = v; return *this; }
   Builder& IoRetry(const RetryPolicy& v) { o_.resources.io_retry = v; return *this; }
+  Builder& CheckpointEveryN(uint64_t v) { o_.resources.checkpoint_every_n = v; return *this; }
+  Builder& CheckpointPath(std::string v) { o_.resources.checkpoint_path = std::move(v); return *this; }
 
   // --- CF tree ---
   Builder& InitialThreshold(double v) { o_.tree.initial_threshold = v; return *this; }

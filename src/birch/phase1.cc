@@ -44,8 +44,115 @@ RobustnessStats Phase1Builder::robustness() const {
     r.pages_lost += f->stats().pages_lost;
     r.records_lost += f->stats().records_lost;
   }
-  r.checksum_failures = disk_.io_stats().checksum_failures;
+  // += so a restored builder's frozen baseline (already in robust_)
+  // survives; live runs start the baseline at zero.
+  r.checksum_failures += disk_.io_stats().checksum_failures;
   return r;
+}
+
+StatusOr<Phase1Freeze> Phase1Builder::Freeze() {
+  if (finished_) {
+    return Status::FailedPrecondition("Freeze() after Finish()");
+  }
+  TRACE_SPAN("phase1/freeze");
+  Phase1Freeze f;
+  // Capture the fault stream and aggregate counters FIRST: the peeks
+  // below consume injector draws and retry counters, and the restored
+  // run must resume from the pre-checkpoint stream.
+  f.fault_rng = disk_.mutable_injector()->rng_state();
+  f.fault_stats = disk_.fault_stats();
+  f.robustness = robustness();
+
+  // Serialize the tree into a private fault-free staging store; its
+  // ids are sequential from 0, so page i of the store is tree_pages[i].
+  PageStore staging(options_.tree.page_size);
+  auto img_or = TreeIO::Write(*tree_, &staging);
+  if (!img_or.ok()) return img_or.status();
+  f.image = std::move(img_or.value());
+  f.tree_pages.resize(staging.num_pages());
+  for (size_t i = 0; i < f.tree_pages.size(); ++i) {
+    BIRCH_RETURN_IF_ERROR(
+        staging.Read(static_cast<PageId>(i), &f.tree_pages[i]));
+  }
+
+  // Copy pending spill state without consuming it. Records a faulty
+  // device loses during the peek are absent from the checkpoint; the
+  // frozen accounting carries the loss so a restored run reports it.
+  DrainReport rep;
+  BIRCH_RETURN_IF_ERROR(outlier_entries_.PeekAll(&f.outlier_records, &rep));
+  f.robustness.pages_lost += rep.pages_lost;
+  f.robustness.records_lost += rep.records_lost;
+  BIRCH_RETURN_IF_ERROR(delayed_points_.PeekAll(&f.delayed_records, &rep));
+  f.robustness.pages_lost += rep.pages_lost;
+  f.robustness.records_lost += rep.records_lost;
+
+  f.threshold_history = heuristic_.History();
+  f.final_outliers = final_outliers_;
+  f.stats = stats_;
+  f.delay_mode = delay_mode_;
+  f.disk_enabled = disk_enabled_;
+  return f;
+}
+
+StatusOr<std::unique_ptr<Phase1Builder>> Phase1Builder::Thaw(
+    const Phase1Options& options, const Phase1Freeze& freeze) {
+  if (options.tree.dim != freeze.image.dim) {
+    return Status::InvalidArgument("checkpoint dim mismatch");
+  }
+  if (options.tree.page_size != freeze.image.page_size) {
+    return Status::InvalidArgument("checkpoint page size mismatch");
+  }
+  std::unique_ptr<Phase1Builder> b(new Phase1Builder(options));
+
+  // Rebuild the CF tree from the frozen pages via TreeIO (ids are
+  // sequential, matching the freeze's staging store).
+  PageStore staging(freeze.image.page_size);
+  for (const auto& page : freeze.tree_pages) {
+    auto id_or = staging.Allocate();
+    if (!id_or.ok()) return id_or.status();
+    BIRCH_RETURN_IF_ERROR(staging.Write(id_or.value(), page));
+  }
+  b->tree_.reset();  // release the fresh root's budget charge first
+  auto tree_or = TreeIO::Read(freeze.image, &staging, options.tree, &b->mem_);
+  if (!tree_or.ok()) return tree_or.status();
+  b->tree_ = std::move(tree_or.value());
+
+  b->heuristic_.RestoreHistory(freeze.threshold_history);
+
+  // Replay pending spill records. Flushed pages are always full, so
+  // re-appending in order recreates the exact page/staging layout the
+  // original builder had. The original device already survived these
+  // writes, so the replay runs with injection off — a replay-time fault
+  // would corrupt state the checkpoint holds intact.
+  const FaultOptions real_faults = b->disk_.mutable_injector()->options();
+  b->disk_.mutable_injector()->set_options(FaultOptions{});
+  const size_t rec = CfVector::SerializedDoubles(options.tree.dim);
+  auto replay = [&](SpillFile* file,
+                    const std::vector<double>& records) -> Status {
+    if (records.size() % rec != 0) {
+      return Status::Corruption(
+          "checkpoint spill payload is not record-aligned");
+    }
+    for (size_t off = 0; off < records.size(); off += rec) {
+      BIRCH_RETURN_IF_ERROR(file->Append(
+          std::span<const double>(records.data() + off, rec)));
+    }
+    return Status::OK();
+  };
+  BIRCH_RETURN_IF_ERROR(replay(&b->outlier_entries_, freeze.outlier_records));
+  BIRCH_RETURN_IF_ERROR(replay(&b->delayed_points_, freeze.delayed_records));
+
+  b->final_outliers_ = freeze.final_outliers;
+  b->stats_ = freeze.stats;
+  b->robust_ = freeze.robustness;
+  b->delay_mode_ = freeze.delay_mode;
+  b->disk_enabled_ = freeze.disk_enabled;
+  // Reinstate the real fault configuration and resume the fault stream
+  // where the original left off.
+  b->disk_.mutable_injector()->set_options(real_faults);
+  b->disk_.mutable_injector()->set_rng_state(freeze.fault_rng);
+  b->disk_.mutable_injector()->set_stats(freeze.fault_stats);
+  return b;
 }
 
 void Phase1Builder::NoteDrainLoss(const DrainReport& report) {

@@ -14,6 +14,7 @@
 #include "birch/cf_tree.h"
 #include "birch/dataset.h"
 #include "birch/threshold.h"
+#include "birch/tree_io.h"
 #include "pagestore/memory_tracker.h"
 #include "pagestore/page_store.h"
 #include "pagestore/spill_file.h"
@@ -80,6 +81,34 @@ struct RobustnessStats {
   bool outlier_disk_disabled = false;
 };
 
+/// Complete mid-stream state of a Phase1Builder, in plain values: the
+/// serialized CF tree (TreeIO page images), pending spill records,
+/// threshold history, counters, and the fault injector's RNG. Freeze()
+/// produces one without disturbing the live builder; Thaw() turns one
+/// back into a builder that continues exactly where the original was.
+/// The checkpoint file format is a framed, checksummed encoding of this
+/// struct (see birch/checkpoint.h).
+struct Phase1Freeze {
+  TreeImage image;
+  /// Node pages in TreeIO id order (page i of the staging store).
+  std::vector<std::vector<uint8_t>> tree_pages;
+  /// Pending spill records (flattened CF serializations, append order).
+  std::vector<double> outlier_records;
+  std::vector<double> delayed_records;
+  std::vector<ThresholdHeuristic::Observation> threshold_history;
+  std::vector<CfVector> final_outliers;
+  Phase1Stats stats;
+  /// Aggregate robustness() at freeze time; becomes the restored
+  /// builder's baseline (its fresh storage stack restarts from zero).
+  RobustnessStats robustness;
+  bool delay_mode = false;
+  bool disk_enabled = true;
+  /// Fault-injector stream, captured before the freeze's own reads so a
+  /// restored run fails exactly where the uninterrupted one would.
+  RngState fault_rng;
+  FaultStats fault_stats;
+};
+
 /// Single-scan builder. Usage: Add() every point, then Finish() exactly
 /// once; afterwards tree() holds the condensed summary and
 /// final_outliers() the entries that never fit anywhere.
@@ -113,6 +142,19 @@ class Phase1Builder {
   const std::vector<CfVector>& final_outliers() const {
     return final_outliers_;
   }
+
+  /// Captures the builder's complete mid-stream state without changing
+  /// it (the tree is serialized into a private staging store; spill
+  /// files are peeked, not drained). FailedPrecondition after Finish().
+  StatusOr<Phase1Freeze> Freeze();
+
+  /// Reconstructs a builder from a freeze. `options` supplies the
+  /// runtime knobs and budgets and must agree with the freeze on dim
+  /// and page size; the tree threshold comes from the freeze. The
+  /// thawed builder's CfTree op counters restart from zero (they are
+  /// diagnostics, not state), and its PageStore IoStats likewise.
+  static StatusOr<std::unique_ptr<Phase1Builder>> Thaw(
+      const Phase1Options& options, const Phase1Freeze& freeze);
 
  private:
   /// Called when the tree exceeds the memory budget after an insert.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -16,10 +17,48 @@ namespace birch {
 
 namespace {
 
+/// Quiesce barrier for checkpointing: each worker arrives (after
+/// consuming every batch dealt before the sync marker) and parks until
+/// released; the dealer waits for all arrivals, snapshots the builders
+/// while nothing touches them, then releases. The mutex hand-off also
+/// publishes each worker's writes to the dealer and vice versa.
+///
+/// Shared ownership is load-bearing: the dealer may start the next
+/// quiesce before a released worker has fully left Arrive(), so each
+/// barrier must be a distinct object that outlives its slowest waiter
+/// (a reused stack slot would hand that waiter a recycled, un-released
+/// barrier).
+struct SyncPoint {
+  std::mutex mu;
+  std::condition_variable cv;
+  const int expected;
+  int arrived = 0;
+  bool released = false;
+
+  explicit SyncPoint(int n) : expected(n) {}
+  void Arrive() {
+    std::unique_lock<std::mutex> lock(mu);
+    if (++arrived == expected) cv.notify_all();
+    cv.wait(lock, [this] { return released; });
+  }
+  void AwaitAll() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return arrived == expected; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu);
+    released = true;
+    cv.notify_all();
+  }
+};
+
 /// One hand-off unit: `xs` holds batch points flattened dim-major.
+/// A batch with `sync` set carries no points — it tells the worker to
+/// park at the barrier.
 struct PointBatch {
   std::vector<double> xs;
   std::vector<double> ws;
+  std::shared_ptr<SyncPoint> sync;
 };
 
 /// Completion latch for the shard workers.
@@ -106,8 +145,21 @@ StatusOr<ShardedPhase1Result> RunShardedPhase1(
   builders.reserve(static_cast<size_t>(shards));
   channels.reserve(static_cast<size_t>(shards));
   const Phase1Options shard_opts = ShardOptions(options.phase1, shards);
+  if (options.resume != nullptr &&
+      options.resume->size() != static_cast<size_t>(shards)) {
+    return Status::InvalidArgument(
+        "sharded checkpoint holds " + std::to_string(options.resume->size()) +
+        " shards but this run would use " + std::to_string(shards));
+  }
   for (int s = 0; s < shards; ++s) {
-    builders.push_back(std::make_unique<Phase1Builder>(shard_opts));
+    if (options.resume != nullptr) {
+      auto b_or = Phase1Builder::Thaw(shard_opts,
+                                      (*options.resume)[static_cast<size_t>(s)]);
+      if (!b_or.ok()) return b_or.status();
+      builders.push_back(std::move(b_or).ValueOrDie());
+    } else {
+      builders.push_back(std::make_unique<Phase1Builder>(shard_opts));
+    }
     channels.push_back(
         std::make_unique<exec::Channel<PointBatch>>(options.channel_capacity));
   }
@@ -123,6 +175,12 @@ StatusOr<ShardedPhase1Result> RunShardedPhase1(
       // After a failure keep draining: a stalled consumer would wedge
       // the reader on a full channel.
       while (ch->Pop(&batch)) {
+        if (batch.sync != nullptr) {
+          // Checkpoint barrier. Arrive even after a failure — the
+          // dealer is waiting on every shard.
+          batch.sync->Arrive();
+          continue;
+        }
         if (!st->ok()) continue;
         const size_t n = batch.ws.size();
         for (size_t j = 0; j < n; ++j) {
@@ -137,13 +195,25 @@ StatusOr<ShardedPhase1Result> RunShardedPhase1(
     });
   }
 
+  Status deal_status;
   {
     TRACE_SPAN("phase1/scan");
     std::vector<PointBatch> pending(static_cast<size_t>(shards));
     std::vector<double> p(dim);
     double w = 1.0;
     uint64_t i = 0;
-    while (source->Next(p, &w)) {
+    // Resume: skip what the checkpointed run already consumed; dealing
+    // continues at the original index so i mod S matches the
+    // uninterrupted run point for point.
+    while (i < options.resume_skip_points && source->Next(p, &w)) ++i;
+    if (i < options.resume_skip_points) {
+      deal_status = Status::InvalidArgument(
+          "source ended before the checkpoint's resume offset (" +
+          std::to_string(i) + " < " +
+          std::to_string(options.resume_skip_points) +
+          "); pass the same stream the checkpointed run consumed");
+    }
+    while (deal_status.ok() && source->Next(p, &w)) {
       size_t s = static_cast<size_t>(i % static_cast<uint64_t>(shards));
       PointBatch& b = pending[s];
       b.xs.insert(b.xs.end(), p.begin(), p.end());
@@ -153,6 +223,37 @@ StatusOr<ShardedPhase1Result> RunShardedPhase1(
         b = PointBatch{};
       }
       ++i;
+      if (options.checkpoint_every_n > 0 && options.on_checkpoint &&
+          i % options.checkpoint_every_n == 0) {
+        // Quiesce: flush partial batches so every dealt point is in its
+        // shard's channel, then park all workers at a barrier. FIFO
+        // channels guarantee each worker consumed everything before the
+        // marker by the time it arrives.
+        TRACE_SPAN("phase1/checkpoint_quiesce");
+        for (int q = 0; q < shards; ++q) {
+          PointBatch& pb = pending[static_cast<size_t>(q)];
+          if (!pb.ws.empty()) {
+            channels[static_cast<size_t>(q)]->Push(std::move(pb));
+            pb = PointBatch{};
+          }
+        }
+        auto sync = std::make_shared<SyncPoint>(shards);
+        for (int q = 0; q < shards; ++q) {
+          PointBatch marker;
+          marker.sync = sync;
+          channels[static_cast<size_t>(q)]->Push(std::move(marker));
+        }
+        sync->AwaitAll();
+        // Workers are parked; their builders and statuses are safe to
+        // read. Don't checkpoint a failed run.
+        for (const Status& st : shard_status) {
+          if (!st.ok()) deal_status = st;
+        }
+        if (deal_status.ok()) {
+          deal_status = options.on_checkpoint(i, &builders);
+        }
+        sync->Release();
+      }
     }
     for (int s = 0; s < shards; ++s) {
       if (!pending[static_cast<size_t>(s)].ws.empty()) {
@@ -163,6 +264,7 @@ StatusOr<ShardedPhase1Result> RunShardedPhase1(
     }
     latch.Wait();
   }
+  BIRCH_RETURN_IF_ERROR(deal_status);
   for (const Status& st : shard_status) BIRCH_RETURN_IF_ERROR(st);
 
   ShardedPhase1Result result;

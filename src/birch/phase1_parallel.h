@@ -27,6 +27,7 @@
 #ifndef BIRCH_BIRCH_PHASE1_PARALLEL_H_
 #define BIRCH_BIRCH_PHASE1_PARALLEL_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -48,6 +49,26 @@ struct ShardedPhase1Options {
   size_t batch_points = 256;
   /// Batches buffered per shard channel before the reader blocks.
   size_t channel_capacity = 4;
+
+  // --- Checkpoint / resume (see birch/checkpoint.h) ---
+  /// When > 0 and `on_checkpoint` is set, the dealer pauses the stream
+  /// every `checkpoint_every_n` points (counted from the start of the
+  /// original stream, resume included): every shard quiesces at a
+  /// barrier after consuming everything dealt so far, then
+  /// `on_checkpoint(points_dealt, &builders)` runs with all builders
+  /// idle — one coherent image. A non-OK return aborts the run.
+  uint64_t checkpoint_every_n = 0;
+  std::function<Status(uint64_t points_dealt,
+                       std::vector<std::unique_ptr<Phase1Builder>>* builders)>
+      on_checkpoint;
+  /// Resume: per-shard freezes from a sharded checkpoint (size must
+  /// equal the effective shard count). Each shard thaws its freeze
+  /// instead of starting empty.
+  const std::vector<Phase1Freeze>* resume = nullptr;
+  /// Points the checkpointed run already consumed: the dealer skips
+  /// this many source points, and round-robin dealing continues from
+  /// this index so shard assignment matches the uninterrupted run.
+  uint64_t resume_skip_points = 0;
 };
 
 /// Everything Phases 2-4 need from a (sharded) Phase 1 run.

@@ -49,11 +49,22 @@ class ThresholdHeuristic {
 
   size_t observations() const { return history_.size(); }
 
- private:
+  /// One regression observation (log points seen, log average leaf
+  /// radius). Public so checkpoints can carry the history verbatim.
   struct Observation {
     double log_points;
     double log_radius;
   };
+
+  /// Checkpoint support: the recorded observations drive the regression
+  /// signal, so a restored run must carry them to suggest the same
+  /// thresholds the uninterrupted run would.
+  const std::vector<Observation>& History() const { return history_; }
+  void RestoreHistory(std::vector<Observation> history) {
+    history_ = std::move(history);
+  }
+
+ private:
 
   size_t dim_;
   uint64_t total_points_;

@@ -1,8 +1,11 @@
 #include "birch/tree_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <functional>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace birch {
 
@@ -19,6 +22,23 @@ std::vector<double> GetDoubles(const std::vector<uint8_t>& page) {
   return v;
 }
 
+/// Largest PageId a double can carry exactly. Ids above this would
+/// round-trip corrupted through the all-doubles page format, so Write
+/// rejects them and Read treats them as corruption.
+constexpr uint64_t kMaxExactPageId = 1ULL << 53;
+
+/// True if `v` is a non-negative integer a double stores exactly and a
+/// PageId can hold. The value is returned through `*id`.
+bool DecodePageId(double v, PageId* id) {
+  if (!std::isfinite(v) || v < 0.0 ||
+      v > static_cast<double>(kMaxExactPageId)) {
+    return false;
+  }
+  if (v != std::floor(v)) return false;
+  *id = static_cast<PageId>(v);
+  return true;
+}
+
 }  // namespace
 
 StatusOr<TreeImage> TreeIO::Write(const CfTree& tree, PageStore* store) {
@@ -29,6 +49,8 @@ StatusOr<TreeImage> TreeIO::Write(const CfTree& tree, PageStore* store) {
   const size_t dim = tree.options().dim;
 
   Status failure = Status::OK();
+  std::vector<PageId> allocated;  // every page we own, for error cleanup
+  std::unordered_map<const CfNode*, PageId> page_of;  // leaf-chain lookup
   std::function<PageId(const CfNode*)> write_node =
       [&](const CfNode* node) -> PageId {
     if (!failure.ok()) return kInvalidPageId;
@@ -41,6 +63,14 @@ StatusOr<TreeImage> TreeIO::Write(const CfTree& tree, PageStore* store) {
       if (!node->is_leaf) {
         PageId child = write_node(node->children[i]);
         if (!failure.ok()) return kInvalidPageId;
+        if (child > kMaxExactPageId) {
+          // A double cannot carry this id exactly; refuse to write a
+          // page that would decode to a different child.
+          failure = Status::InvalidArgument(
+              "page id " + std::to_string(child) +
+              " exceeds the exact-double range of the node page format");
+          return kInvalidPageId;
+        }
         buf.push_back(static_cast<double>(child));
       }
     }
@@ -53,6 +83,7 @@ StatusOr<TreeImage> TreeIO::Write(const CfTree& tree, PageStore* store) {
       failure = id_or.status();
       return kInvalidPageId;
     }
+    allocated.push_back(id_or.value());
     std::vector<uint8_t> page;
     PutDoubles(&page, buf);
     Status st = store->Write(id_or.value(), page);
@@ -60,12 +91,30 @@ StatusOr<TreeImage> TreeIO::Write(const CfTree& tree, PageStore* store) {
       failure = st;
       return kInvalidPageId;
     }
+    page_of[node] = id_or.value();
     return id_or.value();
   };
 
   TreeImage image;
   image.root = write_node(tree.root());
-  if (!failure.ok()) return failure;
+  if (failure.ok()) {
+    // Record the leaf chain so Read can restore iteration order.
+    for (const CfNode* leaf = tree.first_leaf(); leaf != nullptr;
+         leaf = leaf->next) {
+      auto it = page_of.find(leaf);
+      if (it == page_of.end()) {
+        failure = Status::Internal("leaf chain references an unwritten node");
+        break;
+      }
+      image.leaf_chain.push_back(it->second);
+    }
+  }
+  if (!failure.ok()) {
+    // A partial image is useless and unreachable (children of the
+    // failed node were never linked): return every page taken so far.
+    for (PageId id : allocated) store->Free(id);
+    return failure;
+  }
   image.dim = dim;
   image.page_size = tree.options().page_size;
   image.threshold = tree.threshold();
@@ -99,10 +148,18 @@ StatusOr<std::unique_ptr<CfTree>> TreeIO::Read(const TreeImage& image,
   CfNode* chain_tail = nullptr;
   size_t max_depth = 0;
   std::vector<CfNode*> allocated;  // for cleanup on failure
+  std::unordered_set<PageId> visited;  // cycle / duplicate-reference guard
+  std::unordered_map<PageId, CfNode*> leaf_by_page;
 
   std::function<CfNode*(PageId, size_t)> read_node =
       [&](PageId id, size_t depth) -> CfNode* {
     if (!failure.ok()) return nullptr;
+    if (!visited.insert(id).second) {
+      failure = Status::Corruption("page " + std::to_string(id) +
+                                   " referenced twice (cycle or shared "
+                                   "child in tree image)");
+      return nullptr;
+    }
     std::vector<uint8_t> page;
     Status st = store->Read(id, &page);
     if (!st.ok()) {
@@ -111,18 +168,26 @@ StatusOr<std::unique_ptr<CfTree>> TreeIO::Read(const TreeImage& image,
     }
     std::vector<double> buf = GetDoubles(page);
     if (buf.size() < 3 || buf[0] != kNodeMagic) {
-      failure = Status::Internal("page " + std::to_string(id) +
-                                 " is not a CF tree node");
+      failure = Status::Corruption("page " + std::to_string(id) +
+                                   " is not a CF tree node");
       return nullptr;
     }
     const bool is_leaf = buf[1] != 0.0;
-    const size_t count = static_cast<size_t>(buf[2]);
     const size_t cf_doubles = CfVector::SerializedDoubles(image.dim);
     const size_t per_entry = cf_doubles + (is_leaf ? 0 : 1);
-    if (buf.size() < 3 + count * per_entry) {
-      failure = Status::Internal("truncated CF tree node page");
+    // Validate the entry count before casting: a corrupt double here
+    // must not become an out-of-range size_t (UB) or an overflowing
+    // multiply below.
+    const size_t max_count = (buf.size() - 3) / per_entry;
+    if (!std::isfinite(buf[2]) || buf[2] < 0.0 ||
+        buf[2] != std::floor(buf[2]) ||
+        buf[2] > static_cast<double>(max_count)) {
+      failure = Status::Corruption(
+          "page " + std::to_string(id) +
+          " carries an impossible CF node entry count");
       return nullptr;
     }
+    const size_t count = static_cast<size_t>(buf[2]);
 
     CfNode* node = tree->AllocNode(is_leaf);
     allocated.push_back(node);
@@ -133,7 +198,13 @@ StatusOr<std::unique_ptr<CfTree>> TreeIO::Read(const TreeImage& image,
           image.dim));
       off += cf_doubles;
       if (!is_leaf) {
-        PageId child = static_cast<PageId>(buf[off++]);
+        PageId child;
+        if (!DecodePageId(buf[off++], &child)) {
+          failure = Status::Corruption("page " + std::to_string(id) +
+                                       " stores an out-of-range child "
+                                       "page id");
+          return nullptr;
+        }
         CfNode* child_node = read_node(child, depth + 1);
         if (!failure.ok()) return nullptr;
         node->children.push_back(child_node);
@@ -142,7 +213,10 @@ StatusOr<std::unique_ptr<CfTree>> TreeIO::Read(const TreeImage& image,
     if (is_leaf) {
       tree->leaf_entries_ += count;
       max_depth = std::max(max_depth, depth);
-      // Leaves are visited left-to-right: append to the chain.
+      leaf_by_page[id] = node;
+      // Leaves are visited left-to-right: append to the chain. (When
+      // the image carries an explicit leaf_chain this order is
+      // provisional and gets relinked below.)
       node->prev = chain_tail;
       if (chain_tail) chain_tail->next = node;
       if (tree->first_leaf_ == nullptr) tree->first_leaf_ = node;
@@ -156,7 +230,37 @@ StatusOr<std::unique_ptr<CfTree>> TreeIO::Read(const TreeImage& image,
   if (failure.ok() && (tree->node_count_ != image.node_count ||
                        tree->leaf_entries_ != image.leaf_entries ||
                        tree->height_ != image.height)) {
-    failure = Status::Internal("tree image metadata mismatch after read");
+    failure = Status::Corruption("tree image metadata mismatch after read");
+  }
+  if (failure.ok() && !image.leaf_chain.empty()) {
+    // Relink the chain in the recorded order (the live tree's chain
+    // order, which traversal order does not preserve).
+    if (image.leaf_chain.size() != leaf_by_page.size()) {
+      failure = Status::Corruption(
+          "tree image leaf chain does not match the leaf set");
+    } else {
+      std::unordered_set<PageId> seen;
+      CfNode* prev = nullptr;
+      tree->first_leaf_ = nullptr;
+      for (PageId id : image.leaf_chain) {
+        auto it = leaf_by_page.find(id);
+        if (it == leaf_by_page.end() || !seen.insert(id).second) {
+          failure = Status::Corruption(
+              "tree image leaf chain references a page that is not a "
+              "distinct leaf");
+          break;
+        }
+        CfNode* n = it->second;
+        n->prev = prev;
+        n->next = nullptr;
+        if (prev != nullptr) {
+          prev->next = n;
+        } else {
+          tree->first_leaf_ = n;
+        }
+        prev = n;
+      }
+    }
   }
   if (!failure.ok()) {
     // Leave the tree destructible: free everything read so far and
@@ -177,8 +281,13 @@ StatusOr<std::unique_ptr<CfTree>> TreeIO::Read(const TreeImage& image,
 Status TreeIO::Release(const TreeImage& image, PageStore* store) {
   if (image.root == kInvalidPageId) return Status::OK();
   Status failure = Status::OK();
+  std::unordered_set<PageId> visited;
   std::function<void(PageId)> release = [&](PageId id) {
     if (!failure.ok()) return;
+    if (!visited.insert(id).second) {
+      failure = Status::Corruption("page referenced twice in tree image");
+      return;
+    }
     std::vector<uint8_t> page;
     Status st = store->Read(id, &page);
     if (!st.ok()) {
@@ -187,17 +296,30 @@ Status TreeIO::Release(const TreeImage& image, PageStore* store) {
     }
     std::vector<double> buf = GetDoubles(page);
     if (buf.size() < 3 || buf[0] != kNodeMagic) {
-      failure = Status::Internal("page is not a CF tree node");
+      failure = Status::Corruption("page is not a CF tree node");
       return;
     }
     const bool is_leaf = buf[1] != 0.0;
-    const size_t count = static_cast<size_t>(buf[2]);
     const size_t cf_doubles = CfVector::SerializedDoubles(image.dim);
+    const size_t per_entry = cf_doubles + (is_leaf ? 0 : 1);
+    const size_t max_count = (buf.size() - 3) / per_entry;
+    if (!std::isfinite(buf[2]) || buf[2] < 0.0 ||
+        buf[2] != std::floor(buf[2]) ||
+        buf[2] > static_cast<double>(max_count)) {
+      failure = Status::Corruption("impossible CF node entry count");
+      return;
+    }
+    const size_t count = static_cast<size_t>(buf[2]);
     if (!is_leaf) {
       size_t off = 3;
       for (size_t i = 0; i < count; ++i) {
         off += cf_doubles;
-        release(static_cast<PageId>(buf[off++]));
+        PageId child;
+        if (!DecodePageId(buf[off++], &child)) {
+          failure = Status::Corruption("out-of-range child page id");
+          return;
+        }
+        release(child);
         if (!failure.ok()) return;
       }
     }

@@ -35,17 +35,29 @@ struct TreeImage {
   size_t node_count = 0;
   size_t leaf_entries = 0;
   size_t height = 0;
+  /// Page ids of the leaf nodes in chain order. Node splits append the
+  /// new sibling at the end of the parent's child list, so traversal
+  /// order and chain order diverge over time; Read relinks the chain
+  /// from this list so a reopened tree iterates its leaves in exactly
+  /// the original order (checkpoint resume depends on it — leaf order
+  /// is Phase-3 input order). Empty = legacy image, traversal order.
+  std::vector<PageId> leaf_chain;
 };
 
 class TreeIO {
  public:
   /// Serializes `tree` into `store` (whose page_size must be >=
-  /// tree.options().page_size). Allocates node_count pages.
+  /// tree.options().page_size). Allocates node_count pages. On any
+  /// mid-traversal failure every page allocated so far is freed before
+  /// the error returns — a failed Write never leaks store capacity.
   static StatusOr<TreeImage> Write(const CfTree& tree, PageStore* store);
 
   /// Reconstructs a CF tree from `image`, charging `mem` one page per
   /// node. `options` supplies the runtime knobs (metric, threshold
   /// kind); dim/page_size/threshold are taken from the image.
+  /// Structurally invalid pages (bad magic, impossible entry counts,
+  /// out-of-range child ids, reference cycles, metadata that does not
+  /// add up) surface as kCorruption — never undefined behavior.
   static StatusOr<std::unique_ptr<CfTree>> Read(const TreeImage& image,
                                                 PageStore* store,
                                                 const CfTreeOptions& options,

@@ -96,6 +96,17 @@ class FaultInjector {
   const FaultOptions& options() const { return options_; }
   const FaultStats& stats() const { return stats_; }
 
+  /// Checkpoint support: capture/restore the draw stream and counters so
+  /// a restored run keeps failing (deterministically) where the
+  /// original would have.
+  RngState rng_state() const { return rng_.GetState(); }
+  void set_rng_state(const RngState& st) { rng_.SetState(st); }
+  void set_stats(const FaultStats& st) { stats_ = st; }
+  /// Swaps the fault configuration. Checkpoint restore replays state the
+  /// original device already survived, so the replay runs with injection
+  /// off and the real options are reinstated afterwards.
+  void set_options(const FaultOptions& o) { options_ = o; }
+
  private:
   // Rate 0 must not consume randomness: a fault-free store stays
   // byte-identical to one built before fault injection existed.

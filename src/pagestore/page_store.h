@@ -79,6 +79,11 @@ class PageStore {
   /// exactly what the bit-rot fault does. `bit` < page_size * 8.
   Status CorruptBitForTesting(PageId id, size_t bit);
 
+  /// Checkpoint support: the injector's RNG/counters are part of a
+  /// resumable run's state (a restored run must keep failing the way
+  /// the original would have).
+  FaultInjector* mutable_injector() { return &injector_; }
+
  private:
   size_t page_size_;
   size_t capacity_bytes_;

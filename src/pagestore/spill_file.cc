@@ -136,4 +136,44 @@ Status SpillFile::DrainAll(std::vector<double>* out, DrainReport* report) {
   return Status::OK();
 }
 
+Status SpillFile::PeekAll(std::vector<double>* out, DrainReport* report) {
+  TRACE_SPAN("spill/peek");
+  out->clear();
+  out->reserve(count_ * record_doubles_);
+  DrainReport rep;
+  rep.pages_total = pages_.size();
+  std::vector<uint8_t> buf;
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    Status st = ReadWithRetry(pages_[i], &buf);
+    if (!st.ok()) {
+      if (st.code() != StatusCode::kDataLoss &&
+          st.code() != StatusCode::kIOError) {
+        return st;
+      }
+      // Unreadable page: skip it (never decode garbage) but leave it
+      // allocated — a later DrainAll owns the loss accounting and the
+      // Free.
+      ++rep.pages_lost;
+      rep.records_lost += page_records_[i];
+      continue;
+    }
+    size_t doubles = page_records_[i] * record_doubles_;
+    size_t old = out->size();
+    out->resize(old + doubles);
+    std::memcpy(out->data() + old, buf.data(), doubles * sizeof(double));
+  }
+  out->insert(out->end(), staging_.begin(), staging_.end());
+  rep.records_returned = out->size() / record_doubles_;
+  if (report != nullptr) {
+    *report = rep;
+    return Status::OK();
+  }
+  if (rep.records_lost > 0) {
+    return Status::DataLoss("spill peek lost " +
+                            std::to_string(rep.records_lost) + " records (" +
+                            std::to_string(rep.pages_lost) + " pages)");
+  }
+  return Status::OK();
+}
+
 }  // namespace birch

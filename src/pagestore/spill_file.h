@@ -79,6 +79,14 @@ class SpillFile {
   /// (out still holds the survivors) so data never vanishes silently.
   Status DrainAll(std::vector<double>* out, DrainReport* report = nullptr);
 
+  /// Non-destructive DrainAll: reads every record in append order into
+  /// `out` but leaves pages, staging buffer, and counters untouched, so
+  /// the file keeps operating as if the peek never happened. Loss
+  /// semantics match DrainAll (skipped pages are reported, and stay
+  /// allocated; retry counters still accrue). Checkpointing uses this
+  /// to copy pending spill state without consuming it.
+  Status PeekAll(std::vector<double>* out, DrainReport* report = nullptr);
+
  private:
   Status FlushStaging();
   /// Store ops with bounded retry on transient (kIOError) failures.

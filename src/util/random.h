@@ -20,6 +20,15 @@ inline uint64_t SplitMix64(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
+/// Complete serializable state of an Rng: the xoshiro words plus the
+/// Box–Muller cache. Capturing and restoring this resumes the stream
+/// exactly where it left off (checkpoint/restore relies on it).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_gauss = false;
+  double cached_gauss = 0.0;
+};
+
 /// xoshiro256** 1.0 — fast, high-quality, tiny state. Not cryptographic.
 class Rng {
  public:
@@ -98,6 +107,20 @@ class Rng {
 
   /// True with probability p.
   bool Bernoulli(double p) { return NextDouble() < p; }
+
+  RngState GetState() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.has_gauss = has_gauss_;
+    st.cached_gauss = cached_gauss_;
+    return st;
+  }
+
+  void SetState(const RngState& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    has_gauss_ = st.has_gauss;
+    cached_gauss_ = st.cached_gauss;
+  }
 
   /// Fisher–Yates shuffle.
   template <typename T>

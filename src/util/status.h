@@ -26,6 +26,11 @@ enum class StatusCode {
   /// verification. Unlike kIOError this is NOT retryable — the bytes
   /// are gone; callers degrade and account for the loss instead.
   kDataLoss,
+  /// Persistent data failed structural validation: bad magic, impossible
+  /// counts, out-of-range references, checksum mismatch in a serialized
+  /// image. The bytes were read fine but cannot be trusted as the
+  /// structure they claim to be; never silently decoded.
+  kCorruption,
 };
 
 /// Result of an operation: either OK or a code plus a human-readable
@@ -61,6 +66,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -83,6 +91,7 @@ class Status {
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kIOError: return "IOError";
       case StatusCode::kDataLoss: return "DataLoss";
+      case StatusCode::kCorruption: return "Corruption";
     }
     return "Unknown";
   }

@@ -1,0 +1,407 @@
+// Checkpoint/restore properties: a serial kill-and-resume run is
+// bitwise identical to the uninterrupted one (labels, centroids,
+// threshold), resume works both by re-feeding the tail and by handing
+// Cluster() the full stream, the options fingerprint is enforced, the
+// sharded auto-checkpoint round-trips, and every injected file
+// corruption (torn header, truncation, bit flip) is detected as
+// kCorruption — never silently decoded into a different clustering.
+#include "birch/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "birch/birch.h"
+#include "datagen/generator.h"
+
+namespace birch {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+Dataset MakeData(int k, int per_cluster, uint64_t seed) {
+  GeneratorOptions g;
+  g.k = k;
+  g.n_low = g.n_high = per_cluster;
+  g.r_low = g.r_high = 1.0;
+  g.grid_spacing = 8.0;
+  g.seed = seed;
+  auto gen = Generate(g);
+  EXPECT_TRUE(gen.ok());
+  return std::move(gen.value().data);
+}
+
+// Tight budgets so the stream actually exercises rebuilds, the outlier
+// disk, and delay-split spills — the state a checkpoint must capture.
+BirchOptions SmallOpts(size_t dim, int k) {
+  BirchOptions o;
+  o.dim = dim;
+  o.k = k;
+  o.memory_bytes = 24 * 1024;
+  o.disk_bytes = 5 * 1024;
+  o.page_size = 512;
+  return o;
+}
+
+StatusOr<BirchResult> RunUninterrupted(const Dataset& data,
+                                       const BirchOptions& o) {
+  auto c_or = BirchClusterer::Create(o);
+  if (!c_or.ok()) return c_or.status();
+  BIRCH_RETURN_IF_ERROR(c_or.value()->AddDataset(data));
+  return c_or.value()->Finish(&data);
+}
+
+StatusOr<BirchResult> RunInterrupted(const Dataset& data,
+                                     const BirchOptions& o, size_t cut,
+                                     const std::string& path) {
+  {
+    auto c_or = BirchClusterer::Create(o);
+    if (!c_or.ok()) return c_or.status();
+    for (size_t i = 0; i < cut; ++i) {
+      BIRCH_RETURN_IF_ERROR(c_or.value()->Add(data.Row(i), data.Weight(i)));
+    }
+    BIRCH_RETURN_IF_ERROR(c_or.value()->SaveCheckpoint(path));
+    // The clusterer dies here: everything past this line sees only the
+    // file.
+  }
+  auto c_or = BirchClusterer::Restore(path, o);
+  if (!c_or.ok()) return c_or.status();
+  for (size_t i = cut; i < data.size(); ++i) {
+    BIRCH_RETURN_IF_ERROR(c_or.value()->Add(data.Row(i), data.Weight(i)));
+  }
+  return c_or.value()->Finish(&data);
+}
+
+void ExpectBitwiseEqual(const BirchResult& a, const BirchResult& b) {
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.centroids, b.centroids);
+  EXPECT_EQ(a.clusters, b.clusters);
+  EXPECT_EQ(a.final_threshold, b.final_threshold);
+  EXPECT_EQ(a.outlier_points, b.outlier_points);
+  EXPECT_EQ(a.phase1.points_added, b.phase1.points_added);
+  EXPECT_EQ(a.phase1.rebuilds, b.phase1.rebuilds);
+}
+
+TEST(CheckpointTest, SerialKillAndResumeIsBitwiseIdentical) {
+  Dataset data = MakeData(9, 300, 701);
+  BirchOptions o = SmallOpts(data.dim(), 9);
+  auto want = RunUninterrupted(data, o);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  std::string path = TempPath("ckpt_serial.birch");
+  auto got = RunInterrupted(data, o, data.size() / 2, path);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectBitwiseEqual(want.value(), got.value());
+  std::remove(path.c_str());
+}
+
+// Property test: the bitwise-resume guarantee holds across seeds,
+// dimensionalities, and cut positions (including a cut before any
+// rebuild and one deep into the stream).
+TEST(CheckpointTest, ResumeIsBitwiseIdenticalAcrossSeedsAndCuts) {
+  struct Case {
+    uint64_t seed;
+    int k;
+    int per_cluster;
+    double cut_fraction;
+  };
+  const Case cases[] = {
+      {702, 4, 150, 0.1}, {703, 6, 200, 0.5}, {704, 9, 120, 0.9},
+  };
+  for (const Case& c : cases) {
+    Dataset data = MakeData(c.k, c.per_cluster, c.seed);
+    BirchOptions o = SmallOpts(data.dim(), c.k);
+    auto want = RunUninterrupted(data, o);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+    std::string path = TempPath("ckpt_prop.birch");
+    size_t cut = static_cast<size_t>(data.size() * c.cut_fraction);
+    auto got = RunInterrupted(data, o, cut, path);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectBitwiseEqual(want.value(), got.value());
+    std::remove(path.c_str());
+  }
+}
+
+// Resume by handing Cluster() the SAME full stream: the restored
+// clusterer skips the already-ingested prefix automatically.
+TEST(CheckpointTest, ClusterAfterRestoreSkipsIngestedPrefix) {
+  Dataset data = MakeData(6, 250, 705);
+  BirchOptions o = SmallOpts(data.dim(), 6);
+
+  auto want_c = BirchClusterer::Create(o);
+  ASSERT_TRUE(want_c.ok());
+  DatasetSource want_src(&data);
+  auto want = want_c.value()->Cluster(&want_src, &data);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  std::string path = TempPath("ckpt_cluster_resume.birch");
+  {
+    auto c_or = BirchClusterer::Create(o);
+    ASSERT_TRUE(c_or.ok());
+    for (size_t i = 0; i < data.size() / 3; ++i) {
+      ASSERT_TRUE(c_or.value()->Add(data.Row(i)).ok());
+    }
+    ASSERT_TRUE(c_or.value()->SaveCheckpoint(path).ok());
+  }
+  auto c_or = BirchClusterer::Restore(path, o);
+  ASSERT_TRUE(c_or.ok()) << c_or.status().ToString();
+  DatasetSource src(&data);
+  auto got = c_or.value()->Cluster(&src, &data);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectBitwiseEqual(want.value(), got.value());
+
+  // A stream shorter than the checkpoint's ingest count cannot be the
+  // original stream.
+  auto c2 = BirchClusterer::Restore(path, o);
+  ASSERT_TRUE(c2.ok());
+  Dataset tiny(data.dim());
+  std::vector<double> row(data.dim(), 0.0);
+  tiny.Append(row);
+  DatasetSource tiny_src(&tiny);
+  auto bad = c2.value()->Cluster(&tiny_src, nullptr);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, AutoCheckpointWritesAtConfiguredCadence) {
+  Dataset data = MakeData(4, 100, 706);
+  ASSERT_GE(data.size(), 120u);
+  std::string path = TempPath("ckpt_auto.birch");
+  BirchOptions o = SmallOpts(data.dim(), 4);
+  o.resources.checkpoint_every_n = 50;
+  o.resources.checkpoint_path = path;
+
+  auto c_or = BirchClusterer::Create(o);
+  ASSERT_TRUE(c_or.ok());
+  for (size_t i = 0; i < 120; ++i) {
+    ASSERT_TRUE(c_or.value()->Add(data.Row(i)).ok());
+  }
+  // Saves fired at points 50 and 100; the file on disk is the latest.
+  auto img = ReadCheckpointFile(path);
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  EXPECT_EQ(img.value().points_ingested, 100u);
+  EXPECT_EQ(img.value().shard_count, 0u);
+  EXPECT_EQ(img.value().freezes.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ShardedAutoCheckpointRoundTrips) {
+  Dataset data = MakeData(6, 200, 707);
+  std::string path = TempPath("ckpt_sharded.birch");
+  BirchOptions o = SmallOpts(data.dim(), 6);
+  o.num_threads = 2;
+  o.resources.checkpoint_every_n = 400;
+  o.resources.checkpoint_path = path;
+
+  // Uninterrupted sharded run (writing checkpoints along the way).
+  auto want_c = BirchClusterer::Create(o);
+  ASSERT_TRUE(want_c.ok());
+  DatasetSource want_src(&data);
+  auto want = want_c.value()->Cluster(&want_src, &data);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  auto img = ReadCheckpointFile(path);
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  EXPECT_EQ(img.value().shard_count, 2u);
+  EXPECT_EQ(img.value().freezes.size(), 2u);
+  EXPECT_EQ(img.value().points_ingested % 400, 0u);
+
+  // Resume from the mid-stream image with the SAME full stream: the
+  // dealer skips the ingested prefix and continues the round-robin at
+  // the same index, so the result matches the uninterrupted run.
+  auto c_or = BirchClusterer::Restore(path, o);
+  ASSERT_TRUE(c_or.ok()) << c_or.status().ToString();
+  DatasetSource src(&data);
+  auto got = c_or.value()->Cluster(&src, &data);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectBitwiseEqual(want.value(), got.value());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RestoredShardedClusererPinsStreamingApis) {
+  Dataset data = MakeData(6, 200, 708);
+  std::string path = TempPath("ckpt_sharded_pin.birch");
+  BirchOptions o = SmallOpts(data.dim(), 6);
+  o.num_threads = 2;
+  o.resources.checkpoint_every_n = 400;
+  o.resources.checkpoint_path = path;
+  {
+    auto c = BirchClusterer::Create(o);
+    ASSERT_TRUE(c.ok());
+    DatasetSource src(&data);
+    ASSERT_TRUE(c.value()->Cluster(&src, nullptr).ok());
+  }
+  auto c_or = BirchClusterer::Restore(path, o);
+  ASSERT_TRUE(c_or.ok()) << c_or.status().ToString();
+  // Per-shard freezes only materialize inside Cluster(): the streaming
+  // entry points cannot feed them and must say so.
+  std::vector<double> row(data.dim(), 0.0);
+  EXPECT_EQ(c_or.value()->Add(row).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(c_or.value()->AddDataset(data).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(c_or.value()->SaveCheckpoint(path).code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, SnapshotBehaviorSerialVsShardedMidStream) {
+  Dataset data = MakeData(4, 150, 709);
+  // Serial: mid-stream snapshots are the incremental API and must work.
+  BirchOptions serial = SmallOpts(data.dim(), 4);
+  auto sc = BirchClusterer::Create(serial);
+  ASSERT_TRUE(sc.ok());
+  ASSERT_TRUE(sc.value()->AddDataset(data).ok());
+  auto snap = sc.value()->Snapshot(4);
+  EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+
+  // Sharded: the per-shard trees merge only at Cluster()'s end, so a
+  // mid-stream snapshot must refuse instead of reading a stale view.
+  BirchOptions sharded = SmallOpts(data.dim(), 4);
+  sharded.num_threads = 2;
+  auto pc = BirchClusterer::Create(sharded);
+  ASSERT_TRUE(pc.ok());
+  auto refused = pc.value()->Snapshot(4);
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  // After Cluster() the merged tree exists and Snapshot works again.
+  DatasetSource src(&data);
+  ASSERT_TRUE(pc.value()->Cluster(&src, nullptr).ok());
+  auto after = pc.value()->Snapshot(4);
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST(CheckpointTest, FingerprintMismatchIsInvalidArgument) {
+  Dataset data = MakeData(4, 150, 710);
+  BirchOptions o = SmallOpts(data.dim(), 4);
+  std::string path = TempPath("ckpt_fingerprint.birch");
+  {
+    auto c = BirchClusterer::Create(o);
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c.value()->AddDataset(data).ok());
+    ASSERT_TRUE(c.value()->SaveCheckpoint(path).ok());
+  }
+  auto expect_invalid = [&](const BirchOptions& bad) {
+    auto c = BirchClusterer::Restore(path, bad);
+    EXPECT_FALSE(c.ok());
+    EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+  };
+  BirchOptions wrong_dim = o;
+  wrong_dim.dim = o.dim + 1;
+  expect_invalid(wrong_dim);
+  BirchOptions wrong_page = o;
+  wrong_page.page_size = 1024;
+  expect_invalid(wrong_page);
+  BirchOptions wrong_metric = o;
+  wrong_metric.metric = DistanceMetric::kD0;
+  expect_invalid(wrong_metric);
+  BirchOptions wrong_kind = o;
+  wrong_kind.threshold_kind = ThresholdKind::kRadius;
+  expect_invalid(wrong_kind);
+  BirchOptions wrong_threads = o;
+  wrong_threads.num_threads = 2;  // serial image needs num_threads == 0
+  expect_invalid(wrong_threads);
+  std::remove(path.c_str());
+}
+
+// --- Fault injection on the checkpoint FILE: torn header, truncation,
+// and bit rot must all surface as kCorruption. Runs in `ctest -L
+// smoke` as the checkpoint leg of the fault-injection story. ---
+
+std::string WriteSampleCheckpoint(const std::string& name) {
+  Dataset data = MakeData(6, 200, 711);
+  BirchOptions o = SmallOpts(data.dim(), 6);
+  std::string path = TempPath(name);
+  auto c = BirchClusterer::Create(o);
+  EXPECT_TRUE(c.ok());
+  EXPECT_TRUE(c.value()->AddDataset(data).ok());
+  EXPECT_TRUE(c.value()->SaveCheckpoint(path).ok());
+  return path;
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(CheckpointTest, TornHeaderIsCorruption) {
+  std::string path = WriteSampleCheckpoint("ckpt_torn.birch");
+  std::vector<char> bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 4u);
+  WriteAll(path, std::vector<char>(bytes.begin(), bytes.begin() + 4));
+  auto img = ReadCheckpointFile(path);
+  EXPECT_EQ(img.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncatedTailIsCorruption) {
+  std::string path = WriteSampleCheckpoint("ckpt_trunc.birch");
+  std::vector<char> bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 64u);
+  // Chop at several depths: inside the footer, inside a freeze
+  // section, and right after the header.
+  for (size_t keep : {bytes.size() - 3, bytes.size() / 2, size_t{32}}) {
+    WriteAll(path, std::vector<char>(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(keep)));
+    auto img = ReadCheckpointFile(path);
+    EXPECT_EQ(img.status().code(), StatusCode::kCorruption)
+        << "keep=" << keep;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, BitFlipAnywhereIsDetected) {
+  std::string path = WriteSampleCheckpoint("ckpt_flip.birch");
+  std::vector<char> bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 256u);
+  // Flip one bit at several offsets spanning magic, header, freeze
+  // payload, and footer. Every flip must be detected (Corruption), or
+  // at minimum never produce a successfully-decoded different image.
+  for (size_t off : {size_t{2}, size_t{14}, bytes.size() / 2,
+                     bytes.size() - 6}) {
+    std::vector<char> mutated = bytes;
+    mutated[off] = static_cast<char>(mutated[off] ^ 0x10);
+    WriteAll(path, mutated);
+    auto img = ReadCheckpointFile(path);
+    ASSERT_FALSE(img.ok()) << "bit flip at byte " << off << " undetected";
+    EXPECT_EQ(img.status().code(), StatusCode::kCorruption)
+        << "offset=" << off;
+  }
+  // The pristine bytes still parse: the detector rejects the flips, not
+  // the file.
+  WriteAll(path, bytes);
+  EXPECT_TRUE(ReadCheckpointFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsNotCorruption) {
+  auto img = ReadCheckpointFile(TempPath("ckpt_does_not_exist.birch"));
+  EXPECT_FALSE(img.ok());
+  EXPECT_EQ(img.status().code(), StatusCode::kIOError);
+}
+
+TEST(CheckpointTest, SaveAfterFinishIsFailedPrecondition) {
+  Dataset data = MakeData(4, 100, 712);
+  BirchOptions o = SmallOpts(data.dim(), 4);
+  auto c = BirchClusterer::Create(o);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c.value()->AddDataset(data).ok());
+  ASSERT_TRUE(c.value()->Finish(&data).ok());
+  EXPECT_EQ(c.value()->SaveCheckpoint(TempPath("ckpt_late.birch")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace birch

@@ -5,6 +5,8 @@
 #include "birch/tree_io.h"
 
 #include <algorithm>
+#include <cstring>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -54,23 +56,15 @@ TEST(TreeIoTest, RoundTripPreservesEverything) {
   EXPECT_EQ(back->TreeSummary(), tree->TreeSummary());
   EXPECT_EQ(mem2.used(), back->node_count() * image.page_size);
 
-  // The leaf chain is regenerated in tree-traversal order, which need
-  // not match the mutation-history order of the original chain: compare
-  // the entry multisets, not the sequences.
+  // The image records the leaf chain, so a reopened tree iterates its
+  // leaf entries in exactly the original order — not just the same
+  // multiset. (Splits append siblings at the end of the parent but link
+  // them adjacently in the chain, so traversal order and chain order
+  // genuinely diverge on a tree this size; checkpoint resume depends on
+  // the chain order, it is Phase-3 input order.)
   std::vector<CfVector> entries_after;
   back->CollectLeafEntries(&entries_after);
-  ASSERT_EQ(entries_after.size(), entries_before.size());
-  auto key = [](const CfVector& cf) {
-    std::vector<double> k;
-    cf.SerializeTo(&k);
-    return k;
-  };
-  std::vector<std::vector<double>> before_keys, after_keys;
-  for (const auto& e : entries_before) before_keys.push_back(key(e));
-  for (const auto& e : entries_after) after_keys.push_back(key(e));
-  std::sort(before_keys.begin(), before_keys.end());
-  std::sort(after_keys.begin(), after_keys.end());
-  EXPECT_EQ(before_keys, after_keys);
+  EXPECT_EQ(entries_after, entries_before);
   std::string why;
   EXPECT_TRUE(back->CheckInvariants(&why)) << why;
 }
@@ -115,6 +109,10 @@ TEST(TreeIoTest, StoreCapacitySurfacesAsError) {
   auto image = TreeIO::Write(*tree, &tiny);
   EXPECT_FALSE(image.ok());
   EXPECT_EQ(image.status().code(), StatusCode::kOutOfDisk);
+  // A failed Write must return every page it allocated: the partial
+  // image is unreachable, so leaked pages would be lost capacity for
+  // the life of the store.
+  EXPECT_EQ(tiny.num_pages(), 0u);
 }
 
 TEST(TreeIoTest, SmallerStorePageRejected) {
@@ -139,6 +137,88 @@ TEST(TreeIoTest, CorruptRootRejected) {
   MemoryTracker mem;
   auto back = TreeIO::Read(image, &store, CfTreeOptions{}, &mem);
   EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kCorruption);
+}
+
+// --- Crafted-page hardening: every structurally invalid page must
+// surface as kCorruption, never as undefined behavior. ---
+
+constexpr double kMagic = 5214.1996;  // TreeIO::kNodeMagic
+
+PageId PutRawPage(PageStore* store, const std::vector<double>& buf) {
+  auto id = store->Allocate();
+  EXPECT_TRUE(id.ok());
+  std::vector<uint8_t> page(buf.size() * sizeof(double));
+  std::memcpy(page.data(), buf.data(), page.size());
+  EXPECT_TRUE(store->Write(id.value(), page).ok());
+  return id.value();
+}
+
+Status ReadCrafted(PageStore* store, PageId root) {
+  TreeImage image;
+  image.root = root;
+  image.dim = 2;
+  image.page_size = 512;
+  MemoryTracker mem;
+  auto back = TreeIO::Read(image, store, CfTreeOptions{}, &mem);
+  return back.ok() ? Status::OK() : back.status();
+}
+
+TEST(TreeIoTest, ImpossibleEntryCountIsCorruption) {
+  // Counts that are too large for the page, negative, non-integral, or
+  // non-finite must all be rejected before any size_t cast.
+  for (double count : {1e18, -3.0, 1.5,
+                       std::numeric_limits<double>::quiet_NaN(),
+                       std::numeric_limits<double>::infinity()}) {
+    PageStore store(512);
+    PageId root = PutRawPage(&store, {kMagic, 1.0, count, 1.0, 1.0, 2.0, 5.0});
+    Status st = ReadCrafted(&store, root);
+    EXPECT_EQ(st.code(), StatusCode::kCorruption) << "count=" << count;
+  }
+}
+
+TEST(TreeIoTest, OutOfRangeChildPageIdIsCorruption) {
+  // Nonleaf entry layout: N, LS[0..2), SS, child. A child id outside
+  // the exact-double range (2^53), negative, or fractional cannot name
+  // a real page.
+  for (double child : {9007199254740994.0 /* 2^53 + 2 */, -1.0, 0.5}) {
+    PageStore store(512);
+    PageId root =
+        PutRawPage(&store, {kMagic, 0.0, 1.0, 1.0, 1.0, 2.0, 5.0, child});
+    Status st = ReadCrafted(&store, root);
+    EXPECT_EQ(st.code(), StatusCode::kCorruption) << "child=" << child;
+  }
+}
+
+TEST(TreeIoTest, CyclicChildReferenceIsCorruption) {
+  PageStore store(512);
+  auto id = store.Allocate();
+  ASSERT_TRUE(id.ok());
+  // Nonleaf root whose only child is itself.
+  std::vector<double> buf = {kMagic, 0.0, 1.0, 1.0, 1.0, 2.0, 5.0,
+                             static_cast<double>(id.value())};
+  std::vector<uint8_t> page(buf.size() * sizeof(double));
+  std::memcpy(page.data(), buf.data(), page.size());
+  ASSERT_TRUE(store.Write(id.value(), page).ok());
+  Status st = ReadCrafted(&store, id.value());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+TEST(TreeIoTest, LeafChainMismatchIsCorruption) {
+  MemoryTracker mem;
+  auto tree = BuildTree(&mem, 500, 207);
+  PageStore store(512);
+  auto image_or = TreeIO::Write(*tree, &store);
+  ASSERT_TRUE(image_or.ok());
+  TreeImage image = image_or.value();
+  ASSERT_GE(image.leaf_chain.size(), 2u);
+  // A chain that names the same leaf twice (dropping another) cannot
+  // be the original iteration order.
+  image.leaf_chain[1] = image.leaf_chain[0];
+  MemoryTracker mem2;
+  auto back = TreeIO::Read(image, &store, CfTreeOptions{}, &mem2);
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kCorruption);
 }
 
 TEST(TreeIoTest, SingleLeafTree) {

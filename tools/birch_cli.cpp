@@ -6,9 +6,13 @@
 //             [--refine-passes 1] [--discard-distance 0]
 //             [--no-outliers] [--no-delay-split] [--seed 42]
 //             [--threads 0]
+//             [--checkpoint ckpt.birch --checkpoint-every 100000]
+//             [--restore ckpt.birch]
 //
 // Prints one summary line per cluster; with --output, writes a CSV of
-// per-row cluster labels (-1 = outlier).
+// per-row cluster labels (-1 = outlier). --checkpoint periodically
+// saves the live Phase-1 state; --restore resumes from such a file,
+// re-reading the SAME input (already-ingested rows are skipped).
 #include <cstdio>
 #include <fstream>
 
@@ -49,7 +53,7 @@ int Run(int argc, char** argv) {
        "discard-distance", "no-outliers", "no-delay-split", "stream",
        "seed", "threads", "fault-read", "fault-write", "fault-lose",
        "fault-flip", "fault-seed", "io-attempts", "metrics", "metrics-csv",
-       "trace-out", "help"});
+       "trace-out", "checkpoint", "checkpoint-every", "restore", "help"});
   if (!known.ok() || flags.Has("help") || !flags.Has("input") ||
       (!flags.Has("k") && !flags.Has("distance-limit"))) {
     if (!known.ok()) std::fprintf(stderr, "%s\n", known.ToString().c_str());
@@ -77,7 +81,14 @@ int Run(int argc, char** argv) {
                  "  --metrics prints the instrumentation summary; "
                  "--metrics-csv FILE writes it as CSV;\n"
                  "  --trace-out FILE records a Chrome trace_event JSON "
-                 "(chrome://tracing, ui.perfetto.dev).\n");
+                 "(chrome://tracing, ui.perfetto.dev).\n"
+                 "  --checkpoint FILE --checkpoint-every N save the live "
+                 "Phase-1 state every N points\n"
+                 "  (atomic replace); --restore FILE resumes from such a "
+                 "checkpoint — pass the SAME\n"
+                 "  input file and the already-ingested rows are skipped "
+                 "(options must match the\n"
+                 "  checkpointed run's dim/page/metric/threshold kind).\n");
     return flags.Has("help") ? 0 : 2;
   }
   const bool stream = flags.GetBool("stream", false);
@@ -120,6 +131,21 @@ int Run(int argc, char** argv) {
   }
   o.num_threads = static_cast<int>(threads);
 
+  if (flags.Has("checkpoint") != flags.Has("checkpoint-every")) {
+    std::fprintf(stderr,
+                 "--checkpoint FILE and --checkpoint-every N go together\n");
+    return 2;
+  }
+  if (flags.Has("checkpoint")) {
+    o.resources.checkpoint_path = flags.GetString("checkpoint");
+    int64_t every = flags.GetInt("checkpoint-every", 0);
+    if (every <= 0) {
+      std::fprintf(stderr, "--checkpoint-every must be > 0\n");
+      return 2;
+    }
+    o.resources.checkpoint_every_n = static_cast<uint64_t>(every);
+  }
+
   auto metric_or = ParseMetric(flags.GetString("metric", "D2"));
   if (!metric_or.ok()) {
     std::fprintf(stderr, "%s\n", metric_or.status().ToString().c_str());
@@ -147,7 +173,20 @@ int Run(int argc, char** argv) {
       return 1;
     }
     o.dim = source_or.value()->dim();
-    result_or = ClusterSource(source_or.value().get(), o);
+    if (flags.Has("restore")) {
+      if (o.expected_points == 0) {
+        o.expected_points = source_or.value()->SizeHint();
+      }
+      auto c_or = BirchClusterer::Restore(flags.GetString("restore"), o);
+      if (!c_or.ok()) {
+        std::fprintf(stderr, "restoring checkpoint: %s\n",
+                     c_or.status().ToString().c_str());
+        return 1;
+      }
+      result_or = c_or.value()->Cluster(source_or.value().get(), nullptr);
+    } else {
+      result_or = ClusterSource(source_or.value().get(), o);
+    }
   } else {
     auto data_or = ReadCsvPoints(flags.GetString("input"));
     if (!data_or.ok()) {
@@ -157,7 +196,19 @@ int Run(int argc, char** argv) {
     }
     data = std::move(data_or).ValueOrDie();
     o.dim = data.dim();
-    result_or = ClusterDataset(data, o);
+    if (flags.Has("restore")) {
+      if (o.expected_points == 0) o.expected_points = data.size();
+      auto c_or = BirchClusterer::Restore(flags.GetString("restore"), o);
+      if (!c_or.ok()) {
+        std::fprintf(stderr, "restoring checkpoint: %s\n",
+                     c_or.status().ToString().c_str());
+        return 1;
+      }
+      DatasetSource source(&data);
+      result_or = c_or.value()->Cluster(&source, &data);
+    } else {
+      result_or = ClusterDataset(data, o);
+    }
   }
   if (!result_or.ok()) {
     std::fprintf(stderr, "clustering: %s\n",
