@@ -22,21 +22,24 @@ namespace {
 
 void BM_CfAddPoint(benchmark::State& state) {
   const size_t dim = static_cast<size_t>(state.range(0));
+  const auto rep = static_cast<CfRepresentation>(state.range(1));
   Rng rng(1);
   std::vector<double> p(dim);
   for (auto& v : p) v = rng.NextDouble();
-  CfVector cf(dim);
+  CfVector cf(dim, rep);
   for (auto _ : state) {
     cf.AddPoint(p);
     benchmark::DoNotOptimize(cf);
   }
+  state.SetLabel(CfRepresentationName(rep));
 }
-BENCHMARK(BM_CfAddPoint)->Arg(2)->Arg(8)->Arg(32);
+BENCHMARK(BM_CfAddPoint)->ArgsProduct({{2, 8, 32}, {0, 1}});
 
 void BM_CfMerge(benchmark::State& state) {
   const size_t dim = static_cast<size_t>(state.range(0));
+  const auto rep = static_cast<CfRepresentation>(state.range(1));
   Rng rng(2);
-  CfVector a(dim), b(dim);
+  CfVector a(dim, rep), b(dim, rep);
   std::vector<double> p(dim);
   for (int i = 0; i < 100; ++i) {
     for (auto& v : p) v = rng.NextDouble();
@@ -48,8 +51,9 @@ void BM_CfMerge(benchmark::State& state) {
     CfVector m = CfVector::Merged(a, b);
     benchmark::DoNotOptimize(m);
   }
+  state.SetLabel(CfRepresentationName(rep));
 }
-BENCHMARK(BM_CfMerge)->Arg(2)->Arg(32);
+BENCHMARK(BM_CfMerge)->ArgsProduct({{2, 32}, {0, 1}});
 
 void BM_Distance(benchmark::State& state) {
   const auto metric = static_cast<DistanceMetric>(state.range(0));
@@ -180,6 +184,45 @@ void BM_TreeInsertObs(benchmark::State& state) {
   obs::SetEnabled(prev);
 }
 BENCHMARK(BM_TreeInsertObs)->Arg(0)->Arg(1);
+
+// Representation A/B on the insert path: classic (N, LS, SS) vs
+// BETULA (N, mean, S) f64 vs BETULA f32 storage, steady-state absorb
+// traffic (same harness as BM_TreeInsertKernel).
+void BM_TreeInsertCf(benchmark::State& state) {
+  const auto rep = static_cast<CfRepresentation>(state.range(0));
+  const auto storage = static_cast<CfStorage>(state.range(1));
+  const size_t dim = static_cast<size_t>(state.range(2));
+  CfTreeOptions o;
+  o.dim = dim;
+  o.page_size = std::max<size_t>(4096, dim * 512);
+  o.threshold = 0.5 * std::sqrt(static_cast<double>(dim));
+  o.cf = rep;
+  o.cf_storage = storage;
+  Rng rng(4);
+  MemoryTracker mem;
+  CfTree tree(o, &mem);
+  constexpr size_t kPoints = 4096;
+  std::vector<std::vector<double>> pts(kPoints, std::vector<double>(dim));
+  for (auto& p : pts) {
+    for (auto& v : p) v = rng.Uniform(0, 100);
+  }
+  for (const auto& p : pts) tree.InsertPoint(p);  // warm to steady state
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.InsertPoint(pts[i]));
+    i = (i + 1) % kPoints;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(CfRepresentationName(rep)) + "/" +
+                 CfStorageName(storage) + "/dim=" + std::to_string(dim));
+}
+BENCHMARK(BM_TreeInsertCf)
+    ->Args({0, 0, 2})
+    ->Args({1, 0, 2})
+    ->Args({1, 1, 2})
+    ->Args({0, 0, 16})
+    ->Args({1, 0, 16})
+    ->Args({1, 1, 16});
 
 void BM_TreeRebuild(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -24,6 +24,8 @@ CfTreeOptions TreeOptionsFrom(const BirchOptions& o) {
   t.metric = o.metric;
   t.threshold_kind = o.threshold_kind;
   t.merging_refinement = o.merging_refinement;
+  t.cf = o.tree.cf;
+  t.cf_storage = o.tree.cf_storage;
   t.kernel = o.exec.kernel;
   return t;
 }
@@ -211,7 +213,9 @@ Status StreamingRefine(PointSource* source, const BirchOptions& opts,
     if (pass > 0) BIRCH_RETURN_IF_ERROR(source->Rewind());
     // Centers move between passes; refresh the SoA mirror per pass.
     if (use_batch) cbatch.Assign(centers);
-    std::vector<CfVector> sums(centers.size(), CfVector(opts.dim));
+    std::vector<CfVector> sums(
+        centers.size(),
+        CfVector(opts.dim, opts.tree.cf, opts.tree.cf_storage));
     while (source->Next(p, &w)) {
       size_t best = 0;
       double best_d = std::numeric_limits<double>::infinity();
@@ -349,6 +353,8 @@ Status BirchClusterer::SaveCheckpoint(const std::string& path) {
   img.page_size = options_.resources.page_size;
   img.metric = static_cast<uint32_t>(options_.tree.metric);
   img.threshold_kind = static_cast<uint32_t>(options_.tree.threshold_kind);
+  img.cf_representation = static_cast<uint32_t>(options_.tree.cf);
+  img.scalar_width = options_.tree.cf_storage == CfStorage::kF32 ? 32 : 64;
   img.shard_count = 0;
   img.points_ingested = phase1_->stats().points_added;
   img.freezes.push_back(std::move(freeze_or).ValueOrDie());
@@ -383,6 +389,22 @@ StatusOr<std::unique_ptr<BirchClusterer>> BirchClusterer::Restore(
       static_cast<uint32_t>(options.tree.threshold_kind)) {
     return Status::InvalidArgument(
         "checkpoint threshold kind does not match options");
+  }
+  if (img.cf_representation != static_cast<uint32_t>(options.tree.cf)) {
+    return Status::InvalidArgument(
+        std::string("checkpoint was written with the ") +
+        CfRepresentationName(
+            static_cast<CfRepresentation>(img.cf_representation)) +
+        " CF representation, options say " +
+        CfRepresentationName(options.tree.cf));
+  }
+  const uint32_t opt_width =
+      options.tree.cf_storage == CfStorage::kF32 ? 32u : 64u;
+  if (img.scalar_width != opt_width) {
+    return Status::InvalidArgument(
+        "checkpoint was written with " + std::to_string(img.scalar_width) +
+        "-bit CF storage, options say " + std::to_string(opt_width) +
+        "-bit");
   }
 
   std::unique_ptr<BirchClusterer> c(new BirchClusterer(options));
@@ -543,6 +565,8 @@ StatusOr<BirchResult> BirchClusterer::Cluster(PointSource* source,
       img.page_size = o.resources.page_size;
       img.metric = static_cast<uint32_t>(o.tree.metric);
       img.threshold_kind = static_cast<uint32_t>(o.tree.threshold_kind);
+      img.cf_representation = static_cast<uint32_t>(o.tree.cf);
+      img.scalar_width = o.tree.cf_storage == CfStorage::kF32 ? 32 : 64;
       img.shard_count = static_cast<uint32_t>(builders->size());
       img.points_ingested = points_dealt;
       img.freezes.reserve(builders->size());

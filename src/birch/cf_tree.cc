@@ -19,9 +19,10 @@ constexpr size_t kNone = static_cast<size_t>(-1);
 
 CfTree::CfTree(const CfTreeOptions& options, MemoryTracker* mem)
     : options_(options),
-      layout_{options.page_size, options.dim},
+      layout_{options.page_size, options.dim, options.cf_storage},
       threshold_(options.threshold),
-      mem_(mem) {
+      mem_(mem),
+      point_cf_(options.dim, options.cf, options.cf_storage) {
   assert(mem_ != nullptr);
   root_ = AllocNode(/*leaf=*/true);
   first_leaf_ = root_;
@@ -75,7 +76,7 @@ void CfTree::EnsureScratch(const CfNode& node) const {
   // between the overflow push_back and the split, and the scratch must
   // be able to mirror that state.
   node.scratch.Init(options_.dim, Capacity(node) + 1,
-                    kernel::CfBatch::Needs::For(options_.metric));
+                    kernel::CfBatch::Needs::For(options_.metric, options_.cf));
   node.scratch.Assign(node.entries);
   node.scratch_valid = true;
 }
@@ -514,17 +515,23 @@ void CfTree::ExportOccupancy() const {
 
 namespace {
 
-bool NearlyEqual(double a, double b) {
+bool NearlyEqual(double a, double b, double tol) {
   double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
-  return std::fabs(a - b) <= 1e-6 * scale;
+  return std::fabs(a - b) <= tol * scale;
 }
 
 bool CfNearlyEqual(const CfVector& a, const CfVector& b) {
-  if (a.dim() != b.dim()) return false;
-  if (!NearlyEqual(a.n(), b.n())) return false;
-  if (!NearlyEqual(a.ss(), b.ss())) return false;
+  if (a.dim() != b.dim() || a.rep() != b.rep()) return false;
+  // Incrementally-maintained parent CFs drift from recomputed child
+  // summaries by accumulated rounding. Under f32 storage every
+  // mutation quantizes through float, so the drift floor is float
+  // ulps (~1.2e-7 per op) instead of double ulps — the tolerance must
+  // scale with the storage width or healthy f32 trees flunk.
+  double tol = a.storage() == CfStorage::kF32 ? 1e-3 : 1e-6;
+  if (!NearlyEqual(a.n(), b.n(), tol)) return false;
+  if (!NearlyEqual(a.raw_scalar(), b.raw_scalar(), tol)) return false;
   for (size_t i = 0; i < a.dim(); ++i) {
-    if (!NearlyEqual(a.ls()[i], b.ls()[i])) return false;
+    if (!NearlyEqual(a.raw_vec()[i], b.raw_vec()[i], tol)) return false;
   }
   return true;
 }

@@ -36,6 +36,12 @@ struct CfTreeOptions {
   DistanceMetric metric = DistanceMetric::kD2;
   ThresholdKind threshold_kind = ThresholdKind::kDiameter;
   bool merging_refinement = true;
+  /// CF algebra for every entry in the tree (see cf_vector.h). All CFs
+  /// inserted via InsertEntry/AbsorbTree must carry the same policy.
+  CfRepresentation cf = CfRepresentation::kClassic;
+  /// Stored precision of CF components. kF32 (BETULA only) doubles the
+  /// per-page entry capacities B and L.
+  CfStorage cf_storage = CfStorage::kF64;
   /// Distance-scan implementation for descent and absorption tests.
   /// kBatch scans each node's SoA scratch block; kScalar is the
   /// per-entry oracle. Results are bitwise identical.

@@ -1,5 +1,6 @@
 #include "birch/cf_vector.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -10,58 +11,162 @@ namespace birch {
 
 namespace {
 
-// GuardedNonNegative plus a trip counter: each time the guard clamps a
+// GuardedNonNegative plus trip counters: each time the guard clamps a
 // nonzero raw difference to 0 (catastrophic cancellation, tiny
 // negative, or NaN) the "cf/cancellation_guard" counter ticks, so a
-// run can report how often the numerical floor was actually hit.
+// run can report how often the numerical floor was actually hit. When
+// the destroyed value was RELATIVELY LARGE (above kClampVisibleTol of
+// the operands' magnitude) the clamp is not hiding harmless dust but
+// an actually-degraded statistic — "cf/cancellation_clamped" ticks so
+// the degradation is visible in --metrics instead of silent. The
+// tolerance sits between the few-ulp dust a well-conditioned
+// computation leaves (~1e-15 of magnitude) and the guard's own 1e-12
+// window, so it fires exactly when real structure is being swallowed.
+constexpr double kClampVisibleTol = 1e-14;  // ~45 double ulps
+
 double GuardedStat(double x, double magnitude) {
   double g = GuardedNonNegative(x, magnitude);
-  if (g == 0.0 && x != 0.0) OBS_COUNTER_INC("cf/cancellation_guard");
+  if (g == 0.0 && x != 0.0) {
+    OBS_COUNTER_INC("cf/cancellation_guard");
+    if (std::fabs(x) > kClampVisibleTol * magnitude) {
+      OBS_COUNTER_INC("cf/cancellation_clamped");
+    }
+  }
   return g;
 }
 
 }  // namespace
 
-CfVector CfVector::FromPoint(std::span<const double> x, double weight) {
-  CfVector cf(x.size());
+const char* CfRepresentationName(CfRepresentation rep) {
+  switch (rep) {
+    case CfRepresentation::kClassic: return "classic";
+    case CfRepresentation::kBetula: return "betula";
+  }
+  return "?";
+}
+
+const char* CfStorageName(CfStorage storage) {
+  switch (storage) {
+    case CfStorage::kF64: return "f64";
+    case CfStorage::kF32: return "f32";
+  }
+  return "?";
+}
+
+CfVector CfVector::FromPoint(std::span<const double> x, double weight,
+                             CfRepresentation rep, CfStorage storage) {
+  CfVector cf(x.size(), rep, storage);
   cf.AddPoint(x, weight);
   return cf;
 }
 
 void CfVector::AssignPoint(std::span<const double> x, double weight) {
-  ls_.assign(x.size(), 0.0);  // no realloc once sized
+  vec_.assign(x.size(), 0.0);  // no realloc once sized
   n_ = 0.0;
-  ss_ = 0.0;
+  scalar_ = 0.0;
   AddPoint(x, weight);
 }
 
 void CfVector::Add(const CfVector& other) {
-  if (ls_.empty()) ls_.assign(other.dim(), 0.0);
+  if (vec_.empty()) vec_.assign(other.dim(), 0.0);
   assert(dim() == other.dim());
-  n_ += other.n_;
-  for (size_t i = 0; i < ls_.size(); ++i) ls_[i] += other.ls_[i];
-  ss_ += other.ss_;
+  if (n_ <= 0.0) {
+    // An empty accumulator adopts the incoming policies; with matching
+    // policies the general paths below then reduce to an exact copy.
+    rep_ = other.rep_;
+    storage_ = other.storage_;
+  }
+  assert(rep_ == other.rep_);
+  if (rep_ == CfRepresentation::kClassic) {
+    n_ += other.n_;
+    for (size_t i = 0; i < vec_.size(); ++i) vec_[i] += other.vec_[i];
+    scalar_ += other.scalar_;
+  } else if (other.n_ > 0.0) {
+    // Chan-style merge. With na = n_, nb = other.n_:
+    //   mean' = mean + (nb/nm) * (mean_b - mean)
+    //   S'    = S_a + S_b + (na*nb/nm) * ||mean_b - mean_a||^2
+    // Every term is non-negative where it matters: no cancellation.
+    // The operation ORDER here is a contract — the kernel's
+    // MergedDiameter/MergedRadius and D3/D4 scans replicate it
+    // exactly for bitwise scalar/batch equivalence.
+    const double nm = n_ + other.n_;
+    const double f = other.n_ / nm;
+    const double coef = n_ * f;  // na*nb/nm
+    double dsq = 0.0;
+    for (size_t i = 0; i < vec_.size(); ++i) {
+      const double d = other.vec_[i] - vec_[i];
+      vec_[i] += f * d;
+      dsq += d * d;
+    }
+    scalar_ += other.scalar_ + coef * dsq;
+    n_ = nm;
+  }
+  QuantizeStorage();
 }
 
 void CfVector::Subtract(const CfVector& other) {
   assert(dim() == other.dim());
-  n_ -= other.n_;
-  for (size_t i = 0; i < ls_.size(); ++i) ls_[i] -= other.ls_[i];
-  ss_ -= other.ss_;
-  if (n_ < 0) n_ = 0;
-  if (ss_ < 0) ss_ = 0;
+  assert(rep_ == other.rep_);
+  if (rep_ == CfRepresentation::kClassic) {
+    n_ -= other.n_;
+    for (size_t i = 0; i < vec_.size(); ++i) vec_[i] -= other.vec_[i];
+    scalar_ -= other.scalar_;
+    if (n_ < 0) n_ = 0;
+    if (scalar_ < 0) scalar_ = 0;
+  } else {
+    // Inverse of the Chan merge: recover (na, mean_a, S_a) from the
+    // merged CF and the removed part b.
+    const double nm = n_;
+    const double na = nm - other.n_;
+    if (na <= 0.0) {
+      std::fill(vec_.begin(), vec_.end(), 0.0);
+      n_ = 0.0;
+      scalar_ = 0.0;
+      return;
+    }
+    const double f = other.n_ / na;
+    double dsq = 0.0;
+    for (size_t i = 0; i < vec_.size(); ++i) {
+      const double d = vec_[i] - other.vec_[i];
+      vec_[i] += f * d;  // mean_a = mean_m + (nb/na)*(mean_m - mean_b)
+      const double da = vec_[i] - other.vec_[i];
+      dsq += da * da;
+    }
+    const double coef = na * (other.n_ / nm);  // na*nb/nm
+    scalar_ -= other.scalar_ + coef * dsq;
+    if (scalar_ < 0) scalar_ = 0;
+    n_ = na;
+  }
+  QuantizeStorage();
 }
 
 void CfVector::AddPoint(std::span<const double> x, double weight) {
-  if (ls_.empty()) ls_.assign(x.size(), 0.0);
+  if (vec_.empty()) vec_.assign(x.size(), 0.0);
   assert(dim() == x.size());
-  n_ += weight;
-  double sq = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) {
-    ls_[i] += weight * x[i];
-    sq += x[i] * x[i];
+  if (rep_ == CfRepresentation::kClassic) {
+    n_ += weight;
+    double sq = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      vec_[i] += weight * x[i];
+      sq += x[i] * x[i];
+    }
+    scalar_ += weight * sq;
+  } else {
+    // Weighted Welford update: delta against the old mean, deviation
+    // product against the new one. Exact for the empty case (mean
+    // becomes x, S stays 0).
+    const double np = n_ + weight;
+    const double f = weight / np;
+    double s = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - vec_[i];
+      vec_[i] += f * d;
+      s += d * (x[i] - vec_[i]);
+    }
+    scalar_ += weight * s;
+    n_ = np;
   }
-  ss_ += weight * sq;
+  QuantizeStorage();
 }
 
 CfVector CfVector::Merged(const CfVector& a, const CfVector& b) {
@@ -77,46 +182,60 @@ std::vector<double> CfVector::Centroid() const {
 }
 
 void CfVector::CentroidInto(std::vector<double>* out) const {
-  out->assign(ls_.size(), 0.0);
+  out->assign(vec_.size(), 0.0);
   if (n_ <= 0.0) return;
-  for (size_t i = 0; i < ls_.size(); ++i) (*out)[i] = ls_[i] / n_;
+  if (rep_ == CfRepresentation::kBetula) {
+    std::copy(vec_.begin(), vec_.end(), out->begin());
+    return;
+  }
+  for (size_t i = 0; i < vec_.size(); ++i) (*out)[i] = vec_[i] / n_;
 }
 
 double CfVector::SquaredRadius() const {
   if (n_ <= 0.0) return 0.0;
+  if (rep_ == CfRepresentation::kBetula) {
+    // S/N, a quotient of non-negatives: no cancellation to guard.
+    return ClampNonNegative(scalar_ / n_);
+  }
   // Far from the origin SS/N and ||LS/N||^2 are huge and nearly equal;
   // the guard zeroes results below the cancellation noise floor so a
   // tight distant cluster reports radius 0 instead of sqrt(garbage).
-  return GuardedStat(ss_ / n_ - SquaredNorm(ls_) / (n_ * n_), ss_ / n_);
+  return GuardedStat(scalar_ / n_ - SquaredNorm(vec_) / (n_ * n_),
+                     scalar_ / n_);
 }
 
 double CfVector::Radius() const { return std::sqrt(SquaredRadius()); }
 
 double CfVector::SquaredDiameter() const {
   if (n_ <= 1.0) return 0.0;
-  double num = 2.0 * (n_ * ss_ - SquaredNorm(ls_));
-  return GuardedStat(num / (n_ * (n_ - 1.0)), 2.0 * ss_ / (n_ - 1.0));
+  if (rep_ == CfRepresentation::kBetula) {
+    return ClampNonNegative(2.0 * scalar_ / (n_ - 1.0));
+  }
+  double num = 2.0 * (n_ * scalar_ - SquaredNorm(vec_));
+  return GuardedStat(num / (n_ * (n_ - 1.0)), 2.0 * scalar_ / (n_ - 1.0));
 }
 
 double CfVector::Diameter() const { return std::sqrt(SquaredDiameter()); }
 
 double CfVector::SumSquaredDeviation() const {
   if (n_ <= 0.0) return 0.0;
-  return GuardedStat(ss_ - SquaredNorm(ls_) / n_, ss_);
+  if (rep_ == CfRepresentation::kBetula) return scalar_;
+  return GuardedStat(scalar_ - SquaredNorm(vec_) / n_, scalar_);
 }
 
 void CfVector::SerializeTo(std::vector<double>* out) const {
   out->push_back(n_);
-  out->insert(out->end(), ls_.begin(), ls_.end());
-  out->push_back(ss_);
+  out->insert(out->end(), vec_.begin(), vec_.end());
+  out->push_back(scalar_);
 }
 
-CfVector CfVector::Deserialize(std::span<const double> in, size_t dim) {
+CfVector CfVector::Deserialize(std::span<const double> in, size_t dim,
+                               CfRepresentation rep, CfStorage storage) {
   assert(in.size() >= dim + 2);
-  CfVector cf(dim);
+  CfVector cf(dim, rep, storage);
   cf.n_ = in[0];
-  for (size_t i = 0; i < dim; ++i) cf.ls_[i] = in[1 + i];
-  cf.ss_ = in[dim + 1];
+  for (size_t i = 0; i < dim; ++i) cf.vec_[i] = in[1 + i];
+  cf.scalar_ = in[dim + 1];
   return cf;
 }
 

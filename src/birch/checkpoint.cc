@@ -106,6 +106,8 @@ void EncodeFreeze(const Phase1Freeze& f, ByteWriter* w) {
   w->U64(f.image.node_count);
   w->U64(f.image.leaf_entries);
   w->U64(f.image.height);
+  w->U32(static_cast<uint32_t>(f.image.cf));
+  w->U32(f.image.cf_storage == CfStorage::kF32 ? 32 : 64);
   w->U64(f.image.leaf_chain.size());
   for (PageId id : f.image.leaf_chain) w->U64(id);
   w->U64(f.tree_pages.size());
@@ -178,6 +180,11 @@ bool DecodeFreeze(ByteReader* r, Phase1Freeze* f) {
   f->image.leaf_entries = static_cast<size_t>(u);
   if (!r->U64(&u)) return false;
   f->image.height = static_cast<size_t>(u);
+  uint32_t rep = 0, width = 0;
+  if (!r->U32(&rep) || rep > 1) return false;
+  f->image.cf = static_cast<CfRepresentation>(rep);
+  if (!r->U32(&width) || (width != 32 && width != 64)) return false;
+  f->image.cf_storage = width == 32 ? CfStorage::kF32 : CfStorage::kF64;
   uint64_t count = 0;
   if (!r->U64(&count) || r->remaining() / 8 < count) return false;
   f->image.leaf_chain.resize(static_cast<size_t>(count));
@@ -209,7 +216,8 @@ bool DecodeFreeze(ByteReader* r, Phase1Freeze* f) {
   for (uint64_t i = 0; i < count; ++i) {
     if (!r->Doubles(cf_doubles, &cf_buf)) return false;
     f->final_outliers.push_back(CfVector::Deserialize(
-        std::span<const double>(cf_buf.data(), cf_doubles), f->image.dim));
+        std::span<const double>(cf_buf.data(), cf_doubles), f->image.dim,
+        f->image.cf, f->image.cf_storage));
   }
   if (!r->U64(&f->stats.points_added)) return false;
   if (!r->U64(&f->stats.rebuilds)) return false;
@@ -278,6 +286,8 @@ Status WriteCheckpointFile(const std::string& path,
   header.U64(image.page_size);
   header.U32(image.metric);
   header.U32(image.threshold_kind);
+  header.U32(image.cf_representation);
+  header.U32(image.scalar_width);
   header.U32(image.shard_count);
   header.U64(image.points_ingested);
   AppendSection(kHeaderTag, header, &out);
@@ -371,18 +381,31 @@ StatusOr<CheckpointImage> ReadCheckpointFile(const std::string& path) {
   CheckpointImage image;
   {
     ByteReader h(payload.data(), payload.size());
-    if (!h.U32(&image.version) || !h.U64(&image.dim) ||
-        !h.U64(&image.page_size) || !h.U32(&image.metric) ||
-        !h.U32(&image.threshold_kind) || !h.U32(&image.shard_count) ||
-        !h.U64(&image.points_ingested) || !h.done()) {
+    // Version first, checked before the rest of the header is decoded:
+    // older layouts (v1 had no cf_representation / scalar_width) must
+    // surface as "unsupported version", not as corruption or a
+    // misdecoded fingerprint.
+    if (!h.U32(&image.version)) {
       return Status::Corruption("checkpoint header payload malformed");
     }
-  }
-  if (image.version != kCheckpointVersion) {
-    return Status::InvalidArgument(
-        "checkpoint format version " + std::to_string(image.version) +
-        " is not supported (this build reads version " +
-        std::to_string(kCheckpointVersion) + ")");
+    if (image.version != kCheckpointVersion) {
+      return Status::InvalidArgument(
+          "checkpoint format version " + std::to_string(image.version) +
+          " is not supported (this build reads version " +
+          std::to_string(kCheckpointVersion) + ")");
+    }
+    if (!h.U64(&image.dim) || !h.U64(&image.page_size) ||
+        !h.U32(&image.metric) || !h.U32(&image.threshold_kind) ||
+        !h.U32(&image.cf_representation) || !h.U32(&image.scalar_width) ||
+        !h.U32(&image.shard_count) || !h.U64(&image.points_ingested) ||
+        !h.done()) {
+      return Status::Corruption("checkpoint header payload malformed");
+    }
+    if (image.cf_representation > 1 ||
+        (image.scalar_width != 32 && image.scalar_width != 64)) {
+      return Status::Corruption(
+          "checkpoint header carries an impossible CF fingerprint");
+    }
   }
 
   const size_t expected =

@@ -31,7 +31,10 @@ namespace birch {
 
 /// Current on-disk format version. Readers reject versions they do not
 /// know (InvalidArgument, not Corruption: the file is fine, we are old).
-inline constexpr uint32_t kCheckpointVersion = 1;
+/// v2 added the CF-representation and scalar-width fingerprint fields
+/// to the header and the tree image (BETULA / float32 storage); v1
+/// files predate them and are rejected as unsupported.
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 /// In-memory form of one checkpoint file: the options fingerprint that
 /// must match on restore, the resume offset, and the frozen builders.
@@ -42,6 +45,13 @@ struct CheckpointImage {
   uint64_t page_size = 0;
   uint32_t metric = 0;          // static_cast of DistanceMetric
   uint32_t threshold_kind = 0;  // static_cast of ThresholdKind
+  /// static_cast of CfRepresentation: pages and freezes decode under
+  /// this CF algebra. Restoring a checkpoint under the other
+  /// representation is rejected (kInvalidArgument), never misread.
+  uint32_t cf_representation = 0;
+  /// Stored CF component width in bits: 64 (CfStorage::kF64) or 32
+  /// (kF32). Part of the fingerprint for the same reason.
+  uint32_t scalar_width = 64;
   /// 0 = serial image (exactly one freeze); N >= 1 = sharded image
   /// written by an N-shard run (exactly N freezes, shard order).
   uint32_t shard_count = 0;

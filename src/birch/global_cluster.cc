@@ -47,7 +47,9 @@ GlobalClustering HierarchicalCluster(std::span<const CfVector> entries,
   std::vector<uint8_t> amask;
   if (use_batch) {
     batch.Init(cfs.empty() ? 0 : cfs[0].dim(), m,
-               kernel::CfBatch::Needs::For(options.metric));
+               kernel::CfBatch::Needs::For(
+                   options.metric, cfs.empty() ? CfRepresentation::kClassic
+                                               : cfs[0].rep()));
     batch.Assign(cfs);
     amask.assign(m, 1);
   }
@@ -150,8 +152,17 @@ GlobalClustering HierarchicalCluster(std::span<const CfVector> entries,
 /// Squared Euclidean distance between a CF's centroid and a point.
 double CentroidSqDist(const CfVector& cf, std::span<const double> c) {
   double s = 0.0;
+  std::span<const double> v = cf.raw_vec();
+  if (cf.rep() == CfRepresentation::kBetula) {
+    // The stored vector IS the centroid.
+    for (size_t t = 0; t < cf.dim(); ++t) {
+      double d = v[t] - c[t];
+      s += d * d;
+    }
+    return s;
+  }
   for (size_t t = 0; t < cf.dim(); ++t) {
-    double d = cf.ls()[t] / cf.n() - c[t];
+    double d = v[t] / cf.n() - c[t];
     s += d * d;
   }
   return s;
@@ -234,9 +245,9 @@ GlobalClustering KMeansCluster(std::span<const CfVector> entries,
           for (size_t i = begin; i < end; ++i) {
             int best = 0;
             if (use_batch) {
-              const CfVector& e = entries[i];
-              std::span<const double> ls = e.ls();
-              for (size_t t = 0; t < dim; ++t) centroid[t] = ls[t] / e.n();
+              // Bitwise identical to CentroidSqDist's centroid for
+              // either representation.
+              entries[i].CentroidInto(&centroid);
               kernel::ScanResult r = cbatch.NearestSq(centroid, &ws);
               if (r.index != static_cast<size_t>(-1)) {
                 best = static_cast<int>(r.index);

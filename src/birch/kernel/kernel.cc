@@ -78,11 +78,20 @@ void FinishD2Portable(double* acc, const double* n, const double* msq,
   }
 }
 
+void FinishD2StablePortable(double* acc, const double* msq, double qmsq,
+                            size_t m) {
+  for (size_t j = 0; j < m; ++j) {
+    double d2 = (qmsq + msq[j]) + acc[j];
+    acc[j] = std::sqrt(ClampNonNegative(d2));
+  }
+}
+
 }  // namespace
 
 const Ops kPortableOps = {&SqDiffPortable,    &AbsDiffPortable,
                           &DotPortable,       &MergedNormPortable,
-                          &SqrtArrPortable,   &FinishD2Portable};
+                          &SqrtArrPortable,   &FinishD2Portable,
+                          &FinishD2StablePortable};
 
 const Ops& GetOps() {
 #if defined(BIRCH_KERNEL_AVX2)
@@ -99,12 +108,21 @@ namespace {
 constexpr size_t kNone = static_cast<size_t>(-1);
 
 // Mirror of the GuardedStat in cf_vector.cc: same clamp, same
-// "cf/cancellation_guard" trip counter. The kernel recomputes the
+// "cf/cancellation_guard" trip counter, same "cf/cancellation_clamped"
+// escalation when the destroyed value was relatively large (actual
+// degradation, not sub-noise-floor dust). The kernel recomputes the
 // guarded statistics itself (it never materializes the merged CF), so
 // it must replicate the accounting too.
+constexpr double kClampVisibleTol = 1e-14;  // see cf_vector.cc
+
 double GuardedStat(double x, double magnitude) {
   double g = GuardedNonNegative(x, magnitude);
-  if (g == 0.0 && x != 0.0) OBS_COUNTER_INC("cf/cancellation_guard");
+  if (g == 0.0 && x != 0.0) {
+    OBS_COUNTER_INC("cf/cancellation_guard");
+    if (std::fabs(x) > kClampVisibleTol * magnitude) {
+      OBS_COUNTER_INC("cf/cancellation_clamped");
+    }
+  }
   return g;
 }
 
@@ -114,8 +132,18 @@ void CfQuery::Prepare(const CfVector& q, DistanceMetric metric,
                       std::vector<double>* centroid_buf) {
   cf = &q;
   n = q.n();
-  ss = q.ss();
+  ss = q.raw_scalar();
   mean_sq = n > 0.0 ? ss / n : 0.0;
+  if (q.rep() == CfRepresentation::kBetula) {
+    // BETULA: ss is S, mean_sq is S/N, and the stored mean IS the
+    // centroid — every BETULA scan reads it, straight from the CF's
+    // own storage (`cf` outlives the query per contract). D4's
+    // increase is computed directly (never as an SSD difference), so
+    // ssd stays unused.
+    ssd = 0.0;
+    centroid = q.raw_vec().data();
+    return;
+  }
   ssd = metric == DistanceMetric::kD4 ? q.SumSquaredDeviation() : 0.0;
   centroid = nullptr;
   if (metric == DistanceMetric::kD0 || metric == DistanceMetric::kD1) {
@@ -126,8 +154,15 @@ void CfQuery::Prepare(const CfVector& q, DistanceMetric metric,
   }
 }
 
-CfBatch::Needs CfBatch::Needs::For(DistanceMetric metric) {
+CfBatch::Needs CfBatch::Needs::For(DistanceMetric metric,
+                                   CfRepresentation rep) {
   Needs needs;
+  if (rep == CfRepresentation::kBetula) {
+    // Every BETULA metric works off the means (the centroid columns)
+    // plus the scalar columns; LS and the SSD column never exist.
+    needs.centroid = true;
+    return needs;
+  }
   switch (metric) {
     case DistanceMetric::kD0:
     case DistanceMetric::kD1:
@@ -186,16 +221,21 @@ void CfBatch::Update(size_t i, const CfVector& entry) {
   assert(i < size_);
   assert(entry.dim() == dim_);
   const double en = entry.n();
+  const double scalar = entry.raw_scalar();  // SS classic, S BETULA
   n_[i] = en;
-  ss_[i] = entry.ss();
-  mean_sq_[i] = en > 0.0 ? entry.ss() / en : 0.0;
-  std::span<const double> ls = entry.ls();
+  ss_[i] = scalar;
+  mean_sq_[i] = en > 0.0 ? scalar / en : 0.0;
+  std::span<const double> vec = entry.raw_vec();
   if (needs_.ls) {
-    for (size_t k = 0; k < dim_; ++k) ls_[k * capacity_ + i] = ls[k];
+    for (size_t k = 0; k < dim_; ++k) ls_[k * capacity_ + i] = vec[k];
   }
   if (needs_.centroid) {
-    for (size_t k = 0; k < dim_; ++k) {
-      centroid_[k * capacity_ + i] = ls[k] / en;
+    if (entry.rep() == CfRepresentation::kBetula) {
+      for (size_t k = 0; k < dim_; ++k) centroid_[k * capacity_ + i] = vec[k];
+    } else {
+      for (size_t k = 0; k < dim_; ++k) {
+        centroid_[k * capacity_ + i] = vec[k] / en;
+      }
     }
   }
   if (needs_.ssd) ssd_[i] = entry.SumSquaredDeviation();
@@ -210,6 +250,69 @@ void FillDistances(const CfBatch& batch, const CfQuery& query,
   if (m == 0) return;
   double* acc = ws->dist.data();
   const detail::Ops& ops = detail::GetOps();
+
+  if (query.cf->rep() == CfRepresentation::kBetula) {
+    // Every BETULA metric starts from the squared mean differences
+    // accumulated over the centroid columns; the finishing passes use
+    // the Chan-merge identities (sums of non-negative terms) in the
+    // exact operation order of the scalar oracle (metrics.cc /
+    // CfVector::Add), so scalar and batch stay bitwise identical.
+    switch (metric) {
+      case DistanceMetric::kD0: {
+        ops.sq_diff(acc, batch.centroid(), cap, query.centroid, dim, m);
+        ops.sqrt_arr(acc, m);
+        break;
+      }
+      case DistanceMetric::kD1: {
+        ops.abs_diff(acc, batch.centroid(), cap, query.centroid, dim, m);
+        break;
+      }
+      case DistanceMetric::kD2: {
+        ops.sq_diff(acc, batch.centroid(), cap, query.centroid, dim, m);
+        ops.finish_d2_stable(acc, batch.mean_sq(), query.mean_sq, m);
+        break;
+      }
+      case DistanceMetric::kD3: {
+        // acc holds ||mean_q - mean_j||^2; finish with the Chan merge
+        // S_m = S_q + (S_j + coef*dsq), quantized like the scalar
+        // Merged CF would be under f32 storage.
+        ops.sq_diff(acc, batch.centroid(), cap, query.centroid, dim, m);
+        const double* n = batch.n();
+        const double* ss = batch.ss();
+        const bool f32 = query.cf->storage() == CfStorage::kF32;
+        for (size_t j = 0; j < m; ++j) {
+          double nm = query.n + n[j];
+          if (nm <= 1.0) {
+            acc[j] = 0.0;
+            continue;
+          }
+          double f = n[j] / nm;
+          double coef = query.n * f;
+          double sm = query.ss + (ss[j] + coef * acc[j]);
+          if (f32) sm = static_cast<double>(static_cast<float>(sm));
+          acc[j] = std::sqrt(ClampNonNegative(2.0 * sm / (nm - 1.0)));
+        }
+        break;
+      }
+      case DistanceMetric::kD4: {
+        // The SSE increase is coef * ||mean_q - mean_j||^2 directly.
+        ops.sq_diff(acc, batch.centroid(), cap, query.centroid, dim, m);
+        const double* n = batch.n();
+        for (size_t j = 0; j < m; ++j) {
+          double nm = query.n + n[j];
+          if (nm <= 0.0) {
+            acc[j] = 0.0;
+            continue;
+          }
+          double f = n[j] / nm;
+          double coef = query.n * f;
+          acc[j] = std::sqrt(ClampNonNegative(coef * acc[j]));
+        }
+        break;
+      }
+    }
+    return;
+  }
 
   switch (metric) {
     case DistanceMetric::kD0: {
@@ -284,9 +387,38 @@ ScanResult NearestEntry(const CfBatch& batch, const CfQuery& query,
   return r;
 }
 
+namespace {
+
+/// S of the Chan merge of two BETULA CFs, replicating CfVector::Add's
+/// operation order (and its f32 quantize-after-mutate) exactly so the
+/// result is bitwise equal to Merged(a, b).raw_scalar().
+double BetulaMergedS(const CfVector& a, const CfVector& b) {
+  double nm = a.n() + b.n();
+  double f = b.n() / nm;
+  double coef = a.n() * f;
+  std::span<const double> am = a.raw_vec();
+  std::span<const double> bm = b.raw_vec();
+  double dsq = 0.0;
+  for (size_t k = 0; k < am.size(); ++k) {
+    double d = bm[k] - am[k];
+    dsq += d * d;
+  }
+  double sm = a.raw_scalar() + (b.raw_scalar() + coef * dsq);
+  if (a.storage() == CfStorage::kF32) {
+    sm = static_cast<double>(static_cast<float>(sm));
+  }
+  return sm;
+}
+
+}  // namespace
+
 double MergedDiameter(const CfVector& a, const CfVector& b) {
   double nm = a.n() + b.n();
   if (nm <= 1.0) return 0.0;
+  if (a.rep() == CfRepresentation::kBetula) {
+    double sm = BetulaMergedS(a, b);
+    return std::sqrt(ClampNonNegative(2.0 * sm / (nm - 1.0)));
+  }
   double ssm = a.ss() + b.ss();
   std::span<const double> al = a.ls();
   std::span<const double> bl = b.ls();
@@ -303,6 +435,10 @@ double MergedDiameter(const CfVector& a, const CfVector& b) {
 double MergedRadius(const CfVector& a, const CfVector& b) {
   double nm = a.n() + b.n();
   if (nm <= 0.0) return 0.0;
+  if (a.rep() == CfRepresentation::kBetula) {
+    double sm = BetulaMergedS(a, b);
+    return std::sqrt(ClampNonNegative(sm / nm));
+  }
   double ssm = a.ss() + b.ss();
   std::span<const double> al = a.ls();
   std::span<const double> bl = b.ls();

@@ -47,11 +47,12 @@ namespace kernel {
 struct CfQuery {
   const CfVector* cf = nullptr;
   double n = 0.0;
-  double ss = 0.0;
-  double mean_sq = 0.0;  // SS/N
-  double ssd = 0.0;      // SS - ||LS||^2/N (guarded), for D4
-  /// Centroid components; points into the workspace passed to Prepare.
-  /// Only filled for metrics that read it (D0/D1).
+  double ss = 0.0;       // SS (classic) or S (BETULA)
+  double mean_sq = 0.0;  // SS/N (classic) or S/N (BETULA)
+  double ssd = 0.0;      // SS - ||LS||^2/N (guarded), classic D4 only
+  /// Centroid components. Classic: points into the workspace passed to
+  /// Prepare, only filled for metrics that read it (D0/D1). BETULA:
+  /// points straight at the CF's stored mean, filled for all metrics.
   const double* centroid = nullptr;
 
   /// Fills the derived fields `metric`'s scan reads; `centroid_buf`
@@ -68,11 +69,12 @@ class CfBatch {
  public:
   /// Which derived arrays to materialize.
   struct Needs {
-    bool centroid = false;  // D0 / D1 / point scans
-    bool ls = false;        // D2 / D3 / D4 (raw linear sums)
-    bool ssd = false;       // D4
-    /// Everything the given metric's scan reads.
-    static Needs For(DistanceMetric metric);
+    bool centroid = false;  // classic D0/D1, every BETULA metric
+    bool ls = false;        // classic D2/D3/D4 (raw linear sums)
+    bool ssd = false;       // classic D4
+    /// Everything the given metric's scan reads under `rep`.
+    static Needs For(DistanceMetric metric,
+                     CfRepresentation rep = CfRepresentation::kClassic);
   };
 
   CfBatch() = default;

@@ -129,10 +129,31 @@ void FinishD2Avx2(double* acc, const double* n, const double* msq,
   }
 }
 
+// BETULA D2 finishing: (qmsq + msq[j]) + acc[j], all non-negative, then
+// sqrt. Same exact IEEE add/add/sqrt sequence as the portable loop.
+void FinishD2StableAvx2(double* acc, const double* msq, double qmsq,
+                        size_t m) {
+  const __m256d qmsqv = _mm256_set1_pd(qmsq);
+  const __m256d zero = _mm256_setzero_pd();
+  size_t j = 0;
+  for (; j + 4 <= m; j += 4) {
+    __m256d d2 = _mm256_add_pd(_mm256_add_pd(qmsqv, _mm256_loadu_pd(msq + j)),
+                               _mm256_loadu_pd(acc + j));
+    // ClampNonNegative: d2 > 0 ? d2 : 0 (NaN compares false -> 0).
+    d2 = _mm256_and_pd(d2, _mm256_cmp_pd(d2, zero, _CMP_GT_OQ));
+    _mm256_storeu_pd(acc + j, _mm256_sqrt_pd(d2));
+  }
+  for (; j < m; ++j) {
+    double d2 = (qmsq + msq[j]) + acc[j];
+    acc[j] = __builtin_sqrt(d2 > 0.0 ? d2 : 0.0);
+  }
+}
+
 }  // namespace
 
 const Ops kAvx2Ops = {&SqDiffAvx2,     &AbsDiffAvx2, &DotAvx2,
-                      &MergedNormAvx2, &SqrtArrAvx2, &FinishD2Avx2};
+                      &MergedNormAvx2, &SqrtArrAvx2, &FinishD2Avx2,
+                      &FinishD2StableAvx2};
 
 }  // namespace detail
 }  // namespace kernel

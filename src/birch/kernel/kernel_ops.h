@@ -45,6 +45,13 @@ struct Ops {
   /// Every step is an exact IEEE op, so vector and scalar agree bitwise.
   void (*finish_d2)(double* acc, const double* n, const double* msq,
                     double qn, double qmsq, size_t m);
+  /// The cancellation-free D2 finishing pass (BETULA representation).
+  /// acc[j] arrives as ||mean_q - mean_j||^2; msq[j] = S_j/N_j, qmsq =
+  /// S_q/N_q — all non-negative, so the sum never cancels:
+  ///   d2 = (qmsq + msq[j]) + acc[j]
+  ///   acc[j] = sqrt(d2 > 0 ? d2 : 0)
+  void (*finish_d2_stable)(double* acc, const double* msq, double qmsq,
+                           size_t m);
 };
 
 /// The active implementation: AVX2 when compiled in (BIRCH_KERNEL_AVX2)

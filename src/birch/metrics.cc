@@ -20,7 +20,16 @@ const char* MetricName(DistanceMetric metric) {
 
 double CentroidEuclidean(const CfVector& a, const CfVector& b) {
   assert(a.n() > 0 && b.n() > 0);
+  assert(a.rep() == b.rep());
   double s = 0.0;
+  if (a.rep() == CfRepresentation::kBetula) {
+    // The mean IS the centroid: no division, no cancellation.
+    for (size_t i = 0; i < a.dim(); ++i) {
+      double d = a.mean()[i] - b.mean()[i];
+      s += d * d;
+    }
+    return std::sqrt(s);
+  }
   for (size_t i = 0; i < a.dim(); ++i) {
     double d = a.ls()[i] / a.n() - b.ls()[i] / b.n();
     s += d * d;
@@ -30,7 +39,14 @@ double CentroidEuclidean(const CfVector& a, const CfVector& b) {
 
 double CentroidManhattan(const CfVector& a, const CfVector& b) {
   assert(a.n() > 0 && b.n() > 0);
+  assert(a.rep() == b.rep());
   double s = 0.0;
+  if (a.rep() == CfRepresentation::kBetula) {
+    for (size_t i = 0; i < a.dim(); ++i) {
+      s += std::fabs(a.mean()[i] - b.mean()[i]);
+    }
+    return s;
+  }
   for (size_t i = 0; i < a.dim(); ++i) {
     s += std::fabs(a.ls()[i] / a.n() - b.ls()[i] / b.n());
   }
@@ -39,6 +55,19 @@ double CentroidManhattan(const CfVector& a, const CfVector& b) {
 
 double AverageInterCluster(const CfVector& a, const CfVector& b) {
   assert(a.n() > 0 && b.n() > 0);
+  assert(a.rep() == b.rep());
+  if (a.rep() == CfRepresentation::kBetula) {
+    // D2^2 = S_a/N_a + S_b/N_b + ||mean_a - mean_b||^2: all terms
+    // non-negative — the cancellation-free form of Eq. 5. The
+    // operation order matches the kernel's finish_d2_stable pass.
+    double s = 0.0;
+    for (size_t i = 0; i < a.dim(); ++i) {
+      double d = a.mean()[i] - b.mean()[i];
+      s += d * d;
+    }
+    double d2 = (a.raw_scalar() / a.n() + b.raw_scalar() / b.n()) + s;
+    return std::sqrt(ClampNonNegative(d2));
+  }
   double cross = Dot(a.ls(), b.ls());
   double d2 = a.ss() / a.n() + b.ss() / b.n() - 2.0 * cross / (a.n() * b.n());
   return std::sqrt(ClampNonNegative(d2));
@@ -49,6 +78,23 @@ double AverageIntraCluster(const CfVector& a, const CfVector& b) {
 }
 
 double VarianceIncrease(const CfVector& a, const CfVector& b) {
+  if (a.rep() == CfRepresentation::kBetula) {
+    // The Chan merge gives S_m = S_a + S_b + (na*nb/nm)*||dmean||^2
+    // exactly, so the SSE increase is the last term alone — computed
+    // directly, never as a difference. Order matches the kernel's D4
+    // finishing loop.
+    assert(b.rep() == CfRepresentation::kBetula);
+    double nm = a.n() + b.n();
+    if (nm <= 0.0) return 0.0;
+    double f = b.n() / nm;
+    double coef = a.n() * f;
+    double dsq = 0.0;
+    for (size_t i = 0; i < a.dim(); ++i) {
+      double d = a.mean()[i] - b.mean()[i];
+      dsq += d * d;
+    }
+    return std::sqrt(ClampNonNegative(coef * dsq));
+  }
   double merged = CfVector::Merged(a, b).SumSquaredDeviation();
   double inc = merged - a.SumSquaredDeviation() - b.SumSquaredDeviation();
   return std::sqrt(ClampNonNegative(inc));

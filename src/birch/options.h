@@ -79,6 +79,15 @@ struct BirchOptions {
     DistanceMetric metric = DistanceMetric::kD2;
     ThresholdKind threshold_kind = ThresholdKind::kDiameter;
     bool merging_refinement = true;
+    /// CF algebra for the whole pipeline (see cf_vector.h): the
+    /// paper's (N, LS, SS) triple, or the numerically stable BETULA
+    /// (N, mean, S) variant.
+    CfRepresentation cf = CfRepresentation::kClassic;
+    /// Stored precision of CF components. kF32 halves per-entry CF
+    /// memory (doubling the tree's B and L) and is only valid with
+    /// cf == kBetula — float32 (LS, SS) would lose the radius to
+    /// cancellation entirely.
+    CfStorage cf_storage = CfStorage::kF64;
   };
 
   // --- Outlier options of Sec. 5.1.4 ---
@@ -210,9 +219,20 @@ struct BirchOptions {
             "global algorithm");
       }
     }
-    if (resources.page_size < (dim + 2) * sizeof(double) + 64) {
+    if (tree.cf_storage == CfStorage::kF32 &&
+        tree.cf != CfRepresentation::kBetula) {
       return Status::InvalidArgument(
-          "page_size too small for this dimensionality");
+          "float32 CF storage requires the betula representation "
+          "(classic (N, LS, SS) loses the radius to cancellation in "
+          "float32)");
+    }
+    {
+      CfLayout probe{resources.page_size, dim,
+                     tree.cf_storage};
+      if (resources.page_size < probe.CfBytes() + 64) {
+        return Status::InvalidArgument(
+            "page_size too small for this dimensionality");
+      }
     }
     if (resources.memory_bytes != 0 &&
         resources.memory_bytes < 4 * resources.page_size) {
@@ -283,6 +303,8 @@ class BirchOptions::Builder {
   Builder& Metric(DistanceMetric v) { o_.tree.metric = v; return *this; }
   Builder& ThresholdKind(birch::ThresholdKind v) { o_.tree.threshold_kind = v; return *this; }
   Builder& MergingRefinement(bool v) { o_.tree.merging_refinement = v; return *this; }
+  Builder& Cf(CfRepresentation v) { o_.tree.cf = v; return *this; }
+  Builder& CfStorage(birch::CfStorage v) { o_.tree.cf_storage = v; return *this; }
 
   // --- Outliers ---
   Builder& OutlierHandling(bool v) { o_.outliers.handling = v; return *this; }

@@ -24,6 +24,7 @@ Phase1Builder::Phase1Builder(const Phase1Options& options)
                       options.retry),
       tree_(std::make_unique<CfTree>(options.tree, &mem_)),
       heuristic_(options.tree.dim, options.expected_points),
+      point_cf_(options.tree.dim, options.tree.cf, options.tree.cf_storage),
       disk_enabled_(options.disk_budget_bytes > 0) {
   robust_.outlier_disk_disabled = !disk_enabled_;
 }
@@ -197,13 +198,13 @@ Status Phase1Builder::DegradeOutlierDisk() {
   for (size_t off = 0; off + rec <= drained.size(); off += rec) {
     FallbackOutlierEntry(CfVector::Deserialize(
         std::span<const double>(drained.data() + off, rec),
-        options_.tree.dim));
+        options_.tree.dim, options_.tree.cf, options_.tree.cf_storage));
   }
   BIRCH_RETURN_IF_ERROR(delayed_points_.DrainAll(&drained, &rep));
   for (size_t off = 0; off + rec <= drained.size(); off += rec) {
     CfVector e = CfVector::Deserialize(
         std::span<const double>(drained.data() + off, rec),
-        options_.tree.dim);
+        options_.tree.dim, options_.tree.cf, options_.tree.cf_storage);
     tree_->InsertEntry(e);
     if (tree_->over_budget()) BIRCH_RETURN_IF_ERROR(RebuildLarger());
   }
@@ -259,7 +260,7 @@ Status Phase1Builder::Add(std::span<const double> x, double weight) {
     for (size_t off = 0; off + rec <= drained.size(); off += rec) {
       CfVector e = CfVector::Deserialize(
           std::span<const double>(drained.data() + off, rec),
-          options_.tree.dim);
+          options_.tree.dim, options_.tree.cf, options_.tree.cf_storage);
       tree_->InsertEntry(e);
       if (tree_->over_budget()) BIRCH_RETURN_IF_ERROR(RebuildLarger());
     }
@@ -380,7 +381,7 @@ Status Phase1Builder::ReabsorbOutliers(bool final_pass) {
   for (size_t off = 0; off + rec <= drained.size(); off += rec) {
     CfVector e = CfVector::Deserialize(
         std::span<const double>(drained.data() + off, rec),
-        options_.tree.dim);
+        options_.tree.dim, options_.tree.cf, options_.tree.cf_storage);
     // Re-absorb only if the entry fits without splitting — a genuine
     // outlier must not distort the tree (Sec. 5.1.4).
     InsertOutcome out = tree_->InsertEntry(e, InsertMode::kAbsorbOnly);
@@ -434,7 +435,7 @@ Status Phase1Builder::Finish() {
   for (size_t off = 0; off + rec <= drained.size(); off += rec) {
     CfVector e = CfVector::Deserialize(
         std::span<const double>(drained.data() + off, rec),
-        options_.tree.dim);
+        options_.tree.dim, options_.tree.cf, options_.tree.cf_storage);
     tree_->InsertEntry(e);
     if (tree_->over_budget()) BIRCH_RETURN_IF_ERROR(RebuildLarger());
   }

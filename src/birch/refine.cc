@@ -27,7 +27,16 @@ uint64_t AssignPass(const Dataset& data,
   const double limit_sq =
       outlier_distance > 0.0 ? outlier_distance * outlier_distance
                              : std::numeric_limits<double>::infinity();
-  for (auto& cf : *cluster_cfs) cf = CfVector(data.dim());
+  // Accumulators are fed point by point (AddPoint never adopts a
+  // policy), so they must be constructed under the pipeline's CF
+  // policies — carried by the caller-sized cluster_cfs.
+  const CfRepresentation rep = cluster_cfs->empty()
+                                   ? CfRepresentation::kClassic
+                                   : (*cluster_cfs)[0].rep();
+  const CfStorage storage = cluster_cfs->empty()
+                                ? CfStorage::kF64
+                                : (*cluster_cfs)[0].storage();
+  for (auto& cf : *cluster_cfs) cf = CfVector(data.dim(), rep, storage);
   uint64_t changes = 0;
   *discarded = 0;
   const bool use_batch = kernel_kind == KernelKind::kBatch;
@@ -84,7 +93,7 @@ uint64_t AssignPass(const Dataset& data,
   exec::ParallelFor(
       pool, data.size(),
       [&](size_t begin, size_t end, size_t chunk) {
-        partial_cfs[chunk].assign(k, CfVector(data.dim()));
+        partial_cfs[chunk].assign(k, CfVector(data.dim(), rep, storage));
         assign_range(begin, end, &partial_cfs[chunk],
                      &partial_changes[chunk], &partial_discarded[chunk]);
       },
@@ -121,7 +130,9 @@ StatusOr<RefineResult> RefineClusters(const Dataset& data,
 
   RefineResult result;
   result.labels.assign(data.size(), -2);  // -2: unassigned sentinel
-  result.clusters.assign(seeds.size(), CfVector(data.dim()));
+  result.clusters.assign(
+      seeds.size(),
+      CfVector(data.dim(), seeds[0].rep(), seeds[0].storage()));
 
   for (int pass = 0; pass < options.passes; ++pass) {
     uint64_t discarded = 0;

@@ -55,6 +55,20 @@ std::vector<std::vector<double>> PlaceCenters(const GeneratorOptions& o,
   return centers;
 }
 
+GeneratorOptions IllConditionedOptions(size_t dim, int k, double offset,
+                                       uint64_t seed) {
+  GeneratorOptions o;
+  o.dim = dim;
+  o.k = k;
+  o.n_low = o.n_high = 500;
+  o.r_low = o.r_high = 1.0;  // unit spread: tiny next to offset^2
+  o.pattern = PlacementPattern::kGrid;
+  o.grid_spacing = 16.0;  // well separated relative to the radius
+  o.center_offset = offset;
+  o.seed = seed;
+  return o;
+}
+
 StatusOr<GeneratedData> Generate(const GeneratorOptions& o) {
   if (o.dim == 0) return Status::InvalidArgument("dim must be > 0");
   if (o.k <= 0) return Status::InvalidArgument("k must be > 0");
@@ -73,6 +87,11 @@ StatusOr<GeneratedData> Generate(const GeneratorOptions& o) {
   out.data = Dataset(o.dim);
 
   std::vector<std::vector<double>> centers = PlaceCenters(o, &rng);
+  if (o.center_offset != 0.0) {
+    for (auto& c : centers) {
+      for (auto& v : c) v += o.center_offset;
+    }
+  }
 
   // Per-cluster draws.
   out.actual.resize(static_cast<size_t>(o.k));
@@ -124,6 +143,9 @@ StatusOr<GeneratedData> Generate(const GeneratorOptions& o) {
         double limit = o.max_distance_radii * a.radius_param;
         if (SquaredDistance(p, a.center) <= limit * limit) break;
       }
+      if (o.quantize_points_f32) {
+        for (auto& v : p) v = static_cast<double>(static_cast<float>(v));
+      }
       out.data.Append(p);
       out.truth.push_back(c);
       a.cf.AddPoint(p);
@@ -133,6 +155,9 @@ StatusOr<GeneratedData> Generate(const GeneratorOptions& o) {
   // Noise points, appended after the clusters.
   for (size_t i = 0; i < noise_points; ++i) {
     for (size_t t = 0; t < o.dim; ++t) p[t] = rng.Uniform(lo[t], hi[t]);
+    if (o.quantize_points_f32) {
+      for (auto& v : p) v = static_cast<double>(static_cast<float>(v));
+    }
     out.data.Append(p);
     out.truth.push_back(-1);
   }

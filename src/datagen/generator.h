@@ -43,8 +43,24 @@ struct GeneratorOptions {
   /// Resample Gaussian draws farther than this many radii from the
   /// center ("outsider" control); 0 disables.
   double max_distance_radii = 0.0;
+  /// Added to every coordinate of every cluster center. Large values
+  /// (~1e8) with tight radii make the dataset ill-conditioned for the
+  /// classic (N, LS, SS) CF representation: SS and ||LS||^2/N agree to
+  /// ~16 digits and their difference (the actual spread) cancels.
+  double center_offset = 0.0;
+  /// Round every emitted coordinate through float32 (the "float32
+  /// leg"): models single-precision sensor data and exercises the
+  /// float32 CF storage mode.
+  bool quantize_points_f32 = false;
   uint64_t seed = 42;
 };
+
+/// A tight-cluster workload at distance `offset` from the origin: unit
+/// point spread on a coarse grid, so cluster structure is perfectly
+/// resolvable in exact arithmetic but cancels out of classic
+/// (N, LS, SS) CFs once offset^2 dwarfs the spread.
+GeneratorOptions IllConditionedOptions(size_t dim, int k, double offset,
+                                       uint64_t seed);
 
 /// Ground truth for one generated cluster.
 struct ActualCluster {

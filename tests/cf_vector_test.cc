@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "util/math.h"
 #include "util/random.h"
 
@@ -210,6 +211,160 @@ TEST(CfVectorTest, FarFromOriginGuardClampsCancellationNoise) {
     EXPECT_EQ(cf.SumSquaredDeviation(), 0.0) << "center " << c;
     EXPECT_FALSE(std::isnan(cf.Radius()));
   }
+}
+
+// --- Representation property tests: classic (N, LS, SS) vs BETULA
+// (N, mean, S) across conditioning regimes. Offsets 0 / 1e4 / 1e8
+// sweep well-conditioned, transition, and catastrophic territory.
+
+class CfRepresentationPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, size_t>> {
+ protected:
+  /// Gaussian cloud (unit sigma per dimension) centered `offset` from
+  /// the origin on every axis.
+  std::vector<std::vector<double>> Cloud(Rng* rng, size_t n, size_t dim,
+                                         double offset) {
+    std::vector<std::vector<double>> pts(n, std::vector<double>(dim));
+    for (auto& p : pts) {
+      for (auto& v : p) v = rng->Gaussian(offset, 1.0);
+    }
+    return pts;
+  }
+
+  CfVector CfOfRep(const std::vector<std::vector<double>>& pts,
+                   CfRepresentation rep) {
+    CfVector cf(pts[0].size(), rep);
+    for (const auto& p : pts) cf.AddPoint(p);
+    return cf;
+  }
+};
+
+TEST_P(CfRepresentationPropertyTest, BetulaMergeIsAssociative) {
+  auto [offset, dim] = GetParam();
+  Rng rng(7000 + dim);
+  auto a = CfOfRep(Cloud(&rng, 50, dim, offset), CfRepresentation::kBetula);
+  auto b = CfOfRep(Cloud(&rng, 31, dim, offset), CfRepresentation::kBetula);
+  auto c = CfOfRep(Cloud(&rng, 77, dim, offset), CfRepresentation::kBetula);
+  CfVector left = CfVector::Merged(CfVector::Merged(a, b), c);
+  CfVector right = CfVector::Merged(a, CfVector::Merged(b, c));
+  EXPECT_DOUBLE_EQ(left.n(), right.n());
+  for (size_t t = 0; t < dim; ++t) {
+    EXPECT_NEAR(left.mean()[t], right.mean()[t],
+                1e-9 * (1.0 + std::fabs(right.mean()[t])));
+  }
+  EXPECT_NEAR(left.SumSquaredDeviation(), right.SumSquaredDeviation(),
+              1e-9 * (1.0 + right.SumSquaredDeviation()));
+}
+
+TEST_P(CfRepresentationPropertyTest, BetulaRadiusPositiveWithoutClamping) {
+  // The BETULA radius is S/N with S accumulated from non-negative
+  // Welford increments: it needs no cancellation guard and must stay
+  // strictly positive (and accurate) for spread-out data at ANY
+  // offset — including 1e8, where the classic form clamps to zero.
+  auto [offset, dim] = GetParam();
+  Rng rng(7100 + dim);
+  const size_t n = 2000;
+  auto pts = Cloud(&rng, n, dim, offset);
+  CfVector cf = CfOfRep(pts, CfRepresentation::kBetula);
+  // Unit sigma per dimension: RMS distance to the centroid ~ sqrt(dim).
+  double expected = std::sqrt(static_cast<double>(dim));
+  EXPECT_GT(cf.SquaredRadius(), 0.0);
+  EXPECT_NEAR(cf.Radius(), expected, 0.2 * expected);
+  EXPECT_GT(cf.SquaredDiameter(), 0.0);
+  // And it matches brute force over the raw points.
+  auto c = cf.Centroid();
+  double sse = 0.0;
+  for (const auto& p : pts) sse += SquaredDistance(p, c);
+  EXPECT_NEAR(cf.SumSquaredDeviation(), sse, 1e-6 * (1.0 + sse));
+}
+
+TEST_P(CfRepresentationPropertyTest, ClassicBetulaDivergenceBound) {
+  // The two representations compute the same statistic; their
+  // divergence is bounded by cancellation noise, which scales with the
+  // squared magnitude of the data. At offset 0 / 1e4 the bound forces
+  // near-agreement; at 1e8 it documents how the classic form drifts
+  // (BETULA is the reference — its error does not grow with offset).
+  auto [offset, dim] = GetParam();
+  Rng rng(7200 + dim);
+  auto pts = Cloud(&rng, 500, dim, offset);
+  CfVector classic = CfOfRep(pts, CfRepresentation::kClassic);
+  CfVector betula = CfOfRep(pts, CfRepresentation::kBetula);
+  EXPECT_DOUBLE_EQ(classic.n(), betula.n());
+  for (size_t t = 0; t < dim; ++t) {
+    EXPECT_NEAR(classic.Centroid()[t], betula.Centroid()[t],
+                1e-9 * (1.0 + std::fabs(offset)));
+  }
+  // Noise bound: ~1e3 ulps of the squared data magnitude.
+  double magnitude = (1.0 + offset * offset) * static_cast<double>(dim);
+  double bound = 1e-13 * magnitude + 1e-9;
+  EXPECT_NEAR(classic.SquaredRadius(), betula.SquaredRadius(), bound);
+  EXPECT_NEAR(classic.SquaredDiameter(), betula.SquaredDiameter(),
+              2.5 * bound);
+}
+
+TEST_P(CfRepresentationPropertyTest, BetulaSubtractInvertsAdd) {
+  auto [offset, dim] = GetParam();
+  Rng rng(7300 + dim);
+  auto a = CfOfRep(Cloud(&rng, 60, dim, offset), CfRepresentation::kBetula);
+  auto b = CfOfRep(Cloud(&rng, 9, dim, offset), CfRepresentation::kBetula);
+  CfVector merged = CfVector::Merged(a, b);
+  merged.Subtract(b);
+  EXPECT_NEAR(merged.n(), a.n(), 1e-9);
+  for (size_t t = 0; t < dim; ++t) {
+    EXPECT_NEAR(merged.mean()[t], a.mean()[t],
+                1e-9 * (1.0 + std::fabs(a.mean()[t])));
+  }
+  EXPECT_NEAR(merged.SumSquaredDeviation(), a.SumSquaredDeviation(),
+              1e-7 * (1.0 + a.SumSquaredDeviation()));
+}
+
+TEST_P(CfRepresentationPropertyTest, BetulaSerializeRoundTrip) {
+  auto [offset, dim] = GetParam();
+  Rng rng(7400 + dim);
+  for (CfStorage storage : {CfStorage::kF64, CfStorage::kF32}) {
+    CfVector cf(dim, CfRepresentation::kBetula, storage);
+    for (const auto& p : Cloud(&rng, 40, dim, offset)) cf.AddPoint(p);
+    std::vector<double> buf;
+    cf.SerializeTo(&buf);
+    CfVector back = CfVector::Deserialize(buf, dim,
+                                          CfRepresentation::kBetula, storage);
+    EXPECT_EQ(back, cf) << CfStorageName(storage);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConditioningSweep, CfRepresentationPropertyTest,
+    ::testing::Combine(::testing::Values(0.0, 1e4, 1e8),
+                       ::testing::Values<size_t>(1, 64)));
+
+TEST(CfVectorTest, CancellationClampCounterTicksOnVisibleLoss) {
+  // Satellite observability contract: when the guard zeroes a value
+  // that is ABOVE the visible tolerance (real structure, not few-ulp
+  // dust), cf/cancellation_clamped must tick. A cluster with spread
+  // ~200 centered at 3e7 lands inside the guard window (1e-12 of
+  // ~1.8e15) but above the visible floor (1e-14 of it).
+  auto& clamped =
+      obs::Registry::Default().GetCounter("cf/cancellation_clamped");
+  Rng rng(321);
+  CfVector lossy(2, CfRepresentation::kClassic);
+  for (int i = 0; i < 500; ++i) {
+    lossy.AddPoint(std::vector<double>{rng.Gaussian(3e7, 10.0),
+                                       rng.Gaussian(3e7, 10.0)});
+  }
+  uint64_t before = clamped.Value();
+  EXPECT_EQ(lossy.SquaredRadius(), 0.0);  // guard destroyed the spread
+  EXPECT_GT(clamped.Value(), before);
+
+  // Benign clamp: identical points at 1e8 have TRUE spread 0 — the
+  // guard fires on the ulp dust, but the loss is invisible-by-design
+  // and must not tick the visible counter.
+  CfVector benign(2, CfRepresentation::kClassic);
+  for (int i = 0; i < 500; ++i) {
+    benign.AddPoint(std::vector<double>{1e8, -1e8});
+  }
+  before = clamped.Value();
+  EXPECT_EQ(benign.SquaredRadius(), 0.0);
+  EXPECT_EQ(clamped.Value(), before);
 }
 
 TEST(CfVectorTest, GuardPreservesResolvableSpread) {

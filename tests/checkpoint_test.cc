@@ -309,6 +309,56 @@ TEST(CheckpointTest, FingerprintMismatchIsInvalidArgument) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointTest, BetulaKillAndResumeIsBitwiseIdentical) {
+  // The CF-representation policy must survive the checkpoint boundary:
+  // kill/resume under BETULA (f64 and f32 storage) reproduces the
+  // uninterrupted run exactly.
+  Dataset data = MakeData(9, 300, 701);
+  for (CfStorage storage : {CfStorage::kF64, CfStorage::kF32}) {
+    BirchOptions o = SmallOpts(data.dim(), 9);
+    o.tree.cf = CfRepresentation::kBetula;
+    o.tree.cf_storage = storage;
+    auto want = RunUninterrupted(data, o);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+    std::string path = TempPath("ckpt_betula.birch");
+    auto got = RunInterrupted(data, o, data.size() / 2, path);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectBitwiseEqual(want.value(), got.value());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CheckpointTest, RestoreUnderOtherCfRepresentationIsInvalidArgument) {
+  // A checkpoint written under one CF representation (or scalar width)
+  // must refuse to restore under the other — the pages would be
+  // silently misread as the wrong statistics otherwise.
+  Dataset data = MakeData(4, 150, 713);
+  BirchOptions betula = SmallOpts(data.dim(), 4);
+  betula.tree.cf = CfRepresentation::kBetula;
+  std::string path = TempPath("ckpt_cf_rep.birch");
+  {
+    auto c = BirchClusterer::Create(betula);
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c.value()->AddDataset(data).ok());
+    ASSERT_TRUE(c.value()->SaveCheckpoint(path).ok());
+  }
+  BirchOptions classic = SmallOpts(data.dim(), 4);
+  auto c = BirchClusterer::Restore(path, classic);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+
+  BirchOptions wrong_width = betula;
+  wrong_width.tree.cf_storage = CfStorage::kF32;
+  auto w = BirchClusterer::Restore(path, wrong_width);
+  EXPECT_FALSE(w.ok());
+  EXPECT_EQ(w.status().code(), StatusCode::kInvalidArgument);
+
+  // The matching options still restore.
+  EXPECT_TRUE(BirchClusterer::Restore(path, betula).ok());
+  std::remove(path.c_str());
+}
+
 // --- Fault injection on the checkpoint FILE: torn header, truncation,
 // and bit rot must all surface as kCorruption. Runs in `ctest -L
 // smoke` as the checkpoint leg of the fault-injection story. ---
@@ -334,6 +384,47 @@ std::vector<char> ReadAll(const std::string& path) {
 void WriteAll(const std::string& path, const std::vector<char>& bytes) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(CheckpointTest, ImpossibleCfFingerprintIsCorruption) {
+  // A header whose CF fingerprint encodes values no writer produces
+  // (representation > 1, width not 32/64) is Corruption, not a decode.
+  std::string base = WriteSampleCheckpoint("ckpt_cf_fp.birch");
+  auto img_or = ReadCheckpointFile(base);
+  ASSERT_TRUE(img_or.ok());
+  std::string path = TempPath("ckpt_cf_fp_bad.birch");
+
+  CheckpointImage bad_rep = img_or.value();
+  bad_rep.cf_representation = 7;
+  ASSERT_TRUE(WriteCheckpointFile(path, bad_rep).ok());
+  EXPECT_EQ(ReadCheckpointFile(path).status().code(),
+            StatusCode::kCorruption);
+
+  CheckpointImage bad_width = img_or.value();
+  bad_width.scalar_width = 16;
+  ASSERT_TRUE(WriteCheckpointFile(path, bad_width).ok());
+  EXPECT_EQ(ReadCheckpointFile(path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+  std::remove(base.c_str());
+}
+
+TEST(CheckpointTest, OldVersionIsInvalidArgumentNotCorruption) {
+  // A well-formed v1 file (pre-CF-fingerprint layout) must be refused
+  // as InvalidArgument BEFORE the rest of the header is decoded — the
+  // v1 header simply has fewer fields, so decoding it as v2 would
+  // misinterpret the stream.
+  std::string base = WriteSampleCheckpoint("ckpt_v1.birch");
+  auto img_or = ReadCheckpointFile(base);
+  ASSERT_TRUE(img_or.ok());
+  std::string path = TempPath("ckpt_v1_bad.birch");
+  CheckpointImage old = img_or.value();
+  old.version = 1;
+  ASSERT_TRUE(WriteCheckpointFile(path, old).ok());
+  EXPECT_EQ(ReadCheckpointFile(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+  std::remove(base.c_str());
 }
 
 TEST(CheckpointTest, TornHeaderIsCorruption) {

@@ -32,8 +32,10 @@ constexpr size_t kDims[] = {1, 2, 16, 64};
 
 /// A CF of `points` random points in [-spread, spread]^dim. One-point
 /// CFs (n == 1) exercise the zero-diameter / zero-SSD special cases.
-CfVector RandomCf(Rng* rng, size_t dim, int points, double spread) {
-  CfVector cf(dim);
+CfVector RandomCf(Rng* rng, size_t dim, int points, double spread,
+                  CfRepresentation rep = CfRepresentation::kClassic,
+                  CfStorage storage = CfStorage::kF64) {
+  CfVector cf(dim, rep, storage);
   std::vector<double> x(dim);
   for (int p = 0; p < points; ++p) {
     for (auto& v : x) v = rng->Uniform(-spread, spread);
@@ -42,16 +44,21 @@ CfVector RandomCf(Rng* rng, size_t dim, int points, double spread) {
   return cf;
 }
 
-std::vector<CfVector> RandomCfs(Rng* rng, size_t dim, size_t count) {
+std::vector<CfVector> RandomCfs(Rng* rng, size_t dim, size_t count,
+                                CfRepresentation rep = CfRepresentation::kClassic,
+                                CfStorage storage = CfStorage::kF64) {
   std::vector<CfVector> cfs;
   cfs.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     // Mix of single-point and multi-point CFs at different scales.
     int points = (i % 3 == 0) ? 1 : static_cast<int>(1 + rng->UniformInt(20));
-    cfs.push_back(RandomCf(rng, dim, points, i % 2 == 0 ? 1.0 : 50.0));
+    cfs.push_back(
+        RandomCf(rng, dim, points, i % 2 == 0 ? 1.0 : 50.0, rep, storage));
   }
   return cfs;
 }
+
+constexpr CfStorage kBetulaStorages[] = {CfStorage::kF64, CfStorage::kF32};
 
 TEST(CfBatchTest, FillDistancesBitwiseEqualsScalarOracle) {
   Rng rng(7);
@@ -71,6 +78,79 @@ TEST(CfBatchTest, FillDistancesBitwiseEqualsScalarOracle) {
         double oracle = Distance(metric, query, cfs[j]);
         EXPECT_EQ(ws.dist[j], oracle)
             << MetricName(metric) << " dim=" << dim << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(CfBatchTest, BetulaFillDistancesBitwiseEqualsScalarOracle) {
+  // Same contract as the classic test, under the BETULA representation
+  // (f64 and f32 storage): the batch kernel must agree BITWISE with
+  // the scalar oracle for every metric.
+  Rng rng(7);
+  for (CfStorage storage : kBetulaStorages) {
+    for (size_t dim : kDims) {
+      auto cfs =
+          RandomCfs(&rng, dim, 33, CfRepresentation::kBetula, storage);
+      CfVector query =
+          RandomCf(&rng, dim, 5, 10.0, CfRepresentation::kBetula, storage);
+      for (DistanceMetric metric : kAllMetrics) {
+        CfBatch batch;
+        batch.Init(dim, cfs.size(),
+                   CfBatch::Needs::For(metric, CfRepresentation::kBetula));
+        batch.Assign(cfs);
+        Workspace ws;
+        CfQuery q;
+        q.Prepare(query, metric, &ws.query_centroid);
+        FillDistances(batch, q, metric, &ws);
+        ASSERT_EQ(ws.dist.size(), cfs.size());
+        for (size_t j = 0; j < cfs.size(); ++j) {
+          double oracle = Distance(metric, query, cfs[j]);
+          EXPECT_EQ(ws.dist[j], oracle)
+              << MetricName(metric) << " dim=" << dim << " j=" << j
+              << " storage=" << CfStorageName(storage);
+        }
+      }
+    }
+  }
+}
+
+TEST(CfBatchTest, BetulaNearestEntryMatchesScalarArgmin) {
+  Rng rng(11);
+  for (CfStorage storage : kBetulaStorages) {
+    for (size_t dim : {size_t{2}, size_t{16}}) {
+      auto cfs =
+          RandomCfs(&rng, dim, 40, CfRepresentation::kBetula, storage);
+      CfVector query =
+          RandomCf(&rng, dim, 3, 10.0, CfRepresentation::kBetula, storage);
+      std::vector<uint8_t> active(cfs.size(), 1);
+      active[3] = active[17] = 0;
+      const size_t exclude = 8;
+      for (DistanceMetric metric : kAllMetrics) {
+        CfBatch batch;
+        batch.Init(dim, cfs.size(),
+                   CfBatch::Needs::For(metric, CfRepresentation::kBetula));
+        batch.Assign(cfs);
+        Workspace ws;
+        CfQuery q;
+        q.Prepare(query, metric, &ws.query_centroid);
+        ScanResult r =
+            NearestEntry(batch, q, metric, &ws, active.data(), exclude);
+
+        size_t best = static_cast<size_t>(-1);
+        double best_d = std::numeric_limits<double>::infinity();
+        for (size_t j = 0; j < cfs.size(); ++j) {
+          if (j == exclude || !active[j]) continue;
+          double d = Distance(metric, query, cfs[j]);
+          if (d < best_d) {
+            best_d = d;
+            best = j;
+          }
+        }
+        EXPECT_EQ(r.index, best) << MetricName(metric) << " dim=" << dim;
+        EXPECT_EQ(r.distance, best_d)
+            << MetricName(metric) << " dim=" << dim
+            << " storage=" << CfStorageName(storage);
       }
     }
   }
@@ -216,6 +296,27 @@ TEST(MergedStatTest, MergedDiameterAndRadiusMatchMergedCf) {
   }
 }
 
+TEST(MergedStatTest, BetulaMergedStatsMatchMergedCf) {
+  Rng rng(23);
+  for (CfStorage storage : kBetulaStorages) {
+    for (size_t dim : kDims) {
+      for (int trial = 0; trial < 25; ++trial) {
+        CfVector a = RandomCf(&rng, dim, 1 + static_cast<int>(trial % 4),
+                              8.0, CfRepresentation::kBetula, storage);
+        CfVector b = RandomCf(&rng, dim, 1 + static_cast<int>(trial % 7),
+                              8.0, CfRepresentation::kBetula, storage);
+        CfVector merged = CfVector::Merged(a, b);
+        EXPECT_EQ(MergedDiameter(a, b), merged.Diameter())
+            << "dim=" << dim << " trial=" << trial
+            << " storage=" << CfStorageName(storage);
+        EXPECT_EQ(MergedRadius(a, b), merged.Radius())
+            << "dim=" << dim << " trial=" << trial
+            << " storage=" << CfStorageName(storage);
+      }
+    }
+  }
+}
+
 TEST(CenterBatchTest, NearestSqMatchesScalarLoop) {
   Rng rng(29);
   for (size_t dim : kDims) {
@@ -249,13 +350,17 @@ TEST(CenterBatchTest, NearestSqMatchesScalarLoop) {
 
 /// Inserts the same random stream into a kScalar tree and a kBatch
 /// tree; every outcome, stat, and leaf CF must match exactly.
-void TreeEquivalenceCase(DistanceMetric metric, ThresholdKind kind) {
+void TreeEquivalenceCase(DistanceMetric metric, ThresholdKind kind,
+                         CfRepresentation rep = CfRepresentation::kClassic,
+                         CfStorage storage = CfStorage::kF64) {
   CfTreeOptions base;
   base.dim = 2;
   base.page_size = 256;  // small fanout: plenty of splits + refinements
   base.threshold = 0.4;
   base.metric = metric;
   base.threshold_kind = kind;
+  base.cf = rep;
+  base.cf_storage = storage;
 
   CfTreeOptions scalar = base;
   scalar.kernel = KernelKind::kScalar;
@@ -312,6 +417,29 @@ TEST(TreeKernelEquivalenceTest, AllMetricsRadiusThreshold) {
   }
 }
 
+TEST(TreeKernelEquivalenceTest, BetulaAllMetricsDiameterThreshold) {
+  for (DistanceMetric metric : kAllMetrics) {
+    TreeEquivalenceCase(metric, ThresholdKind::kDiameter,
+                        CfRepresentation::kBetula);
+  }
+}
+
+TEST(TreeKernelEquivalenceTest, BetulaAllMetricsRadiusThreshold) {
+  for (DistanceMetric metric : kAllMetrics) {
+    TreeEquivalenceCase(metric, ThresholdKind::kRadius,
+                        CfRepresentation::kBetula);
+  }
+}
+
+TEST(TreeKernelEquivalenceTest, BetulaF32AllMetricsDiameterThreshold) {
+  // The f32 storage mode quantizes after every CF mutation; scalar and
+  // batch must still agree bitwise on the quantized values.
+  for (DistanceMetric metric : kAllMetrics) {
+    TreeEquivalenceCase(metric, ThresholdKind::kDiameter,
+                        CfRepresentation::kBetula, CfStorage::kF32);
+  }
+}
+
 GlobalClusterOptions GlobalOpts(GlobalAlgorithm algorithm,
                                 KernelKind kernel) {
   GlobalClusterOptions g;
@@ -354,6 +482,73 @@ TEST(GlobalKernelEquivalenceTest, KMeansScalarVsBatch) {
   ASSERT_EQ(rs.value().clusters.size(), rb.value().clusters.size());
   for (size_t c = 0; c < rs.value().clusters.size(); ++c) {
     EXPECT_EQ(rs.value().clusters[c], rb.value().clusters[c]);
+  }
+}
+
+TEST(GlobalKernelEquivalenceTest, BetulaHierarchicalScalarVsBatch) {
+  Rng rng(37);
+  auto cfs = RandomCfs(&rng, 3, 80, CfRepresentation::kBetula);
+  for (DistanceMetric metric : kAllMetrics) {
+    auto s = GlobalOpts(GlobalAlgorithm::kHierarchical, KernelKind::kScalar);
+    auto b = GlobalOpts(GlobalAlgorithm::kHierarchical, KernelKind::kBatch);
+    s.metric = b.metric = metric;
+    auto rs = GlobalCluster(cfs, s);
+    auto rb = GlobalCluster(cfs, b);
+    ASSERT_TRUE(rs.ok() && rb.ok()) << MetricName(metric);
+    EXPECT_EQ(rs.value().assignment, rb.value().assignment)
+        << MetricName(metric);
+    ASSERT_EQ(rs.value().clusters.size(), rb.value().clusters.size());
+    for (size_t c = 0; c < rs.value().clusters.size(); ++c) {
+      EXPECT_EQ(rs.value().clusters[c], rb.value().clusters[c])
+          << MetricName(metric) << " cluster " << c;
+    }
+  }
+}
+
+TEST(GlobalKernelEquivalenceTest, BetulaKMeansScalarVsBatch) {
+  Rng rng(41);
+  auto cfs = RandomCfs(&rng, 3, 120, CfRepresentation::kBetula);
+  auto rs = GlobalCluster(
+      cfs, GlobalOpts(GlobalAlgorithm::kKMeans, KernelKind::kScalar));
+  auto rb = GlobalCluster(
+      cfs, GlobalOpts(GlobalAlgorithm::kKMeans, KernelKind::kBatch));
+  ASSERT_TRUE(rs.ok() && rb.ok());
+  EXPECT_EQ(rs.value().assignment, rb.value().assignment);
+  ASSERT_EQ(rs.value().clusters.size(), rb.value().clusters.size());
+  for (size_t c = 0; c < rs.value().clusters.size(); ++c) {
+    EXPECT_EQ(rs.value().clusters[c], rb.value().clusters[c]);
+  }
+}
+
+TEST(RefineKernelEquivalenceTest, BetulaScalarVsBatch) {
+  Rng rng(43);
+  Dataset data(2);
+  std::vector<double> p(2);
+  for (int i = 0; i < 400; ++i) {
+    double cx = static_cast<double>(rng.UniformInt(3)) * 10.0;
+    p[0] = cx + rng.Gaussian(0.0, 1.0);
+    p[1] = rng.Gaussian(0.0, 1.0);
+    data.Append(p);
+  }
+  std::vector<CfVector> seeds;
+  for (double cx : {0.5, 9.0, 21.0}) {
+    std::vector<double> s = {cx, 0.3};
+    seeds.push_back(CfVector::FromPoint(s, 1.0, CfRepresentation::kBetula));
+  }
+  RefineOptions s;
+  s.passes = 4;
+  s.outlier_distance = 8.0;
+  s.kernel = KernelKind::kScalar;
+  RefineOptions b = s;
+  b.kernel = KernelKind::kBatch;
+  auto rs = RefineClusters(data, seeds, s);
+  auto rb = RefineClusters(data, seeds, b);
+  ASSERT_TRUE(rs.ok() && rb.ok());
+  EXPECT_EQ(rs.value().labels, rb.value().labels);
+  ASSERT_EQ(rs.value().clusters.size(), rb.value().clusters.size());
+  for (size_t c = 0; c < rs.value().clusters.size(); ++c) {
+    EXPECT_EQ(rs.value().clusters[c], rb.value().clusters[c]);
+    EXPECT_EQ(rs.value().clusters[c].rep(), CfRepresentation::kBetula);
   }
 }
 

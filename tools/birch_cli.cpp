@@ -37,6 +37,22 @@ StatusOr<DistanceMetric> ParseMetric(const std::string& name) {
                                  "' (want D0..D4)");
 }
 
+StatusOr<CfRepresentation> ParseCfRep(const std::string& name) {
+  for (auto r : {CfRepresentation::kClassic, CfRepresentation::kBetula}) {
+    if (name == CfRepresentationName(r)) return r;
+  }
+  return Status::InvalidArgument("unknown CF representation '" + name +
+                                 "' (want classic|betula)");
+}
+
+StatusOr<CfStorage> ParseCfStorage(const std::string& name) {
+  for (auto s : {CfStorage::kF64, CfStorage::kF32}) {
+    if (name == CfStorageName(s)) return s;
+  }
+  return Status::InvalidArgument("unknown CF storage '" + name +
+                                 "' (want f64|f32)");
+}
+
 StatusOr<GlobalAlgorithm> ParseAlgorithm(const std::string& name) {
   if (name == "hc") return GlobalAlgorithm::kHierarchical;
   if (name == "kmeans") return GlobalAlgorithm::kKMeans;
@@ -49,7 +65,8 @@ int Run(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
   Status known = flags.CheckKnown(
       {"input", "output", "k", "distance-limit", "memory-kb", "disk-kb",
-       "page", "metric", "threshold", "algorithm", "refine-passes",
+       "page", "metric", "cf", "cf-storage", "threshold", "algorithm",
+       "refine-passes",
        "discard-distance", "no-outliers", "no-delay-split", "stream",
        "seed", "threads", "fault-read", "fault-write", "fault-lose",
        "fault-flip", "fault-seed", "io-attempts", "metrics", "metrics-csv",
@@ -61,6 +78,7 @@ int Run(int argc, char** argv) {
                  "usage: birch_cli --input points.csv (--k K | "
                  "--distance-limit D) [--output labels.csv] "
                  "[--memory-kb 80] [--page 1024] [--metric D0..D4] "
+                 "[--cf classic|betula] [--cf-storage f64|f32] "
                  "[--threshold T0] [--algorithm hc|kmeans|medoids] "
                  "[--refine-passes N] [--discard-distance D] "
                  "[--no-outliers] [--no-delay-split] [--stream] "
@@ -70,6 +88,11 @@ int Run(int argc, char** argv) {
                  "[--io-attempts N]\n"
                  "  --stream clusters the file without loading it into "
                  "memory (no per-row labels).\n"
+                 "  --cf betula uses the numerically stable BETULA "
+                 "(N, mean, S) CF representation\n"
+                 "  (use for data far from the origin); --cf-storage f32 "
+                 "(betula only) halves CF\n"
+                 "  memory, doubling tree fan-out.\n"
                  "  --threads N shards Phase 1 across N workers and "
                  "parallelizes Phases 3/4\n"
                  "  (0 = serial, the default; deterministic for a fixed "
@@ -153,6 +176,18 @@ int Run(int argc, char** argv) {
   }
   o.metric = metric_or.value();
   o.global_metric = metric_or.value();
+  auto cf_or = ParseCfRep(flags.GetString("cf", "classic"));
+  if (!cf_or.ok()) {
+    std::fprintf(stderr, "%s\n", cf_or.status().ToString().c_str());
+    return 2;
+  }
+  o.tree.cf = cf_or.value();
+  auto storage_or = ParseCfStorage(flags.GetString("cf-storage", "f64"));
+  if (!storage_or.ok()) {
+    std::fprintf(stderr, "%s\n", storage_or.status().ToString().c_str());
+    return 2;
+  }
+  o.tree.cf_storage = storage_or.value();
   auto algo_or = ParseAlgorithm(flags.GetString("algorithm", "hc"));
   if (!algo_or.ok()) {
     std::fprintf(stderr, "%s\n", algo_or.status().ToString().c_str());
