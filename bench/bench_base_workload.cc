@@ -35,6 +35,7 @@ int Run(int argc, char** argv) {
                       "matched", "centroid-disp"});
   CsvWriter csv({"dataset", "n", "seconds", "d", "d_actual", "entries",
                  "rebuilds", "matched", "centroid_disp"});
+  bench::JsonRows json("bench_base_workload");
 
   std::vector<PaperDataset> datasets =
       smoke ? std::vector<PaperDataset>{PaperDataset::kDS1}
@@ -85,6 +86,17 @@ int Run(int argc, char** argv) {
         .Add(static_cast<int64_t>(row.result.phase1.rebuilds))
         .Add(static_cast<int64_t>(row.match.matched))
         .Add(row.match.mean_centroid_displacement);
+    json.Row()
+        .Add("dataset", PaperDatasetName(ds))
+        .Add("n", static_cast<int64_t>(g.data.size()))
+        .Add("seconds", row.seconds_total)
+        .Add("d", row.weighted_diameter)
+        .Add("d_actual", row.actual_diameter)
+        .Add("entries",
+             static_cast<int64_t>(row.result.leaf_entries_after_phase1))
+        .Add("rebuilds", static_cast<int64_t>(row.result.phase1.rebuilds))
+        .Add("matched", static_cast<int64_t>(row.match.matched))
+        .Add("centroid_disp", row.match.mean_centroid_displacement);
 
     if (ds == PaperDataset::kDS1 && !smoke) {
       // Figs. 6-7 stand-in: actual vs BIRCH clusters for DS1.
@@ -98,6 +110,7 @@ int Run(int argc, char** argv) {
   }
   table.Print();
   bench::MaybeWriteCsv(csv, bench::CsvPathFromArgs(argc, argv));
+  bench::MaybeWriteJson(json, bench::JsonPathFromArgs(argc, argv));
   if (smoke) {
     // The smoke run must prove the export pipeline end to end: a
     // metrics table with real counts, a CSV, and a loadable trace.

@@ -29,13 +29,6 @@
 namespace birch {
 namespace {
 
-std::string JsonPathFromArgs(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--json") return argv[i + 1];
-  }
-  return "";
-}
-
 struct LegResult {
   std::string leg;
   double offset = 0.0;
@@ -186,30 +179,19 @@ int Run(int argc, char** argv) {
   }
 
   bench::MaybeWriteCsv(csv, bench::CsvPathFromArgs(argc, argv));
-  const std::string json_path = JsonPathFromArgs(argc, argv);
-  if (!json_path.empty()) {
-    FILE* f = std::fopen(json_path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
-      return 1;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"bench_numerics\",\n  \"rows\": [\n");
-    for (size_t i = 0; i < results.size(); ++i) {
-      const auto& r = results[i];
-      std::fprintf(
-          f,
-          "    {\"leg\": \"%s\", \"offset\": %.17g, \"seconds\": %.4f, "
-          "\"d\": %.6f, \"d_truth\": %.6f, \"label_accuracy\": %.4f, "
-          "\"entries\": %llu, \"clamped\": %llu}%s\n",
-          r.leg.c_str(), r.offset, r.seconds, r.d_centered, r.d_truth,
-          r.label_accuracy, static_cast<unsigned long long>(r.entries),
-          static_cast<unsigned long long>(r.clamped),
-          i + 1 < results.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("(json written to %s)\n", json_path.c_str());
+  bench::JsonRows json("bench_numerics");
+  for (const auto& r : results) {
+    json.Row()
+        .Add("leg", r.leg)
+        .Add("offset", r.offset)
+        .Add("seconds", r.seconds)
+        .Add("d", r.d_centered)
+        .Add("d_truth", r.d_truth)
+        .Add("label_accuracy", r.label_accuracy)
+        .Add("entries", r.entries)
+        .Add("clamped", r.clamped);
   }
+  bench::MaybeWriteJson(json, bench::JsonPathFromArgs(argc, argv));
   return 0;
 }
 

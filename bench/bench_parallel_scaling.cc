@@ -39,6 +39,7 @@ int Run(int argc, char** argv) {
                       "D", "matched", "rebuilds", "speedup"});
   CsvWriter csv({"dataset", "threads", "seconds", "phase1_seconds",
                  "phase34_seconds", "d", "matched", "rebuilds", "speedup"});
+  bench::JsonRows json("bench_parallel_scaling");
 
   for (auto ds : datasets) {
     auto gen = smoke ? GeneratePaperDataset(ds, k, /*n_override=*/100)
@@ -86,6 +87,16 @@ int Run(int argc, char** argv) {
           .Add(static_cast<int64_t>(row.match.matched))
           .Add(static_cast<int64_t>(row.result.phase1.rebuilds))
           .Add(speedup);
+      json.Row()
+          .Add("dataset", PaperDatasetName(ds))
+          .Add("threads", static_cast<int64_t>(threads))
+          .Add("seconds", row.seconds_total)
+          .Add("phase1_seconds", row.result.timings.phase1)
+          .Add("phase34_seconds", ph34)
+          .Add("d", row.weighted_diameter)
+          .Add("matched", static_cast<int64_t>(row.match.matched))
+          .Add("rebuilds", static_cast<int64_t>(row.result.phase1.rebuilds))
+          .Add("speedup", speedup);
       if (smoke && row.match.matched < k / 2) {
         std::fprintf(stderr,
                      "smoke: threads=%d matched only %d of %d clusters\n",
@@ -96,6 +107,7 @@ int Run(int argc, char** argv) {
   }
   table.Print();
   bench::MaybeWriteCsv(csv, bench::CsvPathFromArgs(argc, argv));
+  bench::MaybeWriteJson(json, bench::JsonPathFromArgs(argc, argv));
   return 0;
 }
 

@@ -1,6 +1,7 @@
 // Shared helpers for the benchmark binaries: paper-default BIRCH
 // options, a standard "run BIRCH and collect the row" wrapper, and
-// optional CSV dumping (pass --csv <path> to any bench binary).
+// optional CSV / JSON dumping (pass --csv <path> / --json <path> to
+// any bench binary; the JSON shape is what tools/bench_diff gates).
 #ifndef BIRCH_BENCH_BENCH_UTIL_H_
 #define BIRCH_BENCH_BENCH_UTIL_H_
 
@@ -15,6 +16,7 @@
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -159,6 +161,85 @@ inline void MaybeWriteCsv(const CsvWriter& csv, const std::string& path) {
     std::fprintf(stderr, "csv write failed: %s\n", st.ToString().c_str());
   } else {
     std::printf("(csv written to %s)\n", path.c_str());
+  }
+}
+
+/// --json <path> support (the bench_diff input format).
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+/// Typed row accumulator rendered as {"bench": name, "rows": [...]}:
+/// one object per row, keys in insertion order. This is the committed
+/// BENCH_*.json shape that tools/bench_diff compares run to run.
+class JsonRows {
+ public:
+  explicit JsonRows(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  JsonRows& Row() {
+    writer_ = nullptr;
+    rows_.emplace_back();
+    writer_ = &rows_.back();
+    writer_->BeginObject();
+    return *this;
+  }
+  JsonRows& Add(std::string_view key, std::string_view v) {
+    writer_->KV(key, v);
+    return *this;
+  }
+  JsonRows& Add(std::string_view key, const char* v) {
+    writer_->KV(key, std::string_view(v));
+    return *this;
+  }
+  JsonRows& Add(std::string_view key, double v) {
+    writer_->KV(key, v);
+    return *this;
+  }
+  JsonRows& Add(std::string_view key, int64_t v) {
+    writer_->KV(key, v);
+    return *this;
+  }
+  JsonRows& Add(std::string_view key, uint64_t v) {
+    writer_->KV(key, v);
+    return *this;
+  }
+  JsonRows& Add(std::string_view key, bool v) {
+    writer_->KV(key, v);
+    return *this;
+  }
+
+  std::string ToString() const {
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("bench", bench_name_);
+    w.Key("rows").BeginArray();
+    std::string out = w.str();
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += rows_[i].str();
+      out += '}';  // each row's writer holds an open object
+    }
+    out += "]}";
+    return out;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<JsonWriter> rows_;
+  JsonWriter* writer_ = nullptr;
+};
+
+inline void MaybeWriteJson(const JsonRows& rows, const std::string& path) {
+  if (path.empty()) return;
+  Status st = WriteFileAtomic(path, rows.ToString());
+  if (!st.ok()) {
+    std::fprintf(stderr, "json write failed: %s\n", st.ToString().c_str());
+  } else {
+    std::printf("(json written to %s)\n", path.c_str());
   }
 }
 

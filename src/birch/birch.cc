@@ -6,6 +6,7 @@
 
 #include "birch/checkpoint.h"
 #include "birch/phase1_parallel.h"
+#include "birch/run_report.h"
 #include "exec/thread_pool.h"
 #include "obs/export.h"
 #include "obs/trace.h"
@@ -263,7 +264,18 @@ Status StreamingRefine(PointSource* source, const BirchOptions& opts,
 BirchClusterer::BirchClusterer(const BirchOptions& options)
     : options_(options),
       phase1_(std::make_unique<Phase1Builder>(Phase1OptionsFrom(options))),
-      metrics_baseline_(obs::CaptureSnapshot()) {}
+      metrics_baseline_(obs::CaptureSnapshot()) {
+  if (options_.obs.sample_every_ms > 0) {
+    obs::SamplerOptions so;
+    so.sample_every_ms = options_.obs.sample_every_ms;
+    so.series_capacity = options_.obs.series_capacity;
+    sampler_ = std::make_unique<obs::StatsSampler>(so);
+    RegisterBirchProbes(sampler_.get());
+    // Cannot fail: Validate() already rejected a zero cadence.
+    Status st = sampler_->Start();
+    (void)st;
+  }
+}
 
 BirchClusterer::~BirchClusterer() = default;
 
@@ -511,8 +523,13 @@ StatusOr<BirchResult> BirchClusterer::Finish(const Dataset* for_refinement) {
   if (options_.num_threads > 0) {
     pool = std::make_unique<exec::ThreadPool>(options_.num_threads);
   }
-  return RunPhases234(options_, p1, for_refinement, pool.get(),
-                      metrics_baseline_);
+  auto result_or = RunPhases234(options_, p1, for_refinement, pool.get(),
+                                metrics_baseline_);
+  if (sampler_ != nullptr) {
+    sampler_->Stop();  // final sample covers the finished run
+    if (result_or.ok()) result_or.value().timeseries = sampler_->Snapshot();
+  }
+  return result_or;
 }
 
 StatusOr<BirchResult> BirchClusterer::Cluster(PointSource* source,
@@ -595,7 +612,13 @@ StatusOr<BirchResult> BirchClusterer::Cluster(PointSource* source,
   p1.disk_pages_read = sharded_->disk_pages_read;
   p1.seconds = phase1_timer_.Seconds();
   phase1_span_.End();
-  return RunPhases234(options_, p1, for_refinement, &pool, metrics_baseline_);
+  auto result_or =
+      RunPhases234(options_, p1, for_refinement, &pool, metrics_baseline_);
+  if (sampler_ != nullptr) {
+    sampler_->Stop();
+    if (result_or.ok()) result_or.value().timeseries = sampler_->Snapshot();
+  }
+  return result_or;
 }
 
 StatusOr<BirchResult> ClusterSource(PointSource* source,

@@ -19,6 +19,8 @@
 #include "birch/point_source.h"
 #include "birch/refine.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -64,6 +66,11 @@ struct BirchResult {
   /// histograms, span aggregates, deltas against the registry state at
   /// clusterer construction). Empty when obs is disabled.
   obs::MetricsSnapshot metrics;
+
+  /// Sampled trajectories (threshold T, tree occupancy, memory, I/O
+  /// volume over the run). Populated only when
+  /// options.obs.sample_every_ms > 0 and obs is enabled.
+  std::vector<obs::TimeSeriesSnapshot> timeseries;
 };
 
 struct ShardedPhase1Result;
@@ -169,6 +176,10 @@ class BirchClusterer {
   /// Registry state at construction; Finish() reports the delta so
   /// BirchResult::metrics covers exactly this run.
   obs::MetricsSnapshot metrics_baseline_;
+  /// Continuous telemetry (options_.obs.sample_every_ms > 0): started
+  /// at construction, stopped when Finish()/Cluster() completes; its
+  /// series become BirchResult::timeseries. Null when sampling is off.
+  std::unique_ptr<obs::StatsSampler> sampler_;
   /// Phase 1 runs from construction (the Add() stream) through the
   /// Finish() tail — one timer and one span cover the whole stretch.
   Timer phase1_timer_;

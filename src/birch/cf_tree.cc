@@ -41,6 +41,7 @@ CfTree::~CfTree() {
     }
   }
   for (CfNode* n : order) FreeNode(n);
+  OBS_GAUGE_ADD("tree/leaf_entries", -static_cast<double>(leaf_entries_));
 }
 
 CfNode* CfTree::AllocNode(bool leaf) {
@@ -177,6 +178,7 @@ InsertOutcome CfTree::InsertEntry(const CfVector& entry, InsertMode mode) {
     node->entries.push_back(entry);
     if (node->scratch_valid) node->scratch.Append(entry);
     ++leaf_entries_;
+    OBS_GAUGE_ADD("tree/leaf_entries", 1);
     for (auto& step : path) add_to_entry(step.node, step.child, entry);
     ++stats_.new_entries;
     return InsertOutcome::kNewEntry;
@@ -190,6 +192,7 @@ InsertOutcome CfTree::InsertEntry(const CfVector& entry, InsertMode mode) {
   // Split the leaf and propagate upward.
   ++stats_.new_entries;
   ++leaf_entries_;
+  OBS_GAUGE_ADD("tree/leaf_entries", 1);
   node->entries.push_back(entry);
   node->scratch_valid = false;
   CfNode* left = node;
@@ -408,6 +411,8 @@ void CfTree::Rebuild(double new_threshold, double outlier_n_threshold,
   root_ = AllocNode(/*leaf=*/true);
   first_leaf_ = root_;
   height_ = 1;
+  // Reinsertion below re-increments the gauge entry by entry.
+  OBS_GAUGE_ADD("tree/leaf_entries", -static_cast<double>(leaf_entries_));
   leaf_entries_ = 0;
   threshold_ = new_threshold;
 

@@ -135,12 +135,26 @@ struct BirchOptions {
     KernelKind kernel = KernelKind::kBatch;
   };
 
+  // --- Observability (src/obs) ---
+  struct Obs {
+    /// > 0: the clusterer runs a background StatsSampler at this
+    /// cadence for the lifetime of the run, sampling the BIRCH probes
+    /// (tree occupancy, threshold T, memory and I/O volume) into
+    /// BirchResult::timeseries. 0 (the default) records nothing and
+    /// starts no thread.
+    uint64_t sample_every_ms = 0;
+    /// Ring capacity per sampled series; the oldest samples drop
+    /// beyond it (the drop count is reported in the snapshot).
+    size_t series_capacity = 4096;
+  };
+
   Resources resources;
   Tree tree;
   Outliers outliers;
   GlobalPhase global_phase;
   Refine refine;
   Exec exec;
+  Obs obs;
 
   // --- Deprecated flat aliases ---
   // Reference views of the grouped fields above, preserving the
@@ -187,7 +201,8 @@ struct BirchOptions {
         outliers(other.outliers),
         global_phase(other.global_phase),
         refine(other.refine),
-        exec(other.exec) {}
+        exec(other.exec),
+        obs(other.obs) {}
   BirchOptions& operator=(const BirchOptions& other) {
     dim = other.dim;
     k = other.k;
@@ -199,6 +214,7 @@ struct BirchOptions {
     global_phase = other.global_phase;
     refine = other.refine;
     exec = other.exec;
+    obs = other.obs;
     return *this;
   }
 
@@ -265,6 +281,10 @@ struct BirchOptions {
           "num_threads must be in [0, " + std::to_string(kMaxThreads) +
           "] (0 = serial)");
     }
+    if (obs.sample_every_ms > 0 && obs.series_capacity == 0) {
+      return Status::InvalidArgument(
+          "obs.series_capacity must be > 0 when sampling is enabled");
+    }
     return Status::OK();
   }
 };
@@ -325,6 +345,10 @@ class BirchOptions::Builder {
   // --- Execution ---
   Builder& NumThreads(int v) { o_.exec.num_threads = v; return *this; }
   Builder& Kernel(KernelKind v) { o_.exec.kernel = v; return *this; }
+
+  // --- Observability ---
+  Builder& SampleEveryMs(uint64_t v) { o_.obs.sample_every_ms = v; return *this; }
+  Builder& ObsSeriesCapacity(size_t v) { o_.obs.series_capacity = v; return *this; }
 
   /// Validates and returns the finished options.
   StatusOr<BirchOptions> Build() const {

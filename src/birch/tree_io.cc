@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace birch {
 
 namespace {
@@ -262,6 +264,7 @@ StatusOr<std::unique_ptr<CfTree>> TreeIO::Read(const TreeImage& image,
     }
     if (is_leaf) {
       tree->leaf_entries_ += count;
+      OBS_GAUGE_ADD("tree/leaf_entries", count);
       max_depth = std::max(max_depth, depth);
       leaf_by_page[id] = node;
       // Leaves are visited left-to-right: append to the chain. (When
@@ -319,6 +322,8 @@ StatusOr<std::unique_ptr<CfTree>> TreeIO::Read(const TreeImage& image,
       n->children.clear();  // ownership is flat via `allocated`
       tree->FreeNode(n);
     }
+    OBS_GAUGE_ADD("tree/leaf_entries",
+                  -static_cast<double>(tree->leaf_entries_));
     tree->leaf_entries_ = 0;
     tree->root_ = tree->AllocNode(/*leaf=*/true);
     tree->first_leaf_ = tree->root_;

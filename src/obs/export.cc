@@ -54,11 +54,14 @@ std::string SummaryTable(const MetricsSnapshot& snapshot) {
     table.Row().Add(name).Add("gauge").Add(FormatDouble(value)).Add("");
   }
   for (const auto& [name, h] : snapshot.histograms) {
-    char detail[128];
-    std::snprintf(detail, sizeof(detail), "mean=%s min=%s max=%s",
+    char detail[192];
+    std::snprintf(detail, sizeof(detail),
+                  "mean=%s min=%s max=%s p50=%s p99=%s",
                   FormatDouble(h.Mean()).c_str(),
                   FormatDouble(h.min).c_str(),
-                  FormatDouble(h.max).c_str());
+                  FormatDouble(h.max).c_str(),
+                  FormatDouble(h.Quantile(0.50)).c_str(),
+                  FormatDouble(h.Quantile(0.99)).c_str());
     table.Row().Add(name).Add("histogram").Add(
         static_cast<int64_t>(h.count)).Add(detail);
   }
@@ -76,23 +79,26 @@ std::string SummaryTable(const MetricsSnapshot& snapshot) {
 namespace {
 
 CsvWriter SnapshotCsv(const MetricsSnapshot& snapshot) {
-  CsvWriter csv({"metric", "kind", "value", "count", "sum", "min", "max"});
+  CsvWriter csv({"metric", "kind", "value", "count", "sum", "min", "max",
+                 "p50", "p95", "p99"});
   for (const auto& [name, value] : snapshot.counters) {
     csv.Row().Add(name).Add("counter").Add(
-        static_cast<int64_t>(value)).Add("").Add("").Add("").Add("");
+        static_cast<int64_t>(value)).Add("").Add("").Add("").Add("")
+        .Add("").Add("").Add("");
   }
   for (const auto& [name, value] : snapshot.gauges) {
     csv.Row().Add(name).Add("gauge").Add(value).Add("").Add("").Add("")
-        .Add("");
+        .Add("").Add("").Add("").Add("");
   }
   for (const auto& [name, h] : snapshot.histograms) {
     csv.Row().Add(name).Add("histogram").Add("").Add(
-        static_cast<int64_t>(h.count)).Add(h.sum).Add(h.min).Add(h.max);
+        static_cast<int64_t>(h.count)).Add(h.sum).Add(h.min).Add(h.max)
+        .Add(h.Quantile(0.50)).Add(h.Quantile(0.95)).Add(h.Quantile(0.99));
   }
   for (const auto& [name, s] : snapshot.spans) {
     csv.Row().Add(name).Add("span").Add("").Add(
         static_cast<int64_t>(s.count)).Add(s.total_us).Add("").Add(
-        s.max_us);
+        s.max_us).Add("").Add("").Add("");
   }
   return csv;
 }

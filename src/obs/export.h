@@ -19,9 +19,10 @@ MetricsSnapshot CaptureSnapshot();
 /// within kind (counters, gauges, histograms, spans).
 std::string SummaryTable(const MetricsSnapshot& snapshot);
 
-/// CSV with schema metric,kind,value,count,sum,min,max — counters and
-/// gauges fill `value`; histograms and spans fill the aggregate
-/// columns (span sum/max are microseconds).
+/// CSV with schema metric,kind,value,count,sum,min,max,p50,p95,p99 —
+/// counters and gauges fill `value`; histograms and spans fill the
+/// aggregate columns (span sum/max are microseconds); only histograms
+/// carry the quantile columns (bucket-interpolated estimates).
 std::string ToCsv(const MetricsSnapshot& snapshot);
 Status WriteCsv(const MetricsSnapshot& snapshot, const std::string& path);
 

@@ -89,6 +89,30 @@ HistogramSnapshot Histogram::Snapshot() const {
   return s;
 }
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = cum + static_cast<double>(buckets[i]);
+    if (next < target) {
+      cum = next;
+      continue;
+    }
+    // The target rank lands in bucket i; interpolate within it, using
+    // the observed extremes to tighten the open-ended boundaries.
+    double lo = std::max(Histogram::BucketLowerBound(i), min);
+    double hi = std::min(Histogram::BucketUpperBound(i), max);
+    if (!(hi > lo)) return lo;
+    const double frac = (target - cum) / static_cast<double>(buckets[i]);
+    return lo + frac * (hi - lo);
+  }
+  return max;
+}
+
 MetricsSnapshot MetricsSnapshot::DeltaSince(
     const MetricsSnapshot& base) const {
   MetricsSnapshot out = *this;

@@ -91,6 +91,13 @@ struct HistogramSnapshot {
   std::vector<uint64_t> buckets;
 
   double Mean() const { return count == 0 ? 0.0 : sum / count; }
+
+  /// Estimated q-quantile (q in [0,1]) from the log-scale buckets:
+  /// cumulative walk to the target rank, then linear interpolation
+  /// inside the bucket, clamped to the observed [min, max]. Accuracy is
+  /// bounded by the bucket width (a factor of 2), which is the same
+  /// precision the bucket layout already commits to. 0 when empty.
+  double Quantile(double q) const;
 };
 
 /// Log-scale histogram with fixed power-of-two bucket boundaries:

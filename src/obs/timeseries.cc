@@ -1,0 +1,40 @@
+#include "obs/timeseries.h"
+
+namespace birch {
+namespace obs {
+
+void TimeSeries::Append(uint64_t t_us, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back({t_us, value});
+    return;
+  }
+  ring_[head_] = {t_us, value};
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+TimeSeriesSnapshot TimeSeries::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TimeSeriesSnapshot s;
+  s.name = name_;
+  s.dropped = dropped_;
+  s.points.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    s.points.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return s;
+}
+
+size_t TimeSeries::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t TimeSeries::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace obs
+}  // namespace birch

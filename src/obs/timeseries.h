@@ -1,0 +1,69 @@
+// Fixed-capacity time series: the storage behind the StatsSampler.
+// Each series is a named ring of (timestamp, value) points; when the
+// ring is full the oldest point is overwritten and `dropped` counts
+// what fell off, so exporters can say "first N points elided" instead
+// of silently presenting a truncated trajectory as complete.
+//
+// Append/Snapshot are mutex-guarded: the sampler thread appends at
+// most a few times per second per series, so a lock (not a lock-free
+// ring) is the right complexity for the write rate.
+#ifndef BIRCH_OBS_TIMESERIES_H_
+#define BIRCH_OBS_TIMESERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace birch {
+namespace obs {
+
+/// One sample: microseconds since the tracer epoch, and the value.
+struct TimeSeriesPoint {
+  uint64_t t_us = 0;
+  double value = 0.0;
+};
+
+/// Point-in-time copy of one series (oldest point first).
+struct TimeSeriesSnapshot {
+  std::string name;
+  std::vector<TimeSeriesPoint> points;
+  /// Points that fell off the front of the ring.
+  uint64_t dropped = 0;
+
+  bool empty() const { return points.empty(); }
+};
+
+/// Named bounded ring of samples.
+class TimeSeries {
+ public:
+  TimeSeries(std::string name, size_t capacity)
+      : name_(std::move(name)), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  void Append(uint64_t t_us, double value);
+
+  /// Copies the ring contents in append order (oldest first).
+  TimeSeriesSnapshot Snapshot() const;
+
+  size_t size() const;
+  uint64_t dropped() const;
+  size_t capacity() const { return capacity_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  const std::string name_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TimeSeriesPoint> ring_;  // grows up to capacity_
+  size_t head_ = 0;                    // index of the oldest point
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace obs
+}  // namespace birch
+
+#endif  // BIRCH_OBS_TIMESERIES_H_

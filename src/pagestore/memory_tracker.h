@@ -17,6 +17,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/metrics.h"
+
 namespace birch {
 
 /// Tracks bytes in use against a fixed budget.
@@ -45,6 +47,7 @@ class MemoryTracker {
                                           std::memory_order_relaxed));
     UpdatePeak(cur + bytes);
     allocations_.fetch_add(1, std::memory_order_relaxed);
+    OBS_GAUGE_ADD("mem/used_bytes", bytes);
     return true;
   }
 
@@ -56,6 +59,7 @@ class MemoryTracker {
     size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
     UpdatePeak(now);
     allocations_.fetch_add(1, std::memory_order_relaxed);
+    OBS_GAUGE_ADD("mem/used_bytes", bytes);
   }
 
   /// True when ForceAllocate pushed usage past the budget.
@@ -69,6 +73,7 @@ class MemoryTracker {
     assert(bytes <= prev);
     (void)prev;
     frees_.fetch_add(1, std::memory_order_relaxed);
+    OBS_GAUGE_ADD("mem/used_bytes", -static_cast<double>(bytes));
   }
 
   size_t budget() const { return budget_; }

@@ -1,0 +1,402 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace birch {
+
+// --- Writer -----------------------------------------------------------
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (first_.empty()) return;
+  if (first_.back()) {
+    first_.back() = false;
+  } else {
+    out_ += ',';
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  if (!first_.empty()) first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  if (!first_.empty()) first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  Separate();
+  out_ += '"';
+  out_ += Escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  Separate();
+  out_ += '"';
+  out_ += Escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  Separate();
+  out_ += Number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  Separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  Separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  Separate();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::Number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no Inf/NaN
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// --- Parser -----------------------------------------------------------
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+constexpr int kMaxDepth = 64;
+}  // namespace
+
+/// Hand-rolled recursive-descent parser. Every failure is kCorruption
+/// with a byte offset: telemetry files are machine-written, so a parse
+/// error means the file is damaged, not "try harder".
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Run() {
+    JsonValue v;
+    BIRCH_RETURN_IF_ERROR(ParseValue(&v, 0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after the JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::Corruption("json: " + what + " at byte " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          out->kind_ = JsonValue::Kind::kBool;
+          out->bool_ = true;
+          return Status::OK();
+        }
+        return Fail("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          out->kind_ = JsonValue::Kind::kBool;
+          out->bool_ = false;
+          return Status::OK();
+        }
+        return Fail("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          out->kind_ = JsonValue::Kind::kNull;
+          return Status::OK();
+        }
+        return Fail("bad literal");
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      BIRCH_RETURN_IF_ERROR(ParseString(&key));
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue v;
+      BIRCH_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+      out->members_.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue v;
+      BIRCH_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+      out->array_.push_back(std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // Telemetry files are ASCII; encode the code point as UTF-8.
+          if (cp < 0x80) {
+            *out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            *out += static_cast<char>(0xC0 | (cp >> 6));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (cp >> 12));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    // Strict JSON grammar (RFC 8259): -?(0|[1-9][0-9]*)(.[0-9]+)?
+    // ([eE][+-]?[0-9]+)? — strtod alone is too permissive (leading
+    // zeros, bare '.', hex, inf/nan).
+    const size_t start = pos_;
+    Consume('-');
+    size_t int_digits = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++int_digits;
+    }
+    if (int_digits == 0) return Fail("expected a value");
+    if (int_digits > 1 && text_[start + (text_[start] == '-' ? 1 : 0)] == '0') {
+      return Fail("bad number");  // leading zero
+    }
+    if (Consume('.')) {
+      size_t frac_digits = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++frac_digits;
+      }
+      if (frac_digits == 0) return Fail("bad number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      size_t exp_digits = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++exp_digits;
+      }
+      if (exp_digits == 0) return Fail("bad number");
+    }
+    std::string tok(text_.substr(start, pos_ - start));
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = std::strtod(tok.c_str(), nullptr);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+StatusOr<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).Run();
+}
+
+StatusOr<JsonValue> JsonValue::ParseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::IOError("read failed: " + path);
+  }
+  return Parse(buf.str());
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return Status::IOError("write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace birch

@@ -1,0 +1,122 @@
+// Minimal zero-dependency JSON support for the telemetry artifacts:
+// a streaming writer (run reports, bench trajectory files) and a
+// recursive-descent parser (bench_diff, run-report round-trips).
+//
+// The writer produces compact one-pass output with automatic comma
+// placement; keys and values must be emitted in document order. The
+// parser materializes a JsonValue tree (object members keep document
+// order) and rejects malformed input with kCorruption rather than
+// guessing. Neither side allocates anything process-global.
+#ifndef BIRCH_UTIL_JSON_H_
+#define BIRCH_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace birch {
+
+/// Streaming JSON writer. Usage:
+///
+///   JsonWriter w;
+///   w.BeginObject().Key("rows").BeginArray();
+///   w.BeginObject().KV("seconds", 1.25).EndObject();
+///   w.EndArray().EndObject();
+///   file << w.str();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view k);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(bool v);
+  JsonWriter& Null();
+
+  JsonWriter& KV(std::string_view k, std::string_view v) {
+    return Key(k).Value(v);
+  }
+  JsonWriter& KV(std::string_view k, const char* v) {
+    return Key(k).Value(std::string_view(v));
+  }
+  JsonWriter& KV(std::string_view k, double v) { return Key(k).Value(v); }
+  JsonWriter& KV(std::string_view k, int64_t v) { return Key(k).Value(v); }
+  JsonWriter& KV(std::string_view k, uint64_t v) { return Key(k).Value(v); }
+  JsonWriter& KV(std::string_view k, bool v) { return Key(k).Value(v); }
+
+  const std::string& str() const { return out_; }
+
+  /// `s` with JSON string escapes applied (no surrounding quotes).
+  static std::string Escape(std::string_view s);
+  /// Shortest faithful rendering: integral doubles print bare,
+  /// everything else round-trips via %.17g; non-finite becomes null.
+  static std::string Number(double v);
+
+ private:
+  void Separate();  // comma handling before a new element
+
+  std::string out_;
+  std::vector<bool> first_;  // per open container: no element yet
+  bool after_key_ = false;
+};
+
+/// Parsed JSON document node. Object members preserve document order;
+/// Find() does a linear scan (documents here are small).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool boolean() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Parses one complete JSON document (trailing garbage rejected).
+  static StatusOr<JsonValue> Parse(std::string_view text);
+  /// Reads and parses `path` (kIOError on read failure).
+  static StatusOr<JsonValue> ParseFile(const std::string& path);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Writes `content` to `path` via a temp file + rename (atomic replace,
+/// same guarantee the checkpoint writer gives).
+Status WriteFileAtomic(const std::string& path, std::string_view content);
+
+}  // namespace birch
+
+#endif  // BIRCH_UTIL_JSON_H_

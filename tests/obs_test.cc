@@ -13,7 +13,10 @@
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "util/status.h"
 
 namespace birch {
 namespace obs {
@@ -303,9 +306,149 @@ TEST_F(ObsTest, SummaryTableAndCsvListEveryMetric) {
     EXPECT_NE(table.find(name), std::string::npos) << name;
   }
   std::string csv = ToCsv(snap);
-  EXPECT_NE(csv.find("metric,kind,value,count,sum,min,max"),
+  EXPECT_NE(csv.find("metric,kind,value,count,sum,min,max,p50,p95,p99"),
             std::string::npos);
   EXPECT_NE(csv.find("test/export_counter,counter,3"), std::string::npos);
+  // The histogram row carries its quantile estimates (a single sample:
+  // every quantile equals the value).
+  EXPECT_NE(csv.find("test/export_hist,histogram,"), std::string::npos);
+  std::string table_detail = SummaryTable(snap);
+  EXPECT_NE(table_detail.find("p50="), std::string::npos);
+  EXPECT_NE(table_detail.find("p99="), std::string::npos);
+}
+
+TEST_F(ObsTest, HistogramQuantilesEmptyAndSingle) {
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  Histogram& h = Registry::Default().GetHistogram("test/quantile_single");
+  h.Record(5.0);
+  HistogramSnapshot s = h.Snapshot();
+  // One sample: every quantile collapses to it.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.99), 5.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 5.0);
+}
+
+TEST_F(ObsTest, HistogramQuantilesMonotoneAndBounded) {
+  Histogram& h = Registry::Default().GetHistogram("test/quantile_mono");
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  HistogramSnapshot s = h.Snapshot();
+  double p50 = s.Quantile(0.50);
+  double p90 = s.Quantile(0.90);
+  double p99 = s.Quantile(0.99);
+  double p999 = s.Quantile(0.999);
+  EXPECT_GE(p50, s.min);
+  EXPECT_LE(p999, s.max);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, p999);
+  // Accuracy is bounded by the log-scale bucket width: p50 of uniform
+  // 1..1000 is 500, inside bucket [256, 512) — interpolation must land
+  // in that bucket.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LT(p50, 512.0);
+  // p999 -> 999, inside [512, 1000] after the max clamp.
+  EXPECT_GE(p999, 512.0);
+  EXPECT_LE(p999, 1000.0);
+  // Out-of-range q clamps to the observed extremes.
+  EXPECT_DOUBLE_EQ(s.Quantile(-1.0), s.min);
+  EXPECT_DOUBLE_EQ(s.Quantile(2.0), s.max);
+}
+
+TEST_F(ObsTest, TimeSeriesRingDropsOldest) {
+  TimeSeries ts("test/ring", /*capacity=*/4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    ts.Append(/*t_us=*/i * 10, static_cast<double>(i));
+  }
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_EQ(ts.dropped(), 2u);
+  TimeSeriesSnapshot snap = ts.Snapshot();
+  EXPECT_EQ(snap.name, "test/ring");
+  EXPECT_EQ(snap.dropped, 2u);
+  ASSERT_EQ(snap.points.size(), 4u);
+  // Oldest-first: points 2..5 survive.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap.points[i].t_us, (i + 2) * 10);
+    EXPECT_DOUBLE_EQ(snap.points[i].value, static_cast<double>(i + 2));
+  }
+}
+
+TEST_F(ObsTest, SamplerStartStopIdempotent) {
+  Gauge& g = Registry::Default().GetGauge("test/sampler_gauge");
+  g.Set(7.0);
+  SamplerOptions so;
+  so.sample_every_ms = 1000;  // cadence never fires in this test
+  StatsSampler sampler(so);
+  sampler.AddGaugeProbe("test/sampler_gauge");
+  ASSERT_TRUE(sampler.Start().ok());
+  ASSERT_TRUE(sampler.Start().ok());  // second Start is a no-op
+  EXPECT_TRUE(sampler.running());
+  sampler.Stop();
+  sampler.Stop();  // second Stop is a no-op
+  EXPECT_FALSE(sampler.running());
+  // One sample in Start, one in the first Stop, none from the cadence.
+  EXPECT_EQ(sampler.samples_taken(), 2u);
+  std::vector<TimeSeriesSnapshot> series = sampler.Snapshot();
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_EQ(series[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].points[0].value, 7.0);
+  EXPECT_DOUBLE_EQ(series[0].points[1].value, 7.0);
+}
+
+TEST_F(ObsTest, SamplerRejectsZeroCadence) {
+  SamplerOptions so;
+  so.sample_every_ms = 0;
+  StatsSampler sampler(so);
+  Status st = sampler.Start();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(sampler.running());
+}
+
+TEST_F(ObsTest, SamplerRecordsNothingWhenDisabled) {
+  Gauge& g = Registry::Default().GetGauge("test/sampler_disabled");
+  g.Set(1.0);
+  SamplerOptions so;
+  so.sample_every_ms = 1;
+  StatsSampler sampler(so);
+  sampler.AddGaugeProbe("test/sampler_disabled");
+  SetEnabled(false);
+  ASSERT_TRUE(sampler.Start().ok());
+  sampler.SampleOnce();
+  sampler.Stop();
+  SetEnabled(true);
+  EXPECT_EQ(sampler.samples_taken(), 0u);
+  std::vector<TimeSeriesSnapshot> series = sampler.Snapshot();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_TRUE(series[0].empty());
+}
+
+TEST_F(ObsTest, SamplerProbesFrozenWhileRunning) {
+  SamplerOptions so;
+  so.sample_every_ms = 1000;
+  StatsSampler sampler(so);
+  sampler.AddProbe("test/frozen_a", [] { return 1.0; });
+  ASSERT_TRUE(sampler.Start().ok());
+  sampler.AddProbe("test/frozen_b", [] { return 2.0; });  // ignored
+  sampler.Stop();
+  EXPECT_EQ(sampler.Snapshot().size(), 1u);
+}
+
+TEST_F(ObsTest, SamplerEmitsTraceCounterEvents) {
+  Tracer& tracer = Tracer::Default();
+  tracer.Reset();
+  Gauge& g = Registry::Default().GetGauge("test/sampler_trace");
+  g.Set(3.5);
+  StatsSampler sampler;
+  sampler.AddGaugeProbe("test/sampler_trace");
+  tracer.StartRecording();
+  sampler.SampleOnce();
+  tracer.StopRecording();
+  std::string json = tracer.ChromeTraceJson();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos) << json;
+  EXPECT_NE(json.find("test/sampler_trace"), std::string::npos) << json;
+  tracer.Reset();
 }
 
 }  // namespace

@@ -15,11 +15,14 @@
 // re-reading the SAME input (already-ingested rows are skipped).
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 #include "birch/birch.h"
 #include "birch/dataset_io.h"
+#include "birch/run_report.h"
 #include "eval/quality.h"
 #include "obs/export.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -70,7 +73,8 @@ int Run(int argc, char** argv) {
        "discard-distance", "no-outliers", "no-delay-split", "stream",
        "seed", "threads", "fault-read", "fault-write", "fault-lose",
        "fault-flip", "fault-seed", "io-attempts", "metrics", "metrics-csv",
-       "trace-out", "checkpoint", "checkpoint-every", "restore", "help"});
+       "trace-out", "report", "sample-every-ms", "checkpoint",
+       "checkpoint-every", "restore", "help"});
   if (!known.ok() || flags.Has("help") || !flags.Has("input") ||
       (!flags.Has("k") && !flags.Has("distance-limit"))) {
     if (!known.ok()) std::fprintf(stderr, "%s\n", known.ToString().c_str());
@@ -104,7 +108,14 @@ int Run(int argc, char** argv) {
                  "  --metrics prints the instrumentation summary; "
                  "--metrics-csv FILE writes it as CSV;\n"
                  "  --trace-out FILE records a Chrome trace_event JSON "
-                 "(chrome://tracing, ui.perfetto.dev).\n"
+                 "(chrome://tracing, ui.perfetto.dev);\n"
+                 "  --report FILE writes the versioned JSON run-report "
+                 "manifest (options fingerprint,\n"
+                 "  phase timings, metrics with quantiles, time series) — "
+                 "on failure too;\n"
+                 "  --sample-every-ms N samples tree/memory/I-O "
+                 "trajectories every N ms into the\n"
+                 "  report and trace (0 = off, the default).\n"
                  "  --checkpoint FILE --checkpoint-every N save the live "
                  "Phase-1 state every N points\n"
                  "  (atomic replace); --restore FILE resumes from such a "
@@ -197,6 +208,30 @@ int Run(int argc, char** argv) {
 
   if (flags.Has("trace-out")) obs::Tracer::Default().StartRecording();
 
+  // Registry state before the run: the failure path has no
+  // BirchResult::metrics delta, so the CLI computes its own.
+  obs::MetricsSnapshot cli_baseline = obs::CaptureSnapshot();
+
+  // The CLI owns its sampler (rather than wiring o.obs) so a failed
+  // run's trajectory still exists for the report.
+  std::unique_ptr<obs::StatsSampler> sampler;
+  int64_t sample_ms = flags.GetInt("sample-every-ms", 0);
+  if (sample_ms < 0) {
+    std::fprintf(stderr, "--sample-every-ms must be >= 0\n");
+    return 2;
+  }
+  if (sample_ms > 0) {
+    obs::SamplerOptions so;
+    so.sample_every_ms = static_cast<uint64_t>(sample_ms);
+    sampler = std::make_unique<obs::StatsSampler>(so);
+    RegisterBirchProbes(sampler.get());
+    Status st = sampler->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "sampler: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
+
   Dataset data(1);
   StatusOr<BirchResult> result_or = Status::Internal("unreachable");
   if (stream) {
@@ -245,24 +280,78 @@ int Run(int argc, char** argv) {
       result_or = ClusterDataset(data, o);
     }
   }
+  // Flushes every requested artifact — trace, metrics, run report — on
+  // the success AND failure paths: a partial run's telemetry is exactly
+  // what a post-mortem needs. Returns false if any write failed.
+  auto flush_artifacts = [&](const Status& run_status,
+                             const BirchResult* result) -> bool {
+    bool all_ok = true;
+    std::vector<obs::TimeSeriesSnapshot> series;
+    if (sampler != nullptr) {
+      sampler->Stop();  // idempotent; takes the final sample
+      series = sampler->Snapshot();
+    }
+    if (flags.Has("trace-out")) {
+      obs::Tracer::Default().StopRecording();
+      Status st = obs::Tracer::Default().WriteChromeTrace(
+          flags.GetString("trace-out"));
+      if (!st.ok()) {
+        std::fprintf(stderr, "trace write failed: %s\n",
+                     st.ToString().c_str());
+        all_ok = false;
+      } else {
+        std::printf("trace written to %s\n",
+                    flags.GetString("trace-out").c_str());
+      }
+    }
+    obs::MetricsSnapshot metrics =
+        result != nullptr ? result->metrics
+                          : obs::CaptureSnapshot().DeltaSince(cli_baseline);
+    if (flags.Has("metrics")) {
+      std::printf("%s", obs::SummaryTable(metrics).c_str());
+    }
+    if (flags.Has("metrics-csv")) {
+      Status st = obs::WriteCsv(metrics, flags.GetString("metrics-csv"));
+      if (!st.ok()) {
+        std::fprintf(stderr, "metrics csv write failed: %s\n",
+                     st.ToString().c_str());
+        all_ok = false;
+      } else {
+        std::printf("metrics csv written to %s\n",
+                    flags.GetString("metrics-csv").c_str());
+      }
+    }
+    if (flags.Has("report")) {
+      RunReportInputs in;
+      in.options = &o;
+      in.dataset_name = flags.GetString("input");
+      in.dataset_points =
+          result != nullptr ? result->phase1.points_added : 0;
+      in.dataset_dim = o.dim;
+      in.status = run_status;
+      in.result = result;
+      in.timeseries = std::move(series);
+      Status st = WriteRunReport(flags.GetString("report"), in);
+      if (!st.ok()) {
+        std::fprintf(stderr, "report write failed: %s\n",
+                     st.ToString().c_str());
+        all_ok = false;
+      } else {
+        std::printf("run report written to %s\n",
+                    flags.GetString("report").c_str());
+      }
+    }
+    return all_ok;
+  };
+
   if (!result_or.ok()) {
     std::fprintf(stderr, "clustering: %s\n",
                  result_or.status().ToString().c_str());
+    flush_artifacts(result_or.status(), nullptr);
     return 1;
   }
   const BirchResult& r = result_or.value();
-
-  if (flags.Has("trace-out")) {
-    obs::Tracer::Default().StopRecording();
-    Status st =
-        obs::Tracer::Default().WriteChromeTrace(flags.GetString("trace-out"));
-    if (!st.ok()) {
-      std::fprintf(stderr, "trace write failed: %s\n", st.ToString().c_str());
-      return 1;
-    }
-    std::printf("trace written to %s\n",
-                flags.GetString("trace-out").c_str());
-  }
+  if (!flush_artifacts(Status::OK(), &r)) return 1;
 
   double points_seen = static_cast<double>(r.phase1.points_added);
   std::printf("%.0f points (dim %zu) -> %zu clusters in %.3fs; "
@@ -301,20 +390,6 @@ int Run(int argc, char** argv) {
               static_cast<unsigned long long>(ts.rebuilds),
               static_cast<unsigned long long>(ts.distance_comparisons),
               r.tree_nodes);
-
-  if (flags.Has("metrics")) {
-    std::printf("%s", obs::SummaryTable(r.metrics).c_str());
-  }
-  if (flags.Has("metrics-csv")) {
-    Status st = obs::WriteCsv(r.metrics, flags.GetString("metrics-csv"));
-    if (!st.ok()) {
-      std::fprintf(stderr, "metrics csv write failed: %s\n",
-                   st.ToString().c_str());
-      return 1;
-    }
-    std::printf("metrics csv written to %s\n",
-                flags.GetString("metrics-csv").c_str());
-  }
 
   TablePrinter table({"cluster", "points", "radius", "centroid"});
   for (size_t c = 0; c < r.clusters.size(); ++c) {
