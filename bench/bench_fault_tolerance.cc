@@ -36,6 +36,7 @@ int Run(int argc, char** argv) {
                                           "matched", "spilled"};
   bench::AppendRobustnessHeaders(&csv_headers);
   CsvWriter csv(csv_headers);
+  bench::JsonRows json("bench_fault_tolerance");
 
   GeneratorOptions go = PaperDatasetOptions(PaperDataset::kDS1, 0, 0,
                                             /*noise_fraction=*/0.05);
@@ -100,9 +101,23 @@ int Run(int argc, char** argv) {
         .Add(static_cast<int64_t>(row.match.matched))
         .Add(static_cast<int64_t>(row.result.phase1.outlier_entries_spilled));
     bench::AddRobustnessCells(&csv, r);
+    json.Row()
+        .Add("scenario", sc.name)
+        .Add("seconds", row.seconds_total)
+        .Add("d", row.weighted_diameter)
+        .Add("matched", static_cast<int64_t>(row.match.matched))
+        .Add("spilled",
+             static_cast<int64_t>(row.result.phase1.outlier_entries_spilled))
+        .Add("retries", static_cast<int64_t>(r.io_retries))
+        .Add("checksum_failures", static_cast<int64_t>(r.checksum_failures))
+        .Add("records_lost", static_cast<int64_t>(r.records_lost))
+        .Add("degradation_events",
+             static_cast<int64_t>(r.degradation_events))
+        .Add("fallback_dropped", static_cast<int64_t>(r.fallback_dropped));
   }
   table.Print();
   bench::MaybeWriteCsv(csv, bench::CsvPathFromArgs(argc, argv));
+  bench::MaybeWriteJson(json, bench::JsonPathFromArgs(argc, argv));
   return 0;
 }
 

@@ -7,6 +7,8 @@
 #include "birch/checkpoint.h"
 #include "birch/phase1_parallel.h"
 #include "birch/run_report.h"
+#include "serving/server.h"
+#include "serving/snapshot.h"
 #include "exec/thread_pool.h"
 #include "obs/export.h"
 #include "obs/trace.h"
@@ -29,6 +31,19 @@ CfTreeOptions TreeOptionsFrom(const BirchOptions& o) {
   t.cf_storage = o.tree.cf_storage;
   t.kernel = o.exec.kernel;
   return t;
+}
+
+serving::SnapshotBuildOptions SnapshotOptionsFrom(const BirchOptions& o,
+                                                 uint64_t points_ingested) {
+  serving::SnapshotBuildOptions s;
+  s.k = o.serving.publish_k > 0 ? o.serving.publish_k : o.k;
+  s.distance_limit = o.global_phase.distance_limit;
+  s.algorithm = o.global_phase.algorithm;
+  s.metric = o.global_phase.metric;
+  s.seed = o.seed;
+  s.kernel = o.exec.kernel;
+  s.points_ingested = points_ingested;
+  return s;
 }
 
 Phase1Options Phase1OptionsFrom(const BirchOptions& o) {
@@ -265,12 +280,26 @@ BirchClusterer::BirchClusterer(const BirchOptions& options)
     : options_(options),
       phase1_(std::make_unique<Phase1Builder>(Phase1OptionsFrom(options))),
       metrics_baseline_(obs::CaptureSnapshot()) {
+  if (options_.serving.publish_every_n > 0) {
+    server_ = std::make_unique<serving::BirchServer>(options_.dim);
+  }
   if (options_.obs.sample_every_ms > 0) {
     obs::SamplerOptions so;
     so.sample_every_ms = options_.obs.sample_every_ms;
     so.series_capacity = options_.obs.series_capacity;
     sampler_ = std::make_unique<obs::StatsSampler>(so);
     RegisterBirchProbes(sampler_.get());
+    if (server_ != nullptr) {
+      // Serving trajectories: epoch number, live snapshots, and the
+      // age of the current epoch. The age probe reads the server
+      // (mutex + immutable snapshot), safe from the sampler thread;
+      // server_ outlives sampler_ by declaration order.
+      sampler_->AddGaugeProbe("serving/epoch");
+      sampler_->AddGaugeProbe("serving/snapshots_live");
+      serving::BirchServer* srv = server_.get();
+      sampler_->AddProbe("serving/snapshot_age_ms",
+                         [srv] { return srv->SnapshotAgeMs(); });
+    }
     // Cannot fail: Validate() already rejected a zero cadence.
     Status st = sampler_->Start();
     (void)st;
@@ -301,6 +330,25 @@ Status BirchClusterer::MaybeAutoCheckpoint() {
   return SaveCheckpoint(options_.resources.checkpoint_path);
 }
 
+Status BirchClusterer::MaybeAutoPublish() {
+  const uint64_t n = options_.serving.publish_every_n;
+  if (n == 0) return Status::OK();
+  if (++points_since_publish_ < n) return Status::OK();
+  points_since_publish_ = 0;
+  return PublishSnapshot();
+}
+
+Status BirchClusterer::PublishSnapshot() {
+  if (server_ == nullptr) {
+    return Status::FailedPrecondition(
+        "serving is disabled: set serving.publish_every_n > 0");
+  }
+  auto snap_or = serving::ServingSnapshot::Build(
+      tree(), SnapshotOptionsFrom(options_, phase1_stats().points_added));
+  if (!snap_or.ok()) return snap_or.status();
+  return server_->Publish(std::move(snap_or).ValueOrDie());
+}
+
 Status BirchClusterer::Add(std::span<const double> x, double weight) {
   if (finished_) return Status::FailedPrecondition("Add() after Finish()");
   if (!resume_freezes_.empty()) {
@@ -308,7 +356,8 @@ Status BirchClusterer::Add(std::span<const double> x, double weight) {
         "restored from a sharded checkpoint: resume with Cluster()");
   }
   BIRCH_RETURN_IF_ERROR(phase1_->Add(x, weight));
-  return MaybeAutoCheckpoint();
+  BIRCH_RETURN_IF_ERROR(MaybeAutoCheckpoint());
+  return MaybeAutoPublish();
 }
 
 Status BirchClusterer::AddDataset(const Dataset& data) {
@@ -325,6 +374,7 @@ Status BirchClusterer::AddDataset(const Dataset& data) {
   for (size_t i = 0; i < data.size(); ++i) {
     BIRCH_RETURN_IF_ERROR(phase1_->Add(data.Row(i), data.Weight(i)));
     BIRCH_RETURN_IF_ERROR(MaybeAutoCheckpoint());
+    BIRCH_RETURN_IF_ERROR(MaybeAutoPublish());
   }
   return Status::OK();
 }
@@ -345,6 +395,7 @@ Status BirchClusterer::AddSource(PointSource* source) {
   while (source->Next(p, &w)) {
     BIRCH_RETURN_IF_ERROR(phase1_->Add(p, w));
     BIRCH_RETURN_IF_ERROR(MaybeAutoCheckpoint());
+    BIRCH_RETURN_IF_ERROR(MaybeAutoPublish());
   }
   return Status::OK();
 }
@@ -449,18 +500,28 @@ StatusOr<std::unique_ptr<BirchClusterer>> BirchClusterer::Restore(
 }
 
 StatusOr<BirchResult> BirchClusterer::Snapshot(int k) const {
-  if (options_.exec.num_threads > 0 && !finished_) {
-    // The sharded pipeline merges its per-shard trees only at the end
-    // of Cluster(); mid-stream this clusterer's tree() has seen
-    // nothing. Refuse loudly instead of snapshotting a stale view.
-    return Status::FailedPrecondition(
-        "Snapshot() before Cluster() on the sharded path (num_threads > "
-        "0): per-shard trees merge only when Cluster() finishes — run "
-        "Cluster() first, or use num_threads == 0 for mid-stream "
-        "snapshots");
-  }
   std::vector<CfVector> entries;
-  tree().CollectLeafEntries(&entries);
+  // Filled from the serving epoch on the mid-stream sharded path,
+  // where the live tree() is not this thread's to read.
+  std::shared_ptr<const serving::ServingSnapshot> epoch;
+  if (options_.exec.num_threads > 0 &&
+      !merged_ready_.load(std::memory_order_acquire)) {
+    // The sharded pipeline merges its per-shard trees only at the end
+    // of Cluster(), but the serving tier publishes coherent epochs
+    // along the way: answer from the latest one, exactly like the
+    // serial path answers from the live tree.
+    epoch = server_ != nullptr ? server_->Acquire() : nullptr;
+    if (epoch == nullptr) {
+      return Status::FailedPrecondition(
+          "Snapshot() before Cluster() on the sharded path (num_threads "
+          "> 0) reads the last published serving epoch, and none exists "
+          "yet — set serving.publish_every_n > 0 (and ingest past it), "
+          "run Cluster() to completion first, or use num_threads == 0");
+    }
+    entries = epoch->LeafEntries();
+  } else {
+    tree().CollectLeafEntries(&entries);
+  }
   if (entries.empty()) {
     return Status::FailedPrecondition("no data to snapshot");
   }
@@ -488,12 +549,21 @@ StatusOr<BirchResult> BirchClusterer::Snapshot(int k) const {
   }
   result.timings.phase1 = phase1_timer_.Seconds();
   result.timings.phase3 = timer.Seconds();
-  result.phase1 = phase1_stats();
-  result.tree_stats = tree().stats();
   result.leaf_entries_after_phase1 = entries.size();
   result.leaf_entries_after_phase2 = entries.size();
-  result.tree_nodes = tree().node_count();
-  result.final_threshold = tree().threshold();
+  if (epoch != nullptr) {
+    // Mid-stream sharded: the epoch's capture-time view stands in for
+    // the live tree (whose pages belong to the shard workers).
+    result.phase1.points_added = epoch->points_ingested();
+    result.phase1.final_threshold = epoch->threshold();
+    result.tree_nodes = epoch->node_count();
+    result.final_threshold = epoch->threshold();
+  } else {
+    result.phase1 = phase1_stats();
+    result.tree_stats = tree().stats();
+    result.tree_nodes = tree().node_count();
+    result.final_threshold = tree().threshold();
+  }
   result.metrics = obs::CaptureSnapshot().DeltaSince(metrics_baseline_);
   return result;
 }
@@ -516,6 +586,12 @@ StatusOr<BirchResult> BirchClusterer::Finish(const Dataset* for_refinement) {
   p1.mem = &phase1_->memory();
   p1.disk_pages_written = phase1_->disk().io_stats().pages_written;
   p1.disk_pages_read = phase1_->disk().io_stats().pages_read;
+
+  // One final epoch covering the whole stream (the Phase-1 tail may
+  // have settled delayed points since the last cadence publish).
+  if (server_ != nullptr && tree().leaf_entry_count() > 0) {
+    BIRCH_RETURN_IF_ERROR(PublishSnapshot());
+  }
 
   // The streaming API ingests serially (points arrive one Add() at a
   // time), but Phases 3/4 still parallelize when asked.
@@ -595,12 +671,40 @@ StatusOr<BirchResult> BirchClusterer::Cluster(PointSource* source,
       return WriteCheckpointFile(o.resources.checkpoint_path, img);
     };
   }
+  if (server_ != nullptr) {
+    sp.publish_every_n = options_.serving.publish_every_n;
+    const BirchOptions& o = options_;
+    serving::BirchServer* srv = server_.get();
+    sp.on_publish =
+        [&o, srv](uint64_t points_dealt,
+                  std::vector<std::unique_ptr<Phase1Builder>>* builders)
+        -> Status {
+      // The shards are quiesced: merge their trees into a transient
+      // union (CF additivity; unlimited transient tracker — the copy
+      // lives only for the duration of this callback), snapshot it,
+      // and let it die. The snapshot itself is the compact long-lived
+      // form.
+      MemoryTracker mem(0);
+      CfTreeOptions merged_opts = TreeOptionsFrom(o);
+      for (const auto& b : *builders) {
+        merged_opts.threshold =
+            std::max(merged_opts.threshold, b->tree().threshold());
+      }
+      CfTree merged(merged_opts, &mem);
+      for (const auto& b : *builders) merged.AbsorbTree(b->tree());
+      auto snap_or = serving::ServingSnapshot::Build(
+          merged, SnapshotOptionsFrom(o, points_dealt));
+      if (!snap_or.ok()) return snap_or.status();
+      return srv->Publish(std::move(snap_or).ValueOrDie());
+    };
+  }
   auto sharded_or = RunShardedPhase1(source, sp, &pool);
   if (!sharded_or.ok()) return sharded_or.status();
   resume_freezes_.clear();
   resume_skip_points_ = 0;
   sharded_ = std::make_unique<ShardedPhase1Result>(
       std::move(sharded_or).ValueOrDie());
+  merged_ready_.store(true, std::memory_order_release);
   Phase1Outcome p1;
   p1.tree = sharded_->tree.get();
   p1.stats = sharded_->stats;
@@ -612,6 +716,12 @@ StatusOr<BirchResult> BirchClusterer::Cluster(PointSource* source,
   p1.disk_pages_read = sharded_->disk_pages_read;
   p1.seconds = phase1_timer_.Seconds();
   phase1_span_.End();
+  // Final epoch from the merged tree (the per-epoch publishes saw the
+  // pre-merge shard union; this one sees the re-homed, reabsorbed
+  // result Phases 2-4 start from).
+  if (server_ != nullptr && tree().leaf_entry_count() > 0) {
+    BIRCH_RETURN_IF_ERROR(PublishSnapshot());
+  }
   auto result_or =
       RunPhases234(options_, p1, for_refinement, &pool, metrics_baseline_);
   if (sampler_ != nullptr) {

@@ -8,6 +8,7 @@
 #ifndef BIRCH_BIRCH_BIRCH_H_
 #define BIRCH_BIRCH_BIRCH_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -25,6 +26,10 @@
 #include "util/timer.h"
 
 namespace birch {
+
+namespace serving {
+class BirchServer;
+}  // namespace serving
 
 /// Wall-clock seconds per phase.
 struct PhaseTimings {
@@ -147,6 +152,24 @@ class BirchClusterer {
   const CfTree& tree() const;
   const Phase1Stats& phase1_stats() const;
 
+  // --- Serving tier (src/serving) ---
+
+  /// The query server this clusterer publishes snapshot epochs to.
+  /// Non-null iff options.serving.publish_every_n > 0; safe to query
+  /// from any number of threads concurrently with ingest. Epochs
+  /// survive Finish()/Cluster() — the server keeps answering from the
+  /// last published state for the clusterer's lifetime.
+  serving::BirchServer* server() const { return server_.get(); }
+
+  /// Builds a ServingSnapshot of the current Phase-1 state and
+  /// publishes it as a new epoch (the manual form of the
+  /// publish_every_n cadence — e.g. one final epoch after the stream
+  /// ends). FailedPrecondition when serving is disabled or nothing has
+  /// been ingested. On the sharded path the live per-shard trees are
+  /// only visible inside Cluster(), so mid-stream manual publishes see
+  /// an empty tree; the automatic cadence covers that path.
+  Status PublishSnapshot();
+
  private:
   explicit BirchClusterer(const BirchOptions& options);
 
@@ -155,12 +178,31 @@ class BirchClusterer {
   /// checkpoint_every_n of them.
   Status MaybeAutoCheckpoint();
 
+  /// Auto-publish bookkeeping for the serial ingest paths: counts
+  /// points and publishes a serving epoch every
+  /// options_.serving.publish_every_n of them.
+  Status MaybeAutoPublish();
+
   BirchOptions options_;
   std::unique_ptr<Phase1Builder> phase1_;
   /// Set by a sharded Cluster() run; keeps the merged tree alive so
   /// tree()/phase1_stats() stay valid after the run.
   std::unique_ptr<ShardedPhase1Result> sharded_;
   bool finished_ = false;
+  /// True once a sharded Cluster() has installed `sharded_` (the
+  /// merged tree). Release/acquire because Snapshot() may race a
+  /// sharded Cluster() from another thread — that is the supported
+  /// mid-stream snapshot pattern: until this flips, a concurrent
+  /// Snapshot() answers from the last published serving epoch.
+  std::atomic<bool> merged_ready_{false};
+
+  // --- Serving tier state ---
+  /// Non-null iff options.serving.publish_every_n > 0. Declared before
+  /// sampler_ so the sampler (whose probes read the server) joins its
+  /// thread first on destruction.
+  std::unique_ptr<serving::BirchServer> server_;
+  /// Serial auto-publish counter (points since the last epoch).
+  uint64_t points_since_publish_ = 0;
 
   // --- Checkpoint / resume state ---
   /// Points the checkpoint's run had consumed; Cluster() skips this

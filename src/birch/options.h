@@ -148,6 +148,21 @@ struct BirchOptions {
     size_t series_capacity = 4096;
   };
 
+  // --- Serving tier (src/serving) ---
+  struct Serving {
+    /// > 0: Phase 1 publishes an immutable ServingSnapshot epoch to
+    /// BirchClusterer::server() every `publish_every_n` ingested
+    /// points (serial paths count Add()s; the sharded Cluster() path
+    /// quiesces its shards at the same stream positions, so the epoch
+    /// is one coherent image). 0 (the default) publishes nothing and
+    /// creates no server.
+    uint64_t publish_every_n = 0;
+    /// Cluster count for each snapshot's publish-time cluster table
+    /// (what Assign's cluster_id and KNearestCentroids index into).
+    /// 0 uses the run's `k` (or its distance_limit rule).
+    int publish_k = 0;
+  };
+
   Resources resources;
   Tree tree;
   Outliers outliers;
@@ -155,6 +170,7 @@ struct BirchOptions {
   Refine refine;
   Exec exec;
   Obs obs;
+  Serving serving;
 
   // --- Deprecated flat aliases ---
   // Reference views of the grouped fields above, preserving the
@@ -202,7 +218,8 @@ struct BirchOptions {
         global_phase(other.global_phase),
         refine(other.refine),
         exec(other.exec),
-        obs(other.obs) {}
+        obs(other.obs),
+        serving(other.serving) {}
   BirchOptions& operator=(const BirchOptions& other) {
     dim = other.dim;
     k = other.k;
@@ -215,6 +232,7 @@ struct BirchOptions {
     refine = other.refine;
     exec = other.exec;
     obs = other.obs;
+    serving = other.serving;
     return *this;
   }
 
@@ -285,6 +303,9 @@ struct BirchOptions {
       return Status::InvalidArgument(
           "obs.series_capacity must be > 0 when sampling is enabled");
     }
+    if (serving.publish_k < 0) {
+      return Status::InvalidArgument("serving.publish_k must be >= 0");
+    }
     return Status::OK();
   }
 };
@@ -349,6 +370,10 @@ class BirchOptions::Builder {
   // --- Observability ---
   Builder& SampleEveryMs(uint64_t v) { o_.obs.sample_every_ms = v; return *this; }
   Builder& ObsSeriesCapacity(size_t v) { o_.obs.series_capacity = v; return *this; }
+
+  // --- Serving tier ---
+  Builder& PublishEveryN(uint64_t v) { o_.serving.publish_every_n = v; return *this; }
+  Builder& PublishK(int v) { o_.serving.publish_k = v; return *this; }
 
   /// Validates and returns the finished options.
   StatusOr<BirchOptions> Build() const {

@@ -223,13 +223,18 @@ StatusOr<ShardedPhase1Result> RunShardedPhase1(
         b = PointBatch{};
       }
       ++i;
-      if (options.checkpoint_every_n > 0 && options.on_checkpoint &&
-          i % options.checkpoint_every_n == 0) {
+      const bool do_checkpoint = options.checkpoint_every_n > 0 &&
+                                 options.on_checkpoint &&
+                                 i % options.checkpoint_every_n == 0;
+      const bool do_publish = options.publish_every_n > 0 &&
+                              options.on_publish &&
+                              i % options.publish_every_n == 0;
+      if (do_checkpoint || do_publish) {
         // Quiesce: flush partial batches so every dealt point is in its
         // shard's channel, then park all workers at a barrier. FIFO
         // channels guarantee each worker consumed everything before the
         // marker by the time it arrives.
-        TRACE_SPAN("phase1/checkpoint_quiesce");
+        TRACE_SPAN("phase1/quiesce");
         for (int q = 0; q < shards; ++q) {
           PointBatch& pb = pending[static_cast<size_t>(q)];
           if (!pb.ws.empty()) {
@@ -245,12 +250,15 @@ StatusOr<ShardedPhase1Result> RunShardedPhase1(
         }
         sync->AwaitAll();
         // Workers are parked; their builders and statuses are safe to
-        // read. Don't checkpoint a failed run.
+        // read. Don't checkpoint or publish from a failed run.
         for (const Status& st : shard_status) {
           if (!st.ok()) deal_status = st;
         }
-        if (deal_status.ok()) {
+        if (deal_status.ok() && do_checkpoint) {
           deal_status = options.on_checkpoint(i, &builders);
+        }
+        if (deal_status.ok() && do_publish) {
+          deal_status = options.on_publish(i, &builders);
         }
         sync->Release();
       }

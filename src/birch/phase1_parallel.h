@@ -61,6 +61,18 @@ struct ShardedPhase1Options {
   std::function<Status(uint64_t points_dealt,
                        std::vector<std::unique_ptr<Phase1Builder>>* builders)>
       on_checkpoint;
+  // --- Serving-snapshot publication (see src/serving) ---
+  /// When > 0 and `on_publish` is set, the dealer quiesces the shards
+  /// every `publish_every_n` points exactly like the checkpoint hook
+  /// (the two cadences are independent; a stream position hitting both
+  /// quiesces once and runs both callbacks, checkpoint first) and
+  /// calls `on_publish(points_dealt, &builders)` with every builder
+  /// idle — the callback may read all shard trees as one coherent
+  /// image. A non-OK return aborts the run.
+  uint64_t publish_every_n = 0;
+  std::function<Status(uint64_t points_dealt,
+                       std::vector<std::unique_ptr<Phase1Builder>>* builders)>
+      on_publish;
   /// Resume: per-shard freezes from a sharded checkpoint (size must
   /// equal the effective shard count). Each shard thaws its freeze
   /// instead of starting empty.

@@ -77,6 +77,10 @@ void WriteOptions(JsonWriter* w, const BirchOptions& o) {
   w->KV("num_threads", static_cast<int64_t>(o.exec.num_threads));
   w->KV("kernel", static_cast<int64_t>(o.exec.kernel));
   w->EndObject();
+  w->Key("serving").BeginObject();
+  w->KV("publish_every_n", o.serving.publish_every_n);
+  w->KV("publish_k", static_cast<int64_t>(o.serving.publish_k));
+  w->EndObject();
   w->Key("obs").BeginObject();
   w->KV("sample_every_ms", o.obs.sample_every_ms);
   w->KV("series_capacity", static_cast<uint64_t>(o.obs.series_capacity));
@@ -179,6 +183,8 @@ uint64_t OptionsFingerprint(const BirchOptions& o) {
   f.Mix(o.refine.outlier_distance);
   f.Mix(static_cast<int64_t>(o.exec.num_threads));
   f.Mix(static_cast<int64_t>(o.exec.kernel));
+  f.Mix(o.serving.publish_every_n);
+  f.Mix(static_cast<int64_t>(o.serving.publish_k));
   // options.obs deliberately excluded: telemetry cadence must never
   // make two otherwise-identical runs incomparable.
   return f.value();
@@ -255,6 +261,12 @@ std::string RunReportJson(const RunReportInputs& in) {
   if (!in.quality.empty()) {
     w.Key("quality").BeginObject();
     for (const auto& [name, v] : in.quality) w.KV(name, v);
+    w.EndObject();
+  }
+
+  if (!in.serving.empty()) {
+    w.Key("serving").BeginObject();
+    for (const auto& [name, v] : in.serving) w.KV(name, v);
     w.EndObject();
   }
 

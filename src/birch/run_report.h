@@ -44,6 +44,9 @@ struct RunReportInputs {
   /// Optional dataset-dependent quality numbers (e.g. label accuracy
   /// against ground truth); emitted verbatim under "quality".
   std::map<std::string, double> quality;
+  /// Optional serving-tier numbers (QPS, latency quantiles, snapshot
+  /// age) from bench_serving; emitted verbatim under "serving".
+  std::map<std::string, double> serving;
 };
 
 /// FNV-1a 64 over a canonical rendering of every option that changes

@@ -1,0 +1,86 @@
+// BirchServer: the serving-tier front. Ingest (serial or sharded
+// Phase 1) publishes immutable ServingSnapshot epochs through it; any
+// number of reader threads concurrently answer
+//   Assign(point)              -> {cluster_id, distance, radius}
+//   KNearestCentroids(point,k) -> k nearest publish-time centroids
+// against the current epoch. Readers never block ingest and ingest
+// never blocks readers: Publish swaps a shared_ptr under a mutex whose
+// critical section is a pointer exchange; queries pin the epoch with
+// one refcount bump and then run entirely on immutable state with a
+// thread-local kernel workspace.
+//
+// Consistency model: a query sees exactly one epoch — the snapshot
+// that was current when it pinned. Two queries on the same pinned
+// epoch (Acquire() + ServingSnapshot::Assign) are bitwise-repeatable
+// no matter how far ingest has moved on. Queries before the first
+// Publish return FailedPrecondition.
+//
+// Observability: per-query latency histograms ("serving/assign_us",
+// "serving/knn_us"), query counters, and the epoch / snapshot-age /
+// live-snapshot gauges, all through the default obs registry (relaxed
+// atomics; TSAN-clean against concurrent ingest).
+#ifndef BIRCH_SERVING_SERVER_H_
+#define BIRCH_SERVING_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "serving/snapshot.h"
+#include "util/status.h"
+
+namespace birch {
+namespace serving {
+
+class BirchServer {
+ public:
+  /// `dim` is the point dimensionality every query must carry.
+  explicit BirchServer(size_t dim) : dim_(dim) {}
+
+  BirchServer(const BirchServer&) = delete;
+  BirchServer& operator=(const BirchServer&) = delete;
+
+  /// Makes `snap` the current epoch (stamping it with the next epoch
+  /// number) and retires the previous one — it stays alive until its
+  /// last reader drains. InvalidArgument on a null or wrong-dimension
+  /// snapshot.
+  Status Publish(std::shared_ptr<ServingSnapshot> snap);
+
+  /// Pins the current epoch (null before the first Publish). Hold the
+  /// pointer to keep answering from a fixed epoch; drop it to let a
+  /// retired snapshot free.
+  std::shared_ptr<const ServingSnapshot> Acquire() const;
+
+  /// Point -> nearest leaf entry of the current epoch (greedy
+  /// centroid descent; see ServingSnapshot::Assign). Safe from many
+  /// threads concurrently with Publish. FailedPrecondition before the
+  /// first epoch; InvalidArgument on a dimension mismatch.
+  StatusOr<AssignResult> Assign(std::span<const double> point) const;
+
+  /// The `k` publish-time cluster centroids of the current epoch
+  /// nearest to `point` (exact scan, ascending distance).
+  StatusOr<std::vector<CentroidNeighbor>> KNearestCentroids(
+      std::span<const double> point, size_t k) const;
+
+  size_t dim() const { return dim_; }
+  /// Epoch of the current snapshot; 0 before the first Publish.
+  uint64_t epoch() const;
+  /// Age of the current snapshot in milliseconds (0 before the first
+  /// Publish). Sampler-probe fodder: safe from any thread.
+  double SnapshotAgeMs() const;
+  /// Total Publish() calls.
+  uint64_t publishes() const;
+
+ private:
+  const size_t dim_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServingSnapshot> current_;  // guarded by mu_
+  uint64_t next_epoch_ = 0;                         // guarded by mu_
+};
+
+}  // namespace serving
+}  // namespace birch
+
+#endif  // BIRCH_SERVING_SERVER_H_

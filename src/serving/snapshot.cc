@@ -1,0 +1,223 @@
+#include "serving/snapshot.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/math.h"
+#include "util/timer.h"
+
+namespace birch {
+namespace serving {
+
+ServingSnapshot::ServingSnapshot() {
+  // Balanced by the decrement in the destructor: the gauge counts
+  // snapshots alive right now, and must return to zero when every
+  // epoch has retired (tests/serving_test.cc holds this line).
+  OBS_GAUGE_ADD("serving/snapshots_live", 1);
+}
+
+ServingSnapshot::~ServingSnapshot() {
+  OBS_GAUGE_ADD("serving/snapshots_live", -1);
+}
+
+size_t ServingSnapshot::Flatten(const CfNode& node) {
+  const size_t index = nodes_.size();
+  nodes_.emplace_back();
+  {
+    Node& n = nodes_.back();
+    n.is_leaf = node.is_leaf;
+    n.rows = node.entries.size();
+    n.centers.reserve(n.rows * dim_);
+  }
+  std::vector<std::vector<double>> centers;
+  centers.reserve(node.entries.size());
+  for (const CfVector& e : node.entries) {
+    centers.push_back(e.Centroid());
+    // nodes_ may reallocate inside the recursive calls below, so touch
+    // it only through the index.
+    Node& n = nodes_[index];
+    n.centers.insert(n.centers.end(), centers.back().begin(),
+                     centers.back().end());
+  }
+  nodes_[index].batch.Assign(centers);
+  if (node.is_leaf) {
+    Node& n = nodes_[index];
+    n.first_entry = leaf_radius_.size();
+    for (const CfVector& e : node.entries) {
+      leaf_radius_.push_back(e.Radius());
+      leaf_n_.push_back(e.n());
+      e.SerializeTo(&leaf_cfs_);
+    }
+  } else {
+    nodes_[index].children.reserve(node.children.size());
+    for (const CfNode* child : node.children) {
+      const size_t c = Flatten(*child);
+      nodes_[index].children.push_back(static_cast<uint32_t>(c));
+    }
+  }
+  return index;
+}
+
+StatusOr<std::shared_ptr<ServingSnapshot>> ServingSnapshot::Build(
+    const CfTree& tree, const SnapshotBuildOptions& options) {
+  if (tree.leaf_entry_count() == 0) {
+    return Status::FailedPrecondition("no data to snapshot");
+  }
+  Timer timer;
+  std::shared_ptr<ServingSnapshot> snap(new ServingSnapshot());
+  snap->dim_ = tree.options().dim;
+  snap->threshold_ = tree.threshold();
+  snap->kernel_ = options.kernel;
+  snap->cf_rep_ = tree.options().cf;
+  snap->cf_storage_ = tree.options().cf_storage;
+  snap->points_ingested_ = options.points_ingested;
+  snap->Flatten(*tree.root());
+
+  // Publish-time cluster table over the leaf entries (descent order —
+  // the order Flatten visited them, so entry_cluster_ lines up with
+  // AssignResult::leaf_entry).
+  std::vector<CfVector> entries = snap->LeafEntries();
+  GlobalClusterOptions g;
+  g.k = options.k > 0
+            ? static_cast<int>(std::min<size_t>(
+                  static_cast<size_t>(options.k), entries.size()))
+            : 0;
+  g.distance_limit = g.k > 0 ? 0.0 : options.distance_limit;
+  g.metric = options.metric;
+  g.seed = options.seed;
+  g.kernel = options.kernel;
+  // Large trees fall back to k-means (hierarchical cost is quadratic),
+  // exactly like BirchClusterer::Snapshot(). With k == 0 (distance-
+  // limited) there is no k-means form; the size guard then propagates.
+  g.algorithm = (g.k > 0 && entries.size() > g.max_hierarchical_inputs)
+                    ? GlobalAlgorithm::kKMeans
+                    : options.algorithm;
+  auto clustering_or = GlobalCluster(entries, g);
+  if (!clustering_or.ok()) return clustering_or.status();
+  GlobalClustering& clustering = clustering_or.value();
+  snap->entry_cluster_ = std::move(clustering.assignment);
+  snap->clusters_ = std::move(clustering.clusters);
+  snap->cluster_centroids_.reserve(snap->clusters_.size());
+  for (const CfVector& c : snap->clusters_) {
+    snap->cluster_centroids_.push_back(c.Centroid());
+  }
+  snap->built_at_ = std::chrono::steady_clock::now();
+  OBS_HISTOGRAM_RECORD("serving/publish_us", timer.Seconds() * 1e6);
+  OBS_GAUGE_SET("serving/snapshot_bytes", snap->MemoryBytes());
+  return snap;
+}
+
+size_t ServingSnapshot::NearestRow(const Node& node,
+                                   std::span<const double> point,
+                                   KernelKind kernel, kernel::Workspace* ws,
+                                   double* best_sq) const {
+  if (kernel == KernelKind::kBatch) {
+    kernel::ScanResult r = node.batch.NearestSq(point, ws);
+    *best_sq = r.distance;
+    return r.index == static_cast<size_t>(-1) ? 0 : r.index;
+  }
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < node.rows; ++r) {
+    const double d = SquaredDistance(
+        point, std::span<const double>(node.centers.data() + r * dim_, dim_));
+    if (d < best_d) {
+      best_d = d;
+      best = r;
+    }
+  }
+  *best_sq = best_d;
+  return best;
+}
+
+AssignResult ServingSnapshot::AssignWith(std::span<const double> point,
+                                         KernelKind kernel,
+                                         kernel::Workspace* ws) const {
+  assert(point.size() == dim_);
+  double best_sq = 0.0;
+  const Node* node = &nodes_[0];
+  while (!node->is_leaf) {
+    const size_t row = NearestRow(*node, point, kernel, ws, &best_sq);
+    node = &nodes_[node->children[row]];
+  }
+  const size_t row = NearestRow(*node, point, kernel, ws, &best_sq);
+  const size_t entry = node->first_entry + row;
+  AssignResult r;
+  r.cluster_id = entry_cluster_[entry];
+  r.leaf_entry = entry;
+  r.distance = std::sqrt(best_sq);
+  r.radius = leaf_radius_[entry];
+  r.epoch = epoch_;
+  return r;
+}
+
+AssignResult ServingSnapshot::Assign(std::span<const double> point,
+                                     kernel::Workspace* ws) const {
+  return AssignWith(point, kernel_, ws);
+}
+
+std::vector<CentroidNeighbor> ServingSnapshot::KNearestCentroids(
+    std::span<const double> point, size_t k) const {
+  assert(point.size() == dim_);
+  const size_t m = cluster_centroids_.size();
+  k = std::min(k, m);
+  std::vector<std::pair<double, size_t>> dist(m);
+  for (size_t c = 0; c < m; ++c) {
+    dist[c] = {SquaredDistance(point, cluster_centroids_[c]), c};
+  }
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<ptrdiff_t>(k),
+                    dist.end());
+  std::vector<CentroidNeighbor> out(k);
+  for (size_t i = 0; i < k; ++i) {
+    out[i].cluster_id = static_cast<int>(dist[i].second);
+    out[i].distance = std::sqrt(dist[i].first);
+  }
+  return out;
+}
+
+std::vector<CfVector> ServingSnapshot::LeafEntries() const {
+  const size_t stride = CfVector::SerializedDoubles(dim_);
+  std::vector<CfVector> out;
+  out.reserve(leaf_radius_.size());
+  for (size_t i = 0; i < leaf_radius_.size(); ++i) {
+    out.push_back(CfVector::Deserialize(
+        std::span<const double>(leaf_cfs_.data() + i * stride, stride), dim_,
+        cf_rep_, cf_storage_));
+  }
+  return out;
+}
+
+double ServingSnapshot::AgeMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - built_at_)
+      .count();
+}
+
+size_t ServingSnapshot::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Node& n : nodes_) {
+    bytes += sizeof(Node) + n.children.capacity() * sizeof(uint32_t) +
+             n.centers.capacity() * sizeof(double) +
+             // The SoA mirror holds one dim-major copy of the centers.
+             n.rows * dim_ * sizeof(double);
+  }
+  bytes += entry_cluster_.capacity() * sizeof(int) +
+           (leaf_radius_.capacity() + leaf_n_.capacity() +
+            leaf_cfs_.capacity()) *
+               sizeof(double);
+  for (const CfVector& c : clusters_) {
+    bytes += sizeof(CfVector) + c.dim() * sizeof(double);
+  }
+  for (const auto& c : cluster_centroids_) {
+    bytes += c.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace serving
+}  // namespace birch

@@ -1,0 +1,191 @@
+// Immutable, read-optimized snapshot of a CF tree — the unit the
+// serving tier publishes and queries (DESIGN.md §13).
+//
+// A ServingSnapshot is built once (from a quiesced CfTree) and never
+// mutated afterwards: the tree structure is flattened into contiguous
+// node records, each carrying its entry centroids both row-major (the
+// scalar oracle path) and as a kernel::CenterBatch SoA block (the
+// batch path), so point->cluster descent is a cache-friendly argmin
+// per level with zero pointer chasing into live tree pages. Leaf
+// entries additionally keep their exact serialized CFs, which lets a
+// mid-stream Snapshot(k) re-cluster the published state at any k
+// without touching the live tree.
+//
+// Sharing model: snapshots travel as std::shared_ptr<const
+// ServingSnapshot> "epochs". Readers pin an epoch with one refcount
+// bump and query it lock-free for as long as they like; ingest keeps
+// publishing newer epochs underneath. When the last reader of a
+// retired epoch drains, the snapshot frees and the
+// "serving/snapshots_live" gauge returns to balance.
+#ifndef BIRCH_SERVING_SNAPSHOT_H_
+#define BIRCH_SERVING_SNAPSHOT_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "birch/cf_tree.h"
+#include "birch/cf_vector.h"
+#include "birch/global_cluster.h"
+#include "birch/kernel/kernel.h"
+#include "util/status.h"
+
+namespace birch {
+namespace serving {
+
+/// Answer to Assign(point): the leaf entry the descent lands on, the
+/// publish-time global cluster that entry belongs to, the Euclidean
+/// distance from the point to the entry centroid, and the entry's
+/// radius (how tight the match is).
+struct AssignResult {
+  int cluster_id = -1;
+  size_t leaf_entry = 0;  // snapshot-global leaf entry index
+  double distance = 0.0;
+  double radius = 0.0;
+  uint64_t epoch = 0;
+};
+
+/// One k-nearest-centroids hit: a publish-time global cluster and the
+/// Euclidean distance from the query point to its centroid.
+struct CentroidNeighbor {
+  int cluster_id = -1;
+  double distance = 0.0;
+};
+
+/// What ServingSnapshot::Build needs beyond the tree itself: the
+/// global-clustering configuration for the publish-time cluster table
+/// (the same knobs BirchClusterer::Snapshot(k) uses).
+struct SnapshotBuildOptions {
+  /// Cluster count for the publish-time table (clamped to the leaf
+  /// entry count). 0 with distance_limit > 0 merges hierarchically to
+  /// the limit instead.
+  int k = 0;
+  double distance_limit = 0.0;
+  GlobalAlgorithm algorithm = GlobalAlgorithm::kHierarchical;
+  DistanceMetric metric = DistanceMetric::kD2;
+  uint64_t seed = 42;
+  /// Distance-scan implementation for descent (kScalar and kBatch are
+  /// bitwise identical; see kernel/kernel.h).
+  KernelKind kernel = KernelKind::kBatch;
+  /// Stream position at capture time (metadata only).
+  uint64_t points_ingested = 0;
+};
+
+/// The immutable snapshot. Thread-safe for concurrent const queries:
+/// all state is written once in Build() and only read afterwards
+/// (callers supply a per-thread kernel::Workspace).
+class ServingSnapshot {
+ public:
+  /// Flattens `tree` and runs the publish-time global clustering.
+  /// FailedPrecondition when the tree holds no leaf entries; any
+  /// global-clustering failure propagates. The returned snapshot is
+  /// mutable only in the hands of the publisher (BirchServer stamps
+  /// the epoch); readers always see it through a const pointer.
+  static StatusOr<std::shared_ptr<ServingSnapshot>> Build(
+      const CfTree& tree, const SnapshotBuildOptions& options);
+
+  ~ServingSnapshot();
+
+  ServingSnapshot(const ServingSnapshot&) = delete;
+  ServingSnapshot& operator=(const ServingSnapshot&) = delete;
+
+  /// Greedy CF-tree descent (the paper's insertion walk, read-only):
+  /// at each level pick the child whose entry centroid is nearest in
+  /// squared Euclidean distance, then argmin over the landing leaf's
+  /// entry centroids. Deterministic: first-wins ties, strict `<`, and
+  /// the kScalar / kBatch paths agree bitwise. `ws` is the caller's
+  /// scratch (one per thread).
+  AssignResult Assign(std::span<const double> point,
+                      kernel::Workspace* ws) const;
+  /// Assign with this snapshot's build-time kernel choice overridden.
+  AssignResult AssignWith(std::span<const double> point, KernelKind kernel,
+                          kernel::Workspace* ws) const;
+
+  /// The `k` publish-time cluster centroids nearest to `point`
+  /// (exact flat scan, ascending distance, ties by cluster id).
+  /// `k` is clamped to the table size.
+  std::vector<CentroidNeighbor> KNearestCentroids(
+      std::span<const double> point, size_t k) const;
+
+  /// Exact CFs of every leaf entry at capture time (deserialized
+  /// copies, index-aligned with AssignResult::leaf_entry). This is
+  /// what a mid-stream Snapshot(k) re-clusters.
+  std::vector<CfVector> LeafEntries() const;
+
+  // --- Publish-time cluster table ---
+  const std::vector<CfVector>& clusters() const { return clusters_; }
+  const std::vector<std::vector<double>>& cluster_centroids() const {
+    return cluster_centroids_;
+  }
+  /// Publish-time cluster of leaf entry `i`.
+  int cluster_of(size_t i) const { return entry_cluster_[i]; }
+
+  // --- Metadata ---
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t e) { epoch_ = e; }
+  uint64_t points_ingested() const { return points_ingested_; }
+  size_t dim() const { return dim_; }
+  size_t leaf_entry_count() const { return leaf_radius_.size(); }
+  size_t node_count() const { return nodes_.size(); }
+  double threshold() const { return threshold_; }
+  KernelKind kernel() const { return kernel_; }
+  CfRepresentation cf_rep() const { return cf_rep_; }
+  CfStorage cf_storage() const { return cf_storage_; }
+  /// Milliseconds since this snapshot was built (monotonic clock).
+  double AgeMs() const;
+  /// Heap bytes of the flattened structure (gauge fodder).
+  size_t MemoryBytes() const;
+
+ private:
+  ServingSnapshot();
+
+  /// One flattened tree node: entry centroids row-major (the scalar
+  /// path) plus the SoA mirror (the batch path). Non-leaf:
+  /// children[i] is the node index under centroid row i. Leaf:
+  /// first_entry indexes the snapshot-global leaf arrays.
+  struct Node {
+    bool is_leaf = false;
+    size_t rows = 0;                 // entry count
+    size_t first_entry = 0;          // leaf only
+    std::vector<uint32_t> children;  // non-leaf only, parallel to rows
+    std::vector<double> centers;     // row-major, rows * dim
+    kernel::CenterBatch batch;
+  };
+
+  size_t Flatten(const CfNode& node);
+  /// Argmin over `node`'s entry centroids under the chosen kernel.
+  /// First-wins ties; fills *best_sq with the winning squared distance.
+  size_t NearestRow(const Node& node, std::span<const double> point,
+                    KernelKind kernel, kernel::Workspace* ws,
+                    double* best_sq) const;
+
+  uint64_t epoch_ = 0;
+  uint64_t points_ingested_ = 0;
+  size_t dim_ = 0;
+  double threshold_ = 0.0;
+  KernelKind kernel_ = KernelKind::kBatch;
+  CfRepresentation cf_rep_ = CfRepresentation::kClassic;
+  CfStorage cf_storage_ = CfStorage::kF64;
+  std::chrono::steady_clock::time_point built_at_;
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+
+  // Snapshot-global per-leaf-entry arrays (descent order).
+  std::vector<int> entry_cluster_;
+  std::vector<double> leaf_radius_;
+  std::vector<double> leaf_n_;
+  /// Exact serialized CFs, (dim+2) doubles per entry.
+  std::vector<double> leaf_cfs_;
+
+  // Publish-time global clustering of the leaf entries.
+  std::vector<CfVector> clusters_;
+  std::vector<std::vector<double>> cluster_centroids_;
+};
+
+}  // namespace serving
+}  // namespace birch
+
+#endif  // BIRCH_SERVING_SNAPSHOT_H_

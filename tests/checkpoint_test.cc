@@ -10,12 +10,14 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "birch/birch.h"
 #include "datagen/generator.h"
+#include "serving/server.h"
 
 namespace birch {
 namespace {
@@ -261,8 +263,9 @@ TEST(CheckpointTest, SnapshotBehaviorSerialVsShardedMidStream) {
   auto snap = sc.value()->Snapshot(4);
   EXPECT_TRUE(snap.ok()) << snap.status().ToString();
 
-  // Sharded: the per-shard trees merge only at Cluster()'s end, so a
-  // mid-stream snapshot must refuse instead of reading a stale view.
+  // Sharded without serving: the per-shard trees merge only at
+  // Cluster()'s end and there is no published epoch to answer from, so
+  // a mid-stream snapshot must refuse instead of reading a stale view.
   BirchOptions sharded = SmallOpts(data.dim(), 4);
   sharded.num_threads = 2;
   auto pc = BirchClusterer::Create(sharded);
@@ -274,6 +277,36 @@ TEST(CheckpointTest, SnapshotBehaviorSerialVsShardedMidStream) {
   ASSERT_TRUE(pc.value()->Cluster(&src, nullptr).ok());
   auto after = pc.value()->Snapshot(4);
   EXPECT_TRUE(after.ok()) << after.status().ToString();
+
+  // Sharded WITH serving: mid-stream snapshots answer from the last
+  // published epoch, so serial and sharded behave identically once an
+  // epoch exists. Cluster() runs on a second thread; this thread waits
+  // for the first publish, then snapshots concurrently with ingest.
+  BirchOptions served = SmallOpts(data.dim(), 4);
+  served.num_threads = 2;
+  served.serving.publish_every_n = 50;
+  auto qc = BirchClusterer::Create(served);
+  ASSERT_TRUE(qc.ok());
+  // Before any epoch the refusal stands (same code, new remedy).
+  auto early = qc.value()->Snapshot(4);
+  EXPECT_EQ(early.status().code(), StatusCode::kFailedPrecondition);
+  DatasetSource served_src(&data);
+  Status cluster_status;
+  std::thread runner([&] {
+    cluster_status = qc.value()->Cluster(&served_src, nullptr).status();
+  });
+  while (qc.value()->server()->epoch() == 0) {
+    std::this_thread::yield();
+  }
+  auto mid = qc.value()->Snapshot(4);
+  EXPECT_TRUE(mid.ok()) << mid.status().ToString();
+  if (mid.ok()) {
+    EXPECT_GT(mid.value().phase1.points_added, 0u);
+    EXPECT_LE(mid.value().phase1.points_added, 150u);
+    EXPECT_FALSE(mid.value().clusters.empty());
+  }
+  runner.join();
+  ASSERT_TRUE(cluster_status.ok()) << cluster_status.ToString();
 }
 
 TEST(CheckpointTest, FingerprintMismatchIsInvalidArgument) {

@@ -13,9 +13,13 @@
 // per-row cluster labels (-1 = outlier). --checkpoint periodically
 // saves the live Phase-1 state; --restore resumes from such a file,
 // re-reading the SAME input (already-ingested rows are skipped).
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <random>
+#include <thread>
 
 #include "birch/birch.h"
 #include "birch/dataset_io.h"
@@ -24,8 +28,10 @@
 #include "obs/export.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
+#include "serving/server.h"
 #include "util/flags.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 namespace birch {
 namespace {
@@ -74,7 +80,8 @@ int Run(int argc, char** argv) {
        "seed", "threads", "fault-read", "fault-write", "fault-lose",
        "fault-flip", "fault-seed", "io-attempts", "metrics", "metrics-csv",
        "trace-out", "report", "sample-every-ms", "checkpoint",
-       "checkpoint-every", "restore", "help"});
+       "checkpoint-every", "restore", "publish-every", "serve-seconds",
+       "serve-readers", "help"});
   if (!known.ok() || flags.Has("help") || !flags.Has("input") ||
       (!flags.Has("k") && !flags.Has("distance-limit"))) {
     if (!known.ok()) std::fprintf(stderr, "%s\n", known.ToString().c_str());
@@ -122,7 +129,16 @@ int Run(int argc, char** argv) {
                  "checkpoint — pass the SAME\n"
                  "  input file and the already-ingested rows are skipped "
                  "(options must match the\n"
-                 "  checkpointed run's dim/page/metric/threshold kind).\n");
+                 "  checkpointed run's dim/page/metric/threshold kind).\n"
+                 "  --publish-every N publishes a serving snapshot epoch "
+                 "every N points (the\n"
+                 "  queryable point->cluster serving tier; see "
+                 "DESIGN.md §13); --serve-seconds S\n"
+                 "  with --serve-readers R (default 4) then drives R "
+                 "reader threads of\n"
+                 "  Assign(point) load for S seconds after the run and "
+                 "prints QPS and latency\n"
+                 "  quantiles (not with --stream).\n");
     return flags.Has("help") ? 0 : 2;
   }
   const bool stream = flags.GetBool("stream", false);
@@ -164,6 +180,23 @@ int Run(int argc, char** argv) {
     return 2;
   }
   o.num_threads = static_cast<int>(threads);
+
+  int64_t publish_every = flags.GetInt("publish-every", 0);
+  double serve_seconds = flags.GetDouble("serve-seconds", 0.0);
+  int64_t serve_readers = flags.GetInt("serve-readers", 4);
+  if (publish_every < 0 || serve_seconds < 0.0 || serve_readers < 1) {
+    std::fprintf(stderr,
+                 "--publish-every/--serve-seconds must be >= 0, "
+                 "--serve-readers >= 1\n");
+    return 2;
+  }
+  o.serving.publish_every_n = static_cast<uint64_t>(publish_every);
+  if (serve_seconds > 0.0 && (publish_every == 0 || stream)) {
+    std::fprintf(stderr,
+                 "--serve-seconds needs --publish-every N > 0 and an "
+                 "in-memory input (no --stream)\n");
+    return 2;
+  }
 
   if (flags.Has("checkpoint") != flags.Has("checkpoint-every")) {
     std::fprintf(stderr,
@@ -234,6 +267,10 @@ int Run(int argc, char** argv) {
 
   Dataset data(1);
   StatusOr<BirchResult> result_or = Status::Internal("unreachable");
+  // Kept alive past the run when --serve-seconds is set: the serving
+  // tier lives on the clusterer, and the serve phase queries it after
+  // clustering completes.
+  std::unique_ptr<BirchClusterer> serving_clusterer;
   if (stream) {
     // Out-of-core: the file is scanned, never loaded.
     auto source_or = CsvPointSource::Open(flags.GetString("input"));
@@ -275,7 +312,17 @@ int Run(int argc, char** argv) {
         return 1;
       }
       DatasetSource source(&data);
-      result_or = c_or.value()->Cluster(&source, &data);
+      serving_clusterer = std::move(c_or).ValueOrDie();
+      result_or = serving_clusterer->Cluster(&source, &data);
+    } else if (serve_seconds > 0.0) {
+      auto c_or = BirchClusterer::Create(o);
+      if (!c_or.ok()) {
+        std::fprintf(stderr, "%s\n", c_or.status().ToString().c_str());
+        return 1;
+      }
+      DatasetSource source(&data);
+      serving_clusterer = std::move(c_or).ValueOrDie();
+      result_or = serving_clusterer->Cluster(&source, &data);
     } else {
       result_or = ClusterDataset(data, o);
     }
@@ -407,6 +454,57 @@ int Run(int argc, char** argv) {
         .Add("(" + centroid + ")");
   }
   table.Print();
+
+  if (serve_seconds > 0.0 && serving_clusterer != nullptr &&
+      serving_clusterer->server() != nullptr) {
+    const serving::BirchServer* server = serving_clusterer->server();
+    obs::MetricsSnapshot serve_baseline = obs::CaptureSnapshot();
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> queries{0}, errors{0};
+    std::vector<std::thread> threads;
+    for (int64_t t = 0; t < serve_readers; ++t) {
+      threads.emplace_back([&, t] {
+        std::mt19937_64 rng(0x51e6 + static_cast<uint64_t>(t));
+        std::uniform_int_distribution<size_t> pick(0, data.size() - 1);
+        while (!stop.load(std::memory_order_relaxed)) {
+          auto got = server->Assign(data.Row(pick(rng)));
+          if (got.ok()) {
+            queries.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    Timer serve_timer;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(serve_seconds));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& th : threads) th.join();
+    const double elapsed = serve_timer.Seconds();
+    obs::MetricsSnapshot delta =
+        obs::CaptureSnapshot().DeltaSince(serve_baseline);
+    double p50 = 0.0, p99 = 0.0, p999 = 0.0;
+    auto hist = delta.histograms.find("serving/assign_us");
+    if (hist != delta.histograms.end()) {
+      p50 = hist->second.Quantile(0.50);
+      p99 = hist->second.Quantile(0.99);
+      p999 = hist->second.Quantile(0.999);
+    }
+    const uint64_t q = queries.load();
+    std::printf("serving: %llu Assign queries from %lld readers in %.2fs "
+                "(%.0f QPS; p50 %.1fus, p99 %.1fus, p999 %.1fus; "
+                "epoch %llu)\n",
+                static_cast<unsigned long long>(q),
+                static_cast<long long>(serve_readers), elapsed,
+                elapsed > 0.0 ? q / elapsed : 0.0, p50, p99, p999,
+                static_cast<unsigned long long>(server->epoch()));
+    if (errors.load() > 0) {
+      std::fprintf(stderr, "serving: %llu query errors\n",
+                   static_cast<unsigned long long>(errors.load()));
+      return 1;
+    }
+  }
 
   if (flags.Has("output")) {
     std::ofstream out(flags.GetString("output"));
