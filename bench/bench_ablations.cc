@@ -61,7 +61,7 @@ int Run(int argc, char** argv) {
                     "refinements", "cmp/pt"});
     BirchOptions on = bench::PaperDefaults(100, g.data.size());
     BirchOptions off = on;
-    off.merging_refinement = false;
+    off.tree.merging_refinement = false;
     if (run("merging_refinement", "on", on, &t)) return 1;
     if (run("merging_refinement", "off", off, &t)) return 1;
     t.Print();
@@ -75,7 +75,7 @@ int Run(int argc, char** argv) {
                    DistanceMetric::kD2, DistanceMetric::kD3,
                    DistanceMetric::kD4}) {
       BirchOptions o = bench::PaperDefaults(100, g.data.size());
-      o.metric = m;
+      o.tree.metric = m;
       if (run("metric", MetricName(m), o, &t)) return 1;
     }
     t.Print();
@@ -87,7 +87,7 @@ int Run(int argc, char** argv) {
                     "refinements", "cmp/pt"});
     BirchOptions diam = bench::PaperDefaults(100, g.data.size());
     BirchOptions rad = diam;
-    rad.threshold_kind = ThresholdKind::kRadius;
+    rad.tree.threshold_kind = ThresholdKind::kRadius;
     if (run("threshold_kind", "diameter", diam, &t)) return 1;
     if (run("threshold_kind", "radius", rad, &t)) return 1;
     t.Print();
@@ -107,7 +107,7 @@ int Run(int argc, char** argv) {
           Named{"kmeans", GlobalAlgorithm::kKMeans},
           Named{"medoids", GlobalAlgorithm::kMedoids}}) {
       BirchOptions o = bench::PaperDefaults(100, g.data.size());
-      o.global_algorithm = algo;
+      o.global_phase.algorithm = algo;
       if (run("global_algorithm", name, o, &t)) return 1;
     }
     t.Print();

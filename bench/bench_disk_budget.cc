@@ -33,11 +33,11 @@ int Run(int argc, char** argv) {
 
   for (size_t r_kb : {0u, 2u, 4u, 8u, 16u, 32u, 64u}) {
     BirchOptions o = bench::PaperDefaults(100, g.data.size());
-    o.disk_bytes = r_kb * 1024;
-    if (o.disk_bytes == 0) {
+    o.resources.disk_bytes = r_kb * 1024;
+    if (o.resources.disk_bytes == 0) {
       // No disk at all: the outlier/delay options have nowhere to
       // spill; exercise the forced-insert fallbacks.
-      o.disk_bytes = o.page_size;  // minimum one page
+      o.resources.disk_bytes = o.resources.page_size;  // minimum one page
     }
     auto row_or = bench::RunBirch(g, o);
     if (!row_or.ok()) {

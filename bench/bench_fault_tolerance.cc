@@ -76,9 +76,9 @@ int Run(int argc, char** argv) {
     BirchOptions o = bench::PaperDefaults(100, g.data.size());
     // Small memory budget so rebuilds spill outliers and the disk
     // actually gets exercised.
-    o.memory_bytes = 32 * 1024;
-    o.disk_bytes = sc.disk_bytes;
-    o.fault = sc.fault;
+    o.resources.memory_bytes = 32 * 1024;
+    o.resources.disk_bytes = sc.disk_bytes;
+    o.resources.fault = sc.fault;
     auto row_or = bench::RunBirch(g, o);
     if (!row_or.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", sc.name.c_str(),

@@ -49,9 +49,9 @@ int Run(int argc, char** argv) {
   };
   for (const Config& cfg : configs) {
     BirchOptions o = bench::PaperDefaults(100, g.data.size());
-    o.outlier_handling = cfg.outliers;
-    o.delay_split = cfg.delay;
-    o.refine_outlier_distance = cfg.refine_discard;
+    o.outliers.handling = cfg.outliers;
+    o.outliers.delay_split = cfg.delay;
+    o.refine.outlier_distance = cfg.refine_discard;
     auto row_or = bench::RunBirch(g, o);
     if (!row_or.ok()) {
       std::fprintf(stderr, "config failed: %s\n",

@@ -29,8 +29,8 @@ int Run(int argc, char** argv) {
   const size_t kBudgetsKb[] = {20, 40, 80, 160, 320};
   for (size_t m : kBudgetsKb) {
     BirchOptions o = bench::PaperDefaults(100, g.data.size());
-    o.memory_bytes = m * 1024;
-    o.disk_bytes = o.memory_bytes / 5;
+    o.resources.memory_bytes = m * 1024;
+    o.resources.disk_bytes = o.resources.memory_bytes / 5;
     auto row_or = bench::RunBirch(g, o);
     if (!row_or.ok()) {
       std::fprintf(stderr, "M=%zuKB failed: %s\n", m,

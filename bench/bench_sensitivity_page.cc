@@ -31,13 +31,13 @@ int Run(int argc, char** argv) {
   for (size_t p : kPages) {
     // Pre-Phase-4 quality: run with refinement disabled.
     BirchOptions pre = bench::PaperDefaults(100, g.data.size());
-    pre.page_size = p;
-    pre.refinement_passes = 0;
+    pre.resources.page_size = p;
+    pre.refine.passes = 0;
     auto pre_or = bench::RunBirch(g, pre);
     if (!pre_or.ok()) return 1;
 
     BirchOptions full = bench::PaperDefaults(100, g.data.size());
-    full.page_size = p;
+    full.resources.page_size = p;
     auto full_or = bench::RunBirch(g, full);
     if (!full_or.ok()) return 1;
     const auto& row = full_or.value();

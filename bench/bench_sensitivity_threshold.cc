@@ -30,7 +30,7 @@ int Run(int argc, char** argv) {
   const double kT0s[] = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
   for (double t0 : kT0s) {
     BirchOptions o = bench::PaperDefaults(100, g.data.size());
-    o.initial_threshold = t0;
+    o.tree.initial_threshold = t0;
     auto row_or = bench::RunBirch(g, o);
     if (!row_or.ok()) {
       std::fprintf(stderr, "T0=%.2f failed: %s\n", t0,

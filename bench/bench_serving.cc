@@ -224,7 +224,7 @@ int Run(int argc, char** argv) {
 
   for (const Scenario& sc : scenarios) {
     BirchOptions o = bench::PaperDefaults(k, data.size());
-    o.num_threads = sc.threads;
+    o.exec.num_threads = sc.threads;
     o.serving.publish_every_n = publish_every;
     o.exec.kernel = kernel;
     if (sc.threads == 0) report_options = o;

@@ -28,15 +28,15 @@ inline BirchOptions PaperDefaults(int k, uint64_t expected_points = 0) {
   BirchOptions o;
   o.dim = 2;
   o.k = k;
-  o.memory_bytes = 80 * 1024;
-  o.disk_bytes = 16 * 1024;  // R = 20% of M
-  o.page_size = 1024;
-  o.initial_threshold = 0.0;
-  o.metric = DistanceMetric::kD2;
-  o.threshold_kind = ThresholdKind::kDiameter;
-  o.outlier_handling = true;
-  o.delay_split = true;
-  o.refinement_passes = 1;
+  o.resources.memory_bytes = 80 * 1024;
+  o.resources.disk_bytes = 16 * 1024;  // R = 20% of M
+  o.resources.page_size = 1024;
+  o.tree.initial_threshold = 0.0;
+  o.tree.metric = DistanceMetric::kD2;
+  o.tree.threshold_kind = ThresholdKind::kDiameter;
+  o.outliers.handling = true;
+  o.outliers.delay_split = true;
+  o.refine.passes = 1;
   o.expected_points = expected_points;
   return o;
 }
@@ -112,6 +112,16 @@ inline bool HasFlagArg(int argc, char** argv, const std::string& name) {
     if (argv[i] == name) return true;
   }
   return false;
+}
+
+/// Valued-flag lookup (e.g. --affinity on); `fallback` when absent.
+inline std::string FlagValueFromArgs(int argc, char** argv,
+                                     const std::string& name,
+                                     const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == name) return argv[i + 1];
+  }
+  return fallback;
 }
 
 /// --scalar-kernel: run the per-entry scalar distance oracle instead of

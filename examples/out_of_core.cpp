@@ -28,8 +28,8 @@ int main() {
   BirchOptions options;
   options.dim = 2;
   options.k = 100;
-  options.memory_bytes = 80 * 1024;
-  options.refinement_passes = 2;  // streamed re-scans of the source
+  options.resources.memory_bytes = 80 * 1024;
+  options.refine.passes = 2;  // streamed re-scans of the source
 
   Timer timer;
   auto result = ClusterSource(source.get(), options);
@@ -51,9 +51,9 @@ int main() {
       static_cast<unsigned long long>(source->total_points()), raw_mb,
       timer.Seconds(), r.clusters.size(),
       WeightedAverageDiameter(r.clusters), r.peak_memory_bytes / 1024,
-      options.memory_bytes / 1024,
+      options.resources.memory_bytes / 1024,
       static_cast<unsigned long long>(r.phase1.rebuilds),
-      options.refinement_passes);
+      options.refine.passes);
 
   double total = 0.0;
   for (const auto& c : r.clusters) total += c.n();

@@ -15,7 +15,7 @@ int main() {
   BirchOptions options;
   options.dim = 2;
   options.k = 4;
-  options.memory_bytes = 64 * 1024;
+  options.resources.memory_bytes = 64 * 1024;
   auto clusterer_or = BirchClusterer::Create(options);
   if (!clusterer_or.ok()) {
     std::fprintf(stderr, "%s\n",

@@ -36,9 +36,9 @@ int main() {
     BirchOptions o;
     o.dim = 2;
     o.k = k;
-    o.memory_bytes = 80 * 1024;
+    o.resources.memory_bytes = 80 * 1024;
     // Phase-3 k-means minimizes exactly the VQ distortion objective.
-    o.global_algorithm = GlobalAlgorithm::kKMeans;
+    o.global_phase.algorithm = GlobalAlgorithm::kKMeans;
     auto result = ClusterDataset(data, o);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());

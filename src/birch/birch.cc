@@ -22,11 +22,11 @@ namespace {
 CfTreeOptions TreeOptionsFrom(const BirchOptions& o) {
   CfTreeOptions t;
   t.dim = o.dim;
-  t.page_size = o.page_size;
-  t.threshold = o.initial_threshold;
-  t.metric = o.metric;
-  t.threshold_kind = o.threshold_kind;
-  t.merging_refinement = o.merging_refinement;
+  t.page_size = o.resources.page_size;
+  t.threshold = o.tree.initial_threshold;
+  t.metric = o.tree.metric;
+  t.threshold_kind = o.tree.threshold_kind;
+  t.merging_refinement = o.tree.merging_refinement;
   t.cf = o.tree.cf;
   t.cf_storage = o.tree.cf_storage;
   t.kernel = o.exec.kernel;
@@ -49,14 +49,14 @@ serving::SnapshotBuildOptions SnapshotOptionsFrom(const BirchOptions& o,
 Phase1Options Phase1OptionsFrom(const BirchOptions& o) {
   Phase1Options p;
   p.tree = TreeOptionsFrom(o);
-  p.memory_budget_bytes = o.memory_bytes;
-  p.disk_budget_bytes = o.disk_bytes;
-  p.outlier_handling = o.outlier_handling;
-  p.outlier_fraction = o.outlier_fraction;
-  p.delay_split = o.delay_split;
+  p.memory_budget_bytes = o.resources.memory_bytes;
+  p.disk_budget_bytes = o.resources.disk_bytes;
+  p.outlier_handling = o.outliers.handling;
+  p.outlier_fraction = o.outliers.fraction;
+  p.delay_split = o.outliers.delay_split;
   p.expected_points = o.expected_points;
-  p.fault = o.fault;
-  p.retry = o.io_retry;
+  p.fault = o.resources.fault;
+  p.retry = o.resources.io_retry;
   return p;
 }
 
@@ -99,16 +99,16 @@ StatusOr<BirchResult> RunPhases234(const BirchOptions& options,
   timer.Restart();
   obs::SpanScope phase2_span("birch/phase2");
   std::vector<CfVector> shed_outliers;
-  if (options.use_phase2 &&
-      tree->leaf_entry_count() > options.phase2_target_entries) {
+  if (options.global_phase.use_phase2 &&
+      tree->leaf_entry_count() > options.global_phase.phase2_target_entries) {
     Phase2Options p2;
-    p2.target_leaf_entries = options.phase2_target_entries;
-    if (options.outlier_handling && tree->leaf_entry_count() > 0) {
+    p2.target_leaf_entries = options.global_phase.phase2_target_entries;
+    if (options.outliers.handling && tree->leaf_entry_count() > 0) {
       // Phase 2 "removes more outliers" (paper Sec. 5): entries far
       // below the average density are shed while condensing.
       double avg = tree->TreeSummary().n() /
                    static_cast<double>(tree->leaf_entry_count());
-      p2.outlier_weight_threshold = options.outlier_fraction * avg;
+      p2.outlier_weight_threshold = options.outliers.fraction * avg;
     }
     BIRCH_RETURN_IF_ERROR(
         CondenseTree(tree, p2, &shed_outliers, &result.phase2));
@@ -123,13 +123,15 @@ StatusOr<BirchResult> RunPhases234(const BirchOptions& options,
   std::vector<CfVector> entries;
   tree->CollectLeafEntries(&entries);
   if (entries.empty()) {
-    return Status::FailedPrecondition("no data was added");
+    return Status::FailedPrecondition(
+        "no data was added: ingest at least one point (AddBatch/Add/"
+        "AddSource) before running the pipeline");
   }
   GlobalClusterOptions g;
   g.k = options.k;
-  g.distance_limit = options.global_distance_limit;
-  g.algorithm = options.global_algorithm;
-  g.metric = options.global_metric;
+  g.distance_limit = options.global_phase.distance_limit;
+  g.algorithm = options.global_phase.algorithm;
+  g.metric = options.global_phase.metric;
   g.seed = options.seed;
   g.pool = pool;
   g.kernel = options.exec.kernel;
@@ -146,15 +148,15 @@ StatusOr<BirchResult> RunPhases234(const BirchOptions& options,
   obs::SpanScope phase4_span("birch/phase4");
   if (for_refinement != nullptr && !for_refinement->empty()) {
     RefineOptions r;
-    r.passes = std::max(1, options.refinement_passes);
+    r.passes = std::max(1, options.refine.passes);
     r.stop_when_stable = true;
-    r.outlier_distance = options.refine_outlier_distance;
+    r.outlier_distance = options.refine.outlier_distance;
     r.pool = pool;
     r.kernel = options.exec.kernel;
     auto refined_or = RefineClusters(*for_refinement, result.clusters, r);
     if (!refined_or.ok()) return refined_or.status();
     RefineResult& refined = refined_or.value();
-    if (options.refinement_passes > 0) {
+    if (options.refine.passes > 0) {
       // Keep the refined clusters (drop any that ended empty).
       result.labels = std::move(refined.labels);
       std::vector<int> remap(refined.clusters.size(), -1);
@@ -210,7 +212,7 @@ StatusOr<BirchResult> RunPhases234(const BirchOptions& options,
 /// Refines `result` in place; no-op if the source cannot rewind.
 Status StreamingRefine(PointSource* source, const BirchOptions& opts,
                        BirchResult* result) {
-  if (opts.refinement_passes <= 0 || !source->Rewind().ok()) {
+  if (opts.refine.passes <= 0 || !source->Rewind().ok()) {
     return Status::OK();
   }
   TRACE_SPAN("birch/phase4");
@@ -219,13 +221,13 @@ Status StreamingRefine(PointSource* source, const BirchOptions& opts,
   std::vector<double> p(opts.dim);
   double w = 1.0;
   const double limit_sq =
-      opts.refine_outlier_distance > 0.0
-          ? opts.refine_outlier_distance * opts.refine_outlier_distance
+      opts.refine.outlier_distance > 0.0
+          ? opts.refine.outlier_distance * opts.refine.outlier_distance
           : std::numeric_limits<double>::infinity();
-  const bool use_batch = opts.exec.kernel == KernelKind::kBatch;
+  const bool use_batch = IsBatchKernel(opts.exec.kernel);
   kernel::CenterBatch cbatch;
   kernel::Workspace ws;
-  for (int pass = 0; pass < opts.refinement_passes; ++pass) {
+  for (int pass = 0; pass < opts.refine.passes; ++pass) {
     if (pass > 0) BIRCH_RETURN_IF_ERROR(source->Rewind());
     // Centers move between passes; refresh the SoA mirror per pass.
     if (use_batch) cbatch.Assign(centers);
@@ -322,20 +324,28 @@ const Phase1Stats& BirchClusterer::phase1_stats() const {
   return sharded_ != nullptr ? sharded_->stats : phase1_->stats();
 }
 
-Status BirchClusterer::MaybeAutoCheckpoint() {
-  const uint64_t n = options_.resources.checkpoint_every_n;
-  if (n == 0) return Status::OK();
-  if (++points_since_checkpoint_ < n) return Status::OK();
-  points_since_checkpoint_ = 0;
-  return SaveCheckpoint(options_.resources.checkpoint_path);
-}
-
-Status BirchClusterer::MaybeAutoPublish() {
-  const uint64_t n = options_.serving.publish_every_n;
-  if (n == 0) return Status::OK();
-  if (++points_since_publish_ < n) return Status::OK();
-  points_since_publish_ = 0;
-  return PublishSnapshot();
+Status BirchClusterer::NoteIngested(uint64_t added) {
+  // Both cadences count POINTS from the absolute start of the stream,
+  // batch boundaries notwithstanding; AddBatch() never hands this more
+  // points than reach the next boundary, so == is exact.
+  const uint64_t ckpt_n = options_.resources.checkpoint_every_n;
+  if (ckpt_n > 0) {
+    points_since_checkpoint_ += added;
+    if (points_since_checkpoint_ == ckpt_n) {
+      points_since_checkpoint_ = 0;
+      BIRCH_RETURN_IF_ERROR(
+          SaveCheckpoint(options_.resources.checkpoint_path));
+    }
+  }
+  const uint64_t pub_n = options_.serving.publish_every_n;
+  if (pub_n > 0) {
+    points_since_publish_ += added;
+    if (points_since_publish_ == pub_n) {
+      points_since_publish_ = 0;
+      BIRCH_RETURN_IF_ERROR(PublishSnapshot());
+    }
+  }
+  return Status::OK();
 }
 
 Status BirchClusterer::PublishSnapshot() {
@@ -349,53 +359,109 @@ Status BirchClusterer::PublishSnapshot() {
   return server_->Publish(std::move(snap_or).ValueOrDie());
 }
 
-Status BirchClusterer::Add(std::span<const double> x, double weight) {
-  if (finished_) return Status::FailedPrecondition("Add() after Finish()");
-  if (!resume_freezes_.empty()) {
-    return Status::FailedPrecondition(
-        "restored from a sharded checkpoint: resume with Cluster()");
-  }
-  BIRCH_RETURN_IF_ERROR(phase1_->Add(x, weight));
-  BIRCH_RETURN_IF_ERROR(MaybeAutoCheckpoint());
-  return MaybeAutoPublish();
-}
-
-Status BirchClusterer::AddDataset(const Dataset& data) {
+Status BirchClusterer::AddBatch(std::span<const double> xs, size_t n,
+                                std::span<const double> weights) {
   if (finished_) {
-    return Status::FailedPrecondition("AddDataset() after Finish()");
-  }
-  if (data.dim() != options_.dim) {
-    return Status::InvalidArgument("dataset dimension mismatch");
+    return Status::FailedPrecondition(
+        "AddBatch() after Finish(): the pipeline already ran; create a "
+        "new clusterer to ingest more data");
   }
   if (!resume_freezes_.empty()) {
     return Status::FailedPrecondition(
-        "restored from a sharded checkpoint: resume with Cluster()");
+        "restored from a sharded checkpoint: resume with Cluster() on "
+        "the same full stream (streaming ingest only resumes serial "
+        "checkpoints)");
   }
-  for (size_t i = 0; i < data.size(); ++i) {
-    BIRCH_RETURN_IF_ERROR(phase1_->Add(data.Row(i), data.Weight(i)));
-    BIRCH_RETURN_IF_ERROR(MaybeAutoCheckpoint());
-    BIRCH_RETURN_IF_ERROR(MaybeAutoPublish());
+  const size_t dim = options_.dim;
+  if (xs.size() != n * dim) {
+    return Status::InvalidArgument(
+        "batch size mismatch: got " + std::to_string(xs.size()) +
+        " doubles for n=" + std::to_string(n) + " points of dim " +
+        std::to_string(dim) + "; pass exactly n * dim row-major values");
+  }
+  if (!weights.empty() && weights.size() != n) {
+    return Status::InvalidArgument(
+        "weight count mismatch: got " + std::to_string(weights.size()) +
+        " weights for " + std::to_string(n) +
+        " points; pass one weight per point or an empty span for all-1");
+  }
+  const uint64_t ckpt_n = options_.resources.checkpoint_every_n;
+  const uint64_t pub_n = options_.serving.publish_every_n;
+  size_t off = 0;
+  while (off < n) {
+    // Split the batch at the next checkpoint/publish boundary so both
+    // cadences fire at the exact absolute point counts a point-by-
+    // point ingest would produce.
+    size_t take = n - off;
+    if (ckpt_n > 0) {
+      take = std::min<uint64_t>(take, ckpt_n - points_since_checkpoint_);
+    }
+    if (pub_n > 0) {
+      take = std::min<uint64_t>(take, pub_n - points_since_publish_);
+    }
+    BIRCH_RETURN_IF_ERROR(phase1_->AddBatch(
+        xs.subspan(off * dim, take * dim), take,
+        weights.empty() ? std::span<const double>()
+                        : weights.subspan(off, take)));
+    off += take;
+    BIRCH_RETURN_IF_ERROR(NoteIngested(take));
   }
   return Status::OK();
 }
 
+Status BirchClusterer::Add(std::span<const double> x, double weight) {
+  return AddBatch(x, 1, std::span<const double>(&weight, 1));
+}
+
+Status BirchClusterer::AddDataset(const Dataset& data) {
+  if (data.dim() != options_.dim) {
+    return Status::InvalidArgument(
+        "dataset dimension mismatch: dataset rows have dim " +
+        std::to_string(data.dim()) + ", clusterer was created with dim " +
+        std::to_string(options_.dim));
+  }
+  // One zero-copy batch over the dataset's row-major storage.
+  return AddBatch(data.Values(), data.size(), data.Weights());
+}
+
 Status BirchClusterer::AddSource(PointSource* source) {
   if (finished_) {
-    return Status::FailedPrecondition("AddSource() after Finish()");
+    return Status::FailedPrecondition(
+        "AddSource() after Finish(): the pipeline already ran; create a "
+        "new clusterer to ingest more data");
   }
   if (source->dim() != options_.dim) {
-    return Status::InvalidArgument("source dimension mismatch");
+    return Status::InvalidArgument(
+        "source dimension mismatch: source yields dim " +
+        std::to_string(source->dim()) + ", clusterer was created with "
+        "dim " + std::to_string(options_.dim));
   }
   if (!resume_freezes_.empty()) {
     return Status::FailedPrecondition(
-        "restored from a sharded checkpoint: resume with Cluster()");
+        "restored from a sharded checkpoint: resume with Cluster() on "
+        "the same full stream (streaming ingest only resumes serial "
+        "checkpoints)");
   }
-  std::vector<double> p(options_.dim);
+  // Chunked drain: the stream is never materialized, but points move
+  // through the batch path a page-ish slab at a time.
+  constexpr size_t kChunk = 512;
+  const size_t dim = options_.dim;
+  std::vector<double> xs;
+  std::vector<double> ws;
+  xs.reserve(kChunk * dim);
+  ws.reserve(kChunk);
+  std::vector<double> p(dim);
   double w = 1.0;
-  while (source->Next(p, &w)) {
-    BIRCH_RETURN_IF_ERROR(phase1_->Add(p, w));
-    BIRCH_RETURN_IF_ERROR(MaybeAutoCheckpoint());
-    BIRCH_RETURN_IF_ERROR(MaybeAutoPublish());
+  for (;;) {
+    xs.clear();
+    ws.clear();
+    while (ws.size() < kChunk && source->Next(p, &w)) {
+      xs.insert(xs.end(), p.begin(), p.end());
+      ws.push_back(w);
+    }
+    if (ws.empty()) break;
+    BIRCH_RETURN_IF_ERROR(AddBatch(xs, ws.size(), ws));
+    if (ws.size() < kChunk) break;
   }
   return Status::OK();
 }
@@ -523,18 +589,20 @@ StatusOr<BirchResult> BirchClusterer::Snapshot(int k) const {
     tree().CollectLeafEntries(&entries);
   }
   if (entries.empty()) {
-    return Status::FailedPrecondition("no data to snapshot");
+    return Status::FailedPrecondition(
+        "no data to snapshot: ingest at least one point (AddBatch/Add/"
+        "AddSource) before calling Snapshot(k)");
   }
   Timer timer;
   GlobalClusterOptions g;
   g.k = k;
-  g.metric = options_.global_metric;
+  g.metric = options_.global_phase.metric;
   g.seed = options_.seed;
   g.kernel = options_.exec.kernel;
   // Large live trees fall back to k-means (no Phase 2 available here).
   g.algorithm = entries.size() > g.max_hierarchical_inputs
                     ? GlobalAlgorithm::kKMeans
-                    : options_.global_algorithm;
+                    : options_.global_phase.algorithm;
   auto clustering_or = GlobalCluster(entries, g);
   if (!clustering_or.ok()) return clustering_or.status();
   GlobalClustering& clustering = clustering_or.value();
@@ -596,8 +664,8 @@ StatusOr<BirchResult> BirchClusterer::Finish(const Dataset* for_refinement) {
   // The streaming API ingests serially (points arrive one Add() at a
   // time), but Phases 3/4 still parallelize when asked.
   std::unique_ptr<exec::ThreadPool> pool;
-  if (options_.num_threads > 0) {
-    pool = std::make_unique<exec::ThreadPool>(options_.num_threads);
+  if (options_.exec.num_threads > 0) {
+    pool = std::make_unique<exec::ThreadPool>(options_.exec.num_threads);
   }
   auto result_or = RunPhases234(options_, p1, for_refinement, pool.get(),
                                 metrics_baseline_);
@@ -645,6 +713,10 @@ StatusOr<BirchResult> BirchClusterer::Cluster(PointSource* source,
   ShardedPhase1Options sp;
   sp.phase1 = Phase1OptionsFrom(options_);
   sp.num_shards = options_.exec.num_threads;
+  sp.dealing = options_.exec.dealing;
+  sp.splitter_seed = options_.exec.splitter_seed;
+  sp.affinity_sample = options_.exec.affinity_sample;
+  sp.affinity_centers = options_.exec.affinity_centers;
   sp.resume = resume_freezes_.empty() ? nullptr : &resume_freezes_;
   sp.resume_skip_points = resume_skip_points_;
   if (options_.resources.checkpoint_every_n > 0) {

@@ -1,10 +1,11 @@
 // Public entry points. BirchClusterer is the single engine: stream
-// points in with Add()/AddDataset()/AddSource() and call Finish(), or
-// hand it a whole PointSource via Cluster() (which picks the serial or
-// sharded Phase-1 pipeline from options.exec.num_threads). The
-// one-call ClusterDataset / ClusterSource wrappers are thin
-// delegations to it. This is the API the examples and benchmarks
-// build on.
+// points in with AddBatch() — the primary, SoA-friendly ingest surface
+// that Add()/AddDataset()/AddSource() are reimplemented on — and call
+// Finish(), or hand it a whole PointSource via Cluster() (which picks
+// the serial or sharded Phase-1 pipeline from
+// options.exec.num_threads). The one-call ClusterDataset /
+// ClusterSource wrappers are thin delegations to it. This is the API
+// the examples and benchmarks build on.
 #ifndef BIRCH_BIRCH_BIRCH_H_
 #define BIRCH_BIRCH_BIRCH_H_
 
@@ -93,10 +94,23 @@ class BirchClusterer {
       const BirchOptions& options);
   ~BirchClusterer();
 
-  /// Inserts one point (Phase 1). Fails after Finish()/Cluster().
+  /// Primary ingest surface: inserts `n` points packed row-major in
+  /// `xs` (exactly n * dim doubles), with optional per-point `weights`
+  /// (empty = every point weighs 1.0). Bitwise-identical to calling
+  /// Add() on each row in order; the batch is validated whole before
+  /// any point is ingested, and auto-checkpoint / auto-publish
+  /// cadences still fire at the exact absolute point counts (the batch
+  /// is split internally at cadence boundaries). Fails after
+  /// Finish()/Cluster().
+  Status AddBatch(std::span<const double> xs, size_t n,
+                  std::span<const double> weights = {});
+
+  /// Inserts one point (Phase 1) — AddBatch() of one row. Fails after
+  /// Finish()/Cluster().
   Status Add(std::span<const double> x, double weight = 1.0);
 
-  /// Inserts every row of `data`. Fails after Finish()/Cluster().
+  /// One zero-copy AddBatch() over `data`'s row-major storage. Fails
+  /// after Finish()/Cluster().
   Status AddDataset(const Dataset& data);
 
   /// Drains `source` into the tree (single scan; the stream is never
@@ -173,15 +187,11 @@ class BirchClusterer {
  private:
   explicit BirchClusterer(const BirchOptions& options);
 
-  /// Auto-checkpoint bookkeeping for the serial ingest paths: counts
-  /// points and saves to options_.resources.checkpoint_path every
-  /// checkpoint_every_n of them.
-  Status MaybeAutoCheckpoint();
-
-  /// Auto-publish bookkeeping for the serial ingest paths: counts
-  /// points and publishes a serving epoch every
-  /// options_.serving.publish_every_n of them.
-  Status MaybeAutoPublish();
+  /// Cadence bookkeeping for the serial ingest paths: advances the
+  /// point counters by `added` and runs the auto-checkpoint / auto-
+  /// publish hooks when they land exactly on their cadences (AddBatch
+  /// splits batches so they always do).
+  Status NoteIngested(uint64_t added);
 
   BirchOptions options_;
   std::unique_ptr<Phase1Builder> phase1_;
@@ -236,7 +246,7 @@ StatusOr<BirchResult> ClusterDataset(const Dataset& data,
 
 /// One-call out-of-core API: cluster a stream without materializing
 /// it. Phase 4 runs only when the source is rewindable AND
-/// options.refinement_passes > 0; with a rewindable source the
+/// options.refine.passes > 0; with a rewindable source the
 /// refinement re-scans it pass by pass in O(1) extra memory, so
 /// BirchResult.labels stays empty either way (a labels vector for N
 /// points would defeat the purpose — use result.centroids to label

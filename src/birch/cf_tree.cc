@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "birch/kernel/kernel_ops.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 
@@ -22,6 +23,9 @@ CfTree::CfTree(const CfTreeOptions& options, MemoryTracker* mem)
       layout_{options.page_size, options.dim, options.cf_storage},
       threshold_(options.threshold),
       mem_(mem),
+      descent_ops_(options.kernel == KernelKind::kBatchFast
+                       ? &kernel::detail::GetFastOps()
+                       : nullptr),
       point_cf_(options.dim, options.cf, options.cf_storage) {
   assert(mem_ != nullptr);
   root_ = AllocNode(/*leaf=*/true);
@@ -82,14 +86,19 @@ void CfTree::EnsureScratch(const CfNode& node) const {
   node.scratch_valid = true;
 }
 
-size_t CfTree::ClosestIndex(const CfNode& node, const CfVector& cf) const {
-  if (options_.kernel == KernelKind::kBatch) {
+size_t CfTree::ClosestIndex(const CfNode& node, const CfVector& cf,
+                            const kernel::CfQuery* query) const {
+  if (IsBatchKernel(options_.kernel)) {
     if (node.entries.empty()) return kNone;
     EnsureScratch(node);
-    kernel::CfQuery query;
-    query.Prepare(cf, options_.metric, &ws_.query_centroid);
-    kernel::ScanResult r =
-        kernel::NearestEntry(node.scratch, query, options_.metric, &ws_);
+    kernel::CfQuery local;
+    if (query == nullptr) {
+      local.Prepare(cf, options_.metric, &ws_.query_centroid);
+      query = &local;
+    }
+    kernel::ScanResult r = kernel::NearestEntry(
+        node.scratch, *query, options_.metric, &ws_,
+        /*active=*/nullptr, /*exclude=*/kNone, descent_ops_);
     stats_.distance_comparisons += node.entries.size();
     OBS_COUNTER_ADD("tree/distance_comps", node.entries.size());
     return r.index;
@@ -118,9 +127,10 @@ double CfTree::MergedThresholdValue(const CfVector& a,
 
 bool CfTree::CanAbsorb(const CfVector& existing,
                        const CfVector& incoming) const {
-  if (options_.kernel == KernelKind::kBatch) {
+  if (IsBatchKernel(options_.kernel)) {
     // Allocation-free merged statistic, bitwise equal to
-    // MergedThresholdValue (which materializes the merged CF).
+    // MergedThresholdValue (which materializes the merged CF). Exact
+    // under kBatchFast too: only descent scans use the fast ops.
     double v = options_.threshold_kind == ThresholdKind::kDiameter
                    ? kernel::MergedDiameter(existing, incoming)
                    : kernel::MergedRadius(existing, incoming);
@@ -141,13 +151,23 @@ InsertOutcome CfTree::InsertEntry(const CfVector& entry, InsertMode mode) {
   ++stats_.inserts;
   OBS_COUNTER_INC("tree/inserts");
 
+  // Query-side precomputations depend only on (entry, metric), so one
+  // Prepare serves every scan of the descent — bitwise identical to
+  // preparing per node, minus the repeated O(d) work.
+  kernel::CfQuery query;
+  const kernel::CfQuery* q = nullptr;
+  if (IsBatchKernel(options_.kernel)) {
+    query.Prepare(entry, options_.metric, &ws_.query_centroid);
+    q = &query;
+  }
+
   // Descend to the closest leaf, recording the path (reused member
   // buffer; InsertEntry is not reentrant).
   std::vector<PathStep>& path = path_;
   path.clear();
   CfNode* node = root_;
   while (!node->is_leaf) {
-    size_t ci = ClosestIndex(*node, entry);
+    size_t ci = ClosestIndex(*node, entry, q);
     path.push_back({node, ci});
     node = node->children[ci];
   }
@@ -160,7 +180,7 @@ InsertOutcome CfTree::InsertEntry(const CfVector& entry, InsertMode mode) {
     if (n->scratch_valid) n->scratch.Update(i, n->entries[i]);
   };
 
-  size_t ei = ClosestIndex(*node, entry);
+  size_t ei = ClosestIndex(*node, entry, q);
   if (ei != kNone && CanAbsorb(node->entries[ei], entry)) {
     add_to_entry(node, ei, entry);
     for (auto& step : path) add_to_entry(step.node, step.child, entry);

@@ -44,7 +44,11 @@ struct CfTreeOptions {
   CfStorage cf_storage = CfStorage::kF64;
   /// Distance-scan implementation for descent and absorption tests.
   /// kBatch scans each node's SoA scratch block; kScalar is the
-  /// per-entry oracle. Results are bitwise identical.
+  /// per-entry oracle; the two are bitwise identical. kBatchFast
+  /// additionally routes the descent scans through the FMA/AVX-512
+  /// column primitives when the CPU has them — faster, same structure,
+  /// but last-ulp distances may differ from the oracle (absorption
+  /// tests still use the exact merged statistics).
   KernelKind kernel = KernelKind::kBatch;
 };
 
@@ -180,8 +184,12 @@ class CfTree {
   }
 
   /// Index of the entry of `node` closest to `cf` (metric distance).
-  /// Returns SIZE_MAX if the node is empty.
-  size_t ClosestIndex(const CfNode& node, const CfVector& cf) const;
+  /// Returns SIZE_MAX if the node is empty. `query` (batch kernels
+  /// only) carries the query-side precomputations, prepared once per
+  /// insert and reused down the whole descent; nullptr prepares a
+  /// fresh one for this node.
+  size_t ClosestIndex(const CfNode& node, const CfVector& cf,
+                      const kernel::CfQuery* query = nullptr) const;
 
   bool CanAbsorb(const CfVector& existing, const CfVector& incoming) const;
 
@@ -203,6 +211,10 @@ class CfTree {
   CfLayout layout_;
   double threshold_;
   MemoryTracker* mem_;
+  /// Non-null only under kBatchFast: the FMA/AVX-512 column-primitive
+  /// table the descent scans use (resolved once at construction;
+  /// nullptr means NearestEntry uses the correctly-rounded dispatch).
+  const kernel::detail::Ops* descent_ops_ = nullptr;
 
   CfNode* root_ = nullptr;
   CfNode* first_leaf_ = nullptr;

@@ -50,6 +50,14 @@ class Dataset {
 
   bool has_weights() const { return !weights_.empty(); }
 
+  /// Flat row-major view over all rows (size() * dim() doubles) — the
+  /// zero-copy feed for the batch ingest APIs.
+  std::span<const double> Values() const { return values_; }
+
+  /// Per-row weights; empty means every row weighs 1.0 (matches the
+  /// weights-span convention of the AddBatch APIs).
+  std::span<const double> Weights() const { return weights_; }
+
   /// Total weight (== size() when unweighted).
   double TotalWeight() const {
     if (weights_.empty()) return static_cast<double>(size());

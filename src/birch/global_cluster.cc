@@ -42,7 +42,7 @@ GlobalClustering HierarchicalCluster(std::span<const CfVector> entries,
   // uint8_t activity mask; the masked one-pass scan visits candidates
   // in the same order with the same first-wins comparison as the
   // scalar loop, so both paths pick identical neighbours.
-  const bool use_batch = options.kernel == KernelKind::kBatch;
+  const bool use_batch = IsBatchKernel(options.kernel);
   kernel::CfBatch batch;
   std::vector<uint8_t> amask;
   if (use_batch) {
@@ -225,7 +225,7 @@ GlobalClustering KMeansCluster(std::span<const CfVector> entries,
       KMeansPlusPlusSeeds(entries, k, &rng);
 
   std::vector<int> assign(m, -1);
-  const bool use_batch = options.kernel == KernelKind::kBatch;
+  const bool use_batch = IsBatchKernel(options.kernel);
   const size_t num_chunks = exec::ParallelForNumChunks(options.pool, m,
                                                        /*min_per_chunk=*/64);
   kernel::CenterBatch cbatch;

@@ -33,13 +33,30 @@ namespace birch {
 /// Which distance-scan implementation the pipeline uses. kScalar is the
 /// per-CfVector oracle (metrics.cc); kBatch is the SoA layer below.
 /// They produce bitwise-identical results; kScalar exists as the
-/// equivalence oracle and as a fallback while debugging.
-enum class KernelKind { kScalar = 0, kBatch };
+/// equivalence oracle and as a fallback while debugging. kBatchFast is
+/// kBatch with the CF-tree descent scans routed through the FMA/
+/// AVX-512 column primitives where the CPU has them — measurably
+/// faster on wide dims but NOT bitwise against the oracle (fused
+/// multiply-adds round once, not twice), so it is opt-in and gated
+/// A/B in tests on quality rather than bit equality. On hardware
+/// without AVX-512 (or in a build without BIRCH_KERNEL_FMA) it decays
+/// to exactly kBatch.
+enum class KernelKind { kScalar = 0, kBatch, kBatchFast };
 
 /// Parse/format helper for CLI flags and bench labels.
 const char* KernelName(KernelKind kind);
 
+/// True for the kinds that use the SoA batch scans (everything except
+/// the scalar oracle).
+inline bool IsBatchKernel(KernelKind kind) {
+  return kind != KernelKind::kScalar;
+}
+
 namespace kernel {
+
+namespace detail {
+struct Ops;  // column-primitive table, kernel_ops.h
+}  // namespace detail
 
 /// Query-side precomputations, built once per scan (or once per tree
 /// descent) instead of once per candidate: centroid, SS/N, and the
@@ -132,18 +149,23 @@ struct ScanResult {
 
 /// Computes Distance(metric, query, batch[i]) for every i in
 /// [0, batch.size()) into ws->dist (resized), bitwise-equal to the
-/// scalar oracle.
+/// scalar oracle. `ops` selects the column-primitive table: nullptr
+/// (the default everywhere correctness matters) is the correctly-
+/// rounded dispatch (GetOps()); pass &GetFastOps() for the FMA lane —
+/// same argmin structure, last-ulp distances may differ.
 void FillDistances(const CfBatch& batch, const CfQuery& query,
-                   DistanceMetric metric, Workspace* ws);
+                   DistanceMetric metric, Workspace* ws,
+                   const detail::Ops* ops = nullptr);
 
 /// One-pass batch scan: nearest entry of `batch` to `query` under
 /// `metric`. `active` (nullable) masks candidates; `exclude` (or
 /// SIZE_MAX) skips one index. First-wins on ties, exactly like the
-/// scalar loop.
+/// scalar loop. `ops` as in FillDistances.
 ScanResult NearestEntry(const CfBatch& batch, const CfQuery& query,
                         DistanceMetric metric, Workspace* ws,
                         const uint8_t* active = nullptr,
-                        size_t exclude = static_cast<size_t>(-1));
+                        size_t exclude = static_cast<size_t>(-1),
+                        const detail::Ops* ops = nullptr);
 
 /// Diameter / radius the merge of `a` and `b` would have, computed
 /// without materializing the merged CF (no allocation). Bitwise-equal
@@ -176,6 +198,12 @@ class CenterBatch {
 /// True when this build carries the AVX2 specialization AND the CPU
 /// supports it (runtime dispatch; bench labels / tests read this).
 bool Avx2Active();
+
+/// True when the FMA/AVX-512 lane is compiled in (BIRCH_KERNEL_FMA)
+/// AND the CPU supports it: kBatchFast then actually diverges from
+/// kBatch. False means GetFastOps() == GetOps() and kBatchFast is
+/// bitwise kBatch.
+bool FmaActive();
 
 }  // namespace kernel
 }  // namespace birch

@@ -1,0 +1,162 @@
+// FMA/AVX-512 specialization of the column-accumulate primitives — the
+// fast lane behind KernelKind::kBatchFast. This is the only
+// translation unit compiled with -mavx512f/-mavx512dq/-mfma; like
+// kernel_avx2.cc it includes nothing but kernel_ops.h and
+// <immintrin.h> so no shared inline function can be emitted here with
+// AVX-512 encodings (see kernel_ops.h).
+//
+// NOT bitwise against the oracle: the accumulations use fused
+// multiply-add (one rounding instead of two), so distances may differ
+// from the portable/AVX2 lanes in the last ulps. The argmin structure,
+// clamping, and tie behavior are unchanged, which is why the fast lane
+// is safe for the quality-insensitive tree-descent scans and nothing
+// else; the correctly-rounded lanes stay the determinism oracle.
+#include "birch/kernel/kernel_ops.h"
+
+#if defined(BIRCH_KERNEL_FMA)
+
+#include <immintrin.h>
+
+namespace birch {
+namespace kernel {
+namespace detail {
+
+namespace {
+
+void SqDiffFma(double* acc, const double* cols, size_t stride,
+               const double* q, size_t dims, size_t m) {
+  for (size_t k = 0; k < dims; ++k) {
+    const double qk = q[k];
+    const double* col = cols + k * stride;
+    const __m512d qv = _mm512_set1_pd(qk);
+    size_t j = 0;
+    for (; j + 8 <= m; j += 8) {
+      __m512d d = _mm512_sub_pd(qv, _mm512_loadu_pd(col + j));
+      __m512d a = _mm512_loadu_pd(acc + j);
+      _mm512_storeu_pd(acc + j, _mm512_fmadd_pd(d, d, a));
+    }
+    for (; j < m; ++j) {
+      double d = qk - col[j];
+      acc[j] = __builtin_fma(d, d, acc[j]);
+    }
+  }
+}
+
+void AbsDiffFma(double* acc, const double* cols, size_t stride,
+                const double* q, size_t dims, size_t m) {
+  for (size_t k = 0; k < dims; ++k) {
+    const double qk = q[k];
+    const double* col = cols + k * stride;
+    const __m512d qv = _mm512_set1_pd(qk);
+    size_t j = 0;
+    for (; j + 8 <= m; j += 8) {
+      __m512d d = _mm512_sub_pd(qv, _mm512_loadu_pd(col + j));
+      d = _mm512_abs_pd(d);
+      __m512d a = _mm512_loadu_pd(acc + j);
+      _mm512_storeu_pd(acc + j, _mm512_add_pd(a, d));
+    }
+    for (; j < m; ++j) {
+      double d = qk - col[j];
+      acc[j] += d < 0.0 ? -d : d;
+    }
+  }
+}
+
+void DotFma(double* acc, const double* cols, size_t stride,
+            const double* q, size_t dims, size_t m) {
+  for (size_t k = 0; k < dims; ++k) {
+    const double qk = q[k];
+    const double* col = cols + k * stride;
+    const __m512d qv = _mm512_set1_pd(qk);
+    size_t j = 0;
+    for (; j + 8 <= m; j += 8) {
+      __m512d a = _mm512_loadu_pd(acc + j);
+      _mm512_storeu_pd(acc + j,
+                       _mm512_fmadd_pd(qv, _mm512_loadu_pd(col + j), a));
+    }
+    for (; j < m; ++j) acc[j] = __builtin_fma(qk, col[j], acc[j]);
+  }
+}
+
+void MergedNormFma(double* acc, const double* cols, size_t stride,
+                   const double* q, size_t dims, size_t m) {
+  for (size_t k = 0; k < dims; ++k) {
+    const double qk = q[k];
+    const double* col = cols + k * stride;
+    const __m512d qv = _mm512_set1_pd(qk);
+    size_t j = 0;
+    for (; j + 8 <= m; j += 8) {
+      __m512d t = _mm512_add_pd(qv, _mm512_loadu_pd(col + j));
+      __m512d a = _mm512_loadu_pd(acc + j);
+      _mm512_storeu_pd(acc + j, _mm512_fmadd_pd(t, t, a));
+    }
+    for (; j < m; ++j) {
+      double t = qk + col[j];
+      acc[j] = __builtin_fma(t, t, acc[j]);
+    }
+  }
+}
+
+// VSQRTPD is correctly rounded at every width; the sqrt pass itself
+// never diverges — only the accumulations feeding it do.
+void SqrtArrFma(double* acc, size_t m) {
+  size_t j = 0;
+  for (; j + 8 <= m; j += 8) {
+    _mm512_storeu_pd(acc + j, _mm512_sqrt_pd(_mm512_loadu_pd(acc + j)));
+  }
+  for (; j < m; ++j) acc[j] = __builtin_sqrt(acc[j]);
+}
+
+void FinishD2Fma(double* acc, const double* n, const double* msq,
+                 double qn, double qmsq, size_t m) {
+  const __m512d qnv = _mm512_set1_pd(qn);
+  const __m512d qmsqv = _mm512_set1_pd(qmsq);
+  const __m512d two = _mm512_set1_pd(2.0);
+  const __m512d zero = _mm512_setzero_pd();
+  size_t j = 0;
+  for (; j + 8 <= m; j += 8) {
+    __m512d cross = _mm512_loadu_pd(acc + j);
+    __m512d denom = _mm512_mul_pd(qnv, _mm512_loadu_pd(n + j));
+    __m512d term = _mm512_div_pd(_mm512_mul_pd(two, cross), denom);
+    __m512d d2 =
+        _mm512_sub_pd(_mm512_add_pd(qmsqv, _mm512_loadu_pd(msq + j)), term);
+    // ClampNonNegative: d2 > 0 ? d2 : 0 (NaN compares false -> 0).
+    __mmask8 pos = _mm512_cmp_pd_mask(d2, zero, _CMP_GT_OQ);
+    d2 = _mm512_maskz_mov_pd(pos, d2);
+    _mm512_storeu_pd(acc + j, _mm512_sqrt_pd(d2));
+  }
+  for (; j < m; ++j) {
+    double d2 = qmsq + msq[j] - 2.0 * acc[j] / (qn * n[j]);
+    acc[j] = __builtin_sqrt(d2 > 0.0 ? d2 : 0.0);
+  }
+}
+
+void FinishD2StableFma(double* acc, const double* msq, double qmsq,
+                       size_t m) {
+  const __m512d qmsqv = _mm512_set1_pd(qmsq);
+  const __m512d zero = _mm512_setzero_pd();
+  size_t j = 0;
+  for (; j + 8 <= m; j += 8) {
+    __m512d d2 = _mm512_add_pd(_mm512_add_pd(qmsqv, _mm512_loadu_pd(msq + j)),
+                               _mm512_loadu_pd(acc + j));
+    __mmask8 pos = _mm512_cmp_pd_mask(d2, zero, _CMP_GT_OQ);
+    d2 = _mm512_maskz_mov_pd(pos, d2);
+    _mm512_storeu_pd(acc + j, _mm512_sqrt_pd(d2));
+  }
+  for (; j < m; ++j) {
+    double d2 = (qmsq + msq[j]) + acc[j];
+    acc[j] = __builtin_sqrt(d2 > 0.0 ? d2 : 0.0);
+  }
+}
+
+}  // namespace
+
+const Ops kFmaOps = {&SqDiffFma,     &AbsDiffFma, &DotFma,
+                     &MergedNormFma, &SqrtArrFma, &FinishD2Fma,
+                     &FinishD2StableFma};
+
+}  // namespace detail
+}  // namespace kernel
+}  // namespace birch
+
+#endif  // BIRCH_KERNEL_FMA

@@ -4,10 +4,11 @@
 // pass.
 //
 // Fields are grouped into nested sub-structs by subsystem (resources,
-// tree, outliers, global_phase, refine, exec). The old flat field
-// names remain as reference aliases into those groups, so existing
-// code keeps compiling; new code should prefer the grouped names or
-// the fluent BirchOptions::Builder, which validates at Build().
+// tree, outliers, global_phase, refine, exec, obs, serving). Use the
+// grouped names directly or the fluent BirchOptions::Builder, which
+// validates at Build(). (The pre-grouping flat reference aliases were
+// removed after one deprecation cycle; see README "API notes" for the
+// one-line migration.)
 #ifndef BIRCH_BIRCH_OPTIONS_H_
 #define BIRCH_BIRCH_OPTIONS_H_
 
@@ -23,6 +24,22 @@
 #include "util/status.h"
 
 namespace birch {
+
+/// How the sharded Phase-1 dealer routes points to shards.
+enum class DealingMode {
+  /// Space-partitioned (the default): a shallow k-means splitter,
+  /// fitted over the first points of the stream, routes each point to
+  /// the shard that owns its spatial region. Shard trees end up mostly
+  /// disjoint, so the final AbsorbTree merge is near-trivial.
+  kAffinity = 0,
+  /// Point i goes to shard i mod S (the pre-affinity behavior). Kept
+  /// as the A/B baseline and for workloads with no spatial structure.
+  kRoundRobin,
+};
+
+inline const char* DealingModeName(DealingMode m) {
+  return m == DealingMode::kAffinity ? "affinity" : "round-robin";
+}
 
 struct BirchOptions {
   // --- Problem ---
@@ -122,16 +139,34 @@ struct BirchOptions {
     /// Worker threads for the parallel paths. 0 (the default) runs
     /// the fully serial pipeline — bit-for-bit identical to the
     /// pre-parallel implementation. N >= 1 shards Phase 1 across N
-    /// private CF trees (round-robin by arrival index, merged by CF
-    /// additivity) and runs the Phase-3 / Phase-4 loops through a
-    /// ThreadPool of N workers. Results are deterministic for a fixed
-    /// (seed, num_threads) pair; different thread counts may differ
-    /// in the last float bits (chunked summation order).
+    /// private CF trees (dealt per `dealing`, merged by CF additivity)
+    /// and runs the Phase-3 / Phase-4 loops through a ThreadPool of N
+    /// workers. Results are deterministic for a fixed (seed,
+    /// num_threads, splitter_seed) triple; different thread counts may
+    /// differ in the last float bits (chunked summation order).
     int num_threads = 0;
+    /// Shard routing policy (see DealingMode). Only consulted when
+    /// num_threads > 0.
+    DealingMode dealing = DealingMode::kAffinity;
+    /// Seed for the affinity splitter's shallow k-means. Part of the
+    /// determinism contract: fixed (seed, num_threads, splitter_seed)
+    /// implies a bitwise-reproducible run.
+    uint64_t splitter_seed = 0xb1c5;
+    /// Points sampled from the head of the stream to fit the affinity
+    /// splitter (dealt round-robin while the sample accumulates).
+    /// 0 = auto: max(1024, 256 * shards).
+    size_t affinity_sample = 0;
+    /// Splitter centers; each shard owns one or more. 0 = auto:
+    /// 4 * shards, capped at 64.
+    size_t affinity_centers = 0;
     /// Distance-scan implementation for the hot paths (tree descent,
     /// Phase-3 sweeps, Phase-4 assignment). kScalar and kBatch are
     /// bitwise identical; kBatch is the SoA one-pass scan
-    /// (kernel/kernel.h).
+    /// (kernel/kernel.h). kBatchFast additionally routes the CF-tree
+    /// descent scans through the FMA/AVX-512 lane where the CPU has
+    /// one — faster but NOT bitwise against the oracle (last-ulp
+    /// rounding differs), so it is opt-in and excluded from the
+    /// determinism contract above.
     KernelKind kernel = KernelKind::kBatch;
   };
 
@@ -172,69 +207,9 @@ struct BirchOptions {
   Obs obs;
   Serving serving;
 
-  // --- Deprecated flat aliases ---
-  // Reference views of the grouped fields above, preserving the
-  // pre-grouping flat names. Reads and writes hit the nested field
-  // directly. New code should use the grouped names.
-  size_t& memory_bytes = resources.memory_bytes;
-  size_t& disk_bytes = resources.disk_bytes;
-  size_t& page_size = resources.page_size;
-  FaultOptions& fault = resources.fault;
-  RetryPolicy& io_retry = resources.io_retry;
-  double& initial_threshold = tree.initial_threshold;
-  DistanceMetric& metric = tree.metric;
-  ThresholdKind& threshold_kind = tree.threshold_kind;
-  bool& merging_refinement = tree.merging_refinement;
-  bool& outlier_handling = outliers.handling;
-  double& outlier_fraction = outliers.fraction;
-  bool& delay_split = outliers.delay_split;
-  bool& use_phase2 = global_phase.use_phase2;
-  size_t& phase2_target_entries = global_phase.phase2_target_entries;
-  GlobalAlgorithm& global_algorithm = global_phase.algorithm;
-  DistanceMetric& global_metric = global_phase.metric;
-  double& global_distance_limit = global_phase.distance_limit;
-  int& refinement_passes = refine.passes;
-  double& refine_outlier_distance = refine.outlier_distance;
-  int& num_threads = exec.num_threads;
-  KernelKind& kernel = exec.kernel;
-
   /// Upper bound Validate() accepts for num_threads (a guard against
   /// absurd CLI values, not a tuning knob).
   static constexpr int kMaxThreads = 256;
-
-  // The reference aliases pin the implicit copy/assign (a default
-  // copy would re-seat nothing and a default assign is deleted), so
-  // copy the value groups and let each alias re-bind to *this* via
-  // its default member initializer.
-  BirchOptions() = default;
-  BirchOptions(const BirchOptions& other)
-      : dim(other.dim),
-        k(other.k),
-        expected_points(other.expected_points),
-        seed(other.seed),
-        resources(other.resources),
-        tree(other.tree),
-        outliers(other.outliers),
-        global_phase(other.global_phase),
-        refine(other.refine),
-        exec(other.exec),
-        obs(other.obs),
-        serving(other.serving) {}
-  BirchOptions& operator=(const BirchOptions& other) {
-    dim = other.dim;
-    k = other.k;
-    expected_points = other.expected_points;
-    seed = other.seed;
-    resources = other.resources;
-    tree = other.tree;
-    outliers = other.outliers;
-    global_phase = other.global_phase;
-    refine = other.refine;
-    exec = other.exec;
-    obs = other.obs;
-    serving = other.serving;
-    return *this;
-  }
 
   class Builder;
 
@@ -365,6 +340,10 @@ class BirchOptions::Builder {
 
   // --- Execution ---
   Builder& NumThreads(int v) { o_.exec.num_threads = v; return *this; }
+  Builder& Dealing(DealingMode v) { o_.exec.dealing = v; return *this; }
+  Builder& SplitterSeed(uint64_t v) { o_.exec.splitter_seed = v; return *this; }
+  Builder& AffinitySample(size_t v) { o_.exec.affinity_sample = v; return *this; }
+  Builder& AffinityCenters(size_t v) { o_.exec.affinity_centers = v; return *this; }
   Builder& Kernel(KernelKind v) { o_.exec.kernel = v; return *this; }
 
   // --- Observability ---

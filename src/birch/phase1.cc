@@ -1,6 +1,7 @@
 #include "birch/phase1.h"
 
 #include <algorithm>
+#include <string>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -224,6 +225,51 @@ Status Phase1Builder::Add(std::span<const double> x, double weight) {
   ++stats_.points_added;
   OBS_COUNTER_INC("phase1/points");
   point_cf_.AssignPoint(x, weight);
+  return IngestPointCf();
+}
+
+Status Phase1Builder::AddBatch(std::span<const double> xs, size_t n,
+                               std::span<const double> weights) {
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "AddBatch() after Finish(): create a new builder to ingest more "
+        "data");
+  }
+  const size_t dim = options_.tree.dim;
+  if (xs.size() != n * dim) {
+    return Status::InvalidArgument(
+        "batch size mismatch: got " + std::to_string(xs.size()) +
+        " doubles for n=" + std::to_string(n) + " points of dim " +
+        std::to_string(dim) + "; pass exactly n * dim row-major values");
+  }
+  if (!weights.empty() && weights.size() != n) {
+    return Status::InvalidArgument(
+        "weight count mismatch: got " + std::to_string(weights.size()) +
+        " weights for " + std::to_string(n) +
+        " points; pass one weight per point or an empty span for all-1");
+  }
+  // Validate the whole batch before ingesting any of it, so a bad
+  // weight rejects the batch instead of leaving it half-inserted.
+  for (double w : weights) {
+    if (w <= 0.0) {
+      return Status::InvalidArgument("weight must be positive");
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ++stats_.points_added;
+    point_cf_.AssignPoint(xs.subspan(i * dim, dim),
+                          weights.empty() ? 1.0 : weights[i]);
+    Status st = IngestPointCf();
+    if (!st.ok()) {
+      OBS_COUNTER_ADD("phase1/points", static_cast<double>(i + 1));
+      return st;
+    }
+  }
+  OBS_COUNTER_ADD("phase1/points", static_cast<double>(n));
+  return Status::OK();
+}
+
+Status Phase1Builder::IngestPointCf() {
   const CfVector& ent = point_cf_;
 
   if (delay_mode_) {
@@ -275,10 +321,9 @@ Status Phase1Builder::Add(std::span<const double> x, double weight) {
 }
 
 Status Phase1Builder::AddDataset(const Dataset& data) {
-  for (size_t i = 0; i < data.size(); ++i) {
-    BIRCH_RETURN_IF_ERROR(Add(data.Row(i), data.Weight(i)));
-  }
-  return Status::OK();
+  // Zero-copy: the dataset is already row-major with the lazy weight
+  // convention AddBatch speaks.
+  return AddBatch(data.Values(), data.size(), data.Weights());
 }
 
 Status Phase1Builder::HandleMemoryExhaustion() {

@@ -122,7 +122,18 @@ class Phase1Builder {
   /// Inserts one (optionally weighted) point.
   Status Add(std::span<const double> x, double weight = 1.0);
 
-  /// Convenience: Add() every row of `data`.
+  /// Batch insert: `n` points packed row-major in `xs` (exactly
+  /// n * dim doubles), with optional per-point `weights` (empty =
+  /// every point weighs 1.0). Arithmetic-identical to calling Add()
+  /// on each row in order — same tree, bitwise — but hoists the
+  /// per-call validation and counter traffic out of the loop and
+  /// keeps the per-insert scan scratch hot. Validation failures
+  /// (sizes, non-positive weights) reject the whole batch before any
+  /// point is ingested.
+  Status AddBatch(std::span<const double> xs, size_t n,
+                  std::span<const double> weights = {});
+
+  /// Convenience: one AddBatch() over `data`'s row-major storage.
   Status AddDataset(const Dataset& data);
 
   /// Flushes delay-split points and re-absorbs outliers. Must be called
@@ -157,6 +168,10 @@ class Phase1Builder {
       const Phase1Options& options, const Phase1Freeze& freeze);
 
  private:
+  /// Inserts the point already staged in point_cf_ (delay-mode spill
+  /// logic included) — the shared tail of Add() and AddBatch().
+  Status IngestPointCf();
+
   /// Called when the tree exceeds the memory budget after an insert.
   Status HandleMemoryExhaustion();
 

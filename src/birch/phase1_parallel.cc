@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "birch/kernel/kernel.h"
 #include "birch/threshold.h"
 #include "exec/channel.h"
 #include "exec/parallel_for.h"
@@ -107,6 +111,124 @@ void MergeStats(const Phase1Stats& in, Phase1Stats* out) {
   out->forced_inserts += in.forced_inserts;
 }
 
+uint64_t SplitMix64(uint64_t* s) {
+  uint64_t z = (*s += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// The affinity dealer's top-level splitter: a shallow k-means over
+/// the first `sample_target` stream points. Until the sample is full
+/// the splitter is unarmed (callers deal round-robin and Observe());
+/// arming fits the centers with a seeded init + 4 Lloyd rounds, packs
+/// them onto shards greedily by sample mass (heaviest center to the
+/// least-loaded shard), and from then on Route() sends each point to
+/// the shard owning its nearest center. Everything here is a pure
+/// function of (observed prefix, seed): same stream, same seed, same
+/// shard count => identical routing, on a fresh run or a resume.
+class AffinitySplitter {
+ public:
+  AffinitySplitter(size_t dim, int shards, uint64_t seed,
+                   size_t sample_target, size_t centers_target)
+      : dim_(dim),
+        shards_(static_cast<size_t>(shards)),
+        seed_(seed),
+        sample_target_(std::max<size_t>(1, sample_target)),
+        centers_target_(
+            std::max(std::max<size_t>(1, centers_target), shards_)) {
+    sample_.reserve(sample_target_ * dim_);
+  }
+
+  bool armed() const { return armed_; }
+
+  /// Warmup: appends one stream point to the sample; fits and arms
+  /// once the sample reaches its target size.
+  void Observe(std::span<const double> p) {
+    sample_.insert(sample_.end(), p.begin(), p.end());
+    if (sample_.size() >= sample_target_ * dim_) Fit();
+  }
+
+  /// Shard owning the region `p` falls in (armed() only).
+  size_t Route(std::span<const double> p, kernel::Workspace* ws) const {
+    return shard_of_center_[centers_batch_.NearestSq(p, ws).index];
+  }
+
+ private:
+  void Fit() {
+    const size_t m = sample_.size() / dim_;
+    const size_t c = std::min(centers_target_, m);
+    // Seeded init: c distinct sample rows via partial Fisher-Yates.
+    std::vector<size_t> idx(m);
+    for (size_t j = 0; j < m; ++j) idx[j] = j;
+    uint64_t rng = seed_;
+    std::vector<std::vector<double>> centers(c);
+    for (size_t j = 0; j < c; ++j) {
+      size_t pick = j + static_cast<size_t>(SplitMix64(&rng) %
+                                            static_cast<uint64_t>(m - j));
+      std::swap(idx[j], idx[pick]);
+      const double* row = sample_.data() + idx[j] * dim_;
+      centers[j].assign(row, row + dim_);
+    }
+    // Shallow Lloyd: a handful of rounds is plenty for a splitter —
+    // it only has to carve the space into coherent regions, not
+    // converge.
+    std::vector<double> counts(c, 0.0);
+    kernel::Workspace ws;
+    for (int round = 0; round < 4; ++round) {
+      centers_batch_.Assign(centers);
+      std::fill(counts.begin(), counts.end(), 0.0);
+      std::vector<std::vector<double>> sums(
+          c, std::vector<double>(dim_, 0.0));
+      for (size_t j = 0; j < m; ++j) {
+        std::span<const double> row(sample_.data() + j * dim_, dim_);
+        size_t best = centers_batch_.NearestSq(row, &ws).index;
+        counts[best] += 1.0;
+        double* sum = sums[best].data();
+        for (size_t k = 0; k < dim_; ++k) sum[k] += row[k];
+      }
+      for (size_t cc = 0; cc < c; ++cc) {
+        if (counts[cc] == 0.0) continue;  // empty: keep the old spot
+        for (size_t k = 0; k < dim_; ++k) {
+          centers[cc][k] = sums[cc][k] / counts[cc];
+        }
+      }
+    }
+    // Greedy LPT pack: heaviest center onto the least-loaded shard, so
+    // expected per-shard point mass stays balanced even when cluster
+    // sizes are skewed.
+    std::vector<size_t> order(c);
+    for (size_t j = 0; j < c; ++j) order[j] = j;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return counts[a] > counts[b];
+    });
+    std::vector<double> load(shards_, 0.0);
+    shard_of_center_.assign(c, 0);
+    for (size_t j : order) {
+      size_t best = 0;
+      for (size_t s = 1; s < shards_; ++s) {
+        if (load[s] < load[best]) best = s;
+      }
+      shard_of_center_[j] = best;
+      load[best] += counts[j];
+    }
+    centers_batch_.Assign(centers);
+    sample_.clear();
+    sample_.shrink_to_fit();
+    armed_ = true;
+  }
+
+  const size_t dim_;
+  const size_t shards_;
+  const uint64_t seed_;
+  const size_t sample_target_;
+  const size_t centers_target_;
+  std::vector<double> sample_;  // row-major warmup buffer
+  kernel::CenterBatch centers_batch_;
+  std::vector<size_t> shard_of_center_;
+  bool armed_ = false;
+};
+
 void MergeRobustness(const RobustnessStats& in, RobustnessStats* out) {
   out->transient_io_errors += in.transient_io_errors;
   out->io_retries += in.io_retries;
@@ -169,7 +291,7 @@ StatusOr<ShardedPhase1Result> RunShardedPhase1(
     Phase1Builder* builder = builders[static_cast<size_t>(s)].get();
     exec::Channel<PointBatch>* ch = channels[static_cast<size_t>(s)].get();
     Status* st = &shard_status[static_cast<size_t>(s)];
-    pool->Submit([builder, ch, st, dim, &latch] {
+    pool->Submit([builder, ch, st, &latch] {
       obs::SpanScope span("phase1/shard");
       PointBatch batch;
       // After a failure keep draining: a stalled consumer would wedge
@@ -182,30 +304,48 @@ StatusOr<ShardedPhase1Result> RunShardedPhase1(
           continue;
         }
         if (!st->ok()) continue;
-        const size_t n = batch.ws.size();
-        for (size_t j = 0; j < n; ++j) {
-          *st = builder->Add(
-              std::span<const double>(batch.xs.data() + j * dim, dim),
-              batch.ws[j]);
-          if (!st->ok()) break;
-        }
+        // Whole-batch ingest: arithmetic-identical to a per-point Add
+        // loop, one validated call per hand-off unit.
+        *st = builder->AddBatch(batch.xs, batch.ws.size(), batch.ws);
       }
       if (st->ok()) *st = builder->Finish();
       latch.Done();
     });
   }
 
+  // Affinity dealing: the splitter routes once armed; during warmup
+  // (and under kRoundRobin, or with one shard where routing is moot)
+  // point i goes to shard i mod S.
+  std::unique_ptr<AffinitySplitter> splitter;
+  if (options.dealing == DealingMode::kAffinity && shards > 1) {
+    const size_t sample_target =
+        options.affinity_sample > 0
+            ? options.affinity_sample
+            : std::max<size_t>(1024, 256 * static_cast<size_t>(shards));
+    const size_t centers_target =
+        options.affinity_centers > 0
+            ? options.affinity_centers
+            : std::min<size_t>(4 * static_cast<size_t>(shards), 64);
+    splitter = std::make_unique<AffinitySplitter>(
+        dim, shards, options.splitter_seed, sample_target, centers_target);
+  }
+
   Status deal_status;
   {
     TRACE_SPAN("phase1/scan");
     std::vector<PointBatch> pending(static_cast<size_t>(shards));
+    kernel::Workspace route_ws;
     std::vector<double> p(dim);
     double w = 1.0;
     uint64_t i = 0;
     // Resume: skip what the checkpointed run already consumed; dealing
-    // continues at the original index so i mod S matches the
-    // uninterrupted run point for point.
-    while (i < options.resume_skip_points && source->Next(p, &w)) ++i;
+    // continues at the original index — and the affinity splitter is
+    // re-fitted from the skipped prefix — so shard assignment matches
+    // the uninterrupted run point for point.
+    while (i < options.resume_skip_points && source->Next(p, &w)) {
+      if (splitter != nullptr && !splitter->armed()) splitter->Observe(p);
+      ++i;
+    }
     if (i < options.resume_skip_points) {
       deal_status = Status::InvalidArgument(
           "source ended before the checkpoint's resume offset (" +
@@ -214,7 +354,15 @@ StatusOr<ShardedPhase1Result> RunShardedPhase1(
           "); pass the same stream the checkpointed run consumed");
     }
     while (deal_status.ok() && source->Next(p, &w)) {
-      size_t s = static_cast<size_t>(i % static_cast<uint64_t>(shards));
+      size_t s;
+      if (splitter != nullptr && splitter->armed()) {
+        s = splitter->Route(p, &route_ws);
+      } else {
+        s = static_cast<size_t>(i % static_cast<uint64_t>(shards));
+        // The point that completes the sample is still dealt round-
+        // robin; affinity routing starts at the next one.
+        if (splitter != nullptr) splitter->Observe(p);
+      }
       PointBatch& b = pending[s];
       b.xs.insert(b.xs.end(), p.begin(), p.end());
       b.ws.push_back(w);

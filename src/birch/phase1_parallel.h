@@ -2,14 +2,23 @@
 // vector is additive, so partitioned builds merge exactly at
 // subcluster granularity) made concrete:
 //
-//   1. The calling thread scans the PointSource once and deals point i
-//      to shard (i mod S) — a deterministic round-robin that does not
-//      depend on thread timing — handing batches to each shard worker
+//   1. The calling thread scans the PointSource once and deals each
+//      point to a shard, handing whole batches to each shard worker
 //      through a bounded exec::Channel (backpressure, O(S * batch)
-//      transient memory).
+//      transient memory). Under DealingMode::kAffinity (the default)
+//      the head of the stream is dealt round-robin while it
+//      accumulates into a sample; a shallow seeded k-means fitted on
+//      that sample then owns the routing — each point goes to the
+//      shard holding its nearest splitter center (centers are packed
+//      onto shards greedily by sample mass, heaviest first), so shard
+//      trees cover mostly disjoint regions and the final merge is
+//      near-trivial. kRoundRobin keeps the plain i mod S deal. Both
+//      are deterministic functions of the stream prefix (plus
+//      splitter_seed), never of thread timing.
 //   2. Each of the S pool workers runs a private, fully serial
 //      Phase1Builder (its own CF tree, memory tracker, outlier disk)
-//      over its shard of the stream.
+//      over its shard of the stream, ingesting via the batch path
+//      (Phase1Builder::AddBatch) so kernel scratch stays hot.
 //   3. The shard trees are folded pairwise (parallel rounds on the
 //      pool; destination = the pair member with the larger threshold)
 //      via CfTree::AbsorbTree, then absorbed into a final tree charged
@@ -21,9 +30,10 @@
 //      like an outlier inside one shard may sit squarely inside a
 //      cluster of the union).
 //
-// Every step is deterministic for a fixed (options, num_shards) pair:
-// shard assignment, per-shard insertion order, fold pairing, and the
-// final reabsorb order are all functions of the input alone.
+// Every step is deterministic for a fixed (options, num_shards,
+// splitter_seed) triple: shard assignment, per-shard insertion order,
+// fold pairing, and the final reabsorb order are all functions of the
+// input alone.
 #ifndef BIRCH_BIRCH_PHASE1_PARALLEL_H_
 #define BIRCH_BIRCH_PHASE1_PARALLEL_H_
 
@@ -31,6 +41,7 @@
 #include <memory>
 #include <vector>
 
+#include "birch/options.h"
 #include "birch/phase1.h"
 #include "birch/point_source.h"
 #include "exec/thread_pool.h"
@@ -49,6 +60,18 @@ struct ShardedPhase1Options {
   size_t batch_points = 256;
   /// Batches buffered per shard channel before the reader blocks.
   size_t channel_capacity = 4;
+  /// Shard routing policy (see DealingMode in birch/options.h).
+  DealingMode dealing = DealingMode::kAffinity;
+  /// Seed of the affinity splitter's shallow k-means; part of the
+  /// determinism contract (routing is a pure function of the stream
+  /// prefix and this seed).
+  uint64_t splitter_seed = 0xb1c5;
+  /// Points sampled from the stream head to fit the splitter (dealt
+  /// round-robin while accumulating). 0 = auto: max(1024, 256 * S).
+  size_t affinity_sample = 0;
+  /// Splitter centers to fit. 0 = auto: 4 * S capped at 64; always at
+  /// least one per shard.
+  size_t affinity_centers = 0;
 
   // --- Checkpoint / resume (see birch/checkpoint.h) ---
   /// When > 0 and `on_checkpoint` is set, the dealer pauses the stream
@@ -78,8 +101,10 @@ struct ShardedPhase1Options {
   /// instead of starting empty.
   const std::vector<Phase1Freeze>* resume = nullptr;
   /// Points the checkpointed run already consumed: the dealer skips
-  /// this many source points, and round-robin dealing continues from
-  /// this index so shard assignment matches the uninterrupted run.
+  /// this many source points, and dealing continues from this index so
+  /// shard assignment matches the uninterrupted run (under kAffinity
+  /// the splitter is re-fitted from the skipped prefix, reproducing
+  /// the original routing exactly).
   uint64_t resume_skip_points = 0;
 };
 

@@ -39,7 +39,7 @@ uint64_t AssignPass(const Dataset& data,
   for (auto& cf : *cluster_cfs) cf = CfVector(data.dim(), rep, storage);
   uint64_t changes = 0;
   *discarded = 0;
-  const bool use_batch = kernel_kind == KernelKind::kBatch;
+  const bool use_batch = IsBatchKernel(kernel_kind);
   kernel::CenterBatch cbatch;
   if (use_batch) cbatch.Assign(centers);
 

@@ -16,10 +16,10 @@ StatusOr<FilterResult> TwoPassFilter(const Scene& scene,
   BirchOptions o1;
   o1.dim = 2;
   o1.k = options.pass1_k;
-  o1.memory_bytes = options.memory_bytes;
-  o1.disk_bytes = options.memory_bytes / 5;
+  o1.resources.memory_bytes = options.memory_bytes;
+  o1.resources.disk_bytes = options.memory_bytes / 5;
   o1.seed = options.seed;
-  o1.refinement_passes = 1;
+  o1.refine.passes = 1;
   auto pass1_or = ClusterDataset(scene.pixels, o1);
   if (!pass1_or.ok()) return pass1_or.status();
   result.pass1 = std::move(pass1_or).ValueOrDie();

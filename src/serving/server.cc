@@ -1,5 +1,6 @@
 #include "serving/server.h"
 
+#include <string>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -22,10 +23,16 @@ kernel::Workspace* ThreadWorkspace() {
 
 Status BirchServer::Publish(std::shared_ptr<ServingSnapshot> snap) {
   if (snap == nullptr) {
-    return Status::InvalidArgument("Publish(null snapshot)");
+    return Status::InvalidArgument(
+        "Publish(null snapshot): build one with ServingSnapshot::Build "
+        "(or use BirchClusterer::PublishSnapshot) before publishing");
   }
   if (snap->dim() != dim_) {
-    return Status::InvalidArgument("snapshot dimension mismatch");
+    return Status::InvalidArgument(
+        "snapshot dimension mismatch: snapshot has dim " +
+        std::to_string(snap->dim()) + ", server was created with dim " +
+        std::to_string(dim_) +
+        "; publish snapshots built from the same clusterer");
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -45,7 +52,10 @@ std::shared_ptr<const ServingSnapshot> BirchServer::Acquire() const {
 StatusOr<AssignResult> BirchServer::Assign(
     std::span<const double> point) const {
   if (point.size() != dim_) {
-    return Status::InvalidArgument("query dimension mismatch");
+    return Status::InvalidArgument(
+        "query dimension mismatch: got " + std::to_string(point.size()) +
+        " components, server expects dim " + std::to_string(dim_) +
+        "; pass exactly dim coordinates per query point");
   }
   std::shared_ptr<const ServingSnapshot> snap = Acquire();
   if (snap == nullptr) {
@@ -63,7 +73,10 @@ StatusOr<AssignResult> BirchServer::Assign(
 StatusOr<std::vector<CentroidNeighbor>> BirchServer::KNearestCentroids(
     std::span<const double> point, size_t k) const {
   if (point.size() != dim_) {
-    return Status::InvalidArgument("query dimension mismatch");
+    return Status::InvalidArgument(
+        "query dimension mismatch: got " + std::to_string(point.size()) +
+        " components, server expects dim " + std::to_string(dim_) +
+        "; pass exactly dim coordinates per query point");
   }
   std::shared_ptr<const ServingSnapshot> snap = Acquire();
   if (snap == nullptr) {

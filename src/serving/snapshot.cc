@@ -66,7 +66,9 @@ size_t ServingSnapshot::Flatten(const CfNode& node) {
 StatusOr<std::shared_ptr<ServingSnapshot>> ServingSnapshot::Build(
     const CfTree& tree, const SnapshotBuildOptions& options) {
   if (tree.leaf_entry_count() == 0) {
-    return Status::FailedPrecondition("no data to snapshot");
+    return Status::FailedPrecondition(
+        "no data to snapshot: the CF tree holds no leaf entries; ingest "
+        "at least one point before building a serving snapshot");
   }
   Timer timer;
   std::shared_ptr<ServingSnapshot> snap(new ServingSnapshot());
@@ -116,7 +118,7 @@ size_t ServingSnapshot::NearestRow(const Node& node,
                                    std::span<const double> point,
                                    KernelKind kernel, kernel::Workspace* ws,
                                    double* best_sq) const {
-  if (kernel == KernelKind::kBatch) {
+  if (IsBatchKernel(kernel)) {
     kernel::ScanResult r = node.batch.NearestSq(point, ws);
     *best_sq = r.distance;
     return r.index == static_cast<size_t>(-1) ? 0 : r.index;

@@ -21,9 +21,9 @@ BirchOptions TinyOptions(int k, size_t dim = 2) {
   BirchOptions o;
   o.dim = dim;
   o.k = k;
-  o.memory_bytes = 16 * 1024;
-  o.disk_bytes = 4 * 1024;
-  o.page_size = 512;
+  o.resources.memory_bytes = 16 * 1024;
+  o.resources.disk_bytes = 4 * 1024;
+  o.resources.page_size = 512;
   return o;
 }
 
@@ -151,8 +151,8 @@ TEST(AdversarialTest, OneClusterAtATimeTinyMemory) {
   auto gen = Generate(g);
   ASSERT_TRUE(gen.ok());
   BirchOptions o = TinyOptions(16);
-  o.memory_bytes = 8 * 1024;
-  o.disk_bytes = 2 * 1024;
+  o.resources.memory_bytes = 8 * 1024;
+  o.resources.disk_bytes = 2 * 1024;
   auto result = ClusterDataset(gen.value().data, o);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   MatchReport match = MatchClusters(gen.value().actual,

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "datagen/paper_datasets.h"
 #include "eval/matching.h"
 #include "eval/quality.h"
@@ -17,9 +19,9 @@ BirchOptions SmallOptions(int k) {
   BirchOptions o;
   o.dim = 2;
   o.k = k;
-  o.memory_bytes = 24 * 1024;
-  o.disk_bytes = 5 * 1024;
-  o.page_size = 512;
+  o.resources.memory_bytes = 24 * 1024;
+  o.resources.disk_bytes = 5 * 1024;
+  o.resources.page_size = 512;
   return o;
 }
 
@@ -93,7 +95,7 @@ TEST(BirchTest, KMeansGlobalAlgorithm) {
   auto gen = GeneratePaperDataset(PaperDataset::kDS1, 16, 150);
   ASSERT_TRUE(gen.ok());
   BirchOptions o = SmallOptions(16);
-  o.global_algorithm = GlobalAlgorithm::kKMeans;
+  o.global_phase.algorithm = GlobalAlgorithm::kKMeans;
   auto result = ClusterDataset(gen.value().data, o);
   ASSERT_TRUE(result.ok());
   MatchReport match = MatchClusters(gen.value().actual,
@@ -166,8 +168,8 @@ TEST(BirchTest, Phase2CondensesForPhase3) {
   auto gen = GeneratePaperDataset(PaperDataset::kDS3, 25, 300);
   ASSERT_TRUE(gen.ok());
   BirchOptions o = SmallOptions(25);
-  o.memory_bytes = 64 * 1024;  // roomy: many leaf entries survive
-  o.phase2_target_entries = 120;
+  o.resources.memory_bytes = 64 * 1024;  // roomy: many leaf entries survive
+  o.global_phase.phase2_target_entries = 120;
   auto result = ClusterDataset(gen.value().data, o);
   ASSERT_TRUE(result.ok());
   EXPECT_LE(result.value().leaf_entries_after_phase2, 120u);
@@ -177,9 +179,9 @@ TEST(BirchTest, RefinementImprovesOrMatchesQuality) {
   auto gen = GeneratePaperDataset(PaperDataset::kDS2, 16, 200);
   ASSERT_TRUE(gen.ok());
   BirchOptions no_refine = SmallOptions(16);
-  no_refine.refinement_passes = 0;
+  no_refine.refine.passes = 0;
   BirchOptions with_refine = SmallOptions(16);
-  with_refine.refinement_passes = 3;
+  with_refine.refine.passes = 3;
   auto r0 = ClusterDataset(gen.value().data, no_refine);
   auto r1 = ClusterDataset(gen.value().data, with_refine);
   ASSERT_TRUE(r0.ok() && r1.ok());
@@ -200,17 +202,17 @@ TEST(BirchTest, OptionValidation) {
   EXPECT_EQ(BirchClusterer::Create(o).status().code(),
             StatusCode::kInvalidArgument);
   o.dim = 2;
-  o.memory_bytes = 100;  // < 4 pages
+  o.resources.memory_bytes = 100;  // < 4 pages
   EXPECT_EQ(BirchClusterer::Create(o).status().code(),
             StatusCode::kInvalidArgument);
-  o.memory_bytes = 80 * 1024;
-  o.page_size = 16;  // too small for dim
+  o.resources.memory_bytes = 80 * 1024;
+  o.resources.page_size = 16;  // too small for dim
   EXPECT_EQ(BirchClusterer::Create(o).status().code(),
             StatusCode::kInvalidArgument);
 }
 
-TEST(BirchTest, BuilderMatchesFlatFieldConfiguration) {
-  // The deprecated flat aliases and the Builder must describe the same
+TEST(BirchTest, BuilderMatchesFieldConfiguration) {
+  // Direct nested-field writes and the Builder must describe the same
   // configuration — and produce the identical clustering.
   auto gen = GeneratePaperDataset(PaperDataset::kDS1, 25, 150);
   ASSERT_TRUE(gen.ok());
@@ -218,13 +220,13 @@ TEST(BirchTest, BuilderMatchesFlatFieldConfiguration) {
   BirchOptions flat;
   flat.dim = 2;
   flat.k = 25;
-  flat.memory_bytes = 24 * 1024;  // deprecated alias spelling
-  flat.disk_bytes = 5 * 1024;
-  flat.page_size = 512;
-  flat.metric = DistanceMetric::kD4;
-  flat.threshold_kind = ThresholdKind::kRadius;
-  flat.refinement_passes = 2;
-  flat.kernel = KernelKind::kBatch;
+  flat.resources.memory_bytes = 24 * 1024;
+  flat.resources.disk_bytes = 5 * 1024;
+  flat.resources.page_size = 512;
+  flat.tree.metric = DistanceMetric::kD4;
+  flat.tree.threshold_kind = ThresholdKind::kRadius;
+  flat.refine.passes = 2;
+  flat.exec.kernel = KernelKind::kBatch;
 
   auto built_or = BirchOptions::Builder()
                       .Dim(2)
@@ -240,11 +242,7 @@ TEST(BirchTest, BuilderMatchesFlatFieldConfiguration) {
   ASSERT_TRUE(built_or.ok()) << built_or.status().ToString();
   const BirchOptions& built = built_or.value();
 
-  // Alias writes landed in the nested groups.
-  EXPECT_EQ(flat.resources.memory_bytes, 24u * 1024u);
-  EXPECT_EQ(flat.tree.metric, DistanceMetric::kD4);
-  EXPECT_EQ(flat.refine.passes, 2);
-  // And the Builder produced the same nested values.
+  // The Builder produced the same nested values.
   EXPECT_EQ(built.resources.memory_bytes, flat.resources.memory_bytes);
   EXPECT_EQ(built.tree.threshold_kind, flat.tree.threshold_kind);
   EXPECT_EQ(built.exec.kernel, flat.exec.kernel);
@@ -264,11 +262,11 @@ TEST(BirchTest, BuilderRejectsInvalidConfiguration) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(BirchOptions::Builder().Dim(2).K(-1).Build().status().code(),
             StatusCode::kInvalidArgument);
-  // Copies re-seat the aliases onto the copy's own groups.
+  // Copies are independent values.
   BirchOptions a;
-  a.memory_bytes = 123 * 1024;
+  a.resources.memory_bytes = 123 * 1024;
   BirchOptions b = a;
-  b.memory_bytes = 77 * 1024;
+  b.resources.memory_bytes = 77 * 1024;
   EXPECT_EQ(a.resources.memory_bytes, 123u * 1024u);
   EXPECT_EQ(b.resources.memory_bytes, 77u * 1024u);
 }
@@ -299,6 +297,152 @@ TEST(BirchTest, AccessorsStayValidAfterFinish) {
             StatusCode::kFailedPrecondition);
 }
 
+// Snapshot(k) on an empty clusterer refuses with the remedy named.
+TEST(BirchTest, SnapshotBeforeIngestNamesTheRemedy) {
+  auto c = BirchClusterer::Create(SmallOptions(3));
+  ASSERT_TRUE(c.ok());
+  auto snap = c.value()->Snapshot(3);
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(snap.status().message().find("ingest at least one point"),
+            std::string::npos)
+      << snap.status().message();
+}
+
+// The FMA fast-dispatch leg is opt-in and quality-gated: a kBatchFast
+// run must clear the same bars as the correctly-rounded kBatch oracle,
+// and with no FMA leg active it must match the oracle bitwise.
+TEST(BirchTest, BatchFastKernelMeetsQualityBars) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1, /*k=*/25, /*n=*/200);
+  ASSERT_TRUE(gen.ok());
+  const auto& g = gen.value();
+  BirchOptions fast = SmallOptions(25);
+  fast.exec.kernel = KernelKind::kBatchFast;
+  auto rf = ClusterDataset(g.data, fast);
+  ASSERT_TRUE(rf.ok()) << rf.status().ToString();
+
+  MatchReport match = MatchClusters(g.actual, rf.value().clusters);
+  EXPECT_EQ(match.matched, 25);
+  std::vector<CfVector> actual_cfs;
+  for (const auto& a : g.actual) actual_cfs.push_back(a.cf);
+  double d_actual = WeightedAverageDiameter(actual_cfs);
+  double d_fast = WeightedAverageDiameter(rf.value().clusters);
+  EXPECT_LT(d_fast, 1.30 * d_actual);
+
+  if (!kernel::FmaActive()) {
+    BirchOptions oracle = SmallOptions(25);
+    oracle.exec.kernel = KernelKind::kBatch;
+    auto rb = ClusterDataset(g.data, oracle);
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(rf.value().labels, rb.value().labels);
+    EXPECT_EQ(rf.value().final_threshold, rb.value().final_threshold);
+  }
+}
+
+// AddBatch is the primary ingest surface and Add/AddDataset are sugar
+// over it, so the serial path must be bitwise-identical however the
+// same stream is sliced into batches: per-point Add, one whole-dataset
+// AddBatch, and ragged batch sizes that straddle any internal chunking
+// all land the identical tree and clustering.
+TEST(BirchTest, AddBatchMatchesPointLoopBitwise) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS2, 9, 150);
+  ASSERT_TRUE(gen.ok());
+  const auto& data = gen.value().data;
+  const size_t dim = data.dim();
+
+  auto run = [&](auto&& feed) {
+    auto c_or = BirchClusterer::Create(SmallOptions(9));
+    EXPECT_TRUE(c_or.ok());
+    feed(*c_or.value());
+    auto r = c_or.value()->Finish(&data);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  };
+
+  BirchResult by_point = run([&](BirchClusterer& c) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      ASSERT_TRUE(c.Add(data.Row(i)).ok());
+    }
+  });
+  BirchResult whole = run([&](BirchClusterer& c) {
+    ASSERT_TRUE(c.AddBatch(data.Values(), data.size()).ok());
+  });
+  // Ragged slicing: prime-sized batches never align with anything.
+  BirchResult ragged = run([&](BirchClusterer& c) {
+    const size_t steps[] = {7, 13, 1, 31};
+    size_t off = 0, si = 0;
+    while (off < data.size()) {
+      size_t take = std::min(steps[si++ % 4], data.size() - off);
+      ASSERT_TRUE(
+          c.AddBatch(data.Values().subspan(off * dim, take * dim), take)
+              .ok());
+      off += take;
+    }
+  });
+
+  for (const BirchResult* other : {&whole, &ragged}) {
+    EXPECT_EQ(by_point.labels, other->labels);
+    ASSERT_EQ(by_point.clusters.size(), other->clusters.size());
+    for (size_t c = 0; c < by_point.clusters.size(); ++c) {
+      EXPECT_EQ(by_point.clusters[c], other->clusters[c]);
+    }
+    EXPECT_EQ(by_point.final_threshold, other->final_threshold);
+    EXPECT_EQ(by_point.phase1.points_added, other->phase1.points_added);
+  }
+}
+
+// Weighted AddBatch must match the per-point weighted Add loop too.
+TEST(BirchTest, WeightedAddBatchMatchesWeightedAddLoop) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1, 9, 100);
+  ASSERT_TRUE(gen.ok());
+  const auto& data = gen.value().data;
+  std::vector<double> w(data.size());
+  for (size_t i = 0; i < w.size(); ++i) w[i] = 1.0 + 0.5 * (i % 4);
+
+  auto a_or = BirchClusterer::Create(SmallOptions(9));
+  auto b_or = BirchClusterer::Create(SmallOptions(9));
+  ASSERT_TRUE(a_or.ok() && b_or.ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(a_or.value()->Add(data.Row(i), w[i]).ok());
+  }
+  ASSERT_TRUE(b_or.value()->AddBatch(data.Values(), data.size(), w).ok());
+  auto ra = a_or.value()->Finish();
+  auto rb = b_or.value()->Finish();
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  ASSERT_EQ(ra.value().clusters.size(), rb.value().clusters.size());
+  for (size_t c = 0; c < ra.value().clusters.size(); ++c) {
+    EXPECT_EQ(ra.value().clusters[c], rb.value().clusters[c]);
+  }
+}
+
+// AddBatch preconditions name the remedy, not just the failure.
+TEST(BirchTest, AddBatchValidationMessagesNameTheRemedy) {
+  auto c_or = BirchClusterer::Create(SmallOptions(3));
+  ASSERT_TRUE(c_or.ok());
+  auto& c = c_or.value();
+
+  std::vector<double> three = {1.0, 2.0, 3.0};
+  Status wrong_len = c->AddBatch(three, 2);
+  EXPECT_EQ(wrong_len.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(wrong_len.message().find("n * dim"), std::string::npos)
+      << wrong_len.message();
+
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> one_weight = {1.0};
+  Status wrong_w = c->AddBatch(xs, 2, one_weight);
+  EXPECT_EQ(wrong_w.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(wrong_w.message().find("one weight per point"),
+            std::string::npos)
+      << wrong_w.message();
+
+  ASSERT_TRUE(c->AddBatch(xs, 2).ok());
+  ASSERT_TRUE(c->Finish().ok());
+  Status after = c->AddBatch(xs, 2);
+  EXPECT_EQ(after.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(after.message().find("new"), std::string::npos)
+      << after.message();
+}
+
 TEST(BirchTest, EmptyInputFails) {
   Dataset empty(2);
   auto result = ClusterDataset(empty, SmallOptions(3));
@@ -317,7 +461,7 @@ TEST(BirchTest, HigherDimensionalData) {
   ASSERT_TRUE(gen.ok());
   BirchOptions o = SmallOptions(8);
   o.dim = 8;
-  o.memory_bytes = 48 * 1024;
+  o.resources.memory_bytes = 48 * 1024;
   auto result = ClusterDataset(gen.value().data, o);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   MatchReport match = MatchClusters(gen.value().actual,

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,9 +45,9 @@ BirchOptions SmallOpts(size_t dim, int k) {
   BirchOptions o;
   o.dim = dim;
   o.k = k;
-  o.memory_bytes = 24 * 1024;
-  o.disk_bytes = 5 * 1024;
-  o.page_size = 512;
+  o.resources.memory_bytes = 24 * 1024;
+  o.resources.disk_bytes = 5 * 1024;
+  o.resources.page_size = 512;
   return o;
 }
 
@@ -194,11 +195,62 @@ TEST(CheckpointTest, AutoCheckpointWritesAtConfiguredCadence) {
   std::remove(path.c_str());
 }
 
+// Cadences count points, not batches: however the stream is sliced
+// into AddBatch calls, auto-checkpoint and auto-publish fire at the
+// same absolute point counts a per-point Add loop produces — and the
+// checkpoint on disk is byte-identical to the point-loop one.
+TEST(CheckpointTest, AddBatchKeepsAbsolutePointCadences) {
+  Dataset data = MakeData(4, 100, 708);
+  ASSERT_GE(data.size(), 130u);
+  const size_t dim = data.dim();
+  std::string path = TempPath("ckpt_batch_cadence.birch");
+  BirchOptions o = SmallOpts(dim, 4);
+  o.resources.checkpoint_every_n = 50;
+  o.resources.checkpoint_path = path;
+  o.serving.publish_every_n = 60;
+
+  auto read_file = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+
+  auto bc = BirchClusterer::Create(o);
+  ASSERT_TRUE(bc.ok());
+  const size_t batches[] = {37, 9, 54, 30};  // 130 points, none at 50/60
+  size_t off = 0;
+  for (size_t b : batches) {
+    ASSERT_TRUE(
+        bc.value()->AddBatch(data.Values().subspan(off * dim, b * dim), b)
+            .ok());
+    off += b;
+  }
+  // 130 points: checkpoints fired at 50 and 100 (file holds the
+  // latest), publishes at 60 and 120.
+  auto img = ReadCheckpointFile(path);
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  EXPECT_EQ(img.value().points_ingested, 100u);
+  EXPECT_EQ(bc.value()->server()->epoch(), 2u);
+  std::string batch_bytes = read_file(path);
+
+  auto pc = BirchClusterer::Create(o);
+  ASSERT_TRUE(pc.ok());
+  for (size_t i = 0; i < 130; ++i) {
+    ASSERT_TRUE(pc.value()->Add(data.Row(i)).ok());
+  }
+  auto pimg = ReadCheckpointFile(path);
+  ASSERT_TRUE(pimg.ok());
+  EXPECT_EQ(pimg.value().points_ingested, 100u);
+  EXPECT_EQ(pc.value()->server()->epoch(), 2u);
+  EXPECT_EQ(read_file(path), batch_bytes);
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointTest, ShardedAutoCheckpointRoundTrips) {
   Dataset data = MakeData(6, 200, 707);
   std::string path = TempPath("ckpt_sharded.birch");
   BirchOptions o = SmallOpts(data.dim(), 6);
-  o.num_threads = 2;
+  o.exec.num_threads = 2;
   o.resources.checkpoint_every_n = 400;
   o.resources.checkpoint_path = path;
 
@@ -231,7 +283,7 @@ TEST(CheckpointTest, RestoredShardedClusererPinsStreamingApis) {
   Dataset data = MakeData(6, 200, 708);
   std::string path = TempPath("ckpt_sharded_pin.birch");
   BirchOptions o = SmallOpts(data.dim(), 6);
-  o.num_threads = 2;
+  o.exec.num_threads = 2;
   o.resources.checkpoint_every_n = 400;
   o.resources.checkpoint_path = path;
   {
@@ -267,7 +319,7 @@ TEST(CheckpointTest, SnapshotBehaviorSerialVsShardedMidStream) {
   // Cluster()'s end and there is no published epoch to answer from, so
   // a mid-stream snapshot must refuse instead of reading a stale view.
   BirchOptions sharded = SmallOpts(data.dim(), 4);
-  sharded.num_threads = 2;
+  sharded.exec.num_threads = 2;
   auto pc = BirchClusterer::Create(sharded);
   ASSERT_TRUE(pc.ok());
   auto refused = pc.value()->Snapshot(4);
@@ -283,7 +335,7 @@ TEST(CheckpointTest, SnapshotBehaviorSerialVsShardedMidStream) {
   // epoch exists. Cluster() runs on a second thread; this thread waits
   // for the first publish, then snapshots concurrently with ingest.
   BirchOptions served = SmallOpts(data.dim(), 4);
-  served.num_threads = 2;
+  served.exec.num_threads = 2;
   served.serving.publish_every_n = 50;
   auto qc = BirchClusterer::Create(served);
   ASSERT_TRUE(qc.ok());
@@ -328,16 +380,16 @@ TEST(CheckpointTest, FingerprintMismatchIsInvalidArgument) {
   wrong_dim.dim = o.dim + 1;
   expect_invalid(wrong_dim);
   BirchOptions wrong_page = o;
-  wrong_page.page_size = 1024;
+  wrong_page.resources.page_size = 1024;
   expect_invalid(wrong_page);
   BirchOptions wrong_metric = o;
-  wrong_metric.metric = DistanceMetric::kD0;
+  wrong_metric.tree.metric = DistanceMetric::kD0;
   expect_invalid(wrong_metric);
   BirchOptions wrong_kind = o;
-  wrong_kind.threshold_kind = ThresholdKind::kRadius;
+  wrong_kind.tree.threshold_kind = ThresholdKind::kRadius;
   expect_invalid(wrong_kind);
   BirchOptions wrong_threads = o;
-  wrong_threads.num_threads = 2;  // serial image needs num_threads == 0
+  wrong_threads.exec.num_threads = 2;  // serial image needs num_threads == 0
   expect_invalid(wrong_threads);
   std::remove(path.c_str());
 }

@@ -66,9 +66,9 @@ TEST(DiskStressTest, EndToEndQualitySurvivesTinyDisk) {
   BirchOptions o;
   o.dim = 2;
   o.k = 12;
-  o.memory_bytes = 16 * 1024;
-  o.disk_bytes = 1024;
-  o.page_size = 512;
+  o.resources.memory_bytes = 16 * 1024;
+  o.resources.disk_bytes = 1024;
+  o.resources.page_size = 512;
   auto result = ClusterDataset(g.data, o);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result.value().clusters.size(), 12u);

@@ -40,9 +40,9 @@ BirchOptions StressedOptions(size_t n) {
   BirchOptions o;
   o.dim = 2;
   o.k = 20;
-  o.memory_bytes = 24 * 1024;
-  o.disk_bytes = 4 * 1024;
-  o.page_size = 512;
+  o.resources.memory_bytes = 24 * 1024;
+  o.resources.disk_bytes = 4 * 1024;
+  o.resources.page_size = 512;
   o.expected_points = n;
   return o;
 }
@@ -61,9 +61,9 @@ TEST(FaultInjectionTest, TransientFaultsUpTo10PercentPreserveQuality) {
 
   for (double rate : {0.02, 0.05, 0.10}) {
     BirchOptions o = StressedOptions(g.data.size());
-    o.fault.read_transient_rate = rate;
-    o.fault.write_transient_rate = rate;
-    o.fault.seed = 4242;
+    o.resources.fault.read_transient_rate = rate;
+    o.resources.fault.write_transient_rate = rate;
+    o.resources.fault.seed = 4242;
     auto faulty_or = ClusterDataset(g.data, o);
     ASSERT_TRUE(faulty_or.ok())
         << "rate " << rate << ": " << faulty_or.status().ToString();
@@ -82,10 +82,10 @@ TEST(FaultInjectionTest, TransientFaultsUpTo10PercentPreserveQuality) {
 TEST(FaultInjectionTest, FaultRunsAreDeterministicallyReplayable) {
   auto g = Ds1Style(802);
   BirchOptions o = StressedOptions(g.data.size());
-  o.fault.read_transient_rate = 0.10;
-  o.fault.write_transient_rate = 0.10;
-  o.fault.page_loss_rate = 0.02;
-  o.fault.seed = 77;
+  o.resources.fault.read_transient_rate = 0.10;
+  o.resources.fault.write_transient_rate = 0.10;
+  o.resources.fault.page_loss_rate = 0.02;
+  o.resources.fault.seed = 77;
   auto a_or = ClusterDataset(g.data, o);
   auto b_or = ClusterDataset(g.data, o);
   ASSERT_TRUE(a_or.ok());
@@ -102,8 +102,8 @@ TEST(FaultInjectionTest, FaultRunsAreDeterministicallyReplayable) {
 TEST(FaultInjectionTest, BitRotIsCaughtByChecksumsNeverDecoded) {
   auto g = Ds1Style(803);
   BirchOptions o = StressedOptions(g.data.size());
-  o.fault.bit_flip_rate = 0.25;
-  o.fault.seed = 9;
+  o.resources.fault.bit_flip_rate = 0.25;
+  o.resources.fault.seed = 9;
   auto result_or = ClusterDataset(g.data, o);
   ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
   const RobustnessStats& r = result_or.value().robustness;
@@ -122,7 +122,7 @@ TEST(FaultInjectionTest, PermanentDiskLossDegradesGracefully) {
   ASSERT_TRUE(clean_or.ok());
 
   BirchOptions o = StressedOptions(g.data.size());
-  o.fault.page_loss_rate = 1.0;  // the disk silently eats every write
+  o.resources.fault.page_loss_rate = 1.0;  // the disk silently eats every write
   auto result_or = ClusterDataset(g.data, o);
   ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
   const BirchResult& result = result_or.value();
@@ -134,14 +134,14 @@ TEST(FaultInjectionTest, PermanentDiskLossDegradesGracefully) {
   // exactly the records that reached a flushed page — every page the
   // drains visited was lost, none decoded.
   EXPECT_EQ(r.records_lost,
-            r.pages_lost * (o.page_size / (4 * sizeof(double))));
+            r.pages_lost * (o.resources.page_size / (4 * sizeof(double))));
   EXPECT_EQ(result.clusters.size(), clean_or.value().clusters.size());
 }
 
 TEST(FaultInjectionTest, ZeroDiskBytesRunsInTreeFallback) {
   auto g = Ds1Style(805);
   BirchOptions o = StressedOptions(g.data.size());
-  o.disk_bytes = 0;  // no outlier disk at all
+  o.resources.disk_bytes = 0;  // no outlier disk at all
   ASSERT_TRUE(o.Validate().ok());
   auto result_or = ClusterDataset(g.data, o);
   ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
@@ -176,20 +176,20 @@ TEST(FaultInjectionTest, OptionsValidateFaultAndDiskInteraction) {
   BirchOptions o;
   o.k = 5;
   ASSERT_TRUE(o.Validate().ok());
-  o.disk_bytes = 0;  // documented: no disk, in-tree fallback
+  o.resources.disk_bytes = 0;  // documented: no disk, in-tree fallback
   EXPECT_TRUE(o.Validate().ok());
-  o.disk_bytes = o.page_size - 1;  // cannot hold a single page
+  o.resources.disk_bytes = o.resources.page_size - 1;  // cannot hold a single page
   EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
-  o.disk_bytes = o.page_size;
+  o.resources.disk_bytes = o.resources.page_size;
   EXPECT_TRUE(o.Validate().ok());
-  o.fault.page_loss_rate = 1.5;
+  o.resources.fault.page_loss_rate = 1.5;
   EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
-  o.fault.page_loss_rate = 0.5;
+  o.resources.fault.page_loss_rate = 0.5;
   EXPECT_TRUE(o.Validate().ok());
-  o.fault.read_transient_rate = -0.1;
+  o.resources.fault.read_transient_rate = -0.1;
   EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
-  o.fault.read_transient_rate = 0.0;
-  o.io_retry.max_attempts = 0;
+  o.resources.fault.read_transient_rate = 0.0;
+  o.resources.io_retry.max_attempts = 0;
   EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
 }
 

@@ -85,9 +85,9 @@ TEST_P(PipelineSweepTest, RecoversClusters) {
   BirchOptions o;
   o.dim = p.dim;
   o.k = 8;
-  o.memory_bytes = 48 * 1024;
-  o.metric = p.metric;
-  o.global_algorithm = p.algorithm;
+  o.resources.memory_bytes = 48 * 1024;
+  o.tree.metric = p.metric;
+  o.global_phase.algorithm = p.algorithm;
   auto result = ClusterDataset(g.data, o);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   MatchReport match = MatchClusters(g.actual, result.value().clusters);
@@ -119,7 +119,7 @@ TEST(IntegrationTest, DistanceLimitedClusteringFindsK) {
   BirchOptions o;
   o.dim = 2;
   o.k = 0;
-  o.global_distance_limit = 5.0;  // blobs: diameter ~2.7, spacing 12
+  o.global_phase.distance_limit = 5.0;  // blobs: diameter ~2.7, spacing 12
   auto result = ClusterDataset(g.data, o);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result.value().clusters.size(), 6u);
@@ -132,10 +132,10 @@ TEST(IntegrationTest, DistanceLimitValidation) {
   o.dim = 2;
   o.k = 0;  // no limit either
   EXPECT_FALSE(BirchClusterer::Create(o).ok());
-  o.global_distance_limit = 1.0;
-  o.global_algorithm = GlobalAlgorithm::kKMeans;
+  o.global_phase.distance_limit = 1.0;
+  o.global_phase.algorithm = GlobalAlgorithm::kKMeans;
   EXPECT_FALSE(BirchClusterer::Create(o).ok());
-  o.global_algorithm = GlobalAlgorithm::kHierarchical;
+  o.global_phase.algorithm = GlobalAlgorithm::kHierarchical;
   EXPECT_TRUE(BirchClusterer::Create(o).ok());
 }
 
@@ -144,7 +144,7 @@ TEST(IntegrationTest, PipelineDeterministicForSeed) {
   BirchOptions o;
   o.dim = 2;
   o.k = 5;
-  o.memory_bytes = 24 * 1024;
+  o.resources.memory_bytes = 24 * 1024;
   o.seed = 1234;
   auto r1 = ClusterDataset(g.data, o);
   auto r2 = ClusterDataset(g.data, o);
@@ -171,7 +171,7 @@ TEST(IntegrationTest, WeightedStreamEquivalentToExpanded) {
   BirchOptions o;
   o.dim = 2;
   o.k = 2;
-  o.refinement_passes = 0;  // labels map 1:1 only per-dataset
+  o.refine.passes = 0;  // labels map 1:1 only per-dataset
   auto rw = ClusterDataset(weighted, o);
   auto re = ClusterDataset(expanded, o);
   ASSERT_TRUE(rw.ok() && re.ok());
@@ -201,8 +201,8 @@ TEST(IntegrationTest, PhaseTimingsAndMetricsPopulated) {
   BirchOptions o;
   o.dim = 2;
   o.k = 8;
-  o.memory_bytes = 24 * 1024;  // tight: forces rebuild activity
-  o.refinement_passes = 1;
+  o.resources.memory_bytes = 24 * 1024;  // tight: forces rebuild activity
+  o.refine.passes = 1;
   auto result = ClusterDataset(g.data, o);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   const BirchResult& r = result.value();

@@ -21,9 +21,9 @@ BirchOptions BaseOpts(size_t dim, int k, CfRepresentation rep,
   BirchOptions o;
   o.dim = dim;
   o.k = k;
-  o.memory_bytes = 80 * 1024;
-  o.disk_bytes = 16 * 1024;
-  o.page_size = 1024;
+  o.resources.memory_bytes = 80 * 1024;
+  o.resources.disk_bytes = 16 * 1024;
+  o.resources.page_size = 1024;
   o.tree.cf = rep;
   o.tree.cf_storage = storage;
   return o;

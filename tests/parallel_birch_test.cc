@@ -51,31 +51,36 @@ TEST(ParallelBirchTest, ShardMergeConservesCfTotals) {
   CfVector want = serial.tree().TreeSummary();
   ASSERT_EQ(want.n(), static_cast<double>(data.size()));
 
-  exec::ThreadPool pool(8);
-  for (int shards : {1, 2, 4, 8}) {
-    ShardedPhase1Options opts;
-    opts.phase1 = UnboundedPhase1(data.dim(), 0.7);
-    opts.num_shards = shards;
-    DatasetSource source(&data);
-    auto result_or = RunShardedPhase1(&source, opts, &pool);
-    ASSERT_TRUE(result_or.ok()) << result_or.status().message();
-    const auto& r = result_or.value();
+  exec::ThreadPool pool(16);
+  for (DealingMode dealing :
+       {DealingMode::kAffinity, DealingMode::kRoundRobin}) {
+    for (int shards : {1, 2, 4, 8, 16}) {
+      ShardedPhase1Options opts;
+      opts.phase1 = UnboundedPhase1(data.dim(), 0.7);
+      opts.num_shards = shards;
+      opts.dealing = dealing;
+      DatasetSource source(&data);
+      auto result_or = RunShardedPhase1(&source, opts, &pool);
+      ASSERT_TRUE(result_or.ok()) << result_or.status().message();
+      const auto& r = result_or.value();
 
-    CfVector got = r.tree->TreeSummary();
-    for (const auto& e : r.final_outliers) got.Add(e);
-    // N is a sum of unit weights: exact in either insertion order.
-    EXPECT_EQ(got.n(), want.n()) << "shards=" << shards;
-    // LS/SS differ only by float summation order across shards.
-    for (size_t t = 0; t < data.dim(); ++t) {
-      EXPECT_NEAR(got.ls()[t], want.ls()[t],
-                  1e-9 * (1.0 + std::fabs(want.ls()[t])))
-          << "shards=" << shards;
+      CfVector got = r.tree->TreeSummary();
+      for (const auto& e : r.final_outliers) got.Add(e);
+      const char* mode = DealingModeName(dealing);
+      // N is a sum of unit weights: exact in either insertion order.
+      EXPECT_EQ(got.n(), want.n()) << mode << " shards=" << shards;
+      // LS/SS differ only by float summation order across shards.
+      for (size_t t = 0; t < data.dim(); ++t) {
+        EXPECT_NEAR(got.ls()[t], want.ls()[t],
+                    1e-9 * (1.0 + std::fabs(want.ls()[t])))
+            << mode << " shards=" << shards;
+      }
+      EXPECT_NEAR(got.ss(), want.ss(), 1e-9 * (1.0 + want.ss()))
+          << mode << " shards=" << shards;
+      EXPECT_EQ(r.stats.points_added, data.size());
+      std::string why;
+      EXPECT_TRUE(r.tree->CheckInvariants(&why)) << why;
     }
-    EXPECT_NEAR(got.ss(), want.ss(), 1e-9 * (1.0 + want.ss()))
-        << "shards=" << shards;
-    EXPECT_EQ(r.stats.points_added, data.size());
-    std::string why;
-    EXPECT_TRUE(r.tree->CheckInvariants(&why)) << why;
   }
 }
 
@@ -83,10 +88,10 @@ BirchOptions PaperOpts(int k, int num_threads) {
   BirchOptions o;
   o.dim = 2;
   o.k = k;
-  o.memory_bytes = 24 * 1024;
-  o.disk_bytes = 5 * 1024;
-  o.page_size = 512;
-  o.num_threads = num_threads;
+  o.resources.memory_bytes = 24 * 1024;
+  o.resources.disk_bytes = 5 * 1024;
+  o.resources.page_size = 512;
+  o.exec.num_threads = num_threads;
   return o;
 }
 
@@ -110,6 +115,37 @@ TEST(ParallelBirchTest, ParallelRunMeetsReproductionQualityBars) {
   EXPECT_EQ(r.value().labels.size(), g.data.size());
 }
 
+// Affinity dealing must clear the same quality bars as round-robin at
+// every shard count: space partitioning changes which shard ingests a
+// point, never the mass that reaches the merged tree, and the final
+// clustering quality must hold regardless of how Phase 1 was dealt.
+TEST(ParallelBirchTest, QualityBarsHoldForBothDealingsAcrossThreadCounts) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1, 25, 200);
+  ASSERT_TRUE(gen.ok());
+  const auto& g = gen.value();
+  std::vector<CfVector> actual_cfs;
+  for (const auto& a : g.actual) actual_cfs.push_back(a.cf);
+  const double d_actual = WeightedAverageDiameter(actual_cfs);
+
+  for (DealingMode dealing :
+       {DealingMode::kAffinity, DealingMode::kRoundRobin}) {
+    for (int threads : {1, 2, 4, 8, 16}) {
+      BirchOptions o = PaperOpts(25, threads);
+      o.exec.dealing = dealing;
+      auto r = ClusterDataset(g.data, o);
+      ASSERT_TRUE(r.ok()) << DealingModeName(dealing) << " threads="
+                          << threads << ": " << r.status().message();
+      MatchReport m = MatchClusters(g.actual, r.value().clusters);
+      EXPECT_EQ(m.matched, 25)
+          << DealingModeName(dealing) << " threads=" << threads;
+      double d_birch = WeightedAverageDiameter(r.value().clusters);
+      EXPECT_LT(d_birch, 1.30 * d_actual)
+          << DealingModeName(dealing) << " threads=" << threads;
+      EXPECT_EQ(r.value().labels.size(), g.data.size());
+    }
+  }
+}
+
 // Fixed (seed, num_threads) must reproduce bitwise: round-robin
 // sharding, fixed fold pairing, and chunk-ordered reductions leave no
 // timing dependence in the output.
@@ -129,6 +165,31 @@ TEST(ParallelBirchTest, DeterministicForFixedThreadCount) {
     }
     EXPECT_EQ(a.value().final_threshold, b.value().final_threshold);
   }
+}
+
+// The splitter seed is the third leg of the determinism contract: a
+// fixed (seed, num_threads, splitter_seed) triple reproduces bitwise,
+// and changing only the splitter seed re-deals the stream into a
+// different (but still valid) shard partition.
+TEST(ParallelBirchTest, SplitterSeedIsPartOfDeterminismContract) {
+  auto gen = GeneratePaperDataset(PaperDataset::kDS2, 25, 150);
+  ASSERT_TRUE(gen.ok());
+  const auto& data = gen.value().data;
+  BirchOptions o = PaperOpts(25, 4);
+  o.exec.splitter_seed = 7;
+  auto a = ClusterDataset(data, o);
+  auto b = ClusterDataset(data, o);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().labels, b.value().labels);
+  ASSERT_EQ(a.value().centroids.size(), b.value().centroids.size());
+  for (size_t c = 0; c < a.value().centroids.size(); ++c) {
+    EXPECT_EQ(a.value().centroids[c], b.value().centroids[c]);
+  }
+
+  o.exec.splitter_seed = 8;
+  auto c = ClusterDataset(data, o);
+  ASSERT_TRUE(c.ok()) << c.status().message();
+  EXPECT_EQ(c.value().labels.size(), data.size());
 }
 
 // The streaming one-call API takes the same parallel path.
@@ -151,9 +212,9 @@ TEST(ParallelBirchTest, ClusterSourceParallelMatchesItself) {
 TEST(ParallelBirchTest, NumThreadsValidated) {
   BirchOptions o = PaperOpts(5, -1);
   EXPECT_FALSE(o.Validate().ok());
-  o.num_threads = BirchOptions::kMaxThreads + 1;
+  o.exec.num_threads = BirchOptions::kMaxThreads + 1;
   EXPECT_FALSE(o.Validate().ok());
-  o.num_threads = BirchOptions::kMaxThreads;
+  o.exec.num_threads = BirchOptions::kMaxThreads;
   EXPECT_TRUE(o.Validate().ok());
 
   Dataset tiny(2);

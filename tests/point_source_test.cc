@@ -175,7 +175,7 @@ TEST(ClusterSourceTest, OutOfCoreMatchesInMemoryQuality) {
   BirchOptions b;
   b.dim = 2;
   b.k = 16;
-  b.memory_bytes = 24 * 1024;
+  b.resources.memory_bytes = 24 * 1024;
   auto mem_result = ClusterDataset(gen.value().data, b);
   ASSERT_TRUE(mem_result.ok());
 
@@ -219,7 +219,7 @@ TEST(ClusterSourceTest, NonRewindableSkipsRefinement) {
   BirchOptions b;
   b.dim = 1;
   b.k = 2;
-  b.refinement_passes = 3;
+  b.refine.passes = 3;
   auto result = ClusterSource(&source, b);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result.value().clusters.size(), 2u);

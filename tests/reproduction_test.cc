@@ -15,10 +15,10 @@ BirchOptions Opts(int k, double t0 = 0.0) {
   BirchOptions o;
   o.dim = 2;
   o.k = k;
-  o.memory_bytes = 24 * 1024;
-  o.disk_bytes = 5 * 1024;
-  o.page_size = 512;
-  o.initial_threshold = t0;
+  o.resources.memory_bytes = 24 * 1024;
+  o.resources.disk_bytes = 5 * 1024;
+  o.resources.page_size = 512;
+  o.tree.initial_threshold = t0;
   return o;
 }
 
@@ -54,7 +54,7 @@ TEST(ReproductionTest, Phase4CompensatesForPageSize) {
   double d_small = 0, d_large = 0;
   for (size_t page : {256u, 2048u}) {
     BirchOptions o = Opts(25);
-    o.page_size = page;
+    o.resources.page_size = page;
     auto r = ClusterDataset(g.data, o);
     ASSERT_TRUE(r.ok());
     (page == 256u ? d_small : d_large) =
@@ -114,8 +114,8 @@ TEST(ReproductionTest, MemoryBudgetHeldWithinOverdraft) {
   auto r = ClusterDataset(gen.value().data, o);
   ASSERT_TRUE(r.ok());
   EXPECT_LE(r.value().peak_memory_bytes,
-            static_cast<size_t>(1.5 * o.memory_bytes));
-  EXPECT_LE(r.value().tree_nodes * o.page_size, o.memory_bytes);
+            static_cast<size_t>(1.5 * o.resources.memory_bytes));
+  EXPECT_LE(r.value().tree_nodes * o.resources.page_size, o.resources.memory_bytes);
 }
 
 }  // namespace

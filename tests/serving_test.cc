@@ -39,7 +39,7 @@ BirchOptions ServingOpts(size_t dim, int k, uint64_t publish_every) {
   BirchOptions o;
   o.dim = dim;
   o.k = k;
-  o.memory_bytes = 48 * 1024;
+  o.resources.memory_bytes = 48 * 1024;
   o.serving.publish_every_n = publish_every;
   return o;
 }
@@ -56,10 +56,15 @@ TEST(ServingTest, QueriesBeforeFirstEpochFail) {
   ASSERT_TRUE(c.ok());
   ASSERT_NE(c.value()->server(), nullptr);
   std::vector<double> p(3, 0.0);
-  EXPECT_EQ(c.value()->server()->Assign(p).status().code(),
-            StatusCode::kFailedPrecondition);
-  EXPECT_EQ(c.value()->server()->KNearestCentroids(p, 3).status().code(),
-            StatusCode::kFailedPrecondition);
+  Status assign = c.value()->server()->Assign(p).status();
+  EXPECT_EQ(assign.code(), StatusCode::kFailedPrecondition);
+  // The refusal names the remedy, not just the failure.
+  EXPECT_NE(assign.message().find("publish_every_n"), std::string::npos)
+      << assign.message();
+  Status knn = c.value()->server()->KNearestCentroids(p, 3).status();
+  EXPECT_EQ(knn.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(knn.message().find("publish_every_n"), std::string::npos)
+      << knn.message();
   EXPECT_EQ(c.value()->server()->epoch(), 0u);
 }
 
@@ -79,8 +84,21 @@ TEST(ServingTest, DimensionMismatchIsInvalidArgument) {
   ASSERT_TRUE(c.ok());
   ASSERT_TRUE(c.value()->AddDataset(data).ok());
   std::vector<double> wrong(data.dim() + 1, 0.0);
-  EXPECT_EQ(c.value()->server()->Assign(wrong).status().code(),
-            StatusCode::kInvalidArgument);
+  Status st = c.value()->server()->Assign(wrong).status();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The message names both dimensions and the remedy.
+  EXPECT_NE(st.message().find(std::to_string(data.dim() + 1)),
+            std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("pass exactly dim coordinates"),
+            std::string::npos)
+      << st.message();
+  Status knn =
+      c.value()->server()->KNearestCentroids(wrong, 2).status();
+  EXPECT_EQ(knn.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(knn.message().find("pass exactly dim coordinates"),
+            std::string::npos)
+      << knn.message();
 }
 
 // The publish cadence stamps monotonically increasing epochs, and a
@@ -272,7 +290,7 @@ TEST(ServingTest, EpochRetirementBalancesLiveGauge) {
 TEST(ServingTest, ShardedFinalEpochServesAfterCluster) {
   Dataset data = MakeData(4, 60, 38);
   BirchOptions o = ServingOpts(data.dim(), 4, 100);
-  o.num_threads = 2;
+  o.exec.num_threads = 2;
   auto c = BirchClusterer::Create(o);
   ASSERT_TRUE(c.ok());
   DatasetSource src(&data);

@@ -31,9 +31,9 @@ BirchOptions SmallOptions(int k) {
   BirchOptions o;
   o.dim = 2;
   o.k = k;
-  o.memory_bytes = 24 * 1024;
-  o.disk_bytes = 5 * 1024;
-  o.page_size = 512;
+  o.resources.memory_bytes = 24 * 1024;
+  o.resources.disk_bytes = 5 * 1024;
+  o.resources.page_size = 512;
   return o;
 }
 
@@ -108,7 +108,7 @@ TEST_F(TelemetryTest, ShardedRunSamplesConcurrently) {
   ASSERT_TRUE(gen.ok());
   BirchOptions o = SmallOptions(25);
   o.obs.sample_every_ms = 1;
-  o.num_threads = 4;
+  o.exec.num_threads = 4;
   auto result = ClusterDataset(gen.value().data, o);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_FALSE(result.value().timeseries.empty());

@@ -70,6 +70,23 @@ StatusOr<GlobalAlgorithm> ParseAlgorithm(const std::string& name) {
                                  "' (want hc|kmeans|medoids)");
 }
 
+StatusOr<DealingMode> ParseDealing(const std::string& name) {
+  for (auto d : {DealingMode::kAffinity, DealingMode::kRoundRobin}) {
+    if (name == DealingModeName(d)) return d;
+  }
+  return Status::InvalidArgument("unknown dealing mode '" + name +
+                                 "' (want affinity|round-robin)");
+}
+
+StatusOr<KernelKind> ParseKernel(const std::string& name) {
+  for (auto k : {KernelKind::kScalar, KernelKind::kBatch,
+                 KernelKind::kBatchFast}) {
+    if (name == KernelName(k)) return k;
+  }
+  return Status::InvalidArgument("unknown kernel '" + name +
+                                 "' (want scalar|batch|batch-fast)");
+}
+
 int Run(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
   Status known = flags.CheckKnown(
@@ -77,7 +94,8 @@ int Run(int argc, char** argv) {
        "page", "metric", "cf", "cf-storage", "threshold", "algorithm",
        "refine-passes",
        "discard-distance", "no-outliers", "no-delay-split", "stream",
-       "seed", "threads", "fault-read", "fault-write", "fault-lose",
+       "seed", "threads", "dealing", "splitter-seed", "kernel",
+       "fault-read", "fault-write", "fault-lose",
        "fault-flip", "fault-seed", "io-attempts", "metrics", "metrics-csv",
        "trace-out", "report", "sample-every-ms", "checkpoint",
        "checkpoint-every", "restore", "publish-every", "serve-seconds",
@@ -93,7 +111,8 @@ int Run(int argc, char** argv) {
                  "[--threshold T0] [--algorithm hc|kmeans|medoids] "
                  "[--refine-passes N] [--discard-distance D] "
                  "[--no-outliers] [--no-delay-split] [--stream] "
-                 "[--seed S] [--threads N]\n"
+                 "[--seed S] [--threads N] [--dealing affinity|round-robin] "
+                 "[--splitter-seed S] [--kernel scalar|batch|batch-fast]\n"
                  "       [--disk-kb R] [--fault-read P] [--fault-write P] "
                  "[--fault-lose P] [--fault-flip P] [--fault-seed S] "
                  "[--io-attempts N]\n"
@@ -107,7 +126,15 @@ int Run(int argc, char** argv) {
                  "  --threads N shards Phase 1 across N workers and "
                  "parallelizes Phases 3/4\n"
                  "  (0 = serial, the default; deterministic for a fixed "
-                 "seed and thread count).\n"
+                 "seed, thread count, and\n"
+                 "  splitter seed). --dealing affinity (default) routes "
+                 "points to shards by spatial\n"
+                 "  region via a sampled splitter seeded by "
+                 "--splitter-seed; round-robin deals i %% N.\n"
+                 "  --kernel batch-fast opts the CF-tree descent into the "
+                 "FMA/AVX-512 leg when the\n"
+                 "  CPU has one (faster, last-bit different); scalar|batch "
+                 "stay bitwise deterministic.\n"
                  "  --disk-kb 0 disables the outlier disk (in-tree "
                  "fallback); --fault-* inject seeded\n"
                  "  disk faults (probabilities in [0,1]) retried up to "
@@ -150,26 +177,26 @@ int Run(int argc, char** argv) {
 
   BirchOptions o;
   o.k = static_cast<int>(flags.GetInt("k", 0));
-  o.global_distance_limit = flags.GetDouble("distance-limit", 0.0);
-  o.memory_bytes = static_cast<size_t>(flags.GetInt("memory-kb", 80)) * 1024;
-  o.disk_bytes = static_cast<size_t>(flags.GetInt(
+  o.global_phase.distance_limit = flags.GetDouble("distance-limit", 0.0);
+  o.resources.memory_bytes = static_cast<size_t>(flags.GetInt("memory-kb", 80)) * 1024;
+  o.resources.disk_bytes = static_cast<size_t>(flags.GetInt(
                      "disk-kb",
-                     static_cast<int64_t>(o.memory_bytes / 5 / 1024))) *
+                     static_cast<int64_t>(o.resources.memory_bytes / 5 / 1024))) *
                  1024;
-  o.fault.read_transient_rate = flags.GetDouble("fault-read", 0.0);
-  o.fault.write_transient_rate = flags.GetDouble("fault-write", 0.0);
-  o.fault.page_loss_rate = flags.GetDouble("fault-lose", 0.0);
-  o.fault.bit_flip_rate = flags.GetDouble("fault-flip", 0.0);
-  o.fault.seed = static_cast<uint64_t>(
-      flags.GetInt("fault-seed", static_cast<int64_t>(o.fault.seed)));
-  o.io_retry.max_attempts =
-      static_cast<int>(flags.GetInt("io-attempts", o.io_retry.max_attempts));
-  o.page_size = static_cast<size_t>(flags.GetInt("page", 1024));
-  o.initial_threshold = flags.GetDouble("threshold", 0.0);
-  o.refinement_passes = static_cast<int>(flags.GetInt("refine-passes", 1));
-  o.refine_outlier_distance = flags.GetDouble("discard-distance", 0.0);
-  o.outlier_handling = !flags.GetBool("no-outliers", false);
-  o.delay_split = !flags.GetBool("no-delay-split", false);
+  o.resources.fault.read_transient_rate = flags.GetDouble("fault-read", 0.0);
+  o.resources.fault.write_transient_rate = flags.GetDouble("fault-write", 0.0);
+  o.resources.fault.page_loss_rate = flags.GetDouble("fault-lose", 0.0);
+  o.resources.fault.bit_flip_rate = flags.GetDouble("fault-flip", 0.0);
+  o.resources.fault.seed = static_cast<uint64_t>(
+      flags.GetInt("fault-seed", static_cast<int64_t>(o.resources.fault.seed)));
+  o.resources.io_retry.max_attempts =
+      static_cast<int>(flags.GetInt("io-attempts", o.resources.io_retry.max_attempts));
+  o.resources.page_size = static_cast<size_t>(flags.GetInt("page", 1024));
+  o.tree.initial_threshold = flags.GetDouble("threshold", 0.0);
+  o.refine.passes = static_cast<int>(flags.GetInt("refine-passes", 1));
+  o.refine.outlier_distance = flags.GetDouble("discard-distance", 0.0);
+  o.outliers.handling = !flags.GetBool("no-outliers", false);
+  o.outliers.delay_split = !flags.GetBool("no-delay-split", false);
   o.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   int64_t threads = flags.GetInt("threads", 0);
   if (threads < 0 || threads > BirchOptions::kMaxThreads) {
@@ -179,7 +206,21 @@ int Run(int argc, char** argv) {
                  static_cast<long long>(threads));
     return 2;
   }
-  o.num_threads = static_cast<int>(threads);
+  o.exec.num_threads = static_cast<int>(threads);
+  auto dealing_or = ParseDealing(flags.GetString("dealing", "affinity"));
+  if (!dealing_or.ok()) {
+    std::fprintf(stderr, "%s\n", dealing_or.status().ToString().c_str());
+    return 2;
+  }
+  o.exec.dealing = dealing_or.value();
+  o.exec.splitter_seed = static_cast<uint64_t>(flags.GetInt(
+      "splitter-seed", static_cast<int64_t>(o.exec.splitter_seed)));
+  auto kernel_or = ParseKernel(flags.GetString("kernel", "batch"));
+  if (!kernel_or.ok()) {
+    std::fprintf(stderr, "%s\n", kernel_or.status().ToString().c_str());
+    return 2;
+  }
+  o.exec.kernel = kernel_or.value();
 
   int64_t publish_every = flags.GetInt("publish-every", 0);
   double serve_seconds = flags.GetDouble("serve-seconds", 0.0);
@@ -218,8 +259,8 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", metric_or.status().ToString().c_str());
     return 2;
   }
-  o.metric = metric_or.value();
-  o.global_metric = metric_or.value();
+  o.tree.metric = metric_or.value();
+  o.global_phase.metric = metric_or.value();
   auto cf_or = ParseCfRep(flags.GetString("cf", "classic"));
   if (!cf_or.ok()) {
     std::fprintf(stderr, "%s\n", cf_or.status().ToString().c_str());
@@ -237,7 +278,7 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", algo_or.status().ToString().c_str());
     return 2;
   }
-  o.global_algorithm = algo_or.value();
+  o.global_phase.algorithm = algo_or.value();
 
   if (flags.Has("trace-out")) obs::Tracer::Default().StartRecording();
 
@@ -410,7 +451,7 @@ int Run(int argc, char** argv) {
               r.peak_memory_bytes / 1024,
               stream ? " (streamed; data never resident)" : "");
   const RobustnessStats& rb = r.robustness;
-  if (o.fault.enabled() || rb.degradation_events > 0 ||
+  if (o.resources.fault.enabled() || rb.degradation_events > 0 ||
       rb.outlier_disk_disabled) {
     std::printf("robustness: %llu transient errors (%llu retries), "
                 "%llu checksum failures, %llu records lost, "
