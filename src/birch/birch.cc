@@ -57,6 +57,8 @@ Phase1Options Phase1OptionsFrom(const BirchOptions& o) {
   p.expected_points = o.expected_points;
   p.fault = o.resources.fault;
   p.retry = o.resources.io_retry;
+  p.page_codec = o.resources.page_codec;
+  p.hot_tier_bytes = o.resources.hot_tier_bytes;
   return p;
 }
 
@@ -75,6 +77,11 @@ struct Phase1Outcome {
   size_t shard_peak_bytes = 0;
   uint64_t disk_pages_written = 0;
   uint64_t disk_pages_read = 0;
+  uint64_t disk_raw_bytes = 0;
+  uint64_t disk_stored_bytes = 0;
+  uint64_t disk_hot_hits = 0;
+  uint64_t disk_hot_misses = 0;
+  uint64_t disk_hot_demotions = 0;
   double seconds = 0.0;
 };
 
@@ -191,6 +198,11 @@ StatusOr<BirchResult> RunPhases234(const BirchOptions& options,
   result.tree_nodes = tree->node_count();
   result.disk_pages_written = p1.disk_pages_written;
   result.disk_pages_read = p1.disk_pages_read;
+  result.disk_raw_bytes = p1.disk_raw_bytes;
+  result.disk_stored_bytes = p1.disk_stored_bytes;
+  result.disk_hot_hits = p1.disk_hot_hits;
+  result.disk_hot_misses = p1.disk_hot_misses;
+  result.disk_hot_demotions = p1.disk_hot_demotions;
   result.final_threshold = tree->threshold();
   // Accumulate in integers: CF point counts are integral (weights are
   // summed exactly for unit-weight streams), and a double accumulator
@@ -484,6 +496,7 @@ Status BirchClusterer::SaveCheckpoint(const std::string& path) {
   img.threshold_kind = static_cast<uint32_t>(options_.tree.threshold_kind);
   img.cf_representation = static_cast<uint32_t>(options_.tree.cf);
   img.scalar_width = options_.tree.cf_storage == CfStorage::kF32 ? 32 : 64;
+  img.page_codec = static_cast<uint32_t>(options_.resources.page_codec);
   img.shard_count = 0;
   img.points_ingested = phase1_->stats().points_added;
   img.freezes.push_back(std::move(freeze_or).ValueOrDie());
@@ -534,6 +547,14 @@ StatusOr<std::unique_ptr<BirchClusterer>> BirchClusterer::Restore(
         "checkpoint was written with " + std::to_string(img.scalar_width) +
         "-bit CF storage, options say " + std::to_string(opt_width) +
         "-bit");
+  }
+  if (img.page_codec !=
+      static_cast<uint32_t>(options.resources.page_codec)) {
+    return Status::InvalidArgument(
+        std::string("checkpoint was written with page_codec ") +
+        PageCodecName(static_cast<PageCodecKind>(img.page_codec)) +
+        ", options say " + PageCodecName(options.resources.page_codec) +
+        " (set resources.page_codec to match the checkpointed run)");
   }
 
   std::unique_ptr<BirchClusterer> c(new BirchClusterer(options));
@@ -654,6 +675,11 @@ StatusOr<BirchResult> BirchClusterer::Finish(const Dataset* for_refinement) {
   p1.mem = &phase1_->memory();
   p1.disk_pages_written = phase1_->disk().io_stats().pages_written;
   p1.disk_pages_read = phase1_->disk().io_stats().pages_read;
+  p1.disk_raw_bytes = phase1_->disk().io_stats().raw_bytes_written;
+  p1.disk_stored_bytes = phase1_->disk().io_stats().stored_bytes_written;
+  p1.disk_hot_hits = phase1_->disk().io_stats().hot_hits;
+  p1.disk_hot_misses = phase1_->disk().io_stats().hot_misses;
+  p1.disk_hot_demotions = phase1_->disk().io_stats().hot_demotions;
 
   // One final epoch covering the whole stream (the Phase-1 tail may
   // have settled delayed points since the last cadence publish).
@@ -732,6 +758,7 @@ StatusOr<BirchResult> BirchClusterer::Cluster(PointSource* source,
       img.threshold_kind = static_cast<uint32_t>(o.tree.threshold_kind);
       img.cf_representation = static_cast<uint32_t>(o.tree.cf);
       img.scalar_width = o.tree.cf_storage == CfStorage::kF32 ? 32 : 64;
+      img.page_codec = static_cast<uint32_t>(o.resources.page_codec);
       img.shard_count = static_cast<uint32_t>(builders->size());
       img.points_ingested = points_dealt;
       img.freezes.reserve(builders->size());
@@ -786,6 +813,11 @@ StatusOr<BirchResult> BirchClusterer::Cluster(PointSource* source,
   p1.shard_peak_bytes = sharded_->peak_memory_bytes;
   p1.disk_pages_written = sharded_->disk_pages_written;
   p1.disk_pages_read = sharded_->disk_pages_read;
+  p1.disk_raw_bytes = sharded_->disk_raw_bytes;
+  p1.disk_stored_bytes = sharded_->disk_stored_bytes;
+  p1.disk_hot_hits = sharded_->disk_hot_hits;
+  p1.disk_hot_misses = sharded_->disk_hot_misses;
+  p1.disk_hot_demotions = sharded_->disk_hot_demotions;
   p1.seconds = phase1_timer_.Seconds();
   phase1_span_.End();
   // Final epoch from the merged tree (the per-epoch publishes saw the

@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pagestore/crc32c.h"
+#include "pagestore/page_codec.h"
 #include "util/timer.h"
 
 namespace birch {
@@ -280,6 +281,12 @@ Status WriteCheckpointFile(const std::string& path,
   }
   std::vector<uint8_t> out(kMagic, kMagic + sizeof(kMagic));
 
+  const auto codec = static_cast<PageCodecKind>(image.page_codec);
+  if (GetPageCodec(codec) == nullptr && codec != PageCodecKind::kNone) {
+    return Status::InvalidArgument("checkpoint image names unknown codec " +
+                                   std::to_string(image.page_codec));
+  }
+
   ByteWriter header;
   header.U32(image.version);
   header.U64(image.dim);
@@ -290,12 +297,32 @@ Status WriteCheckpointFile(const std::string& path,
   header.U32(image.scalar_width);
   header.U32(image.shard_count);
   header.U64(image.points_ingested);
+  // Trailing optional field: absent in pre-compression v2 files, whose
+  // readers decode it as 0 (raw sections). The header itself stays raw
+  // so the codec is known before any compressed section is met.
+  header.U32(image.page_codec);
   AppendSection(kHeaderTag, header, &out);
 
   for (const Phase1Freeze& f : image.freezes) {
     ByteWriter payload;
     EncodeFreeze(f, &payload);
-    AppendSection(kFreezeTag, payload, &out);
+    if (codec == PageCodecKind::kNone) {
+      AppendSection(kFreezeTag, payload, &out);
+    } else {
+      // Freeze sections dominate the file (tree pages + spill records,
+      // exactly the data the page codec is built for): store them as
+      // compressed envelopes. The section CRC then covers the
+      // compressed image, mirroring the PageStore.
+      if (payload.data().size() > UINT32_MAX) {
+        return Status::InvalidArgument(
+            "checkpoint section too large to compress");
+      }
+      ByteWriter enveloped;
+      std::vector<uint8_t> stored = EncodePageEnvelope(
+          codec, std::span<const uint8_t>(payload.data()));
+      enveloped.Bytes(stored.data(), stored.size());
+      AppendSection(kFreezeTag, enveloped, &out);
+    }
   }
 
   ByteWriter footer;
@@ -397,14 +424,27 @@ StatusOr<CheckpointImage> ReadCheckpointFile(const std::string& path) {
     if (!h.U64(&image.dim) || !h.U64(&image.page_size) ||
         !h.U32(&image.metric) || !h.U32(&image.threshold_kind) ||
         !h.U32(&image.cf_representation) || !h.U32(&image.scalar_width) ||
-        !h.U32(&image.shard_count) || !h.U64(&image.points_ingested) ||
-        !h.done()) {
+        !h.U32(&image.shard_count) || !h.U64(&image.points_ingested)) {
+      return Status::Corruption("checkpoint header payload malformed");
+    }
+    // Optional trailing codec field: files written before page
+    // compression end exactly here and decode as codec 0 (raw
+    // sections) — old uncompressed checkpoints still load.
+    image.page_codec = 0;
+    if (!h.done() && (!h.U32(&image.page_codec) || !h.done())) {
       return Status::Corruption("checkpoint header payload malformed");
     }
     if (image.cf_representation > 1 ||
         (image.scalar_width != 32 && image.scalar_width != 64)) {
       return Status::Corruption(
           "checkpoint header carries an impossible CF fingerprint");
+    }
+    if (image.page_codec != 0 &&
+        GetPageCodec(static_cast<PageCodecKind>(image.page_codec)) ==
+            nullptr) {
+      return Status::Corruption(
+          "checkpoint header names unknown page codec " +
+          std::to_string(image.page_codec));
     }
   }
 
@@ -417,7 +457,20 @@ StatusOr<CheckpointImage> ReadCheckpointFile(const std::string& path) {
       return Status::Corruption("checkpoint is missing a shard section");
     }
     Phase1Freeze f;
-    ByteReader body(payload.data(), payload.size());
+    std::vector<uint8_t> raw;
+    if (image.page_codec != 0) {
+      // The CRC above covered the compressed image; a payload that
+      // passed it but fails to decode is still a damaged file.
+      Status st =
+          DecodePageEnvelope(std::span<const uint8_t>(payload), &raw);
+      if (!st.ok()) {
+        return Status::Corruption("checkpoint shard section undecodable: " +
+                                  st.message());
+      }
+    } else {
+      raw = std::move(payload);
+    }
+    ByteReader body(raw.data(), raw.size());
     if (!DecodeFreeze(&body, &f)) {
       return Status::Corruption("checkpoint shard payload malformed");
     }

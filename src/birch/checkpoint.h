@@ -34,6 +34,14 @@ namespace birch {
 /// v2 added the CF-representation and scalar-width fingerprint fields
 /// to the header and the tree image (BETULA / float32 storage); v1
 /// files predate them and are rejected as unsupported.
+///
+/// Still v2: a trailing `page_codec` header field and compressed
+/// freeze sections. The field is optional on read — v2 files written
+/// before compression existed have no codec field and decode with
+/// page_codec = 0 (raw sections), so old uncompressed checkpoints
+/// still load. When page_codec != 0 every freeze-section payload is a
+/// page envelope (pagestore/page_codec.h); the section CRC32C covers
+/// the compressed image.
 inline constexpr uint32_t kCheckpointVersion = 2;
 
 /// In-memory form of one checkpoint file: the options fingerprint that
@@ -52,6 +60,13 @@ struct CheckpointImage {
   /// Stored CF component width in bits: 64 (CfStorage::kF64) or 32
   /// (kF32). Part of the fingerprint for the same reason.
   uint32_t scalar_width = 64;
+  /// static_cast of PageCodecKind: 0 = raw freeze sections (and the
+  /// run's outlier disk was uncompressed); != 0 means the freeze
+  /// sections are stored as compressed page envelopes under this
+  /// codec. Part of the fingerprint — restoring under a different
+  /// codec configuration is rejected, since it changes the resumed
+  /// run's effective disk budget.
+  uint32_t page_codec = 0;
   /// 0 = serial image (exactly one freeze); N >= 1 = sharded image
   /// written by an N-shard run (exactly N freezes, shard order).
   uint32_t shard_count = 0;

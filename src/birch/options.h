@@ -21,6 +21,7 @@
 #include "birch/global_cluster.h"
 #include "birch/kernel/kernel.h"
 #include "pagestore/fault_injector.h"
+#include "pagestore/page_codec.h"
 #include "util/status.h"
 
 namespace birch {
@@ -72,6 +73,18 @@ struct BirchOptions {
     /// unrecoverably (see `fault` below).
     size_t disk_bytes = 16 * 1024;  // paper: R = 20% of M
     size_t page_size = 1024;
+    /// Transparent per-page compression for the outlier disk and
+    /// checkpoint files (pagestore/page_codec.h). With a codec, pages
+    /// are charged against disk_bytes at their compressed size, so the
+    /// effective budget is R x ratio; checkpoint section payloads are
+    /// stored compressed too. kNone (the default) keeps the v1 raw
+    /// format everywhere.
+    PageCodecKind page_codec = PageCodecKind::kNone;
+    /// DRAM budget for the outlier disk's hot tier of decompressed
+    /// pages (LRU-evicted; see PageStoreOptions::hot_tier_bytes).
+    /// Requires page_codec != kNone; 0 = no hot tier, every read
+    /// decodes from the compressed image.
+    size_t hot_tier_bytes = 0;
     /// Deterministic fault injection for the outlier disk (chaos
     /// testing): transient IOErrors, silent page loss, bit rot. The
     /// default injects nothing.
@@ -256,6 +269,12 @@ struct BirchOptions {
           "disk_bytes must be 0 (no outlier disk; in-tree fallback) or "
           "at least one page");
     }
+    if (resources.hot_tier_bytes > 0 &&
+        resources.page_codec == PageCodecKind::kNone) {
+      return Status::InvalidArgument(
+          "hot_tier_bytes requires a page_codec (uncompressed pages "
+          "are their own hot copy; set resources.page_codec)");
+    }
     BIRCH_RETURN_IF_ERROR(resources.fault.Validate());
     BIRCH_RETURN_IF_ERROR(resources.io_retry.Validate());
     if (resources.checkpoint_every_n > 0 &&
@@ -309,6 +328,8 @@ class BirchOptions::Builder {
   Builder& MemoryBytes(size_t v) { o_.resources.memory_bytes = v; return *this; }
   Builder& DiskBytes(size_t v) { o_.resources.disk_bytes = v; return *this; }
   Builder& PageSize(size_t v) { o_.resources.page_size = v; return *this; }
+  Builder& PageCodec(PageCodecKind v) { o_.resources.page_codec = v; return *this; }
+  Builder& HotTierBytes(size_t v) { o_.resources.hot_tier_bytes = v; return *this; }
   Builder& Fault(const FaultOptions& v) { o_.resources.fault = v; return *this; }
   Builder& IoRetry(const RetryPolicy& v) { o_.resources.io_retry = v; return *this; }
   Builder& CheckpointEveryN(uint64_t v) { o_.resources.checkpoint_every_n = v; return *this; }

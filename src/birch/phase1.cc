@@ -15,10 +15,11 @@ Phase1Builder::Phase1Builder(const Phase1Options& options)
       // Budget 0 means "no outlier disk", not "unlimited" (which is
       // what PageStore's 0 would mean): the store is built one page
       // deep and never used — every spill takes the in-tree fallback.
-      disk_(options.tree.page_size,
-            options.disk_budget_bytes > 0 ? options.disk_budget_bytes
-                                          : options.tree.page_size,
-            options.fault),
+      disk_(PageStoreOptions{
+          options.tree.page_size,
+          options.disk_budget_bytes > 0 ? options.disk_budget_bytes
+                                        : options.tree.page_size,
+          options.fault, options.page_codec, options.hot_tier_bytes}),
       outlier_entries_(&disk_, CfVector::SerializedDoubles(options.tree.dim),
                        options.retry),
       delayed_points_(&disk_, CfVector::SerializedDoubles(options.tree.dim),
@@ -59,8 +60,9 @@ StatusOr<Phase1Freeze> Phase1Builder::Freeze() {
   TRACE_SPAN("phase1/freeze");
   Phase1Freeze f;
   // Capture the fault stream and aggregate counters FIRST: the peeks
-  // below consume injector draws and retry counters, and the restored
-  // run must resume from the pre-checkpoint stream.
+  // below consume injector draws (their reads are stats-neutral, but
+  // the RNG still advances), and the restored run must resume from the
+  // pre-checkpoint stream.
   f.fault_rng = disk_.mutable_injector()->rng_state();
   f.fault_stats = disk_.fault_stats();
   f.robustness = robustness();

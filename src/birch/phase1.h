@@ -39,6 +39,11 @@ struct Phase1Options {
   FaultOptions fault;
   /// Retry policy for transient outlier-disk errors.
   RetryPolicy retry;
+  /// Per-page compression for the outlier disk (effective budget
+  /// R x ratio) and DRAM budget for its decompressed hot tier. See
+  /// PageStoreOptions.
+  PageCodecKind page_codec = PageCodecKind::kNone;
+  size_t hot_tier_bytes = 0;
 };
 
 /// Counters exposed to the benchmarks and EXPERIMENTS.md.

@@ -13,12 +13,18 @@ using PageId = uint64_t;
 
 inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
 
-/// A page is an owned, fixed-size byte buffer plus the CRC32C of its
-/// contents, recomputed on every Write and verified on every Read.
+/// A page is an owned byte buffer holding the *stored* image (raw page
+/// bytes, or the compressed envelope when the store runs a codec) plus
+/// the CRC32C of that image, recomputed on every Write and verified on
+/// every Read.
 struct Page {
   explicit Page(size_t size) : bytes(size, 0) {}
   std::vector<uint8_t> bytes;
   uint32_t crc = 0;
+  /// Bytes this page is charged against the store's capacity
+  /// (bytes.size() — tracked separately so the store can re-charge
+  /// atomically on rewrite).
+  size_t charge = 0;
   /// Set by the fault injector: the write was silently dropped and the
   /// contents are unrecoverable (reads return DataLoss).
   bool lost = false;

@@ -36,15 +36,21 @@ Status SpillFile::WriteWithRetry(PageId id, std::span<const uint8_t> data) {
   return st;
 }
 
-Status SpillFile::ReadWithRetry(PageId id, std::vector<uint8_t>* out) {
+Status SpillFile::ReadWithRetry(PageId id, std::vector<uint8_t>* out,
+                                SpillStats* stats) {
   Status st;
   for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
     st = store_->Read(id, out);
     if (st.code() != StatusCode::kIOError) return st;
-    ++stats_.transient_errors;
+    // stats == nullptr is the stats-neutral path (PeekAll): the read
+    // still gets its full retry budget, but records nothing — a
+    // read-only peek must not change the fault accounting a later
+    // DrainAll reports.
+    if (stats == nullptr) continue;
+    ++stats->transient_errors;
     if (attempt < retry_.max_attempts) {
-      ++stats_.io_retries;
-      stats_.backoff_us += retry_.BackoffUs(attempt);
+      ++stats->io_retries;
+      stats->backoff_us += retry_.BackoffUs(attempt);
       OBS_COUNTER_INC("spill/io_retries");
       OBS_HISTOGRAM_RECORD("spill/backoff_us", retry_.BackoffUs(attempt));
       TRACE_INSTANT("spill/read_retry");
@@ -92,16 +98,32 @@ Status SpillFile::DrainAll(std::vector<double>* out, DrainReport* report) {
   DrainReport rep;
   rep.pages_total = pages_.size();
   std::vector<uint8_t> buf;
+  // Every iteration fully consumes its page — returned or accounted
+  // lost, then gone from the store — so the trim below can commit the
+  // whole prefix. An early return that skipped the trim would leave
+  // freed pages in pages_, and a retried drain would re-read them
+  // (NotFound) and double-count their records.
+  size_t consumed = 0;
+  size_t consumed_records = 0;
+  Status failure = Status::OK();
   for (size_t i = 0; i < pages_.size(); ++i) {
-    Status st = ReadWithRetry(pages_[i], &buf);
-    if (!st.ok()) {
-      if (st.code() != StatusCode::kDataLoss &&
-          st.code() != StatusCode::kIOError) {
-        return st;  // structural error (e.g. NotFound) — a real bug
-      }
-      // The page is gone (lost, corrupt, or unreadable past the retry
-      // budget): skip it rather than decode garbage, and account for
-      // every record it held.
+    Status st = ReadWithRetry(pages_[i], &buf, &stats_);
+    if (st.ok()) {
+      size_t doubles = page_records_[i] * record_doubles_;
+      size_t old = out->size();
+      out->resize(old + doubles);
+      std::memcpy(out->data() + old, buf.data(), doubles * sizeof(double));
+      // Free can only fail if the page vanished between the read and
+      // now; either way it no longer occupies the store, and the
+      // records are already safely in `out`.
+      store_->Free(pages_[i]);
+    } else if (st.code() == StatusCode::kDataLoss ||
+               st.code() == StatusCode::kIOError ||
+               st.code() == StatusCode::kNotFound) {
+      // The page is gone: lost, corrupt, unreadable past the retry
+      // budget, or no longer known to the store at all. Skip it rather
+      // than decode garbage, and account for every record it held —
+      // the drain's contract is exact loss reporting, not a crash.
       ++rep.pages_lost;
       rep.records_lost += page_records_[i];
       ++stats_.pages_lost;
@@ -109,14 +131,25 @@ Status SpillFile::DrainAll(std::vector<double>* out, DrainReport* report) {
       OBS_COUNTER_INC("spill/pages_lost");
       OBS_COUNTER_ADD("spill/records_lost", page_records_[i]);
       TRACE_INSTANT("spill/page_lost");
-      store_->Free(pages_[i]);
-      continue;
+      if (st.code() != StatusCode::kNotFound) store_->Free(pages_[i]);
+    } else {
+      // Unexpected structural failure: stop, but stay consistent —
+      // everything before this page was consumed exactly once, and
+      // everything from it on remains drainable by a retry.
+      failure = st;
+      break;
     }
-    size_t doubles = page_records_[i] * record_doubles_;
-    size_t old = out->size();
-    out->resize(old + doubles);
-    std::memcpy(out->data() + old, buf.data(), doubles * sizeof(double));
-    BIRCH_RETURN_IF_ERROR(store_->Free(pages_[i]));
+    ++consumed;
+    consumed_records += page_records_[i];
+  }
+  if (!failure.ok()) {
+    pages_.erase(pages_.begin(),
+                 pages_.begin() + static_cast<ptrdiff_t>(consumed));
+    page_records_.erase(
+        page_records_.begin(),
+        page_records_.begin() + static_cast<ptrdiff_t>(consumed));
+    count_ -= consumed_records;
+    return failure;
   }
   out->insert(out->end(), staging_.begin(), staging_.end());
   pages_.clear();
@@ -144,10 +177,14 @@ Status SpillFile::PeekAll(std::vector<double>* out, DrainReport* report) {
   rep.pages_total = pages_.size();
   std::vector<uint8_t> buf;
   for (size_t i = 0; i < pages_.size(); ++i) {
-    Status st = ReadWithRetry(pages_[i], &buf);
+    // Stats-neutral read (nullptr): a peek must leave SpillStats — and
+    // therefore the robustness accounting a later DrainAll feeds —
+    // exactly as it found them.
+    Status st = ReadWithRetry(pages_[i], &buf, nullptr);
     if (!st.ok()) {
       if (st.code() != StatusCode::kDataLoss &&
-          st.code() != StatusCode::kIOError) {
+          st.code() != StatusCode::kIOError &&
+          st.code() != StatusCode::kNotFound) {
         return st;
       }
       // Unreadable page: skip it (never decode garbage) but leave it

@@ -77,21 +77,30 @@ class SpillFile {
   /// non-null the drain returns OK and the report carries the loss
   /// counts; with `report` null any loss turns into a kDataLoss status
   /// (out still holds the survivors) so data never vanishes silently.
+  /// The drain is state-consistent on every exit path: pages it freed
+  /// are dropped from the file immediately, so a retried drain never
+  /// re-reads a freed page or double-counts records.
   Status DrainAll(std::vector<double>* out, DrainReport* report = nullptr);
 
   /// Non-destructive DrainAll: reads every record in append order into
   /// `out` but leaves pages, staging buffer, and counters untouched, so
   /// the file keeps operating as if the peek never happened. Loss
   /// semantics match DrainAll (skipped pages are reported, and stay
-  /// allocated; retry counters still accrue). Checkpointing uses this
-  /// to copy pending spill state without consuming it.
+  /// allocated), but the reads are stats-neutral: transient faults are
+  /// still retried under the full budget, yet SpillStats is left
+  /// untouched so a later DrainAll reports only its own fault history.
+  /// Checkpointing uses this to copy pending spill state without
+  /// consuming it.
   Status PeekAll(std::vector<double>* out, DrainReport* report = nullptr);
 
  private:
   Status FlushStaging();
   /// Store ops with bounded retry on transient (kIOError) failures.
+  /// `stats` receives the retry accounting; nullptr reads are
+  /// stats-neutral (used by PeekAll).
   Status WriteWithRetry(PageId id, std::span<const uint8_t> data);
-  Status ReadWithRetry(PageId id, std::vector<uint8_t>* out);
+  Status ReadWithRetry(PageId id, std::vector<uint8_t>* out,
+                       SpillStats* stats);
 
   PageStore* store_;
   size_t record_doubles_;

@@ -209,6 +209,69 @@ TEST(BirchTest, OptionValidation) {
   o.resources.page_size = 16;  // too small for dim
   EXPECT_EQ(BirchClusterer::Create(o).status().code(),
             StatusCode::kInvalidArgument);
+  o.resources.page_size = 1024;
+  // A hot tier without a codec is meaningless (uncompressed pages are
+  // their own hot copy) — the message must name the remedy.
+  o.resources.hot_tier_bytes = 64 * 1024;
+  auto no_codec = BirchClusterer::Create(o);
+  ASSERT_FALSE(no_codec.ok());
+  EXPECT_EQ(no_codec.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(no_codec.status().message().find("page_codec"),
+            std::string::npos);
+  o.resources.page_codec = PageCodecKind::kDeltaRle;
+  EXPECT_TRUE(BirchClusterer::Create(o).ok());
+}
+
+TEST(BirchTest, CompressedOutlierDiskIsTransparent) {
+  // The codec sits entirely below the outlier disk: the same stream
+  // with compression on and off must produce the identical clustering
+  // (labels, clusters, threshold), while the compressed run stores
+  // fewer bytes than it was presented.
+  auto gen = GeneratePaperDataset(PaperDataset::kDS1, 25, 200);
+  ASSERT_TRUE(gen.ok());
+  BirchOptions plain = SmallOptions(25);
+  BirchOptions packed = plain;
+  packed.resources.page_codec = PageCodecKind::kDeltaRle;
+  packed.resources.hot_tier_bytes = 2 * 1024;
+  auto rp = ClusterDataset(gen.value().data, plain);
+  auto rc = ClusterDataset(gen.value().data, packed);
+  ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+  ASSERT_TRUE(rc.ok()) << rc.status().ToString();
+  EXPECT_EQ(rp.value().labels, rc.value().labels);
+  ASSERT_EQ(rp.value().clusters.size(), rc.value().clusters.size());
+  for (size_t c = 0; c < rp.value().clusters.size(); ++c) {
+    EXPECT_EQ(rp.value().clusters[c], rc.value().clusters[c]);
+  }
+  EXPECT_EQ(rp.value().final_threshold, rc.value().final_threshold);
+  // The plain run reports no compression traffic; the packed one beats
+  // raw whenever the disk actually saw pages.
+  EXPECT_EQ(rp.value().disk_stored_bytes, 0u);
+  if (rc.value().disk_pages_written > 0) {
+    EXPECT_GT(rc.value().disk_raw_bytes, 0u);
+    EXPECT_LT(rc.value().disk_stored_bytes, rc.value().disk_raw_bytes);
+  }
+}
+
+TEST(BirchTest, BuilderConfiguresPageCodec) {
+  auto built_or = BirchOptions::Builder()
+                      .Dim(2)
+                      .K(4)
+                      .PageCodec(PageCodecKind::kDeltaRle)
+                      .HotTierBytes(8 * 1024)
+                      .Build();
+  ASSERT_TRUE(built_or.ok()) << built_or.status().ToString();
+  EXPECT_EQ(built_or.value().resources.page_codec,
+            PageCodecKind::kDeltaRle);
+  EXPECT_EQ(built_or.value().resources.hot_tier_bytes, 8u * 1024u);
+  // Builder-level misconfiguration fails like field-level.
+  EXPECT_EQ(BirchOptions::Builder()
+                .Dim(2)
+                .K(4)
+                .HotTierBytes(8 * 1024)
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(BirchTest, BuilderMatchesFieldConfiguration) {

@@ -8,8 +8,10 @@
 #include "birch/checkpoint.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iterator>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +20,7 @@
 
 #include "birch/birch.h"
 #include "datagen/generator.h"
+#include "pagestore/crc32c.h"
 #include "serving/server.h"
 
 namespace birch {
@@ -566,6 +569,155 @@ TEST(CheckpointTest, MissingFileIsNotCorruption) {
   auto img = ReadCheckpointFile(TempPath("ckpt_does_not_exist.birch"));
   EXPECT_FALSE(img.ok());
   EXPECT_EQ(img.status().code(), StatusCode::kIOError);
+}
+
+// --- Compressed checkpoints (resources.page_codec != none) ---
+
+TEST(CheckpointTest, CompressedKillAndResumeIsBitwiseIdentical) {
+  // The compressed checkpoint must capture exactly the same state as
+  // the raw one: kill/resume with delta-rle freeze sections (and a
+  // compressed, hot-tiered outlier disk) reproduces the uninterrupted
+  // run bitwise.
+  Dataset data = MakeData(9, 300, 701);
+  BirchOptions o = SmallOpts(data.dim(), 9);
+  o.resources.page_codec = PageCodecKind::kDeltaRle;
+  o.resources.hot_tier_bytes = 4 * 1024;
+  auto want = RunUninterrupted(data, o);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  std::string path = TempPath("ckpt_codec.birch");
+  auto got = RunInterrupted(data, o, data.size() / 2, path);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectBitwiseEqual(want.value(), got.value());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CompressedCheckpointIsSmallerOnCfState) {
+  // Freeze sections hold tree pages and spill records — CF-shaped
+  // data — so the enveloped file should beat the raw one.
+  Dataset data = MakeData(6, 200, 715);
+  BirchOptions raw_opts = SmallOpts(data.dim(), 6);
+  BirchOptions codec_opts = raw_opts;
+  codec_opts.resources.page_codec = PageCodecKind::kDeltaRle;
+  std::string raw_path = TempPath("ckpt_raw_size.birch");
+  std::string codec_path = TempPath("ckpt_codec_size.birch");
+  auto save = [&data](const BirchOptions& o, const std::string& path) {
+    auto c = BirchClusterer::Create(o);
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c.value()->AddDataset(data).ok());
+    ASSERT_TRUE(c.value()->SaveCheckpoint(path).ok());
+  };
+  save(raw_opts, raw_path);
+  save(codec_opts, codec_path);
+  EXPECT_LT(ReadAll(codec_path).size(), ReadAll(raw_path).size());
+  std::remove(raw_path.c_str());
+  std::remove(codec_path.c_str());
+}
+
+TEST(CheckpointTest, CrossCodecRestoreIsInvalidArgument) {
+  // A checkpoint's codec is part of the options fingerprint: restoring
+  // under a different resources.page_codec must be refused with a
+  // remedy, in both directions.
+  Dataset data = MakeData(4, 150, 716);
+  BirchOptions raw_opts = SmallOpts(data.dim(), 4);
+  BirchOptions codec_opts = raw_opts;
+  codec_opts.resources.page_codec = PageCodecKind::kDeltaRle;
+  std::string path = TempPath("ckpt_cross_codec.birch");
+
+  {
+    auto c = BirchClusterer::Create(codec_opts);
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c.value()->AddDataset(data).ok());
+    ASSERT_TRUE(c.value()->SaveCheckpoint(path).ok());
+  }
+  auto mismatch = BirchClusterer::Restore(path, raw_opts);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(mismatch.status().message().find("page_codec"),
+            std::string::npos);
+  EXPECT_TRUE(BirchClusterer::Restore(path, codec_opts).ok());
+
+  {
+    auto c = BirchClusterer::Create(raw_opts);
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c.value()->AddDataset(data).ok());
+    ASSERT_TRUE(c.value()->SaveCheckpoint(path).ok());
+  }
+  auto mismatch2 = BirchClusterer::Restore(path, codec_opts);
+  ASSERT_FALSE(mismatch2.ok());
+  EXPECT_EQ(mismatch2.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(BirchClusterer::Restore(path, raw_opts).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LegacyHeaderWithoutCodecFieldStillLoads) {
+  // Files written before page compression end their header right after
+  // points_ingested — no trailing codec u32. Surgically rebuild such a
+  // header (shorten the payload, fix the frame length and CRC) and
+  // require the reader to decode it as codec 0 and load normally.
+  std::string path = WriteSampleCheckpoint("ckpt_legacy.birch");
+  std::vector<char> bytes = ReadAll(path);
+  // Layout: magic(8) | tag(4) size(8) payload(size) crc(4) | ...
+  const size_t kHdrOff = 8;
+  uint64_t size = 0;
+  std::memcpy(&size, bytes.data() + kHdrOff + 4, 8);
+  ASSERT_EQ(size, 52u);  // v2 header payload with the codec field
+  const size_t payload_off = kHdrOff + 4 + 8;
+  std::vector<char> legacy(bytes.begin(), bytes.begin() + payload_off);
+  // Shortened payload: everything but the trailing u32 codec field.
+  legacy.insert(legacy.end(), bytes.begin() + payload_off,
+                bytes.begin() + payload_off + 48);
+  uint64_t new_size = 48;
+  std::memcpy(legacy.data() + kHdrOff + 4, &new_size, 8);
+  uint32_t crc = Crc32c(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(legacy.data()) + payload_off, 48));
+  for (int i = 0; i < 4; ++i) {
+    legacy.push_back(static_cast<char>(crc >> (8 * i)));
+  }
+  // Everything after the original header section rides along unchanged.
+  legacy.insert(legacy.end(),
+                bytes.begin() + static_cast<long>(payload_off + 52 + 4),
+                bytes.end());
+  WriteAll(path, legacy);
+
+  auto img = ReadCheckpointFile(path);
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  EXPECT_EQ(img.value().page_codec, 0u);
+  // And the full Restore path accepts it under codec-none options.
+  Dataset data = MakeData(6, 200, 711);
+  BirchOptions o = SmallOpts(data.dim(), 6);
+  EXPECT_TRUE(BirchClusterer::Restore(path, o).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CompressedSectionBitFlipIsDetected) {
+  // Bit rot inside a compressed freeze section: the section CRC covers
+  // the compressed image, so the flip is Corruption before the
+  // envelope decoder ever runs.
+  Dataset data = MakeData(6, 200, 717);
+  BirchOptions o = SmallOpts(data.dim(), 6);
+  o.resources.page_codec = PageCodecKind::kDeltaRle;
+  std::string path = TempPath("ckpt_codec_flip.birch");
+  {
+    auto c = BirchClusterer::Create(o);
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c.value()->AddDataset(data).ok());
+    ASSERT_TRUE(c.value()->SaveCheckpoint(path).ok());
+  }
+  std::vector<char> bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 256u);
+  for (size_t off : {size_t{100}, bytes.size() / 2, bytes.size() - 32}) {
+    std::vector<char> mutated = bytes;
+    mutated[off] = static_cast<char>(mutated[off] ^ 0x04);
+    WriteAll(path, mutated);
+    auto img = ReadCheckpointFile(path);
+    ASSERT_FALSE(img.ok()) << "flip at byte " << off << " undetected";
+    EXPECT_EQ(img.status().code(), StatusCode::kCorruption)
+        << "offset=" << off;
+  }
+  WriteAll(path, bytes);
+  EXPECT_TRUE(ReadCheckpointFile(path).ok());
+  std::remove(path.c_str());
 }
 
 TEST(CheckpointTest, SaveAfterFinishIsFailedPrecondition) {

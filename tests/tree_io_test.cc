@@ -106,6 +106,38 @@ TEST(TreeIoTest, BetulaRoundTripPreservesEverything) {
   }
 }
 
+TEST(TreeIoTest, RoundTripOverCompressedTieredStore) {
+  // TreeIO never sees envelopes: a codec + hot-tier store underneath is
+  // fully transparent, and the CF-page content should compress well —
+  // the device holds the tree in far fewer stored bytes than raw.
+  MemoryTracker mem;
+  auto tree = BuildTree(&mem, 3000, 201);
+  std::vector<CfVector> entries_before;
+  tree->CollectLeafEntries(&entries_before);
+
+  PageStoreOptions opt;
+  opt.page_size = 512;
+  opt.codec = PageCodecKind::kDeltaRle;
+  opt.hot_tier_bytes = 8 * 512;
+  PageStore store(opt);
+  auto image_or = TreeIO::Write(*tree, &store);
+  ASSERT_TRUE(image_or.ok()) << image_or.status().ToString();
+  EXPECT_LT(store.used_bytes(), store.num_pages() * opt.page_size)
+      << "CF pages failed to compress at all";
+
+  MemoryTracker mem2;
+  CfTreeOptions opts;
+  auto back_or = TreeIO::Read(image_or.value(), &store, opts, &mem2);
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  std::vector<CfVector> entries_after;
+  back_or.value()->CollectLeafEntries(&entries_after);
+  EXPECT_EQ(entries_after, entries_before);
+  EXPECT_EQ(back_or.value()->TreeSummary(), tree->TreeSummary());
+  std::string why;
+  EXPECT_TRUE(back_or.value()->CheckInvariants(&why)) << why;
+  EXPECT_GT(store.io_stats().compressed_writes, 0u);
+}
+
 TEST(TreeIoTest, CfPolicyMismatchOnReadIsInvalidArgument) {
   // An image written under one CF representation/storage must refuse
   // to open under another: the pages would be silently misread as the

@@ -62,6 +62,13 @@ StatusOr<CfStorage> ParseCfStorage(const std::string& name) {
                                  "' (want f64|f32)");
 }
 
+StatusOr<PageCodecKind> ParsePageCodec(const std::string& name) {
+  PageCodecKind kind;
+  if (ParsePageCodecName(name, &kind)) return kind;
+  return Status::InvalidArgument("unknown page codec '" + name +
+                                 "' (want none|delta-rle)");
+}
+
 StatusOr<GlobalAlgorithm> ParseAlgorithm(const std::string& name) {
   if (name == "hc") return GlobalAlgorithm::kHierarchical;
   if (name == "kmeans") return GlobalAlgorithm::kKMeans;
@@ -91,7 +98,8 @@ int Run(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
   Status known = flags.CheckKnown(
       {"input", "output", "k", "distance-limit", "memory-kb", "disk-kb",
-       "page", "metric", "cf", "cf-storage", "threshold", "algorithm",
+       "page", "page-codec", "hot-tier-kb", "metric", "cf", "cf-storage",
+       "threshold", "algorithm",
        "refine-passes",
        "discard-distance", "no-outliers", "no-delay-split", "stream",
        "seed", "threads", "dealing", "splitter-seed", "kernel",
@@ -113,7 +121,8 @@ int Run(int argc, char** argv) {
                  "[--no-outliers] [--no-delay-split] [--stream] "
                  "[--seed S] [--threads N] [--dealing affinity|round-robin] "
                  "[--splitter-seed S] [--kernel scalar|batch|batch-fast]\n"
-                 "       [--disk-kb R] [--fault-read P] [--fault-write P] "
+                 "       [--disk-kb R] [--page-codec none|delta-rle] "
+                 "[--hot-tier-kb N] [--fault-read P] [--fault-write P] "
                  "[--fault-lose P] [--fault-flip P] [--fault-seed S] "
                  "[--io-attempts N]\n"
                  "  --stream clusters the file without loading it into "
@@ -136,7 +145,11 @@ int Run(int argc, char** argv) {
                  "  CPU has one (faster, last-bit different); scalar|batch "
                  "stay bitwise deterministic.\n"
                  "  --disk-kb 0 disables the outlier disk (in-tree "
-                 "fallback); --fault-* inject seeded\n"
+                 "fallback); --page-codec delta-rle\n"
+                 "  compresses outlier pages (effective disk budget = "
+                 "disk-kb x ratio) with an\n"
+                 "  optional --hot-tier-kb DRAM cache of decompressed "
+                 "pages; --fault-* inject seeded\n"
                  "  disk faults (probabilities in [0,1]) retried up to "
                  "--io-attempts times.\n"
                  "  --metrics prints the instrumentation summary; "
@@ -192,6 +205,14 @@ int Run(int argc, char** argv) {
   o.resources.io_retry.max_attempts =
       static_cast<int>(flags.GetInt("io-attempts", o.resources.io_retry.max_attempts));
   o.resources.page_size = static_cast<size_t>(flags.GetInt("page", 1024));
+  auto codec_or = ParsePageCodec(flags.GetString("page-codec", "none"));
+  if (!codec_or.ok()) {
+    std::fprintf(stderr, "%s\n", codec_or.status().ToString().c_str());
+    return 2;
+  }
+  o.resources.page_codec = codec_or.value();
+  o.resources.hot_tier_bytes =
+      static_cast<size_t>(flags.GetInt("hot-tier-kb", 0)) * 1024;
   o.tree.initial_threshold = flags.GetDouble("threshold", 0.0);
   o.refine.passes = static_cast<int>(flags.GetInt("refine-passes", 1));
   o.refine.outlier_distance = flags.GetDouble("discard-distance", 0.0);
